@@ -1,0 +1,190 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the software CKKS kernels — the
+ * CPU reference the FPGA model is compared against, and a regression
+ * guard for the NTT/keyswitch implementations.
+ */
+#include <benchmark/benchmark.h>
+
+#include "src/ckks/decryptor.hpp"
+#include "src/ckks/encoder.hpp"
+#include "src/ckks/encryptor.hpp"
+#include "src/ckks/evaluator.hpp"
+#include "src/ckks/keygen.hpp"
+#include "src/common/rng.hpp"
+#include "src/modarith/ntt.hpp"
+#include "src/modarith/primes.hpp"
+
+namespace {
+
+using namespace fxhenn;
+
+void
+BM_ModMul(benchmark::State &state)
+{
+    const Modulus q(generateNttPrimes(30, 8192, 1)[0]);
+    Rng rng(1);
+    const std::uint64_t a = rng.uniform(q.value());
+    std::uint64_t b = rng.uniform(q.value());
+    for (auto _ : state) {
+        b = q.mul(a, b);
+        benchmark::DoNotOptimize(b);
+    }
+}
+BENCHMARK(BM_ModMul);
+
+void
+BM_NttForward(benchmark::State &state)
+{
+    const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+    const Modulus q(generateNttPrimes(30, n, 1)[0]);
+    const NttTables ntt(n, q);
+    Rng rng(2);
+    std::vector<std::uint64_t> a(n);
+    for (auto &x : a)
+        x = rng.uniform(q.value());
+    for (auto _ : state) {
+        ntt.forward(a);
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(
+                                ntt.butterflyCount()));
+}
+BENCHMARK(BM_NttForward)->Arg(1024)->Arg(4096)->Arg(8192)->Arg(16384);
+
+/** Shared CKKS fixture state for the op-level benchmarks. */
+struct CkksBench
+{
+    CkksBench()
+        : ctx(ckks::testParams(4096, 7, 30)), rng(7),
+          keygen(ctx, rng), encoder(ctx),
+          encryptor(ctx, keygen.makePublicKey(), rng),
+          evaluator(ctx), relin(keygen.makeRelinKey()),
+          galois(keygen.makeGaloisKeys({1}))
+    {
+        std::vector<double> values(ctx.slots(), 0.5);
+        ct = encryptor.encrypt(encoder.encode(
+            std::span<const double>(values), ctx.params().scale, 7));
+        pt = encoder.encode(std::span<const double>(values),
+                            ctx.params().scale, 7);
+    }
+
+    ckks::CkksContext ctx;
+    Rng rng;
+    ckks::KeyGenerator keygen;
+    ckks::Encoder encoder;
+    ckks::Encryptor encryptor;
+    ckks::Evaluator evaluator;
+    ckks::RelinKey relin;
+    ckks::GaloisKeys galois;
+    ckks::Ciphertext ct;
+    ckks::Plaintext pt;
+};
+
+CkksBench &
+fixture()
+{
+    static CkksBench bench;
+    return bench;
+}
+
+void
+BM_CCadd(benchmark::State &state)
+{
+    auto &f = fixture();
+    for (auto _ : state) {
+        auto out = f.evaluator.add(f.ct, f.ct);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_CCadd);
+
+void
+BM_PCmult(benchmark::State &state)
+{
+    auto &f = fixture();
+    for (auto _ : state) {
+        auto out = f.evaluator.mulPlain(f.ct, f.pt);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_PCmult);
+
+void
+BM_Rescale(benchmark::State &state)
+{
+    auto &f = fixture();
+    auto prod = f.evaluator.mulPlain(f.ct, f.pt);
+    for (auto _ : state) {
+        auto out = f.evaluator.rescale(prod);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_Rescale);
+
+void
+BM_Relinearize(benchmark::State &state)
+{
+    auto &f = fixture();
+    auto prod = f.evaluator.mulNoRelin(f.ct, f.ct);
+    for (auto _ : state) {
+        auto out = f.evaluator.relinearize(prod, f.relin);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_Relinearize);
+
+void
+BM_Rotate(benchmark::State &state)
+{
+    auto &f = fixture();
+    for (auto _ : state) {
+        auto out = f.evaluator.rotate(f.ct, 1, f.galois);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_Rotate);
+
+void
+BM_RotateFourSequential(benchmark::State &state)
+{
+    auto &f = fixture();
+    auto gk = f.keygen.makeGaloisKeys({1, 2, 4, 8});
+    for (auto _ : state) {
+        for (int step : {1, 2, 4, 8}) {
+            auto out = f.evaluator.rotate(f.ct, step, gk);
+            benchmark::DoNotOptimize(out);
+        }
+    }
+}
+BENCHMARK(BM_RotateFourSequential);
+
+void
+BM_RotateFourHoisted(benchmark::State &state)
+{
+    // Halevi-Shoup hoisting: one decomposition serves all four
+    // rotations — compare against BM_RotateFourSequential.
+    auto &f = fixture();
+    auto gk = f.keygen.makeGaloisKeys({1, 2, 4, 8});
+    for (auto _ : state) {
+        auto outs = f.evaluator.rotateHoisted(f.ct, {1, 2, 4, 8}, gk);
+        benchmark::DoNotOptimize(outs);
+    }
+}
+BENCHMARK(BM_RotateFourHoisted);
+
+void
+BM_Encode(benchmark::State &state)
+{
+    auto &f = fixture();
+    std::vector<double> values(f.ctx.slots(), 0.25);
+    for (auto _ : state) {
+        auto out = f.encoder.encode(std::span<const double>(values),
+                                    f.ctx.params().scale, 7);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_Encode);
+
+} // namespace

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fig. 7: per-layer BRAM usage and latency of FxHENN-MNIST on ACU9EG,
+ * baseline versus FxHENN. The headline: inter-layer sharing lets the
+ * bottleneck Fc1 use most of the chip's BRAM and speeds it up ~6X.
+ */
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "src/fxhenn/framework.hpp"
+#include "src/nn/model_zoo.hpp"
+
+using namespace fxhenn;
+
+int
+main()
+{
+    bench::banner("Fig. 7 - per-layer BRAM and latency breakdown",
+                  "Sec. VII-C, Fig. 7");
+
+    const auto net = nn::buildMnistNetwork();
+    const auto params = ckks::mnistParams();
+    const auto device = fpga::acu9eg();
+
+    const auto baseline = Fxhenn::generateBaseline(net, params, device);
+    const auto fx = Fxhenn::generate(net, params, device);
+
+    TablePrinter table({"Layer", "BRAM% base", "BRAM% FxHENN",
+                        "Lat s base", "Lat s FxHENN", "Speedup"});
+
+    double fc1_speedup = 0.0;
+    for (std::size_t i = 0; i < baseline.perf.layers.size(); ++i) {
+        const auto &b = baseline.perf.layers[i];
+        const auto &f = fx.design.perf.layers[i];
+        const double speedup = device.seconds(b.cycles) /
+                               device.seconds(f.cycles);
+        if (b.name == "Fc1")
+            fc1_speedup = speedup;
+        table.addRow(
+            {b.name,
+             fmtF(100.0 * b.bramBlocks / device.bram36kBlocks, 1),
+             fmtF(100.0 * f.bramBlocks / device.bram36kBlocks, 1),
+             fmtF(device.seconds(b.cycles), 4),
+             fmtF(device.seconds(f.cycles), 4),
+             fmtF(speedup, 2) + "X"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPaper: Fc1 gets 84.8% of BRAM under FxHENN (25.8% "
+                 "under the heuristic\nbaseline) and speeds up 6.63X; "
+                 "ours: Fc1 speedup " << fmtF(fc1_speedup, 2)
+              << "X. Per-layer BRAM\nremains intentionally divergent "
+                 "(DSE funds the bottleneck layer).\n";
+    return 0;
+}

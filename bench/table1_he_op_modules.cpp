@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Table I: resource usage and latency of the parameterized HE operation
+ * modules (OP1-OP5) on ACU9EG, versus nc_NTT.
+ */
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "src/fpga/device.hpp"
+#include "src/fpga/op_model.hpp"
+
+using namespace fxhenn;
+using fpga::HeOpModule;
+
+namespace {
+
+struct Row
+{
+    HeOpModule op;
+    unsigned nc;        // 0 = nc not applicable
+    double paperDspPct;
+    double paperBramPct;
+    double paperMs;
+};
+
+constexpr Row kRows[] = {
+    {HeOpModule::ccAdd, 0, 0.00, 10.53, 0.25},
+    {HeOpModule::pcMult, 0, 3.97, 10.53, 0.25},
+    {HeOpModule::ccMult, 0, 3.97, 15.79, 0.25},
+    {HeOpModule::rescale, 2, 4.44, 10.53, 1.19},
+    {HeOpModule::rescale, 4, 7.30, 10.53, 0.68},
+    {HeOpModule::rescale, 8, 13.01, 21.05, 0.34},
+    {HeOpModule::keySwitch, 2, 10.08, 35.09, 3.17},
+    {HeOpModule::keySwitch, 4, 19.01, 35.09, 1.60},
+    {HeOpModule::keySwitch, 8, 28.61, 70.18, 0.81},
+};
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table I - HE operation modules on ACU9EG",
+                  "Sec. III, Table I (N=8192, L=7)");
+
+    const fpga::DeviceSpec device = fpga::acu9eg();
+    const fpga::RingView ring{8192, 7};
+
+    TablePrinter table({"HE op", "nc_NTT", "DSP% (paper)", "DSP% (ours)",
+                        "BRAM% (paper)", "BRAM% (ours)", "Lat ms (paper)",
+                        "Lat ms (ours)"});
+
+    for (const auto &row : kRows) {
+        const unsigned nc = row.nc == 0 ? 2 : row.nc;
+        const fpga::OpAllocation alloc{nc, 1, 1};
+
+        const double dsp_pct =
+            100.0 * fpga::dspUsage(row.op, alloc) / device.dspSlices;
+        const auto units = fpga::bufferUnits(row.op, ring, 1);
+        const double bram_pct = 100.0 * (units.bn + units.bb) *
+                                fpga::limbBufferBlocks(ring.n, nc) /
+                                device.bram36kBlocks;
+        const double ms =
+            device.seconds(
+                fpga::singleOpLatencyCycles(row.op, ring, alloc)) *
+            1e3;
+
+        table.addRow({fpga::moduleName(row.op),
+                      row.nc == 0 ? "-" : fmtI(row.nc),
+                      fmtF(row.paperDspPct), fmtF(dsp_pct),
+                      fmtF(row.paperBramPct), fmtF(bram_pct),
+                      fmtF(row.paperMs), fmtF(ms)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nShape checks: latency halves when nc_NTT doubles;\n"
+                 "BRAM% steps only at nc_NTT=8 (dual-port rule).\n";
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The full FxHENN design flow (Fig. 1): for each (HE-CNN model, FPGA
+ * device) pair, run the DSE and emit the accelerator artifacts — the
+ * HLS directives Tcl and the module configuration header that the
+ * Vivado toolchain would synthesize.
+ */
+#include <iostream>
+
+#include "src/fxhenn/codegen.hpp"
+#include "src/fxhenn/framework.hpp"
+#include "src/nn/model_zoo.hpp"
+
+using namespace fxhenn;
+
+int
+main()
+{
+    struct Target
+    {
+        nn::Network net;
+        ckks::CkksParams params;
+        bool elide;
+    };
+    Target targets[] = {
+        {nn::buildMnistNetwork(), ckks::mnistParams(), false},
+        {nn::buildCifar10Network(), ckks::cifar10Params(), true},
+    };
+
+    for (auto &target : targets) {
+        for (const auto &device : {fpga::acu9eg(), fpga::acu15eg()}) {
+            FxhennOptions opts;
+            opts.elideValues = target.elide;
+            const auto sol = Fxhenn::generate(target.net, target.params,
+                                              device, opts);
+
+            std::cout << "\n=== " << sol.modelName << " on "
+                      << sol.deviceName << " ===\n"
+                      << "DSE: " << sol.dsePointsEvaluated
+                      << " feasible points, " << sol.dsePointsPruned
+                      << " pruned\n"
+                      << "Predicted latency: " << sol.latencySeconds()
+                      << " s, energy " << sol.energyJoules(device)
+                      << " J\n"
+                      << "Resources: DSP "
+                      << 100.0 * sol.design.dspFraction << " %, BRAM "
+                      << 100.0 * sol.design.bramFraction << " %\n";
+
+            const std::string dir = "fxhenn_out/" + sol.modelName +
+                                    "_" + sol.deviceName;
+            const auto [tcl, hdr] = writeAccelerator(sol, dir);
+            std::cout << "Artifacts: " << tcl << ", " << hdr << "\n";
+        }
+    }
+    std::cout << "\nFeed directives.tcl + accel_config.hpp to Vivado "
+                 "HLS to synthesize the\nbitstream (requires the vendor "
+                 "toolchain and a board; see DESIGN.md).\n";
+    return 0;
+}

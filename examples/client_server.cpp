@@ -1,0 +1,198 @@
+/**
+ * @file
+ * The MLaaS deployment split of Sec. I, end to end through the wire
+ * formats:
+ *
+ *   [model owner]  compiles the network -> plan file
+ *   [client]       generates keys, packs + encrypts an image,
+ *                  serializes ciphertexts and evaluation keys
+ *   [server]       loads plan + eval keys + ciphertexts (never the
+ *                  secret key), runs every layer homomorphically,
+ *                  serializes the encrypted logits
+ *   [client]       decrypts and reads the prediction
+ *
+ * Every hand-off goes through an actual byte stream, so this example
+ * doubles as a demonstration that nothing secret ever crosses to the
+ * server side.
+ */
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "src/ckks/decryptor.hpp"
+#include "src/ckks/encoder.hpp"
+#include "src/ckks/encryptor.hpp"
+#include "src/ckks/evaluator.hpp"
+#include "src/ckks/keygen.hpp"
+#include "src/ckks/serialization.hpp"
+#include "src/hecnn/compiler.hpp"
+#include "src/hecnn/plan_io.hpp"
+#include "src/nn/model_zoo.hpp"
+
+using namespace fxhenn;
+
+int
+main()
+{
+    const auto params = ckks::testParams(2048, 7, 30);
+    const auto net = nn::buildTestNetwork();
+
+    // ---- model owner: compile and "publish" the plan ------------------
+    std::stringstream plan_wire;
+    {
+        const auto plan = hecnn::compile(net, params);
+        hecnn::savePlan(plan, plan_wire);
+        std::cout << "[owner]  published plan ("
+                  << plan_wire.str().size() << " bytes, "
+                  << plan.totalCounts().total() << " HOPs)\n";
+    }
+
+    // ---- client: keys + encrypted input --------------------------------
+    ckks::CkksContext client_ctx(params);
+    Rng client_rng(99);
+    ckks::KeyGenerator keygen(client_ctx, client_rng);
+    ckks::Encoder client_encoder(client_ctx);
+    ckks::Encryptor encryptor(client_ctx, keygen.makePublicKey(),
+                              client_rng);
+
+    std::stringstream keys_wire;   // evaluation keys only
+    std::stringstream input_wire;  // encrypted image
+    const nn::Tensor image = nn::syntheticInput(net, 42);
+    {
+        const auto plan = hecnn::loadPlan(plan_wire);
+        plan_wire.seekg(0);
+
+        ckks::saveRelinKey(keygen.makeRelinKey(), client_ctx,
+                           keys_wire);
+        ckks::GaloisKeys gk;
+        for (std::int32_t step : plan.rotationSteps())
+            keygen.addGaloisKey(gk, step);
+        ckks::saveGaloisKeys(gk, client_ctx, keys_wire);
+
+        // Pack the image per the plan's gather spec and encrypt.
+        for (const auto &gather : plan.inputGather) {
+            std::vector<double> slots(client_ctx.slots(), 0.0);
+            for (std::size_t s = 0; s < slots.size(); ++s) {
+                if (gather[s] >= 0)
+                    slots[s] = image.data()[static_cast<std::size_t>(
+                        gather[s])];
+            }
+            const auto ct = encryptor.encrypt(client_encoder.encode(
+                std::span<const double>(slots), params.scale,
+                params.levels));
+            ckks::saveCiphertext(ct, client_ctx, input_wire);
+        }
+        std::cout << "[client] sent " << plan.inputCiphertexts()
+                  << " ciphertexts (" << input_wire.str().size()
+                  << " bytes) + eval keys (" << keys_wire.str().size()
+                  << " bytes); secret key stays local\n";
+    }
+
+    // ---- server: compute on ciphertexts only ---------------------------
+    std::stringstream result_wire;
+    {
+        ckks::CkksContext server_ctx(params); // same public parameters
+        plan_wire.seekg(0);
+        const auto plan = hecnn::loadPlan(plan_wire);
+        const auto relin = ckks::loadRelinKey(server_ctx, keys_wire);
+        const auto galois = ckks::loadGaloisKeys(server_ctx, keys_wire);
+        ckks::Encoder server_encoder(server_ctx);
+        ckks::Evaluator eval(server_ctx);
+
+        // Execute the plan's instruction streams directly.
+        std::map<std::int32_t, ckks::Ciphertext> regs;
+        for (std::size_t i = 0; i < plan.inputCiphertexts(); ++i) {
+            regs[static_cast<std::int32_t>(i)] =
+                ckks::loadCiphertext(server_ctx, input_wire);
+        }
+        auto encode_pool = [&](std::int32_t id, double scale,
+                               std::size_t level) {
+            const auto &pt = plan.plaintexts[static_cast<std::size_t>(
+                id)];
+            return server_encoder.encode(
+                std::span<const double>(pt.values), scale, level);
+        };
+        for (const auto &layer : plan.layers) {
+            for (const auto &instr : layer.instrs) {
+                using hecnn::HeOpKind;
+                auto &src = regs.at(instr.src);
+                switch (instr.kind) {
+                  case HeOpKind::pcMult:
+                    regs[instr.dst] = eval.mulPlain(
+                        src, encode_pool(instr.pt, params.scale,
+                                         src.level()));
+                    break;
+                  case HeOpKind::pcAdd:
+                    regs[instr.dst] = eval.addPlain(
+                        src, encode_pool(instr.pt, src.scale,
+                                         src.level()));
+                    break;
+                  case HeOpKind::ccAdd:
+                    eval.addInplace(regs.at(instr.dst), src);
+                    break;
+                  case HeOpKind::ccMult:
+                    regs[instr.dst] = eval.mulNoRelin(src, src);
+                    break;
+                  case HeOpKind::relinearize:
+                    regs[instr.dst] = eval.relinearize(src, relin);
+                    break;
+                  case HeOpKind::rescale:
+                    regs[instr.dst] = eval.rescale(src);
+                    break;
+                  case HeOpKind::rotate:
+                    regs[instr.dst] =
+                        eval.rotate(src, instr.step, galois);
+                    break;
+                  case HeOpKind::copy:
+                    regs[instr.dst] = src;
+                    break;
+                }
+            }
+        }
+        // Ship back every register the output layout references.
+        std::int32_t last = -1;
+        for (const auto &[reg, slot] : plan.outputLayout.pos) {
+            if (reg != last) {
+                ckks::saveCiphertext(regs.at(reg), server_ctx,
+                                     result_wire);
+                last = reg;
+            }
+        }
+        std::cout << "[server] executed " << eval.counts().total()
+                  << " HE ops; returned encrypted logits ("
+                  << result_wire.str().size() << " bytes)\n";
+    }
+
+    // ---- client: decrypt --------------------------------------------
+    {
+        plan_wire.seekg(0);
+        const auto plan = hecnn::loadPlan(plan_wire);
+        ckks::Decryptor decryptor(client_ctx, keygen.secretKey());
+        std::vector<std::vector<double>> decoded;
+        std::int32_t last = -1;
+        std::map<std::int32_t, std::size_t> reg_to_idx;
+        for (const auto &[reg, slot] : plan.outputLayout.pos) {
+            if (reg != last) {
+                reg_to_idx[reg] = decoded.size();
+                decoded.push_back(client_encoder.decodeReal(
+                    decryptor.decrypt(ckks::loadCiphertext(
+                        client_ctx, result_wire))));
+                last = reg;
+            }
+        }
+        const nn::Tensor expected = net.forward(image);
+        std::cout << "[client] logits (encrypted vs plaintext):\n";
+        double max_err = 0.0;
+        for (std::size_t e = 0; e < plan.outputLayout.pos.size(); ++e) {
+            const auto [reg, slot] = plan.outputLayout.pos[e];
+            const double v =
+                decoded[reg_to_idx.at(reg)][static_cast<std::size_t>(
+                    slot)];
+            std::cout << "  " << v << " vs " << expected[e] << "\n";
+            max_err = std::max(max_err, std::abs(v - expected[e]));
+        }
+        std::cout << "max |err| = " << max_err << " -> "
+                  << (max_err < 1e-2 ? "OK" : "MISMATCH") << "\n";
+    }
+    return 0;
+}

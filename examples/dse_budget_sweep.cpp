@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Interactive DSE exploration: sweep the on-chip memory budget for a
+ * chosen model and print the best reachable design at every budget —
+ * the raw data behind the paper's Fig. 9.
+ *
+ * Usage: dse_budget_sweep [min_blocks] [max_blocks] [step]
+ */
+#include <cstdlib>
+#include <iostream>
+
+#include "src/common/table_printer.hpp"
+#include "src/dse/explorer.hpp"
+#include "src/fpga/op_model.hpp"
+#include "src/hecnn/compiler.hpp"
+#include "src/nn/model_zoo.hpp"
+
+using namespace fxhenn;
+
+int
+main(int argc, char **argv)
+{
+    const double lo = argc > 1 ? std::atof(argv[1]) : 350.0;
+    const double hi = argc > 2 ? std::atof(argv[2]) : 1500.0;
+    const double step = argc > 3 ? std::atof(argv[3]) : 100.0;
+
+    const auto plan =
+        hecnn::compile(nn::buildMnistNetwork(), ckks::mnistParams());
+    const auto device = fpga::acu9eg();
+
+    std::cout << "DSE budget sweep for " << plan.name << " on a "
+              << device.dspSlices << "-DSP device\n\n";
+
+    TablePrinter table({"BRAM budget", "Feasible", "Best lat s",
+                        "KS intra/inter", "Rescale intra", "nc_NTT"});
+    for (double budget = lo; budget <= hi; budget += step) {
+        dse::ExploreOptions opts;
+        opts.bramBudgetBlocks = budget;
+        const auto result = dse::explore(plan, device, opts);
+        if (!result.best) {
+            table.addRow({fmtF(budget, 0), "0", "-", "-", "-", "-"});
+            continue;
+        }
+        const auto &ks =
+            result.best->alloc[fpga::HeOpModule::keySwitch];
+        const auto &rs = result.best->alloc[fpga::HeOpModule::rescale];
+        table.addRow(
+            {fmtF(budget, 0),
+             fmtI(static_cast<long long>(result.evaluated)),
+             fmtF(result.best->latencySeconds, 3),
+             fmtI(ks.pIntra) + "/" + fmtI(ks.pInter), fmtI(rs.pIntra),
+             fmtI(ks.ncNtt)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nSmall budgets admit few, slow designs; returns "
+                 "diminish once the\nbottleneck layer's buffers fit "
+                 "(Fig. 9).\n";
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Quickstart: the RNS-CKKS layer of FxHENN in ~60 lines.
+ *
+ * Encrypts two real vectors, computes (a + b), (a * w) with rescale,
+ * a cyclic rotation, and a square — the exact HE operations the HE-CNN
+ * layers are built from (OP1..OP5 of the paper) — then decrypts and
+ * checks the results.
+ */
+#include <iostream>
+#include <vector>
+
+#include "src/ckks/decryptor.hpp"
+#include "src/ckks/encoder.hpp"
+#include "src/ckks/encryptor.hpp"
+#include "src/ckks/evaluator.hpp"
+#include "src/ckks/keygen.hpp"
+
+using namespace fxhenn;
+
+int
+main()
+{
+    // Small, fast parameters (NOT production-secure; use
+    // ckks::mnistParams() / cifar10Params() for the paper's sets).
+    const ckks::CkksParams params = ckks::testParams(2048, 4, 30);
+    ckks::CkksContext ctx(params);
+    std::cout << "Context: " << params.describe() << "\n";
+
+    Rng rng(42);
+    ckks::KeyGenerator keygen(ctx, rng);
+    ckks::Encoder encoder(ctx);
+    ckks::Encryptor encryptor(ctx, keygen.makePublicKey(), rng);
+    ckks::Decryptor decryptor(ctx, keygen.secretKey());
+    ckks::Evaluator eval(ctx);
+    const auto relin = keygen.makeRelinKey();
+    const auto galois = keygen.makeGaloisKeys({1});
+
+    std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+    std::vector<double> b{0.5, -1.5, 2.5, -3.5};
+
+    auto ct_a = encryptor.encrypt(encoder.encode(
+        std::span<const double>(a), params.scale, params.levels));
+    auto ct_b = encryptor.encrypt(encoder.encode(
+        std::span<const double>(b), params.scale, params.levels));
+
+    // OP1: ciphertext + ciphertext.
+    auto sum = eval.add(ct_a, ct_b);
+
+    // OP2 + OP4: plaintext multiply, then rescale.
+    const auto w = encoder.encode(std::span<const double>(b),
+                                  params.scale, params.levels);
+    auto prod = eval.mulPlain(ct_a, w);
+    eval.rescaleInplace(prod);
+
+    // OP5: rotate left by one slot.
+    auto rot = eval.rotate(ct_a, 1, galois);
+
+    // OP3 + OP5 + OP4: the HE-CNN square activation.
+    auto sq = eval.square(ct_a, relin);
+    eval.rescaleInplace(sq);
+
+    auto show = [&](const char *label, const ckks::Ciphertext &ct) {
+        const auto vals = encoder.decodeReal(decryptor.decrypt(ct));
+        std::cout << label << ": ";
+        for (std::size_t i = 0; i < 4; ++i)
+            std::cout << vals[i] << (i < 3 ? ", " : "\n");
+    };
+    show("a + b    ", sum);   // 1.5, 0.5, 5.5, 0.5
+    show("a * b    ", prod);  // 0.5, -3, 7.5, -14
+    show("rot(a, 1)", rot);   // 2, 3, 4, ...
+    show("a^2      ", sq);    // 1, 4, 9, 16
+
+    std::cout << "HE operations executed: " << eval.counts().total()
+              << " (KeySwitch: " << eval.counts().keySwitch() << ")\n";
+    return 0;
+}

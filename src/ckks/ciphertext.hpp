@@ -1,0 +1,33 @@
+/**
+ * @file
+ * CKKS ciphertext: 2 (or 3, pre-relinearization) RNS polynomials.
+ */
+#ifndef FXHENN_CKKS_CIPHERTEXT_HPP
+#define FXHENN_CKKS_CIPHERTEXT_HPP
+
+#include <vector>
+
+#include "src/rns/rns_poly.hpp"
+
+namespace fxhenn::ckks {
+
+/**
+ * A ciphertext decrypting to m under sum_k parts[k] * s^k.
+ *
+ * Freshly encrypted and relinearized ciphertexts have two parts; the raw
+ * output of ciphertext-ciphertext multiplication has three until
+ * Relinearize (a KeySwitch in the paper's terminology) is applied.
+ */
+struct Ciphertext
+{
+    std::vector<RnsPoly> parts; ///< NTT domain
+    double scale = 0.0;
+
+    std::size_t size() const { return parts.size(); }
+    std::size_t level() const { return parts.empty() ? 0
+                                                     : parts[0].level(); }
+};
+
+} // namespace fxhenn::ckks
+
+#endif // FXHENN_CKKS_CIPHERTEXT_HPP

@@ -1,0 +1,80 @@
+#include "src/ckks/context.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "src/common/assert.hpp"
+#include "src/modarith/primes.hpp"
+
+namespace fxhenn::ckks {
+
+CkksContext::CkksContext(const CkksParams &params)
+    : params_(params)
+{
+    params_.validate();
+
+    // Data primes and the (wider) special prime must not collide; search
+    // both downward from their respective bit widths.
+    auto data_primes =
+        generateNttPrimes(params_.qBits, params_.n, params_.levels);
+    std::uint64_t special = 0;
+    for (std::uint64_t cand :
+         generateNttPrimes(params_.specialBits, params_.n,
+                           params_.levels + 1)) {
+        bool collides = false;
+        for (std::uint64_t q : data_primes)
+            collides |= (q == cand);
+        if (!collides) {
+            special = cand;
+            break;
+        }
+    }
+    FXHENN_FATAL_IF(special == 0, "no usable special prime found");
+
+    basis_ = std::make_unique<RnsBasis>(params_.n, data_primes, special);
+
+    crt_.reserve(params_.levels);
+    for (std::size_t level = 1; level <= params_.levels; ++level)
+        crt_.push_back(std::make_unique<CrtReconstructor>(*basis_, level));
+
+    const std::uint64_t m = 2 * params_.n;
+    roots_.resize(m);
+    for (std::uint64_t j = 0; j < m; ++j) {
+        const double angle =
+            2.0 * std::numbers::pi * static_cast<double>(j) /
+            static_cast<double>(m);
+        roots_[j] = {std::cos(angle), std::sin(angle)};
+    }
+
+    rotGroup_.resize(slots());
+    std::uint64_t five = 1;
+    for (std::size_t i = 0; i < slots(); ++i) {
+        rotGroup_[i] = five;
+        five = five * 5 % m;
+    }
+}
+
+const CrtReconstructor &
+CkksContext::crt(std::size_t level) const
+{
+    FXHENN_ASSERT(level >= 1 && level <= crt_.size(),
+                  "CRT level out of range");
+    return *crt_[level - 1];
+}
+
+std::uint64_t
+CkksContext::galoisElt(int steps) const
+{
+    const std::uint64_t m = 2 * params_.n;
+    const std::size_t n_slots = slots();
+    // Normalize to a left rotation amount in [0, slots).
+    std::size_t k = ((steps % static_cast<long>(n_slots)) +
+                     static_cast<long>(n_slots)) %
+                    n_slots;
+    std::uint64_t elt = 1;
+    for (std::size_t i = 0; i < k; ++i)
+        elt = elt * 5 % m;
+    return elt;
+}
+
+} // namespace fxhenn::ckks

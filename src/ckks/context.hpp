@@ -1,0 +1,70 @@
+/**
+ * @file
+ * CkksContext: the shared immutable state behind every CKKS object.
+ *
+ * Owns the RNS basis (prime chain + NTT tables), the encoder root tables
+ * and the per-level CRT reconstructors. All other scheme classes
+ * (Encoder, KeyGenerator, Encryptor, Decryptor, Evaluator) hold a
+ * reference to one context.
+ */
+#ifndef FXHENN_CKKS_CONTEXT_HPP
+#define FXHENN_CKKS_CONTEXT_HPP
+
+#include <complex>
+#include <memory>
+#include <vector>
+
+#include "src/ckks/params.hpp"
+#include "src/rns/crt.hpp"
+#include "src/rns/rns_basis.hpp"
+
+namespace fxhenn::ckks {
+
+/** Immutable CKKS scheme context (basis, roots, CRT tables). */
+class CkksContext
+{
+  public:
+    /** Build all tables for @p params (validates them first). */
+    explicit CkksContext(const CkksParams &params);
+
+    const CkksParams &params() const { return params_; }
+    const RnsBasis &basis() const { return *basis_; }
+
+    std::uint64_t n() const { return params_.n; }
+    std::size_t slots() const { return params_.n / 2; }
+    std::size_t maxLevel() const { return params_.levels; }
+
+    /** CRT reconstructor for ciphertexts at @p level. */
+    const CrtReconstructor &crt(std::size_t level) const;
+
+    /** exp(2*pi*i * j / 2N) for j in [0, 2N); encoder twiddles. */
+    const std::vector<std::complex<double>> &
+    encoderRoots() const
+    {
+        return roots_;
+    }
+
+    /** rotGroup[i] = 5^i mod 2N; the slot <-> root index map. */
+    const std::vector<std::uint64_t> &
+    rotGroup() const
+    {
+        return rotGroup_;
+    }
+
+    /** Galois element for a left rotation by @p steps slots. */
+    std::uint64_t galoisElt(int steps) const;
+
+    /** Galois element of complex conjugation (2N - 1). */
+    std::uint64_t conjugateElt() const { return 2 * params_.n - 1; }
+
+  private:
+    CkksParams params_;
+    std::unique_ptr<RnsBasis> basis_;
+    std::vector<std::unique_ptr<CrtReconstructor>> crt_;
+    std::vector<std::complex<double>> roots_;
+    std::vector<std::uint64_t> rotGroup_;
+};
+
+} // namespace fxhenn::ckks
+
+#endif // FXHENN_CKKS_CONTEXT_HPP

@@ -1,0 +1,34 @@
+#include "src/ckks/decryptor.hpp"
+
+#include "src/common/assert.hpp"
+
+namespace fxhenn::ckks {
+
+Decryptor::Decryptor(const CkksContext &context, const SecretKey &secretKey)
+    : context_(context), secretKey_(secretKey)
+{}
+
+Plaintext
+Decryptor::decrypt(const Ciphertext &ct) const
+{
+    FXHENN_FATAL_IF(ct.parts.empty(), "cannot decrypt empty ciphertext");
+    const std::size_t level = ct.level();
+
+    // Secret key restricted to the ciphertext's level.
+    RnsPoly s(context_.basis(), level, false, PolyDomain::ntt);
+    for (std::size_t i = 0; i < level; ++i) {
+        auto src = secretKey_.s.limb(i);
+        auto dst = s.limb(i);
+        std::copy(src.begin(), src.end(), dst.begin());
+    }
+
+    // m = c0 + c1 s + c2 s^2 + ... evaluated by Horner.
+    RnsPoly acc = ct.parts.back();
+    for (std::size_t k = ct.parts.size() - 1; k-- > 0;) {
+        acc.mulInplace(s);
+        acc.addInplace(ct.parts[k]);
+    }
+    return Plaintext{std::move(acc), ct.scale};
+}
+
+} // namespace fxhenn::ckks

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * CKKS decryption (requires the secret key).
+ */
+#ifndef FXHENN_CKKS_DECRYPTOR_HPP
+#define FXHENN_CKKS_DECRYPTOR_HPP
+
+#include "src/ckks/ciphertext.hpp"
+#include "src/ckks/context.hpp"
+#include "src/ckks/keys.hpp"
+#include "src/ckks/plaintext.hpp"
+
+namespace fxhenn::ckks {
+
+/** Decrypts ciphertexts: m = sum_k parts[k] * s^k. */
+class Decryptor
+{
+  public:
+    Decryptor(const CkksContext &context, const SecretKey &secretKey);
+
+    /** Decrypt a 2- or 3-part ciphertext into a plaintext. */
+    Plaintext decrypt(const Ciphertext &ct) const;
+
+  private:
+    const CkksContext &context_;
+    const SecretKey &secretKey_;
+};
+
+} // namespace fxhenn::ckks
+
+#endif // FXHENN_CKKS_DECRYPTOR_HPP

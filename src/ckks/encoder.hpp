@@ -1,0 +1,62 @@
+/**
+ * @file
+ * CKKS canonical-embedding encoder/decoder.
+ *
+ * Implements the batching of Sec. II-A: up to N/2 complex "slots" are
+ * packed into one plaintext polynomial via the special FFT over the odd
+ * powers of the 2N-th root of unity, with slot order given by the
+ * rotation group 5^i mod 2N so that Rotate acts as a cyclic slot shift.
+ */
+#ifndef FXHENN_CKKS_ENCODER_HPP
+#define FXHENN_CKKS_ENCODER_HPP
+
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "src/ckks/context.hpp"
+#include "src/ckks/plaintext.hpp"
+
+namespace fxhenn::ckks {
+
+/** Encode real/complex slot vectors into plaintext polynomials. */
+class Encoder
+{
+  public:
+    explicit Encoder(const CkksContext &context);
+
+    /**
+     * Encode @p values (padded with zeros up to N/2 slots) at @p scale
+     * and @p level. Values must satisfy |v| * scale < Q/2.
+     */
+    Plaintext encode(std::span<const std::complex<double>> values,
+                     double scale, std::size_t level) const;
+
+    /** Convenience overload for real slot vectors. */
+    Plaintext encode(std::span<const double> values, double scale,
+                     std::size_t level) const;
+
+    /** Encode the same real constant into every slot. */
+    Plaintext encodeConstant(double value, double scale,
+                             std::size_t level) const;
+
+    /** Decode a plaintext back into N/2 complex slot values. */
+    std::vector<std::complex<double>> decode(const Plaintext &plain) const;
+
+    /** Decode and keep only the real parts. */
+    std::vector<double> decodeReal(const Plaintext &plain) const;
+
+    std::size_t slots() const { return context_.slots(); }
+
+  private:
+    /** Special forward FFT (coefficients -> slots), in place. */
+    void fftSpecial(std::vector<std::complex<double>> &vals) const;
+    /** Special inverse FFT (slots -> coefficients), in place. */
+    void fftSpecialInv(std::vector<std::complex<double>> &vals) const;
+
+    const CkksContext &context_;
+};
+
+} // namespace fxhenn::ckks
+
+#endif // FXHENN_CKKS_ENCODER_HPP

@@ -1,0 +1,52 @@
+#include "src/ckks/encryptor.hpp"
+
+#include "src/common/assert.hpp"
+
+namespace fxhenn::ckks {
+
+Encryptor::Encryptor(const CkksContext &context, PublicKey publicKey,
+                     Rng &rng)
+    : context_(context), publicKey_(std::move(publicKey)), rng_(rng)
+{}
+
+Ciphertext
+Encryptor::encrypt(const Plaintext &plain)
+{
+    const RnsBasis &basis = context_.basis();
+    const std::size_t level = plain.level();
+    const std::size_t max_level = context_.maxLevel();
+
+    RnsPoly u(basis, max_level, false, PolyDomain::coeff);
+    u.sampleTernary(rng_);
+    u.toNtt();
+
+    RnsPoly e0(basis, max_level, false, PolyDomain::coeff);
+    e0.sampleGaussian(rng_, context_.params().sigma);
+    e0.toNtt();
+    RnsPoly e1(basis, max_level, false, PolyDomain::coeff);
+    e1.sampleGaussian(rng_, context_.params().sigma);
+    e1.toNtt();
+
+    RnsPoly c0 = publicKey_.pk0;
+    c0.mulInplace(u);
+    c0.addInplace(e0);
+
+    RnsPoly c1 = publicKey_.pk1;
+    c1.mulInplace(u);
+    c1.addInplace(e1);
+
+    // Truncate to the plaintext's level and add the message.
+    while (c0.level() > level) {
+        c0.dropLastPrime();
+        c1.dropLastPrime();
+    }
+    c0.addInplace(plain.poly);
+
+    Ciphertext ct;
+    ct.parts.push_back(std::move(c0));
+    ct.parts.push_back(std::move(c1));
+    ct.scale = plain.scale;
+    return ct;
+}
+
+} // namespace fxhenn::ckks

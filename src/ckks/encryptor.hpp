@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Public-key CKKS encryption.
+ */
+#ifndef FXHENN_CKKS_ENCRYPTOR_HPP
+#define FXHENN_CKKS_ENCRYPTOR_HPP
+
+#include "src/ckks/ciphertext.hpp"
+#include "src/ckks/context.hpp"
+#include "src/ckks/keys.hpp"
+#include "src/ckks/plaintext.hpp"
+#include "src/common/rng.hpp"
+
+namespace fxhenn::ckks {
+
+/** Encrypts plaintexts under a public key. */
+class Encryptor
+{
+  public:
+    Encryptor(const CkksContext &context, PublicKey publicKey, Rng &rng);
+
+    /**
+     * Encrypt @p plain: ct = (pk0 u + e0 + m, pk1 u + e1) with ternary u
+     * and Gaussian e0, e1. The ciphertext inherits plain's level/scale.
+     */
+    Ciphertext encrypt(const Plaintext &plain);
+
+  private:
+    const CkksContext &context_;
+    PublicKey publicKey_;
+    Rng &rng_;
+};
+
+} // namespace fxhenn::ckks
+
+#endif // FXHENN_CKKS_ENCRYPTOR_HPP

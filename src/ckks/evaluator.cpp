@@ -1,0 +1,445 @@
+#include "src/ckks/evaluator.hpp"
+
+#include <cmath>
+
+#include "src/common/assert.hpp"
+#include "src/common/parallel.hpp"
+
+namespace fxhenn::ckks {
+
+Evaluator::Evaluator(const CkksContext &context)
+    : context_(context)
+{}
+
+void
+Evaluator::checkSameShape(const Ciphertext &a, const Ciphertext &b) const
+{
+    FXHENN_FATAL_IF(a.level() != b.level(),
+                    "ciphertext levels differ; modSwitch first");
+    FXHENN_FATAL_IF(a.size() != b.size(),
+                    "ciphertext part counts differ");
+}
+
+void
+Evaluator::checkScaleClose(double a, double b) const
+{
+    const double ratio = a / b;
+    FXHENN_FATAL_IF(ratio < 0.99 || ratio > 1.01,
+                    "operand scales differ by more than 1%; align scales "
+                    "before additive operations");
+}
+
+Ciphertext
+Evaluator::add(const Ciphertext &a, const Ciphertext &b)
+{
+    Ciphertext out = a;
+    addInplace(out, b);
+    return out;
+}
+
+void
+Evaluator::addInplace(Ciphertext &a, const Ciphertext &b)
+{
+    checkSameShape(a, b);
+    checkScaleClose(a.scale, b.scale);
+    for (std::size_t k = 0; k < a.parts.size(); ++k)
+        a.parts[k].addInplace(b.parts[k]);
+    ++counts_.ccAdd;
+}
+
+Ciphertext
+Evaluator::sub(const Ciphertext &a, const Ciphertext &b)
+{
+    checkSameShape(a, b);
+    checkScaleClose(a.scale, b.scale);
+    Ciphertext out = a;
+    for (std::size_t k = 0; k < out.parts.size(); ++k)
+        out.parts[k].subInplace(b.parts[k]);
+    ++counts_.ccAdd;
+    return out;
+}
+
+Ciphertext
+Evaluator::addPlain(const Ciphertext &a, const Plaintext &p)
+{
+    Ciphertext out = a;
+    addPlainInplace(out, p);
+    return out;
+}
+
+void
+Evaluator::addPlainInplace(Ciphertext &a, const Plaintext &p)
+{
+    FXHENN_FATAL_IF(a.level() != p.level(),
+                    "plaintext level does not match ciphertext");
+    checkScaleClose(a.scale, p.scale);
+    a.parts[0].addInplace(p.poly);
+    ++counts_.pcAdd;
+}
+
+Ciphertext
+Evaluator::negate(const Ciphertext &a)
+{
+    Ciphertext out = a;
+    for (auto &part : out.parts)
+        part.negateInplace();
+    return out;
+}
+
+Ciphertext
+Evaluator::addMany(std::span<const Ciphertext> operands)
+{
+    FXHENN_FATAL_IF(operands.empty(), "addMany needs >= 1 operand");
+    std::vector<Ciphertext> layer(operands.begin(), operands.end());
+    while (layer.size() > 1) {
+        std::vector<Ciphertext> next;
+        next.reserve((layer.size() + 1) / 2);
+        for (std::size_t i = 0; i + 1 < layer.size(); i += 2)
+            next.push_back(add(layer[i], layer[i + 1]));
+        if (layer.size() % 2 == 1)
+            next.push_back(std::move(layer.back()));
+        layer = std::move(next);
+    }
+    return std::move(layer.front());
+}
+
+void
+Evaluator::mulScalarInplace(Ciphertext &a, std::int64_t scalar)
+{
+    for (auto &part : a.parts) {
+        for (std::size_t i = 0; i < part.limbCount(); ++i) {
+            const Modulus &q = part.limbModulus(i);
+            const std::uint64_t s = q.reduceSigned(scalar);
+            for (auto &x : part.limb(i))
+                x = q.mul(x, s);
+        }
+    }
+}
+
+Ciphertext
+Evaluator::mulPlain(const Ciphertext &a, const Plaintext &p)
+{
+    Ciphertext out = a;
+    mulPlainInplace(out, p);
+    return out;
+}
+
+void
+Evaluator::mulPlainInplace(Ciphertext &a, const Plaintext &p)
+{
+    FXHENN_FATAL_IF(a.level() != p.level(),
+                    "plaintext level does not match ciphertext");
+    for (auto &part : a.parts)
+        part.mulInplace(p.poly);
+    a.scale *= p.scale;
+    ++counts_.pcMult;
+}
+
+Ciphertext
+Evaluator::mulNoRelin(const Ciphertext &a, const Ciphertext &b)
+{
+    checkSameShape(a, b);
+    FXHENN_FATAL_IF(a.size() != 2 || b.size() != 2,
+                    "multiply requires 2-part operands");
+
+    Ciphertext out;
+    out.scale = a.scale * b.scale;
+    // r0 = a0 b0, r1 = a0 b1 + a1 b0, r2 = a1 b1
+    RnsPoly r0 = a.parts[0];
+    r0.mulInplace(b.parts[0]);
+    RnsPoly r1 = a.parts[0];
+    r1.mulInplace(b.parts[1]);
+    r1.addProduct(a.parts[1], b.parts[0]);
+    RnsPoly r2 = a.parts[1];
+    r2.mulInplace(b.parts[1]);
+    out.parts.push_back(std::move(r0));
+    out.parts.push_back(std::move(r1));
+    out.parts.push_back(std::move(r2));
+    ++counts_.ccMult;
+    return out;
+}
+
+Ciphertext
+Evaluator::mul(const Ciphertext &a, const Ciphertext &b, const RelinKey &rk)
+{
+    return relinearize(mulNoRelin(a, b), rk);
+}
+
+Ciphertext
+Evaluator::square(const Ciphertext &a, const RelinKey &rk)
+{
+    return mul(a, a, rk);
+}
+
+std::pair<RnsPoly, RnsPoly>
+Evaluator::applyKsw(RnsPoly d, const KswKey &key)
+{
+    const RnsBasis &basis = context_.basis();
+    const std::size_t level = d.level();
+    FXHENN_ASSERT(!d.hasSpecial(), "input must not carry the special limb");
+    FXHENN_ASSERT(key.pairs.size() >= level, "key too short for level");
+
+    if (d.domain() == PolyDomain::ntt)
+        d.fromNtt();
+
+    RnsPoly u0(basis, level, /*withSpecial=*/true, PolyDomain::ntt);
+    RnsPoly u1(basis, level, /*withSpecial=*/true, PolyDomain::ntt);
+
+    // Every target limb j of the accumulators is independent: for each
+    // j we extend every decomposed limb i into modulus j, NTT it there
+    // and multiply-accumulate with the key. Parallelizing over j keeps
+    // all writes disjoint (the software mirror of P_intra).
+    parallelFor(level + 1, [&](std::size_t j) {
+        const Modulus &qj =
+            (j < level) ? basis.q(j) : basis.specialPrime();
+        const NttTables &ntt_j =
+            (j < level) ? basis.ntt(j) : basis.nttSpecial();
+        std::vector<std::uint64_t> ext(d.n());
+        auto a0 = u0.limb(j);
+        auto a1 = u1.limb(j);
+        for (std::size_t i = 0; i < level; ++i) {
+            // Fast (approximate) base extension of limb i into
+            // modulus j: take the representative in [0, q_i) and
+            // reduce. The induced error is < q_i and is scaled away
+            // by the final division by p.
+            const auto src = d.limb(i);
+            if (j == i) {
+                std::copy(src.begin(), src.end(), ext.begin());
+            } else {
+                for (std::size_t k = 0; k < ext.size(); ++k)
+                    ext[k] = src[k] % qj.value();
+            }
+            ntt_j.forward(ext);
+
+            // Key limbs span all L data primes plus the special one.
+            const RnsPoly &k0 = key.pairs[i].first;
+            const RnsPoly &k1 = key.pairs[i].second;
+            const std::size_t kj = (j < level) ? j : k0.level();
+            auto s0 = k0.limb(kj);
+            auto s1 = k1.limb(kj);
+            for (std::size_t k = 0; k < ext.size(); ++k) {
+                a0[k] = qj.add(a0[k], qj.mul(ext[k], s0[k]));
+                a1[k] = qj.add(a1[k], qj.mul(ext[k], s1[k]));
+            }
+        }
+    });
+
+    // Exact scale-down by p (ModDown), back to NTT domain.
+    u0.fromNtt();
+    u1.fromNtt();
+    u0.modDownSpecial();
+    u1.modDownSpecial();
+    u0.toNtt();
+    u1.toNtt();
+    return {std::move(u0), std::move(u1)};
+}
+
+Ciphertext
+Evaluator::relinearize(const Ciphertext &a, const RelinKey &rk)
+{
+    FXHENN_FATAL_IF(a.size() != 3,
+                    "relinearize expects a 3-part ciphertext");
+    auto [u0, u1] = applyKsw(a.parts[2], rk.key);
+
+    Ciphertext out;
+    out.scale = a.scale;
+    RnsPoly c0 = a.parts[0];
+    c0.addInplace(u0);
+    RnsPoly c1 = a.parts[1];
+    c1.addInplace(u1);
+    out.parts.push_back(std::move(c0));
+    out.parts.push_back(std::move(c1));
+    ++counts_.relinearize;
+    return out;
+}
+
+Ciphertext
+Evaluator::rescale(const Ciphertext &a)
+{
+    Ciphertext out = a;
+    rescaleInplace(out);
+    return out;
+}
+
+void
+Evaluator::rescaleInplace(Ciphertext &a)
+{
+    FXHENN_FATAL_IF(a.level() < 2, "no prime left to rescale into");
+    const std::uint64_t q_last =
+        context_.basis().q(a.level() - 1).value();
+    for (auto &part : a.parts) {
+        part.fromNtt();
+        part.rescaleLastPrime();
+        part.toNtt();
+    }
+    a.scale /= static_cast<double>(q_last);
+    ++counts_.rescale;
+}
+
+Ciphertext
+Evaluator::modSwitchToLevel(const Ciphertext &a, std::size_t level)
+{
+    FXHENN_FATAL_IF(level == 0 || level > a.level(),
+                    "invalid modSwitch target level");
+    Ciphertext out = a;
+    for (auto &part : out.parts) {
+        while (part.level() > level)
+            part.dropLastPrime();
+    }
+    return out;
+}
+
+Ciphertext
+Evaluator::rotate(const Ciphertext &a, int steps, const GaloisKeys &gk)
+{
+    FXHENN_FATAL_IF(a.size() != 2, "rotate expects a 2-part ciphertext");
+    if (steps == 0)
+        return a;
+    const std::uint64_t elt = context_.galoisElt(steps);
+    FXHENN_FATAL_IF(!gk.has(elt),
+                    "missing Galois key for requested rotation");
+
+    RnsPoly c0 = a.parts[0];
+    RnsPoly c1 = a.parts[1];
+    c0.fromNtt();
+    c1.fromNtt();
+    RnsPoly c0r = c0.galois(elt);
+    RnsPoly c1r = c1.galois(elt);
+
+    auto [u0, u1] = applyKsw(std::move(c1r), gk.keys.at(elt));
+
+    c0r.toNtt();
+    u0.addInplace(c0r);
+
+    Ciphertext out;
+    out.scale = a.scale;
+    out.parts.push_back(std::move(u0));
+    out.parts.push_back(std::move(u1));
+    ++counts_.rotate;
+    return out;
+}
+
+std::vector<Ciphertext>
+Evaluator::rotateHoisted(const Ciphertext &a,
+                         const std::vector<int> &steps,
+                         const GaloisKeys &gk)
+{
+    FXHENN_FATAL_IF(a.size() != 2,
+                    "rotateHoisted expects a 2-part ciphertext");
+    const RnsBasis &basis = context_.basis();
+    const std::size_t level = a.level();
+
+    RnsPoly c0 = a.parts[0];
+    RnsPoly c1 = a.parts[1];
+    c0.fromNtt();
+    c1.fromNtt();
+
+    // Hoisted part: decompose + base-extend c1 once. The Galois
+    // automorphism commutes with the per-prime decomposition (it only
+    // permutes/negates coefficients), so each rotation reuses these.
+    std::vector<RnsPoly> ext;
+    ext.reserve(level);
+    for (std::size_t i = 0; i < level; ++i) {
+        RnsPoly e(basis, level, /*withSpecial=*/true, PolyDomain::coeff);
+        const auto src = c1.limb(i);
+        for (std::size_t j = 0; j < level + 1; ++j) {
+            const Modulus &qj =
+                (j < level) ? basis.q(j) : basis.specialPrime();
+            auto dst = e.limb(j);
+            if (j == i) {
+                std::copy(src.begin(), src.end(), dst.begin());
+            } else {
+                for (std::size_t k = 0; k < dst.size(); ++k)
+                    dst[k] = src[k] % qj.value();
+            }
+        }
+        ext.push_back(std::move(e));
+    }
+
+    std::vector<Ciphertext> out;
+    out.reserve(steps.size());
+    for (int step : steps) {
+        if (step == 0) {
+            out.push_back(a);
+            continue;
+        }
+        const std::uint64_t elt = context_.galoisElt(step);
+        FXHENN_FATAL_IF(!gk.has(elt),
+                        "missing Galois key for hoisted rotation");
+        const KswKey &key = gk.keys.at(elt);
+        FXHENN_ASSERT(key.pairs.size() >= level,
+                      "Galois key too short for level");
+
+        RnsPoly u0(basis, level, true, PolyDomain::ntt);
+        RnsPoly u1(basis, level, true, PolyDomain::ntt);
+        for (std::size_t i = 0; i < level; ++i) {
+            RnsPoly rot_ext = ext[i].galois(elt);
+            rot_ext.toNtt();
+            const RnsPoly &k0 = key.pairs[i].first;
+            const RnsPoly &k1 = key.pairs[i].second;
+            const std::size_t key_special = k0.level();
+            for (std::size_t j = 0; j < level + 1; ++j) {
+                const Modulus &qj =
+                    (j < level) ? basis.q(j) : basis.specialPrime();
+                const std::size_t kj = (j < level) ? j : key_special;
+                auto e = rot_ext.limb(j);
+                auto a0 = u0.limb(j);
+                auto a1 = u1.limb(j);
+                auto s0 = k0.limb(kj);
+                auto s1 = k1.limb(kj);
+                for (std::size_t k = 0; k < e.size(); ++k) {
+                    a0[k] = qj.add(a0[k], qj.mul(e[k], s0[k]));
+                    a1[k] = qj.add(a1[k], qj.mul(e[k], s1[k]));
+                }
+            }
+        }
+        u0.fromNtt();
+        u1.fromNtt();
+        u0.modDownSpecial();
+        u1.modDownSpecial();
+        u0.toNtt();
+        u1.toNtt();
+
+        RnsPoly c0r = c0.galois(elt);
+        c0r.toNtt();
+        u0.addInplace(c0r);
+
+        Ciphertext ct;
+        ct.scale = a.scale;
+        ct.parts.push_back(std::move(u0));
+        ct.parts.push_back(std::move(u1));
+        out.push_back(std::move(ct));
+        ++counts_.rotate;
+    }
+    return out;
+}
+
+Ciphertext
+Evaluator::conjugate(const Ciphertext &a, const GaloisKeys &gk)
+{
+    FXHENN_FATAL_IF(a.size() != 2,
+                    "conjugate expects a 2-part ciphertext");
+    const std::uint64_t elt = context_.conjugateElt();
+    FXHENN_FATAL_IF(!gk.has(elt), "missing conjugation key");
+
+    RnsPoly c0 = a.parts[0];
+    RnsPoly c1 = a.parts[1];
+    c0.fromNtt();
+    c1.fromNtt();
+    RnsPoly c0r = c0.galois(elt);
+    RnsPoly c1r = c1.galois(elt);
+
+    auto [u0, u1] = applyKsw(std::move(c1r), gk.keys.at(elt));
+
+    c0r.toNtt();
+    u0.addInplace(c0r);
+
+    Ciphertext out;
+    out.scale = a.scale;
+    out.parts.push_back(std::move(u0));
+    out.parts.push_back(std::move(u1));
+    ++counts_.rotate;
+    return out;
+}
+
+} // namespace fxhenn::ckks

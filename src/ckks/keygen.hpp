@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Key generation for RNS-CKKS.
+ */
+#ifndef FXHENN_CKKS_KEYGEN_HPP
+#define FXHENN_CKKS_KEYGEN_HPP
+
+#include <vector>
+
+#include "src/ckks/context.hpp"
+#include "src/ckks/keys.hpp"
+#include "src/common/rng.hpp"
+
+namespace fxhenn::ckks {
+
+/** Generates secret, public, relinearization and Galois keys. */
+class KeyGenerator
+{
+  public:
+    /** Samples a fresh ternary secret from @p rng. */
+    KeyGenerator(const CkksContext &context, Rng &rng);
+
+    const SecretKey &secretKey() const { return secretKey_; }
+
+    /** Fresh public key. */
+    PublicKey makePublicKey();
+
+    /** Relinearization key for s^2 -> s. */
+    RelinKey makeRelinKey();
+
+    /** Galois keys for the given left-rotation step counts. */
+    GaloisKeys makeGaloisKeys(const std::vector<int> &steps);
+
+    /** Add the key for one more rotation step to existing Galois keys. */
+    void addGaloisKey(GaloisKeys &keys, int steps);
+
+    /** Galois key for complex conjugation. */
+    void addConjugateKey(GaloisKeys &keys);
+
+  private:
+    /** Build the key switching s' -> s for target polynomial @p s_from. */
+    KswKey makeKswKey(const RnsPoly &s_from);
+
+    const CkksContext &context_;
+    Rng &rng_;
+    SecretKey secretKey_;
+};
+
+} // namespace fxhenn::ckks
+
+#endif // FXHENN_CKKS_KEYGEN_HPP

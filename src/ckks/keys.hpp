@@ -1,0 +1,67 @@
+/**
+ * @file
+ * CKKS key material.
+ *
+ * Key switching uses the hybrid RNS scheme with one special prime p:
+ * keys live modulo Q * p and the switch result is exactly scaled back
+ * down by p (ModDown). A KswKey holds one (k0_i, k1_i) pair per data
+ * prime — the per-prime decomposition the paper's KeySwitch FPGA module
+ * streams over (one pipeline round per ciphertext level L, Fig. 3).
+ */
+#ifndef FXHENN_CKKS_KEYS_HPP
+#define FXHENN_CKKS_KEYS_HPP
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "src/rns/rns_poly.hpp"
+
+namespace fxhenn::ckks {
+
+/** The ternary secret key s, stored in NTT domain over Q and p. */
+struct SecretKey
+{
+    RnsPoly s; ///< level = L, with special limb, NTT domain
+};
+
+/** Public encryption key (pk0, pk1) = (-(a s + e), a) over Q. */
+struct PublicKey
+{
+    RnsPoly pk0;
+    RnsPoly pk1;
+};
+
+/**
+ * One key-switching key: for each data prime i, a pair over Q * p with
+ *   k0_i = -(a_i s + e_i) + p * T_i * s'    (T_i the CRT spotlight of q_i)
+ *   k1_i = a_i
+ * switching ciphertext parts decrypting under s' to decrypt under s.
+ */
+struct KswKey
+{
+    std::vector<std::pair<RnsPoly, RnsPoly>> pairs; ///< one per data prime
+};
+
+/** Relinearization key: a KswKey for s' = s^2. */
+struct RelinKey
+{
+    KswKey key;
+};
+
+/** Galois (rotation) keys: a KswKey per Galois element in use. */
+struct GaloisKeys
+{
+    std::map<std::uint64_t, KswKey> keys; ///< galois element -> key
+
+    bool
+    has(std::uint64_t galois_elt) const
+    {
+        return keys.count(galois_elt) != 0;
+    }
+};
+
+} // namespace fxhenn::ckks
+
+#endif // FXHENN_CKKS_KEYS_HPP

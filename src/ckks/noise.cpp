@@ -1,0 +1,67 @@
+#include "src/ckks/noise.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/assert.hpp"
+#include "src/rns/crt.hpp"
+
+namespace fxhenn::ckks {
+
+NoiseReport
+measureNoise(const Ciphertext &ct, std::span<const double> expected,
+             const CkksContext &ctx, const Decryptor &decryptor,
+             const Encoder &encoder)
+{
+    FXHENN_FATAL_IF(expected.size() > ctx.slots(),
+                    "more expected values than slots");
+    const Plaintext plain = decryptor.decrypt(ct);
+    const auto decoded = encoder.decodeReal(plain);
+
+    NoiseReport report;
+    for (std::size_t i = 0; i < decoded.size(); ++i) {
+        const double want =
+            i < expected.size() ? expected[i] : 0.0;
+        report.maxAbsError = std::max(report.maxAbsError,
+                                      std::abs(decoded[i] - want));
+    }
+    report.errorBits = report.maxAbsError > 0.0
+                           ? std::log2(report.maxAbsError)
+                           : -1074.0;
+
+    // Headroom: largest centered coefficient of the decrypted
+    // plaintext versus half the current modulus.
+    RnsPoly poly = plain.poly;
+    if (poly.domain() == PolyDomain::ntt)
+        poly.fromNtt();
+    const CrtReconstructor crt(ctx.basis(), poly.level());
+    long double max_coeff = 0.0L;
+    std::vector<std::uint64_t> residues(poly.level());
+    for (std::size_t k = 0; k < ctx.n(); ++k) {
+        for (std::size_t l = 0; l < poly.level(); ++l)
+            residues[l] = poly.limb(l)[k];
+        const long double c =
+            std::abs(crt.reconstructCentered(residues));
+        max_coeff = std::max(max_coeff, c);
+    }
+    const double log_half_q =
+        ctx.basis().logQ(poly.level()) - 1.0;
+    const double log_coeff =
+        max_coeff > 0.0L
+            ? static_cast<double>(std::log2(max_coeff))
+            : 0.0;
+    report.headroomBits = log_half_q - log_coeff;
+    return report;
+}
+
+double
+freshNoiseEstimate(const CkksParams &params)
+{
+    const double n = static_cast<double>(params.n);
+    // e0 + u*e_pk-ish terms: sigma * sqrt(2N) * (2 sqrt(N) + 1).
+    const double coeff_noise =
+        params.sigma * std::sqrt(2.0 * n) * (2.0 * std::sqrt(n) + 1.0);
+    return coeff_noise / params.scale;
+}
+
+} // namespace fxhenn::ckks

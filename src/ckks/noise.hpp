@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Noise measurement and headroom analysis for CKKS ciphertexts.
+ *
+ * CKKS is approximate: every operation adds noise, and the message must
+ * stay inside the last prime's headroom (|m * scale| < q_0 / 2) by the
+ * time the ciphertext reaches level 1. These utilities quantify both so
+ * users can pick weight magnitudes and scales for their own networks —
+ * the tuning the model zoo already bakes in.
+ */
+#ifndef FXHENN_CKKS_NOISE_HPP
+#define FXHENN_CKKS_NOISE_HPP
+
+#include <span>
+#include <vector>
+
+#include "src/ckks/ciphertext.hpp"
+#include "src/ckks/context.hpp"
+#include "src/ckks/decryptor.hpp"
+#include "src/ckks/encoder.hpp"
+
+namespace fxhenn::ckks {
+
+/** Result of comparing a ciphertext against its expected contents. */
+struct NoiseReport
+{
+    double maxAbsError = 0.0; ///< max |decoded - expected| over slots
+    double errorBits = 0.0;   ///< log2(maxAbsError), -inf-safe
+    /**
+     * log2 of the ratio between the level's modulus headroom and the
+     * largest encoded coefficient; negative means the message has
+     * overflowed and decryption results are garbage.
+     */
+    double headroomBits = 0.0;
+};
+
+/**
+ * Decrypt @p ct and compare against @p expected slot values.
+ *
+ * @param expected expected real slot values (shorter vectors are
+ *                 zero-extended)
+ */
+NoiseReport measureNoise(const Ciphertext &ct,
+                         std::span<const double> expected,
+                         const CkksContext &ctx,
+                         const Decryptor &decryptor,
+                         const Encoder &encoder);
+
+/**
+ * Rough a-priori bound on the fresh-encryption noise in plaintext
+ * units: ~ sigma * sqrt(2N) * (2 sqrt(N) + 1) / scale. Used to sanity
+ * check measured noise (heuristic, not a security statement).
+ */
+double freshNoiseEstimate(const CkksParams &params);
+
+} // namespace fxhenn::ckks
+
+#endif // FXHENN_CKKS_NOISE_HPP

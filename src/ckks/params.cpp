@@ -1,0 +1,101 @@
+#include "src/ckks/params.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "src/common/assert.hpp"
+#include "src/common/math_util.hpp"
+
+namespace fxhenn::ckks {
+
+void
+CkksParams::validate() const
+{
+    FXHENN_FATAL_IF(!isPowerOfTwo(n) || n < 16 || n > (1u << 17),
+                    "ring degree must be a power of two in [16, 2^17]");
+    FXHENN_FATAL_IF(qBits < 20 || qBits > 50,
+                    "data prime width must be in [20, 50] bits");
+    FXHENN_FATAL_IF(levels < 1 || levels > 20,
+                    "level count must be in [1, 20]");
+    FXHENN_FATAL_IF(specialBits < qBits,
+                    "special prime must be at least as wide as q_i");
+    FXHENN_FATAL_IF(scale <= 1.0, "scale must exceed 1");
+    FXHENN_FATAL_IF(sigma <= 0.0, "sigma must be positive");
+}
+
+unsigned
+CkksParams::securityLevel() const
+{
+    // Max log2(Q*P) per the homomorphic encryption standard table
+    // (ternary secret, classical attacks), per ring degree.
+    struct Row { std::uint64_t n; double l128, l192, l256; };
+    static constexpr Row table[] = {
+        {1024, 27, 19, 14},    {2048, 54, 37, 29},
+        {4096, 109, 75, 58},   {8192, 218, 152, 118},
+        {16384, 438, 305, 237}, {32768, 881, 611, 476},
+    };
+    // Assess the data modulus Q only, matching how the paper reports
+    // lambda for its parameter sets (Table VII lists Q = 210 bits at
+    // lambda = 128 for N = 8192, which already saturates the budget).
+    const double log_qp = logQ();
+    for (const auto &row : table) {
+        if (row.n == n) {
+            if (log_qp <= row.l256)
+                return 256;
+            if (log_qp <= row.l192)
+                return 192;
+            if (log_qp <= row.l128)
+                return 128;
+            return 0;
+        }
+    }
+    return 0; // degrees outside the table: report unknown/insecure
+}
+
+std::string
+CkksParams::describe() const
+{
+    std::ostringstream oss;
+    oss << "CKKS(N=" << n << ", L=" << levels << ", q=" << qBits
+        << "b, p=" << specialBits << "b, logQ=" << logQ()
+        << ", lambda=" << securityLevel() << ")";
+    return oss.str();
+}
+
+CkksParams
+mnistParams()
+{
+    CkksParams p;
+    p.n = 8192;
+    p.qBits = 30;
+    p.levels = 7;
+    p.specialBits = 50;
+    p.scale = double(1 << 30);
+    return p;
+}
+
+CkksParams
+cifar10Params()
+{
+    CkksParams p;
+    p.n = 16384;
+    p.qBits = 36;
+    p.levels = 7;
+    p.specialBits = 50;
+    p.scale = 68719476736.0; // 2^36
+    return p;
+}
+
+CkksParams
+testParams(std::uint64_t n, std::size_t levels, unsigned qBits)
+{
+    CkksParams p;
+    p.n = n;
+    p.qBits = qBits;
+    p.levels = levels;
+    p.specialBits = qBits + 10 <= 50 ? 50 : qBits + 10;
+    p.scale = std::pow(2.0, qBits);
+    return p;
+}
+
+} // namespace fxhenn::ckks

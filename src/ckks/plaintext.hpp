@@ -1,0 +1,23 @@
+/**
+ * @file
+ * CKKS plaintext: an encoded polynomial plus scale/level bookkeeping.
+ */
+#ifndef FXHENN_CKKS_PLAINTEXT_HPP
+#define FXHENN_CKKS_PLAINTEXT_HPP
+
+#include "src/rns/rns_poly.hpp"
+
+namespace fxhenn::ckks {
+
+/** An encoded message m(X), ready for plaintext-ciphertext ops. */
+struct Plaintext
+{
+    RnsPoly poly;       ///< NTT domain, level() active primes
+    double scale = 0.0; ///< encoding scale Delta
+
+    std::size_t level() const { return poly.level(); }
+};
+
+} // namespace fxhenn::ckks
+
+#endif // FXHENN_CKKS_PLAINTEXT_HPP

@@ -1,0 +1,246 @@
+#include "src/ckks/serialization.hpp"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "src/common/assert.hpp"
+
+namespace fxhenn::ckks {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4678484532303233ull; // "FxHE2023"
+constexpr std::uint32_t kVersion = 1;
+
+enum class Tag : std::uint32_t {
+    ciphertext = 1,
+    plaintext = 2,
+    publicKey = 3,
+    relinKey = 4,
+    galoisKeys = 5,
+};
+
+template <typename T>
+void
+writePod(std::ostream &os, const T &value)
+{
+    os.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+T
+readPod(std::istream &is)
+{
+    T value{};
+    is.read(reinterpret_cast<char *>(&value), sizeof(T));
+    FXHENN_FATAL_IF(!is, "truncated CKKS object stream");
+    return value;
+}
+
+void
+writeHeader(std::ostream &os, const CkksContext &ctx, Tag tag)
+{
+    writePod(os, kMagic);
+    writePod(os, kVersion);
+    writePod(os, static_cast<std::uint32_t>(tag));
+    writePod(os, static_cast<std::uint64_t>(ctx.params().n));
+    writePod(os, static_cast<std::uint64_t>(ctx.params().levels));
+    writePod(os, static_cast<std::uint32_t>(ctx.params().qBits));
+    writePod(os, static_cast<std::uint32_t>(ctx.params().specialBits));
+}
+
+void
+readHeader(std::istream &is, const CkksContext &ctx, Tag expected)
+{
+    FXHENN_FATAL_IF(readPod<std::uint64_t>(is) != kMagic,
+                    "not an FxHENN CKKS object stream");
+    FXHENN_FATAL_IF(readPod<std::uint32_t>(is) != kVersion,
+                    "unsupported serialization version");
+    FXHENN_FATAL_IF(readPod<std::uint32_t>(is) !=
+                        static_cast<std::uint32_t>(expected),
+                    "unexpected object type in stream");
+    FXHENN_FATAL_IF(readPod<std::uint64_t>(is) != ctx.params().n ||
+                        readPod<std::uint64_t>(is) !=
+                            ctx.params().levels ||
+                        readPod<std::uint32_t>(is) !=
+                            ctx.params().qBits ||
+                        readPod<std::uint32_t>(is) !=
+                            ctx.params().specialBits,
+                    "CKKS parameter fingerprint mismatch");
+}
+
+void
+writePoly(std::ostream &os, const RnsPoly &poly)
+{
+    writePod(os, static_cast<std::uint32_t>(poly.level()));
+    writePod(os, static_cast<std::uint8_t>(poly.hasSpecial() ? 1 : 0));
+    writePod(os, static_cast<std::uint8_t>(
+                     poly.domain() == PolyDomain::ntt ? 1 : 0));
+    for (std::size_t i = 0; i < poly.limbCount(); ++i) {
+        const auto limb = poly.limb(i);
+        os.write(reinterpret_cast<const char *>(limb.data()),
+                 static_cast<std::streamsize>(limb.size() *
+                                              sizeof(std::uint64_t)));
+    }
+}
+
+RnsPoly
+readPoly(std::istream &is, const CkksContext &ctx)
+{
+    const auto level = readPod<std::uint32_t>(is);
+    const bool special = readPod<std::uint8_t>(is) != 0;
+    const bool ntt = readPod<std::uint8_t>(is) != 0;
+    FXHENN_FATAL_IF(level == 0 || level > ctx.maxLevel(),
+                    "corrupt polynomial level");
+    RnsPoly poly(ctx.basis(), level, special,
+                 ntt ? PolyDomain::ntt : PolyDomain::coeff);
+    for (std::size_t i = 0; i < poly.limbCount(); ++i) {
+        auto limb = poly.limb(i);
+        is.read(reinterpret_cast<char *>(limb.data()),
+                static_cast<std::streamsize>(limb.size() *
+                                             sizeof(std::uint64_t)));
+        FXHENN_FATAL_IF(!is, "truncated polynomial payload");
+        const Modulus &q = poly.limbModulus(i);
+        for (std::uint64_t v : limb)
+            FXHENN_FATAL_IF(v >= q.value(),
+                            "polynomial residue out of range");
+    }
+    return poly;
+}
+
+void
+writeKswKey(std::ostream &os, const KswKey &key)
+{
+    writePod(os, static_cast<std::uint32_t>(key.pairs.size()));
+    for (const auto &[k0, k1] : key.pairs) {
+        writePoly(os, k0);
+        writePoly(os, k1);
+    }
+}
+
+KswKey
+readKswKey(std::istream &is, const CkksContext &ctx)
+{
+    const auto pairs = readPod<std::uint32_t>(is);
+    FXHENN_FATAL_IF(pairs == 0 || pairs > ctx.maxLevel(),
+                    "corrupt key-switch pair count");
+    KswKey key;
+    key.pairs.reserve(pairs);
+    for (std::uint32_t i = 0; i < pairs; ++i) {
+        RnsPoly k0 = readPoly(is, ctx);
+        RnsPoly k1 = readPoly(is, ctx);
+        key.pairs.emplace_back(std::move(k0), std::move(k1));
+    }
+    return key;
+}
+
+} // namespace
+
+void
+saveCiphertext(const Ciphertext &ct, const CkksContext &ctx,
+               std::ostream &os)
+{
+    writeHeader(os, ctx, Tag::ciphertext);
+    writePod(os, ct.scale);
+    writePod(os, static_cast<std::uint32_t>(ct.parts.size()));
+    for (const auto &part : ct.parts)
+        writePoly(os, part);
+}
+
+Ciphertext
+loadCiphertext(const CkksContext &ctx, std::istream &is)
+{
+    readHeader(is, ctx, Tag::ciphertext);
+    Ciphertext ct;
+    ct.scale = readPod<double>(is);
+    const auto parts = readPod<std::uint32_t>(is);
+    FXHENN_FATAL_IF(parts < 2 || parts > 3,
+                    "corrupt ciphertext part count");
+    for (std::uint32_t i = 0; i < parts; ++i)
+        ct.parts.push_back(readPoly(is, ctx));
+    return ct;
+}
+
+void
+savePlaintext(const Plaintext &pt, const CkksContext &ctx,
+              std::ostream &os)
+{
+    writeHeader(os, ctx, Tag::plaintext);
+    writePod(os, pt.scale);
+    writePoly(os, pt.poly);
+}
+
+Plaintext
+loadPlaintext(const CkksContext &ctx, std::istream &is)
+{
+    readHeader(is, ctx, Tag::plaintext);
+    Plaintext pt;
+    pt.scale = readPod<double>(is);
+    pt.poly = readPoly(is, ctx);
+    return pt;
+}
+
+void
+savePublicKey(const PublicKey &pk, const CkksContext &ctx,
+              std::ostream &os)
+{
+    writeHeader(os, ctx, Tag::publicKey);
+    writePoly(os, pk.pk0);
+    writePoly(os, pk.pk1);
+}
+
+PublicKey
+loadPublicKey(const CkksContext &ctx, std::istream &is)
+{
+    readHeader(is, ctx, Tag::publicKey);
+    PublicKey pk;
+    pk.pk0 = readPoly(is, ctx);
+    pk.pk1 = readPoly(is, ctx);
+    return pk;
+}
+
+void
+saveRelinKey(const RelinKey &rk, const CkksContext &ctx,
+             std::ostream &os)
+{
+    writeHeader(os, ctx, Tag::relinKey);
+    writeKswKey(os, rk.key);
+}
+
+RelinKey
+loadRelinKey(const CkksContext &ctx, std::istream &is)
+{
+    readHeader(is, ctx, Tag::relinKey);
+    return RelinKey{readKswKey(is, ctx)};
+}
+
+void
+saveGaloisKeys(const GaloisKeys &gk, const CkksContext &ctx,
+               std::ostream &os)
+{
+    writeHeader(os, ctx, Tag::galoisKeys);
+    writePod(os, static_cast<std::uint32_t>(gk.keys.size()));
+    for (const auto &[elt, key] : gk.keys) {
+        writePod(os, static_cast<std::uint64_t>(elt));
+        writeKswKey(os, key);
+    }
+}
+
+GaloisKeys
+loadGaloisKeys(const CkksContext &ctx, std::istream &is)
+{
+    readHeader(is, ctx, Tag::galoisKeys);
+    GaloisKeys gk;
+    const auto count = readPod<std::uint32_t>(is);
+    FXHENN_FATAL_IF(count > 4096, "implausible Galois key count");
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const auto elt = readPod<std::uint64_t>(is);
+        FXHENN_FATAL_IF(elt % 2 == 0 || elt >= 2 * ctx.params().n,
+                        "corrupt Galois element");
+        gk.keys.emplace(elt, readKswKey(is, ctx));
+    }
+    return gk;
+}
+
+} // namespace fxhenn::ckks

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Binary serialization for CKKS objects.
+ *
+ * The FxHENN deployment model (Sec. I) splits roles across machines:
+ * the client encrypts locally and ships ciphertexts to the accelerator
+ * host; the host holds evaluation keys and returns encrypted results.
+ * This module provides the wire format for that split: a small framed
+ * binary encoding with magic/version headers and parameter fingerprints
+ * so that objects cannot be deserialized into a mismatched context.
+ *
+ * Format: little-endian, 8-byte magic, u32 version, u32 object tag,
+ * parameter fingerprint (n, levels, qBits, specialBits), then the
+ * object payload. Sizes match ckks::*Bytes() of size_model.hpp up to
+ * the fixed header.
+ */
+#ifndef FXHENN_CKKS_SERIALIZATION_HPP
+#define FXHENN_CKKS_SERIALIZATION_HPP
+
+#include <iosfwd>
+
+#include "src/ckks/ciphertext.hpp"
+#include "src/ckks/context.hpp"
+#include "src/ckks/keys.hpp"
+#include "src/ckks/plaintext.hpp"
+
+namespace fxhenn::ckks {
+
+/** Serialize a ciphertext to @p os. */
+void saveCiphertext(const Ciphertext &ct, const CkksContext &ctx,
+                    std::ostream &os);
+
+/** Deserialize a ciphertext; validates the context fingerprint. */
+Ciphertext loadCiphertext(const CkksContext &ctx, std::istream &is);
+
+/** Serialize a plaintext. */
+void savePlaintext(const Plaintext &pt, const CkksContext &ctx,
+                   std::ostream &os);
+
+/** Deserialize a plaintext. */
+Plaintext loadPlaintext(const CkksContext &ctx, std::istream &is);
+
+/** Serialize a public key. */
+void savePublicKey(const PublicKey &pk, const CkksContext &ctx,
+                   std::ostream &os);
+
+/** Deserialize a public key. */
+PublicKey loadPublicKey(const CkksContext &ctx, std::istream &is);
+
+/** Serialize a relinearization key. */
+void saveRelinKey(const RelinKey &rk, const CkksContext &ctx,
+                  std::ostream &os);
+
+/** Deserialize a relinearization key. */
+RelinKey loadRelinKey(const CkksContext &ctx, std::istream &is);
+
+/** Serialize Galois keys (all rotation elements). */
+void saveGaloisKeys(const GaloisKeys &gk, const CkksContext &ctx,
+                    std::ostream &os);
+
+/** Deserialize Galois keys. */
+GaloisKeys loadGaloisKeys(const CkksContext &ctx, std::istream &is);
+
+} // namespace fxhenn::ckks
+
+#endif // FXHENN_CKKS_SERIALIZATION_HPP

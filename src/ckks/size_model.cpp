@@ -1,0 +1,36 @@
+#include "src/ckks/size_model.hpp"
+
+namespace fxhenn::ckks {
+
+std::size_t
+polyBytes(std::uint64_t n, std::size_t limbs)
+{
+    return static_cast<std::size_t>(n) * limbs * sizeof(std::uint64_t);
+}
+
+std::size_t
+ciphertextBytes(const CkksParams &p, std::size_t level)
+{
+    return 2 * polyBytes(p.n, level);
+}
+
+std::size_t
+plaintextBytes(const CkksParams &p, std::size_t level)
+{
+    return polyBytes(p.n, level);
+}
+
+std::size_t
+kswKeyBytes(const CkksParams &p)
+{
+    // L decomposition pairs, each two polynomials over Q * p.
+    return p.levels * 2 * polyBytes(p.n, p.levels + 1);
+}
+
+std::size_t
+publicKeyBytes(const CkksParams &p)
+{
+    return 2 * polyBytes(p.n, p.levels);
+}
+
+} // namespace fxhenn::ckks

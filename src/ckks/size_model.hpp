@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Byte-size accounting for CKKS objects ("Mod.Size" column of Table VI).
+ *
+ * The 5-6 orders-of-magnitude ciphertext expansion quoted in the paper's
+ * abstract comes from here: one encrypted image is 2 * L * N * 8 bytes
+ * instead of a few kilobytes of pixels, and the server-side model
+ * (encoded weight plaintexts + relinearization + Galois keys) grows
+ * accordingly.
+ */
+#ifndef FXHENN_CKKS_SIZE_MODEL_HPP
+#define FXHENN_CKKS_SIZE_MODEL_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/ckks/params.hpp"
+
+namespace fxhenn::ckks {
+
+/** Bytes of one RNS polynomial with @p limbs limbs of degree @p n. */
+std::size_t polyBytes(std::uint64_t n, std::size_t limbs);
+
+/** Bytes of a 2-part ciphertext at @p level. */
+std::size_t ciphertextBytes(const CkksParams &p, std::size_t level);
+
+/** Bytes of an encoded plaintext at @p level. */
+std::size_t plaintextBytes(const CkksParams &p, std::size_t level);
+
+/** Bytes of one key-switching key (relin or one Galois element). */
+std::size_t kswKeyBytes(const CkksParams &p);
+
+/** Bytes of the public key. */
+std::size_t publicKeyBytes(const CkksParams &p);
+
+} // namespace fxhenn::ckks
+
+#endif // FXHENN_CKKS_SIZE_MODEL_HPP

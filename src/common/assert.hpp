@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Error-reporting helpers shared by all FxHENN modules.
+ *
+ * Two severities, following the gem5 convention:
+ *  - fatal():  the caller supplied an invalid configuration (user error);
+ *  - panic():  an internal invariant was violated (library bug).
+ */
+#ifndef FXHENN_COMMON_ASSERT_HPP
+#define FXHENN_COMMON_ASSERT_HPP
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fxhenn {
+
+/** Exception thrown for user-facing configuration errors. */
+class ConfigError : public std::runtime_error
+{
+  public:
+    explicit ConfigError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Exception thrown when an internal invariant is violated. */
+class InternalError : public std::logic_error
+{
+  public:
+    explicit InternalError(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void
+throwConfigError(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream oss;
+    oss << "fatal: " << msg << " (" << file << ":" << line << ")";
+    throw ConfigError(oss.str());
+}
+
+[[noreturn]] inline void
+throwInternalError(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream oss;
+    oss << "panic: " << msg << " (" << file << ":" << line << ")";
+    throw InternalError(oss.str());
+}
+
+} // namespace detail
+} // namespace fxhenn
+
+/** Report a user/configuration error; always active. */
+#define FXHENN_FATAL_IF(cond, msg)                                          \
+    do {                                                                    \
+        if (cond) {                                                         \
+            ::fxhenn::detail::throwConfigError(__FILE__, __LINE__, (msg));  \
+        }                                                                   \
+    } while (0)
+
+/** Report an internal invariant violation; always active. */
+#define FXHENN_PANIC_IF(cond, msg)                                          \
+    do {                                                                    \
+        if (cond) {                                                         \
+            ::fxhenn::detail::throwInternalError(__FILE__, __LINE__,        \
+                                                 (msg));                    \
+        }                                                                   \
+    } while (0)
+
+/** Internal invariant check, analogous to assert() but always active. */
+#define FXHENN_ASSERT(cond, msg) FXHENN_PANIC_IF(!(cond), (msg))
+
+#endif // FXHENN_COMMON_ASSERT_HPP

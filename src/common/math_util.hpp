@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Small integer-math helpers used across the library.
+ */
+#ifndef FXHENN_COMMON_MATH_UTIL_HPP
+#define FXHENN_COMMON_MATH_UTIL_HPP
+
+#include <bit>
+#include <cstdint>
+
+namespace fxhenn {
+
+/** @return true when @p x is a (nonzero) power of two. */
+constexpr bool
+isPowerOfTwo(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** @return floor(log2(x)); @p x must be nonzero. */
+constexpr unsigned
+floorLog2(std::uint64_t x)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+/** @return ceil(log2(x)); @p x must be nonzero. */
+constexpr unsigned
+ceilLog2(std::uint64_t x)
+{
+    return isPowerOfTwo(x) ? floorLog2(x) : floorLog2(x) + 1;
+}
+
+/** @return ceil(a / b) for positive integers. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/**
+ * Reverse the low @p bits bits of @p x. Used for the bit-reversed
+ * orderings inside the NTT and the CKKS encoder.
+ */
+constexpr std::uint64_t
+reverseBits(std::uint64_t x, unsigned bits)
+{
+    std::uint64_t r = 0;
+    for (unsigned i = 0; i < bits; ++i) {
+        r = (r << 1) | ((x >> i) & 1);
+    }
+    return r;
+}
+
+} // namespace fxhenn
+
+#endif // FXHENN_COMMON_MATH_UTIL_HPP

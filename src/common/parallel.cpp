@@ -1,0 +1,127 @@
+#include "src/common/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fxhenn {
+
+namespace {
+
+/** Marks pool worker threads so nested parallelFor runs inline. */
+thread_local bool t_inWorker = false;
+
+/** A run-once-per-call work-stealing-free index pool. */
+class Pool
+{
+  public:
+    static Pool &
+    instance()
+    {
+        static Pool pool;
+        return pool;
+    }
+
+    void
+    setWorkers(unsigned count)
+    {
+        std::unique_lock lock(mutex_);
+        desired_ = count == 0 ? 1 : count;
+    }
+
+    unsigned
+    workers()
+    {
+        std::unique_lock lock(mutex_);
+        return desired_;
+    }
+
+    void
+    run(std::size_t count, const std::function<void(std::size_t)> &fn)
+    {
+        if (count == 0)
+            return;
+        unsigned workers;
+        {
+            std::unique_lock lock(mutex_);
+            workers = desired_;
+        }
+        if (t_inWorker || workers <= 1 || count == 1) {
+            for (std::size_t i = 0; i < count; ++i)
+                fn(i);
+            return;
+        }
+
+        // Fork a bounded set of helpers per call. Thread creation is
+        // ~10 us; every loop this guards is >= 100 us of NTT work.
+        const unsigned helpers = static_cast<unsigned>(
+            std::min<std::size_t>(workers, count));
+        std::atomic<std::size_t> next{0};
+        std::exception_ptr error;
+        std::mutex error_mutex;
+
+        auto body = [&]() {
+            t_inWorker = true;
+            for (;;) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= count)
+                    break;
+                try {
+                    fn(i);
+                } catch (...) {
+                    std::scoped_lock lock(error_mutex);
+                    if (!error)
+                        error = std::current_exception();
+                }
+            }
+            t_inWorker = false;
+        };
+
+        std::vector<std::thread> threads;
+        threads.reserve(helpers - 1);
+        for (unsigned t = 0; t + 1 < helpers; ++t)
+            threads.emplace_back(body);
+        body();
+        for (auto &thread : threads)
+            thread.join();
+        if (error)
+            std::rethrow_exception(error);
+    }
+
+  private:
+    Pool()
+    {
+        const unsigned hw = std::thread::hardware_concurrency();
+        desired_ = hw == 0 ? 1 : std::min(hw, 8u);
+    }
+
+    std::mutex mutex_;
+    unsigned desired_ = 1;
+};
+
+} // namespace
+
+void
+setThreadCount(unsigned count)
+{
+    Pool::instance().setWorkers(count);
+}
+
+unsigned
+threadCount()
+{
+    return Pool::instance().workers();
+}
+
+void
+parallelFor(std::size_t count,
+            const std::function<void(std::size_t)> &fn)
+{
+    Pool::instance().run(count, fn);
+}
+
+} // namespace fxhenn

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Minimal shared thread pool for data-parallel loops.
+ *
+ * The CKKS kernels are embarrassingly parallel across RNS limbs (each
+ * limb is an independent polynomial mod its own prime — the exact
+ * property the paper's P_intra hardware knob exploits, Sec. V-B).
+ * parallelFor() runs an index loop on the pool; calls from inside a
+ * worker execute inline so nested parallelism cannot deadlock.
+ *
+ * The pool is created lazily on first use with min(hardware threads, 8)
+ * workers; setThreadCount(1) forces fully serial execution (used by
+ * tests that check determinism).
+ */
+#ifndef FXHENN_COMMON_PARALLEL_HPP
+#define FXHENN_COMMON_PARALLEL_HPP
+
+#include <cstddef>
+#include <functional>
+
+namespace fxhenn {
+
+/** Set the worker count (1 = serial). Takes effect immediately. */
+void setThreadCount(unsigned count);
+
+/** @return the current worker count. */
+unsigned threadCount();
+
+/**
+ * Run fn(0) .. fn(count-1), possibly concurrently. Blocks until all
+ * iterations finish. Exceptions from iterations propagate (the first
+ * one captured is rethrown).
+ */
+void parallelFor(std::size_t count,
+                 const std::function<void(std::size_t)> &fn);
+
+} // namespace fxhenn
+
+#endif // FXHENN_COMMON_PARALLEL_HPP

@@ -1,0 +1,106 @@
+#include "src/common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "src/common/assert.hpp"
+
+namespace fxhenn {
+
+namespace {
+
+/** splitmix64 step, used only to expand the seed. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitmix64(s);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::uniform(std::uint64_t bound)
+{
+    FXHENN_ASSERT(bound != 0, "uniform() bound must be nonzero");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Rng::uniformReal()
+{
+    // 53 random mantissa bits.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniformReal(double lo, double hi)
+{
+    return lo + (hi - lo) * uniformReal();
+}
+
+std::int64_t
+Rng::gaussian(double sigma)
+{
+    if (haveSpare_) {
+        haveSpare_ = false;
+        return static_cast<std::int64_t>(std::llround(spare_ * sigma));
+    }
+    double u1 = uniformReal();
+    double u2 = uniformReal();
+    while (u1 <= 1e-300) {
+        u1 = uniformReal();
+    }
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    const double z0 = mag * std::cos(2.0 * std::numbers::pi * u2);
+    const double z1 = mag * std::sin(2.0 * std::numbers::pi * u2);
+    spare_ = z1;
+    haveSpare_ = true;
+    return static_cast<std::int64_t>(std::llround(z0 * sigma));
+}
+
+std::int64_t
+Rng::ternary()
+{
+    return static_cast<std::int64_t>(uniform(3)) - 1;
+}
+
+} // namespace fxhenn

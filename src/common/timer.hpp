@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Wall-clock timing helper for the CPU reference measurements.
+ */
+#ifndef FXHENN_COMMON_TIMER_HPP
+#define FXHENN_COMMON_TIMER_HPP
+
+#include <chrono>
+
+namespace fxhenn {
+
+/** Simple steady-clock stopwatch. */
+class Timer
+{
+  public:
+    Timer() : start_(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** @return elapsed seconds since construction or the last reset(). */
+    double
+    elapsedSeconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /** @return elapsed milliseconds. */
+    double elapsedMillis() const { return elapsedSeconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace fxhenn
+
+#endif // FXHENN_COMMON_TIMER_HPP

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The no-reuse baseline accelerator of Sec. VII-C (Table IX).
+ *
+ * Every layer receives dedicated module instances and private buffers —
+ * no computation or storage resource is shared across layers. Resources
+ * are divided between layers proportionally to their HE-MAC workload
+ * ("an intuitive resource allocation so that more resources are
+ * assigned to the heavily burdened CNN layers"), and each layer's
+ * parallelism is then chosen greedily within its share.
+ */
+#ifndef FXHENN_DSE_BASELINE_HPP
+#define FXHENN_DSE_BASELINE_HPP
+
+#include <vector>
+
+#include "src/fpga/device.hpp"
+#include "src/fpga/layer_model.hpp"
+
+namespace fxhenn::dse {
+
+/** Result of the baseline allocation. */
+struct BaselineResult
+{
+    std::vector<fpga::ModuleAllocation> perLayer;
+    std::vector<double> bramLimits; ///< per-layer on-chip share
+    fpga::NetworkPerf perf;
+    double latencySeconds = 0.0;
+};
+
+/** Allocate and evaluate the baseline design for @p plan on @p device. */
+BaselineResult allocateBaseline(const hecnn::HeNetworkPlan &plan,
+                                const fpga::DeviceSpec &device);
+
+} // namespace fxhenn::dse
+
+#endif // FXHENN_DSE_BASELINE_HPP

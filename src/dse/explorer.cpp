@@ -1,0 +1,105 @@
+#include "src/dse/explorer.hpp"
+
+#include <algorithm>
+
+#include "src/common/assert.hpp"
+
+namespace fxhenn::dse {
+
+namespace {
+
+using fpga::HeOpModule;
+using fpga::ModuleAllocation;
+using fpga::OpAllocation;
+
+/** Candidate (pIntra, pInter) pairs for one module class. */
+std::vector<std::pair<unsigned, unsigned>>
+pairChoices(const std::vector<unsigned> &intra,
+            const std::vector<unsigned> &inter)
+{
+    std::vector<std::pair<unsigned, unsigned>> out;
+    for (unsigned a : intra) {
+        for (unsigned b : inter)
+            out.emplace_back(a, b);
+    }
+    return out;
+}
+
+} // namespace
+
+ExploreResult
+explore(const hecnn::HeNetworkPlan &plan, const fpga::DeviceSpec &device,
+        const ExploreOptions &options)
+{
+    FXHENN_FATAL_IF(plan.layers.empty(), "cannot explore an empty plan");
+    ExploreResult result;
+
+    std::vector<unsigned> ntt_intra;
+    for (unsigned i = 1; i <= options.maxIntraNtt; ++i)
+        ntt_intra.push_back(i);
+    std::vector<unsigned> ntt_inter;
+    for (unsigned i = 1; i <= options.maxInterNtt; ++i)
+        ntt_inter.push_back(i);
+
+    const auto ew_pairs =
+        pairChoices(options.elementwiseIntra, options.elementwiseInter);
+    const auto ntt_pairs = pairChoices(ntt_intra, ntt_inter);
+
+    // CCmult parallelism is pinned to 1: it runs once per activation
+    // ciphertext and never bottlenecks (the paper's Fig. 10 note).
+    const OpAllocation ccmult_alloc{2, 1, 1};
+
+    double best_cycles = 0.0;
+    for (unsigned nc : options.ncNttChoices) {
+        for (const auto &[ks_a, ks_b] : ntt_pairs) {
+            for (const auto &[rs_a, rs_b] : ntt_pairs) {
+                for (const auto &[ew_a, ew_b] : ew_pairs) {
+                    ModuleAllocation alloc;
+                    alloc[HeOpModule::ccAdd] = {nc, ew_a, ew_b};
+                    alloc[HeOpModule::pcMult] = {nc, ew_a, ew_b};
+                    alloc[HeOpModule::ccMult] = ccmult_alloc;
+                    alloc[HeOpModule::ccMult].ncNtt = nc;
+                    alloc[HeOpModule::rescale] = {nc, rs_a, rs_b};
+                    alloc[HeOpModule::keySwitch] = {nc, ks_a, ks_b};
+
+                    const auto perf =
+                        fpga::evaluateNetworkShared(plan, alloc);
+
+                    const double bram_cap =
+                        options.bramBudgetBlocks
+                            ? *options.bramBudgetBlocks
+                            : device.effectiveBramBlocks(
+                                  plan.params.n / (2 * nc));
+                    if (perf.dspPhysical > device.dspSlices ||
+                        (device.luts != 0 &&
+                         perf.lutPhysical > device.luts) ||
+                        perf.bramPhysical > bram_cap) {
+                        ++result.pruned;
+                        continue;
+                    }
+
+                    ++result.evaluated;
+                    DesignPoint point;
+                    point.alloc = alloc;
+                    point.latencySeconds =
+                        device.seconds(perf.totalCycles);
+                    point.dspFraction =
+                        double(perf.dspPhysical) / device.dspSlices;
+                    point.bramFraction = perf.bramPhysical / bram_cap;
+                    point.perf = perf;
+
+                    if (!result.best ||
+                        point.perf.totalCycles < best_cycles) {
+                        best_cycles = point.perf.totalCycles;
+                        result.best = point;
+                    }
+                    if (options.collectAll)
+                        result.all.push_back(std::move(point));
+                }
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace fxhenn::dse

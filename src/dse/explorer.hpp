@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Design space exploration (Sec. VI-B).
+ *
+ * Enumerates the parallelism knobs of every HE operation module class —
+ * nc_NTT in {2,4,8}, P_intra in 1..L, P_inter — and minimizes the
+ * aggregated layer latency (Eq. 10) subject to the device's DSP and
+ * BRAM capacities:
+ *
+ *     min  sum_lr LAT_lr
+ *     s.t. sum_op DSP_op           <= DSP_max
+ *          max_lr BRAM_lr          <= BRAM_max   (inter-layer reuse)
+ *
+ * The space is a few hundred thousand points and is searched
+ * exhaustively, mirroring the paper's choice ("solved within a few
+ * seconds, negligible compared with FPGA synthesis").
+ */
+#ifndef FXHENN_DSE_EXPLORER_HPP
+#define FXHENN_DSE_EXPLORER_HPP
+
+#include <optional>
+#include <vector>
+
+#include "src/fpga/device.hpp"
+#include "src/fpga/layer_model.hpp"
+
+namespace fxhenn::dse {
+
+/** One evaluated design point. */
+struct DesignPoint
+{
+    fpga::ModuleAllocation alloc;
+    fpga::NetworkPerf perf;
+    double latencySeconds = 0.0;
+    double dspFraction = 0.0;  ///< physical DSP / device DSP
+    double bramFraction = 0.0; ///< physical BRAM / effective capacity
+};
+
+/** Explorer limits (defaults match the paper's observed optima). */
+struct ExploreOptions
+{
+    std::vector<unsigned> ncNttChoices{2, 4, 8};
+    unsigned maxIntraNtt = 7;    ///< Rescale/KeySwitch P_intra ceiling
+    unsigned maxInterNtt = 6;    ///< Rescale/KeySwitch P_inter ceiling
+    std::vector<unsigned> elementwiseIntra{1, 2, 4};
+    std::vector<unsigned> elementwiseInter{1, 2};
+    /** Override the device BRAM capacity (Fig. 9 budget sweep). */
+    std::optional<double> bramBudgetBlocks;
+    /** Keep every feasible point (Fig. 9 scatter), not just the best. */
+    bool collectAll = false;
+};
+
+/** Result of a search. */
+struct ExploreResult
+{
+    std::optional<DesignPoint> best;
+    std::vector<DesignPoint> all; ///< filled when collectAll is set
+    std::size_t evaluated = 0;    ///< feasible design points seen
+    std::size_t pruned = 0;       ///< points rejected by constraints
+};
+
+/** Run the exhaustive DSE for @p plan on @p device. */
+ExploreResult explore(const hecnn::HeNetworkPlan &plan,
+                      const fpga::DeviceSpec &device,
+                      const ExploreOptions &options = {});
+
+} // namespace fxhenn::dse
+
+#endif // FXHENN_DSE_EXPLORER_HPP

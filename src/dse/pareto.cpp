@@ -1,0 +1,37 @@
+#include "src/dse/pareto.hpp"
+
+#include <algorithm>
+
+namespace fxhenn::dse {
+
+bool
+dominates(const ParetoSample &a, const ParetoSample &b)
+{
+    const bool no_worse = a.bramBlocks <= b.bramBlocks &&
+                          a.latencySeconds <= b.latencySeconds;
+    const bool better = a.bramBlocks < b.bramBlocks ||
+                        a.latencySeconds < b.latencySeconds;
+    return no_worse && better;
+}
+
+std::vector<ParetoSample>
+paretoFront(std::vector<ParetoSample> samples)
+{
+    std::sort(samples.begin(), samples.end(),
+              [](const ParetoSample &a, const ParetoSample &b) {
+                  if (a.bramBlocks != b.bramBlocks)
+                      return a.bramBlocks < b.bramBlocks;
+                  return a.latencySeconds < b.latencySeconds;
+              });
+    std::vector<ParetoSample> front;
+    double best_latency = -1.0;
+    for (const auto &s : samples) {
+        if (best_latency < 0.0 || s.latencySeconds < best_latency) {
+            front.push_back(s);
+            best_latency = s.latencySeconds;
+        }
+    }
+    return front;
+}
+
+} // namespace fxhenn::dse

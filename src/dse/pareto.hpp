@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Pareto-front extraction for the Fig. 9 DSE scatter.
+ */
+#ifndef FXHENN_DSE_PARETO_HPP
+#define FXHENN_DSE_PARETO_HPP
+
+#include <vector>
+
+#include "src/dse/explorer.hpp"
+
+namespace fxhenn::dse {
+
+/** (BRAM blocks, latency seconds) sample of one design point. */
+struct ParetoSample
+{
+    double bramBlocks = 0.0;
+    double latencySeconds = 0.0;
+};
+
+/**
+ * @return the non-dominated subset of @p samples (smaller is better on
+ * both axes), sorted by ascending BRAM usage.
+ */
+std::vector<ParetoSample> paretoFront(std::vector<ParetoSample> samples);
+
+/** @return true when @p a dominates @p b (<= on both, < on one). */
+bool dominates(const ParetoSample &a, const ParetoSample &b);
+
+} // namespace fxhenn::dse
+
+#endif // FXHENN_DSE_PARETO_HPP

@@ -1,0 +1,58 @@
+#include "src/fpga/device.hpp"
+
+#include <algorithm>
+
+namespace fxhenn::fpga {
+
+double
+DeviceSpec::effectiveBramBlocks(std::uint64_t tileWords) const
+{
+    const double ratio =
+        std::clamp(static_cast<double>(tileWords) / 1024.0, 1.0, 4.0);
+    return static_cast<double>(bram36kBlocks) +
+           static_cast<double>(uramBlocks) * ratio;
+}
+
+DeviceSpec
+acu9eg()
+{
+    DeviceSpec d;
+    d.name = "ACU9EG";
+    d.dspSlices = 2520;
+    d.bram36kBlocks = 912; // 32.1 Mb
+    d.uramBlocks = 0;
+    d.luts = 274080;
+    d.clockMhz = 300.0;
+    d.tdpWatts = 10.0;
+    return d;
+}
+
+DeviceSpec
+acu15eg()
+{
+    DeviceSpec d;
+    d.name = "ACU15EG";
+    d.dspSlices = 3528;
+    d.bram36kBlocks = 744; // 26.2 Mb
+    d.uramBlocks = 112;    // 31.5 Mb URAM
+    d.luts = 341280;
+    d.clockMhz = 300.0;
+    d.tdpWatts = 10.0;
+    return d;
+}
+
+DeviceSpec
+fpl21Device()
+{
+    DeviceSpec d;
+    d.name = "FPL21-DC"; // Alveo-class card of [28]
+    d.dspSlices = 6840;
+    d.bram36kBlocks = 4032;
+    d.uramBlocks = 960;
+    d.luts = 1182240;
+    d.clockMhz = 300.0;
+    d.tdpWatts = 225.0;
+    return d;
+}
+
+} // namespace fxhenn::fpga

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Target FPGA device descriptions.
+ *
+ * The paper evaluates two ALINX MPSoC boards (Sec. VII-A):
+ *   - ACU9EG  (XCZU9EG):  2520 DSP slices, 32.1 Mb BRAM (912 BRAM36K)
+ *   - ACU15EG (XCZU15EG): 3528 DSP slices, 26.2 Mb BRAM (744 BRAM36K)
+ *                         plus 31.5 Mb URAM (112 blocks)
+ * plus, for the Table VIII comparison, the large data-center device the
+ * FPL'21 convolution accelerator used.
+ *
+ * Substitution note: no physical board is attached; these records carry
+ * the published resource capacities that constrain the DSE, and a clock
+ * that converts model cycles to seconds (calibrated once to Table I).
+ */
+#ifndef FXHENN_FPGA_DEVICE_HPP
+#define FXHENN_FPGA_DEVICE_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace fxhenn::fpga {
+
+/** Static description of one FPGA device / board. */
+struct DeviceSpec
+{
+    std::string name;
+    unsigned dspSlices = 0;
+    unsigned bram36kBlocks = 0;
+    unsigned uramBlocks = 0; ///< 288 Kb UltraRAM blocks (0 if absent)
+    unsigned luts = 0;       ///< 6-input LUT count
+    double clockMhz = 300.0;
+    double tdpWatts = 10.0;
+
+    /**
+     * Effective on-chip memory capacity in BRAM36K equivalents, with
+     * URAM converted by the Sec. VI-A ratio for buffer tiles of
+     * @p tileWords words: ratio = clamp(tileWords / 1024, 1, 4).
+     */
+    double effectiveBramBlocks(std::uint64_t tileWords) const;
+
+    /** Seconds for @p cycles at this device's clock. */
+    double
+    seconds(double cycles) const
+    {
+        return cycles / (clockMhz * 1e6);
+    }
+};
+
+/** ALINX ACU9EG (Zynq UltraScale+ XCZU9EG). */
+DeviceSpec acu9eg();
+
+/** ALINX ACU15EG (Zynq UltraScale+ XCZU15EG). */
+DeviceSpec acu15eg();
+
+/** Large data-center card used by the FPL'21 baseline (Table VIII). */
+DeviceSpec fpl21Device();
+
+} // namespace fxhenn::fpga
+
+#endif // FXHENN_FPGA_DEVICE_HPP

@@ -1,0 +1,107 @@
+#include "src/fpga/ntt_sim.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/assert.hpp"
+#include "src/common/math_util.hpp"
+
+namespace fxhenn::fpga {
+
+NttSimResult
+simulateNttModule(std::uint64_t n, unsigned cores, unsigned banks)
+{
+    FXHENN_FATAL_IF(!isPowerOfTwo(n), "NTT size must be a power of two");
+    FXHENN_FATAL_IF(cores == 0 || banks == 0,
+                    "cores and banks must be positive");
+
+    NttSimResult result;
+    result.idealCycles =
+        static_cast<std::uint64_t>(floorLog2(n)) * n / (2ull * cores);
+
+    std::vector<unsigned> bank_load(banks, 0);
+    unsigned cores_busy = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t issued_this_cycle = 0;
+
+    auto advance_cycle = [&]() {
+        ++cycles;
+        if (issued_this_cycle < cores)
+            ++result.conflictStalls;
+        std::fill(bank_load.begin(), bank_load.end(), 0);
+        cores_busy = 0;
+        issued_this_cycle = 0;
+    };
+
+    // Cooley-Tukey stage structure: stage m has m twiddle groups of t
+    // butterflies on address pairs (j, j + t).
+    std::uint64_t t = n;
+    for (std::uint64_t m = 1; m < n; m <<= 1) {
+        t >>= 1;
+        for (std::uint64_t i = 0; i < m; ++i) {
+            const std::uint64_t j1 = 2 * i * t;
+            for (std::uint64_t j = j1; j < j1 + t; ++j) {
+                const unsigned bank_a =
+                    static_cast<unsigned>(j % banks);
+                const unsigned bank_b =
+                    static_cast<unsigned>((j + t) % banks);
+
+                // Retry in the next cycle until a core and both bank
+                // ports are free.
+                for (;;) {
+                    const unsigned need_a = 1;
+                    const unsigned need_b =
+                        (bank_a == bank_b) ? 1 : 0;
+                    if (cores_busy < cores &&
+                        bank_load[bank_a] + need_a +
+                                (bank_a == bank_b ? need_b : 0) <=
+                            2 &&
+                        (bank_a == bank_b ||
+                         bank_load[bank_b] + 1 <= 2)) {
+                        bank_load[bank_a] +=
+                            1 + (bank_a == bank_b ? 1 : 0);
+                        if (bank_a != bank_b)
+                            bank_load[bank_b] += 1;
+                        ++cores_busy;
+                        ++issued_this_cycle;
+                        break;
+                    }
+                    advance_cycle();
+                }
+            }
+        }
+        // Stage barrier: all butterflies of a stage finish before the
+        // next stage reads their results.
+        if (cores_busy != 0)
+            advance_cycle();
+    }
+    result.cycles = cycles;
+    return result;
+}
+
+unsigned
+conflictFreeBanks(std::uint64_t n, unsigned cores)
+{
+    for (unsigned banks = 1; banks <= 64; banks <<= 1) {
+        const auto sim = simulateNttModule(n, cores, banks);
+        // "Conflict-free" up to the stage-barrier rounding.
+        if (sim.cycles <=
+            sim.idealCycles + static_cast<std::uint64_t>(
+                                  floorLog2(n))) {
+            return banks;
+        }
+    }
+    return 0;
+}
+
+unsigned
+physicalBlocks(std::uint64_t n, unsigned cores)
+{
+    const unsigned natural = static_cast<unsigned>(divCeil(n, 1024));
+    const unsigned read_banks = conflictFreeBanks(n, cores);
+    // Ping-pong: results are written into a disjoint bank set of the
+    // same width so reads never contend with writes.
+    return std::max(natural, 2 * read_banks);
+}
+
+} // namespace fxhenn::fpga

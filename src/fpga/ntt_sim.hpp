@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Cycle-level simulation of one hardware NTT module.
+ *
+ * The Table I observations the FxHENN DSE builds on — Eq. 4's
+ * LAT_NTT = log2(N) * N / (2 nc), the flat BRAM usage from nc = 2 to 4,
+ * and the partition doubling at nc = 8 — all follow from how butterfly
+ * cores contend for dual-port BRAM banks. This simulator schedules the
+ * actual butterfly address stream of a negacyclic NTT against a banked
+ * memory and reports cycles and conflicts, validating the closed form
+ * instead of assuming it.
+ *
+ * Memory model: the N coefficients are cyclically partitioned across
+ * `banks` BRAM banks (bank = address mod banks); each bank serves at
+ * most two accesses per cycle (true dual port). Each of the `cores`
+ * butterfly units consumes one butterfly (two coefficient reads) per
+ * cycle; writes are pipelined a phase behind reads and mirror the same
+ * banking, so scheduling reads suffices.
+ */
+#ifndef FXHENN_FPGA_NTT_SIM_HPP
+#define FXHENN_FPGA_NTT_SIM_HPP
+
+#include <cstdint>
+
+namespace fxhenn::fpga {
+
+/** Outcome of one simulated transform. */
+struct NttSimResult
+{
+    std::uint64_t cycles = 0;        ///< total schedule length
+    std::uint64_t idealCycles = 0;   ///< Eq. 4 lower bound
+    std::uint64_t conflictStalls = 0; ///< cycles lost to bank conflicts
+
+    /** Achieved efficiency versus the Eq. 4 bound. */
+    double
+    efficiency() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(idealCycles) /
+                                 static_cast<double>(cycles);
+    }
+};
+
+/**
+ * Simulate a full log2(N)-stage negacyclic NTT on @p cores butterfly
+ * units over @p banks dual-port banks.
+ *
+ * @param n     transform size (power of two)
+ * @param cores butterfly cores (nc_NTT)
+ * @param banks BRAM banks the coefficients are partitioned across
+ */
+NttSimResult simulateNttModule(std::uint64_t n, unsigned cores,
+                               unsigned banks);
+
+/**
+ * The smallest bank count that lets @p cores run conflict-free —
+ * the partition factor the HLS directives must request. With cyclic
+ * banking and ping-pong write buffers, this is the core count itself.
+ */
+unsigned conflictFreeBanks(std::uint64_t n, unsigned cores);
+
+/**
+ * Physical BRAM36K blocks one limb buffer occupies for @p cores:
+ * max(natural blocks, read banks + ping-pong write banks). For
+ * N = 8192 this reproduces the Table I observation exactly — 8 blocks
+ * up to nc = 4 and 16 at nc = 8 (see limbBufferBlocks()).
+ */
+unsigned physicalBlocks(std::uint64_t n, unsigned cores);
+
+} // namespace fxhenn::fpga
+
+#endif // FXHENN_FPGA_NTT_SIM_HPP

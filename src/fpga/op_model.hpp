@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Resource and latency model of the parameterized HE operation modules.
+ *
+ * This is the analytical core the FxHENN DSE searches over, implementing
+ * the paper's equations:
+ *   Eq. 4  LAT_NTT   = log2(N) * N / (2 * nc_NTT)
+ *   Eq. 3  PI        = ceil(L / P_intra) * LAT_b
+ *   Eq. 7  DSP_op    = P_inter * P_intra * Const_op^DSP
+ *   Eq. 8/9 BRAM_lr  = Bn_lr + Bb_lr (typed buffers, see buffer units)
+ *
+ * Per-limb basic latencies LAT_b (cycles), calibrated against Table I on
+ * ACU9EG at 300 MHz (all entries land within ~12% of the published
+ * values and reproduce the exact nc_NTT scaling shape):
+ *   elementwise ops (CCadd/PCmult/CCmult):  N
+ *   Rescale:   2 * LAT_NTT          (both ciphertext polynomials)
+ *   KeySwitch: (L + 4) * LAT_NTT / 2 (decompose + base-extend + ModDown,
+ *                                     two parallel NTT lanes)
+ * A single-operation invocation additionally pays a 2N-cycle
+ * fill/drain overhead, which reproduces Table I's 0.25 ms for the
+ * elementwise modules.
+ *
+ * Buffer units: one RNS-limb buffer occupies ceil(N/1024) BRAM36K
+ * blocks, doubled when nc_NTT = 8 because the doubled NTT cores exceed
+ * the dual-port bandwidth of one block (the Table I BRAM step).
+ */
+#ifndef FXHENN_FPGA_OP_MODEL_HPP
+#define FXHENN_FPGA_OP_MODEL_HPP
+
+#include <cstdint>
+
+#include "src/hecnn/plan.hpp"
+
+namespace fxhenn::fpga {
+
+/** The five HE operation module classes of Table I. */
+enum class HeOpModule : std::uint8_t {
+    ccAdd = 0,    ///< OP1
+    pcMult = 1,   ///< OP2
+    ccMult = 2,   ///< OP3
+    rescale = 3,  ///< OP4
+    keySwitch = 4 ///< OP5 (Relinearize and Rotate)
+};
+
+inline constexpr std::size_t kOpModuleCount = 5;
+
+/** @return "OP1".."OP5". */
+const char *moduleLabel(HeOpModule op);
+
+/** @return "CCadd", "PCmult", ... */
+const char *moduleName(HeOpModule op);
+
+/** Parallelism choice for one HE operation module class. */
+struct OpAllocation
+{
+    unsigned ncNtt = 2;  ///< NTT cores per basic NTT module (2, 4, 8)
+    unsigned pIntra = 1; ///< parallel basic-module copies (Sec. V-B)
+    unsigned pInter = 1; ///< parallel module instances (Sec. V-A)
+
+    bool operator==(const OpAllocation &o) const = default;
+};
+
+/** Ring-parameter view the model needs. */
+struct RingView
+{
+    std::uint64_t n = 8192;   ///< polynomial degree N
+    std::size_t level = 7;    ///< ciphertext level L at the point of use
+};
+
+// --- latency ---------------------------------------------------------------
+
+/** Eq. 4: butterfly-serial NTT latency in cycles. */
+double nttLatencyCycles(std::uint64_t n, unsigned ncNtt);
+
+/** Per-limb pipeline-stage latency LAT_b of module @p op (cycles). */
+double basicLatencyCycles(HeOpModule op, const RingView &ring,
+                          unsigned ncNtt);
+
+/** Eq. 3: pipeline interval of one operation. */
+double pipelineIntervalCycles(HeOpModule op, const RingView &ring,
+                              const OpAllocation &alloc);
+
+/** Latency of a single isolated operation (Table I column). */
+double singleOpLatencyCycles(HeOpModule op, const RingView &ring,
+                             const OpAllocation &alloc);
+
+/**
+ * Off-chip penalty factor for module @p op when its working set cannot
+ * stay in BRAM (Table III; KeySwitch's non-burst access dominates).
+ */
+double offChipPenalty(HeOpModule op);
+
+// --- resources -------------------------------------------------------------
+
+/** Eq. 7 constant: DSP usage of one instance at P = 1 (Table I). */
+unsigned dspConst(HeOpModule op, unsigned ncNtt);
+
+/** Eq. 7: DSP slices used by an allocated module class. */
+unsigned dspUsage(HeOpModule op, const OpAllocation &alloc);
+
+/**
+ * LUT estimate of one module instance at P = 1 (control logic +
+ * butterfly datapaths; grows with the NTT core count). LUTs are part
+ * of the FPGA specification the framework constrains on (Sec. IV),
+ * though DSP and BRAM are the binding resources in practice.
+ */
+unsigned lutConst(HeOpModule op, unsigned ncNtt);
+
+/** LUTs used by an allocated module class (Eq. 7 scaling). */
+unsigned lutUsage(HeOpModule op, const OpAllocation &alloc);
+
+/** BRAM36K blocks of one RNS-limb buffer (with the nc = 8 doubling). */
+unsigned limbBufferBlocks(std::uint64_t n, unsigned ncNtt);
+
+/**
+ * Buffer demand of one module instance in limb-buffer units, split into
+ * the NTT-partitioned (Bn) and plain (Bb) classes of Sec. VI-A.
+ * Bn scales with P_intra (Eq. 9); Bb does not.
+ */
+struct BufferUnits
+{
+    double bn = 0.0;
+    double bb = 0.0;
+};
+BufferUnits bufferUnits(HeOpModule op, const RingView &ring,
+                        unsigned pIntra);
+
+// --- work model ------------------------------------------------------------
+
+/**
+ * Modular multiplications performed by one operation ("MACs of HOPs",
+ * Table IV): butterflies count one multiply each, elementwise passes
+ * one per coefficient per polynomial.
+ */
+double opModMuls(HeOpModule op, const RingView &ring);
+
+/** Map a plan opcode to its module class. */
+HeOpModule moduleOf(hecnn::HeOpKind kind);
+
+} // namespace fxhenn::fpga
+
+#endif // FXHENN_FPGA_OP_MODEL_HPP

@@ -1,0 +1,115 @@
+#include "src/fxhenn/codegen.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/assert.hpp"
+
+namespace fxhenn {
+
+namespace {
+
+using fpga::HeOpModule;
+using fpga::kOpModuleCount;
+
+/** Lower-case identifier for a module class. */
+std::string
+moduleIdent(HeOpModule op)
+{
+    std::string s = fpga::moduleName(op);
+    for (auto &c : s)
+        c = static_cast<char>(std::tolower(c));
+    return s;
+}
+
+} // namespace
+
+std::string
+renderHlsDirectives(const DesignSolution &solution)
+{
+    std::ostringstream tcl;
+    tcl << "# FxHENN generated HLS directives\n"
+        << "# model:  " << solution.modelName << "\n"
+        << "# device: " << solution.deviceName << "\n"
+        << "# predicted latency: " << solution.latencySeconds()
+        << " s\n\n";
+
+    for (std::size_t i = 0; i < kOpModuleCount; ++i) {
+        const auto op = static_cast<HeOpModule>(i);
+        const auto &a = solution.design.alloc[op];
+        const std::string fn = "he_" + moduleIdent(op);
+        tcl << "# " << fpga::moduleLabel(op) << " "
+            << fpga::moduleName(op) << ": nc_ntt=" << a.ncNtt
+            << " intra=" << a.pIntra << " inter=" << a.pInter << "\n";
+        tcl << "set_directive_array_partition -type cyclic -factor "
+            << 2 * a.ncNtt << " \"" << fn << "\" poly_buf\n";
+        tcl << "set_directive_unroll -factor " << a.pIntra << " \""
+            << fn << "/limb_loop\"\n";
+        if (a.pInter > 1) {
+            tcl << "set_directive_allocation -limit " << a.pInter
+                << " -type function \"top/" << fn << "\"\n";
+        }
+        tcl << "set_directive_pipeline \"" << fn << "/stage_loop\"\n\n";
+    }
+
+    tcl << "# inter-layer buffer reuse: bind all layer I/O buffers to\n"
+        << "# the shared BRAM pool sized by the DSE\n"
+        << "set_directive_bind_storage -type ram_t2p -impl bram"
+        << " \"top\" shared_pool\n";
+    return tcl.str();
+}
+
+std::string
+renderConfigHeader(const DesignSolution &solution)
+{
+    std::ostringstream h;
+    h << "// FxHENN generated accelerator configuration\n"
+      << "// model:  " << solution.modelName << "\n"
+      << "// device: " << solution.deviceName << "\n"
+      << "#pragma once\n\n"
+      << "namespace fxhenn_accel {\n\n"
+      << "inline constexpr unsigned kPolyDegree = " << solution.params.n
+      << ";\n"
+      << "inline constexpr unsigned kLevels = " << solution.params.levels
+      << ";\n"
+      << "inline constexpr unsigned kPrimeBits = "
+      << solution.params.qBits << ";\n\n";
+
+    for (std::size_t i = 0; i < kOpModuleCount; ++i) {
+        const auto op = static_cast<HeOpModule>(i);
+        const auto &a = solution.design.alloc[op];
+        std::string ident = moduleIdent(op);
+        ident[0] = static_cast<char>(std::toupper(ident[0]));
+        h << "inline constexpr unsigned kNcNtt" << ident << " = "
+          << a.ncNtt << ";\n"
+          << "inline constexpr unsigned kIntra" << ident << " = "
+          << a.pIntra << ";\n"
+          << "inline constexpr unsigned kInter" << ident << " = "
+          << a.pInter << ";\n";
+    }
+    h << "\n} // namespace fxhenn_accel\n";
+    return h.str();
+}
+
+std::pair<std::string, std::string>
+writeAccelerator(const DesignSolution &solution,
+                 const std::string &directory)
+{
+    namespace fs = std::filesystem;
+    fs::create_directories(directory);
+    const std::string tcl_path = directory + "/directives.tcl";
+    const std::string hdr_path = directory + "/accel_config.hpp";
+
+    std::ofstream tcl(tcl_path);
+    FXHENN_FATAL_IF(!tcl, "cannot write " + tcl_path);
+    tcl << renderHlsDirectives(solution);
+
+    std::ofstream hdr(hdr_path);
+    FXHENN_FATAL_IF(!hdr, "cannot write " + hdr_path);
+    hdr << renderConfigHeader(solution);
+
+    return {tcl_path, hdr_path};
+}
+
+} // namespace fxhenn

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * HLS directive generation.
+ *
+ * The FxHENN framework's artifact is "the structure information and HLS
+ * pragmas and directives for the parameterized HE operation modules"
+ * (Sec. IV), which the commercial Vivado toolchain then synthesizes.
+ * This module renders exactly that artifact from a DesignSolution:
+ *   - a Tcl directives file (set_directive_* commands), and
+ *   - a C++ configuration header fixing the template parameters of the
+ *     parameterized HE modules.
+ * Synthesis itself requires the vendor toolchain and a board and is out
+ * of scope (DESIGN.md, substitution table).
+ */
+#ifndef FXHENN_FXHENN_CODEGEN_HPP
+#define FXHENN_FXHENN_CODEGEN_HPP
+
+#include <string>
+
+#include "src/fxhenn/framework.hpp"
+
+namespace fxhenn {
+
+/** Render the Vivado HLS Tcl directives for @p solution. */
+std::string renderHlsDirectives(const DesignSolution &solution);
+
+/** Render the C++ configuration header for @p solution. */
+std::string renderConfigHeader(const DesignSolution &solution);
+
+/** Write both artifacts into @p directory; returns the two paths. */
+std::pair<std::string, std::string> writeAccelerator(
+    const DesignSolution &solution, const std::string &directory);
+
+} // namespace fxhenn
+
+#endif // FXHENN_FXHENN_CODEGEN_HPP

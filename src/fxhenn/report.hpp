@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Markdown design-report generation.
+ *
+ * Renders a DesignSolution as a self-contained markdown document: the
+ * network and parameter summary, per-layer latency/resource breakdown,
+ * the chosen module parallelism, and the DSE statistics. Used by the
+ * CLI (`fxhenn design --report`) and handy as a synthesis handoff
+ * document alongside the HLS directives.
+ */
+#ifndef FXHENN_FXHENN_REPORT_HPP
+#define FXHENN_FXHENN_REPORT_HPP
+
+#include <string>
+
+#include "src/fxhenn/framework.hpp"
+
+namespace fxhenn {
+
+/** Render the full markdown report for @p solution on @p device. */
+std::string renderDesignReport(const DesignSolution &solution,
+                               const fpga::DeviceSpec &device);
+
+} // namespace fxhenn
+
+#endif // FXHENN_FXHENN_REPORT_HPP

@@ -1,0 +1,643 @@
+#include "src/hecnn/compiler.hpp"
+
+#include <functional>
+
+#include "src/common/assert.hpp"
+#include "src/common/math_util.hpp"
+
+namespace fxhenn::hecnn {
+
+namespace {
+
+/** Sparse row visitor: emit(elementIndex, weight) for one output row. */
+using RowVisitor =
+    std::function<void(std::size_t row,
+                       const std::function<void(std::size_t, double)> &)>;
+
+/** Builds one HeNetworkPlan; transient state machine. */
+class PlanBuilder
+{
+  public:
+    PlanBuilder(const nn::Network &net, const ckks::CkksParams &params,
+                const CompileOptions &options)
+        : net_(net), params_(params), options_(options),
+          slots_(params.n / 2)
+    {}
+
+    HeNetworkPlan
+    build()
+    {
+        plan_.name = net_.name();
+        plan_.params = params_;
+        plan_.valuesElided = options_.elideValues;
+        level_ = params_.levels;
+
+        for (std::size_t i = 0; i < net_.layerCount(); ++i) {
+            const nn::Layer &layer = net_.layer(i);
+            const bool is_last = (i + 1 == net_.layerCount());
+            switch (layer.kind()) {
+              case nn::LayerKind::conv2d: {
+                const auto &conv = static_cast<const nn::Conv2D &>(layer);
+                if (i == 0) {
+                    compileFirstConv(conv);
+                } else {
+                    compileConvAsDense(conv, !is_last);
+                }
+                break;
+              }
+              case nn::LayerKind::dense: {
+                const auto &dense = static_cast<const nn::Dense &>(layer);
+                if (i == 0)
+                    setupDenseFirstInput(dense.inSize());
+                compileDenseLayer(dense, !is_last);
+                break;
+              }
+              case nn::LayerKind::square:
+                compileSquare(static_cast<const nn::SquareActivation &>(
+                    layer));
+                break;
+              case nn::LayerKind::avgPool:
+                FXHENN_FATAL_IF(i == 0,
+                                "pooling cannot be the first layer");
+                compileAvgPool(static_cast<const nn::AvgPool2D &>(layer),
+                               !is_last);
+                break;
+              case nn::LayerKind::flatten:
+                break; // layouts are already flat
+            }
+        }
+
+        plan_.outputLayout = layout_;
+        plan_.regCount = regCount_;
+        return std::move(plan_);
+    }
+
+  private:
+    // --- infrastructure ---------------------------------------------------
+
+    std::int32_t newReg() { return regCount_++; }
+
+    std::int32_t
+    addPlaintext(std::vector<double> values, std::size_t level,
+                 bool atSchemeScale)
+    {
+        PlanPlaintext pt;
+        pt.level = level;
+        pt.atSchemeScale = atSchemeScale;
+        if (!options_.elideValues)
+            pt.values = std::move(values);
+        plan_.plaintexts.push_back(std::move(pt));
+        return static_cast<std::int32_t>(plan_.plaintexts.size() - 1);
+    }
+
+    void
+    emit(HeLayerPlan &lp, HeOpKind kind, std::int32_t dst,
+         std::int32_t src, std::int32_t pt = -1, std::int32_t step = 0)
+    {
+        lp.instrs.push_back(HeInstr{kind, dst, src, pt, step});
+    }
+
+    /**
+     * Emit a rotation by @p step, decomposed into signed power-of-two
+     * sub-rotations when the option is set (dst may alias src).
+     */
+    void
+    emitRotate(HeLayerPlan &lp, std::int32_t dst, std::int32_t src,
+               std::int32_t step)
+    {
+        if (!options_.decomposeRotations || step == 0 ||
+            (step & (step - 1)) == 0 ||
+            (-step > 0 && ((-step) & (-step - 1)) == 0)) {
+            emit(lp, HeOpKind::rotate, dst, src, -1, step);
+            return;
+        }
+        const std::int32_t sign = step < 0 ? -1 : 1;
+        std::uint32_t magnitude =
+            static_cast<std::uint32_t>(sign * step);
+        std::int32_t current = src;
+        for (std::uint32_t bit = 1; magnitude != 0; bit <<= 1) {
+            if (magnitude & bit) {
+                emit(lp, HeOpKind::rotate, dst, current, -1,
+                     sign * static_cast<std::int32_t>(bit));
+                current = dst;
+                magnitude &= ~bit;
+            }
+        }
+    }
+
+    HeLayerPlan &
+    beginLayer(const std::string &name, std::size_t n_in)
+    {
+        plan_.layers.emplace_back();
+        HeLayerPlan &lp = plan_.layers.back();
+        lp.name = name;
+        lp.levelIn = level_;
+        lp.nIn = n_in;
+        return lp;
+    }
+
+    void
+    finishLayer(HeLayerPlan &lp, SlotLayout layout)
+    {
+        lp.levelOut = level_;
+        lp.outputLayout = layout;
+        lp.classify();
+        layout_ = std::move(layout);
+    }
+
+    void
+    consumeLevel(std::size_t count = 1)
+    {
+        FXHENN_FATAL_IF(level_ < count + 1,
+                        "network depth exceeds the CKKS level budget; "
+                        "increase params.levels");
+        level_ -= count;
+    }
+
+    /** Dense-first networks: pack the flat input contiguously. */
+    void
+    setupDenseFirstInput(std::size_t v)
+    {
+        const std::size_t regs_needed = divCeil(v, slots_);
+        plan_.inputGather.assign(regs_needed,
+                                 std::vector<std::int32_t>(slots_, -1));
+        SlotLayout layout;
+        for (std::size_t c = 0; c < regs_needed; ++c) {
+            const std::int32_t reg = newReg();
+            layout.regs.push_back(reg);
+            for (std::size_t s = 0; s < slots_; ++s) {
+                const std::size_t e = c * slots_ + s;
+                if (e < v) {
+                    plan_.inputGather[c][s] =
+                        static_cast<std::int32_t>(e);
+                    layout.pos.emplace_back(
+                        reg, static_cast<std::int32_t>(s));
+                }
+            }
+        }
+        layout_ = std::move(layout);
+    }
+
+    // --- first-layer convolution (tap packing) ---------------------------
+
+    void
+    compileFirstConv(const nn::Conv2D &conv)
+    {
+        const std::size_t taps =
+            conv.inChannels() * conv.kernel() * conv.kernel();
+        const std::size_t pixels = conv.outHeight() * conv.outWidth();
+        FXHENN_FATAL_IF(pixels > slots_,
+                        "one output map does not fit the slot count");
+        const std::size_t f_per_ct =
+            std::min<std::size_t>(conv.outChannels(), slots_ / pixels);
+        const std::size_t groups =
+            divCeil(conv.outChannels(), f_per_ct);
+
+        // Client-side gather: identical for every output group.
+        plan_.inputGather.assign(taps,
+                                 std::vector<std::int32_t>(slots_, -1));
+        std::size_t tap = 0;
+        for (std::size_t c = 0; c < conv.inChannels(); ++c) {
+            for (std::size_t ky = 0; ky < conv.kernel(); ++ky) {
+                for (std::size_t kx = 0; kx < conv.kernel(); ++kx) {
+                    auto &gather = plan_.inputGather[tap];
+                    for (std::size_t f_local = 0; f_local < f_per_ct;
+                         ++f_local) {
+                        for (std::size_t y = 0; y < conv.outHeight();
+                             ++y) {
+                            for (std::size_t x = 0; x < conv.outWidth();
+                                 ++x) {
+                                const std::size_t p =
+                                    y * conv.outWidth() + x;
+                                const std::size_t slot =
+                                    f_local * pixels + p;
+                                // -1 (zero slot) for padded taps.
+                                gather[slot] = static_cast<std::int32_t>(
+                                    conv.inputIndex(c, ky, kx, y, x));
+                            }
+                        }
+                    }
+                    ++tap;
+                }
+            }
+        }
+
+        // Input registers 0..taps-1 hold the client's ciphertexts.
+        std::vector<std::int32_t> in_regs(taps);
+        for (std::size_t i = 0; i < taps; ++i)
+            in_regs[i] = newReg();
+
+        HeLayerPlan &lp = beginLayer(conv.name(), taps);
+
+        SlotLayout out;
+        const std::int32_t tmp = newReg();
+        for (std::size_t g = 0; g < groups; ++g) {
+            const std::size_t f_lo = g * f_per_ct;
+            const std::size_t f_hi =
+                std::min<std::size_t>(conv.outChannels(),
+                                      f_lo + f_per_ct);
+            const std::int32_t acc = newReg();
+
+            tap = 0;
+            for (std::size_t c = 0; c < conv.inChannels(); ++c) {
+                for (std::size_t ky = 0; ky < conv.kernel(); ++ky) {
+                    for (std::size_t kx = 0; kx < conv.kernel(); ++kx) {
+                        std::vector<double> w(slots_, 0.0);
+                        for (std::size_t f = f_lo; f < f_hi; ++f) {
+                            const double weight =
+                                conv.weight(f, c, ky, kx);
+                            for (std::size_t p = 0; p < pixels; ++p)
+                                w[(f - f_lo) * pixels + p] = weight;
+                        }
+                        const std::int32_t pt =
+                            addPlaintext(std::move(w), level_, true);
+                        const std::int32_t dst = (tap == 0) ? acc : tmp;
+                        emit(lp, HeOpKind::pcMult, dst,
+                             in_regs[tap], pt);
+                        emit(lp, HeOpKind::rescale, dst, dst);
+                        if (tap != 0)
+                            emit(lp, HeOpKind::ccAdd, acc, tmp);
+                        ++tap;
+                    }
+                }
+            }
+
+            // Bias at every output slot of this group.
+            std::vector<double> bias(slots_, 0.0);
+            for (std::size_t f = f_lo; f < f_hi; ++f) {
+                for (std::size_t p = 0; p < pixels; ++p)
+                    bias[(f - f_lo) * pixels + p] = conv.bias(f);
+            }
+            const std::int32_t bias_pt =
+                addPlaintext(std::move(bias), level_ - 1, false);
+            emit(lp, HeOpKind::pcAdd, acc, acc, bias_pt);
+
+            for (std::size_t f = f_lo; f < f_hi; ++f) {
+                for (std::size_t p = 0; p < pixels; ++p) {
+                    out.pos.emplace_back(
+                        acc, static_cast<std::int32_t>(
+                                 (f - f_lo) * pixels + p));
+                }
+            }
+            out.regs.push_back(acc);
+        }
+
+        consumeLevel();
+        finishLayer(lp, std::move(out));
+    }
+
+    // --- square activation ------------------------------------------------
+
+    void
+    compileSquare(const nn::SquareActivation &act)
+    {
+        HeLayerPlan &lp = beginLayer(act.name(), layout_.regs.size());
+        for (std::int32_t reg : layout_.regs) {
+            emit(lp, HeOpKind::ccMult, reg, reg);
+            emit(lp, HeOpKind::relinearize, reg, reg);
+            emit(lp, HeOpKind::rescale, reg, reg);
+        }
+        consumeLevel();
+        finishLayer(lp, layout_);
+    }
+
+    // --- dense / conv-as-dense --------------------------------------------
+
+    void
+    compileDenseLayer(const nn::Dense &dense, bool merge)
+    {
+        RowVisitor rows = [&dense](std::size_t row, const auto &visit) {
+            for (std::size_t col = 0; col < dense.inSize(); ++col)
+                visit(col, dense.weight(row, col));
+        };
+        compileMatVec(dense.name(), dense.outputSize(), rows,
+                      [&dense](std::size_t r) { return dense.bias(r); },
+                      merge);
+    }
+
+    void
+    compileConvAsDense(const nn::Conv2D &conv, bool merge)
+    {
+        // Implicit im2col: output row (f, y, x); element index follows
+        // the CHW flattening of the conv's input tensor.
+        const std::size_t ow = conv.outWidth();
+        const std::size_t oh = conv.outHeight();
+        RowVisitor rows = [&conv, ow, oh](std::size_t row,
+                                          const auto &visit) {
+            const std::size_t f = row / (oh * ow);
+            const std::size_t y = (row / ow) % oh;
+            const std::size_t x = row % ow;
+            for (std::size_t c = 0; c < conv.inChannels(); ++c) {
+                for (std::size_t ky = 0; ky < conv.kernel(); ++ky) {
+                    for (std::size_t kx = 0; kx < conv.kernel(); ++kx) {
+                        const std::int64_t e =
+                            conv.inputIndex(c, ky, kx, y, x);
+                        if (e >= 0) {
+                            visit(static_cast<std::size_t>(e),
+                                  conv.weight(f, c, ky, kx));
+                        }
+                    }
+                }
+            }
+        };
+        compileMatVec(conv.name(), conv.outputSize(), rows,
+                      [&conv, oh, ow](std::size_t r) {
+                          return conv.bias(r / (oh * ow));
+                      },
+                      merge);
+    }
+
+    void
+    compileAvgPool(const nn::AvgPool2D &pool, bool merge)
+    {
+        // Average pooling is a sparse linear map: each output averages
+        // its k*k window, so it reuses the matrix-vector machinery with
+        // constant 1/k^2 weights and no bias.
+        const std::size_t ow = pool.outWidth();
+        const std::size_t oh = pool.outHeight();
+        const double inv = 1.0 / static_cast<double>(pool.kernel() *
+                                                     pool.kernel());
+        RowVisitor rows = [&pool, ow, oh, inv](std::size_t row,
+                                               const auto &visit) {
+            const std::size_t c = row / (oh * ow);
+            const std::size_t y = (row / ow) % oh;
+            const std::size_t x = row % ow;
+            for (std::size_t ky = 0; ky < pool.kernel(); ++ky) {
+                for (std::size_t kx = 0; kx < pool.kernel(); ++kx) {
+                    const std::size_t e =
+                        (c * pool.inHeight() + y * pool.stride() + ky) *
+                            pool.inWidth() +
+                        x * pool.stride() + kx;
+                    visit(e, inv);
+                }
+            }
+        };
+        compileMatVec(pool.name(), pool.outputSize(), rows,
+                      [](std::size_t) { return 0.0; }, merge);
+    }
+
+    /** Shared matrix-vector lowering for Dense and mid-network Conv2D. */
+    void
+    compileMatVec(const std::string &name, std::size_t out_rows,
+                  const RowVisitor &rows,
+                  const std::function<double(std::size_t)> &bias,
+                  bool merge)
+    {
+        const std::size_t v = layout_.elements();
+        const std::size_t vpad = std::size_t(1) << ceilLog2(v);
+        if (layout_.isContiguousSingleReg() && vpad * 2 <= slots_) {
+            compileMatVecReplicated(name, out_rows, v, vpad, rows, bias,
+                                    merge);
+        } else {
+            compileMatVecGeneral(name, out_rows, rows, bias, merge);
+        }
+    }
+
+    /** Replicated path: one contiguous input ciphertext (Fig. 3 style). */
+    void
+    compileMatVecReplicated(const std::string &name, std::size_t out_rows,
+                            std::size_t v, std::size_t vpad,
+                            const RowVisitor &rows,
+                            const std::function<double(std::size_t)> &bias,
+                            bool merge)
+    {
+        const std::size_t copies = slots_ / vpad;
+        const std::size_t groups = divCeil(out_rows, copies);
+        HeLayerPlan &lp = beginLayer(name, groups);
+
+        const std::int32_t src = layout_.regs[0];
+        const std::int32_t rep = newReg();
+        const std::int32_t tmp = newReg();
+
+        // Replicate the vector into `copies` aligned blocks by doubling.
+        emit(lp, HeOpKind::copy, rep, src);
+        for (std::size_t block = 1; block < copies; block <<= 1) {
+            emit(lp, HeOpKind::rotate, tmp, rep, -1,
+                 -static_cast<std::int32_t>(vpad * block));
+            emit(lp, HeOpKind::ccAdd, rep, tmp);
+        }
+
+        const std::int32_t work = newReg();
+        const std::int32_t masked = newReg();
+        const std::int32_t out = merge ? newReg() : -1;
+
+        SlotLayout out_layout;
+        out_layout.pos.resize(out_rows);
+
+        for (std::size_t g = 0; g < groups; ++g) {
+            const std::size_t rows_here =
+                std::min(copies, out_rows - g * copies);
+
+            std::vector<double> w(slots_, 0.0);
+            if (!options_.elideValues) {
+                for (std::size_t k = 0; k < rows_here; ++k) {
+                    rows(g * copies + k,
+                         [&](std::size_t e, double weight) {
+                             w[k * vpad + e] += weight;
+                         });
+                }
+            }
+            const std::int32_t w_pt =
+                addPlaintext(std::move(w), level_, true);
+            emit(lp, HeOpKind::pcMult, work, rep, w_pt);
+            emit(lp, HeOpKind::rescale, work, work);
+
+            // Rotate-and-sum within each vpad-aligned block.
+            for (std::size_t step = vpad / 2; step >= 1; step >>= 1) {
+                emit(lp, HeOpKind::rotate, tmp, work, -1,
+                     static_cast<std::int32_t>(step));
+                emit(lp, HeOpKind::ccAdd, work, tmp);
+            }
+
+            if (merge) {
+                // Extract the block heads and park row g*copies+k at
+                // slot k*vpad + g via one mask and one rotation.
+                std::vector<double> mask(slots_, 0.0);
+                for (std::size_t k = 0; k < rows_here; ++k)
+                    mask[k * vpad] = 1.0;
+                const std::int32_t mask_pt =
+                    addPlaintext(std::move(mask), level_ - 1, true);
+                emit(lp, HeOpKind::pcMult, masked, work, mask_pt);
+                emit(lp, HeOpKind::rescale, masked, masked);
+                if (g > 0) {
+                    emitRotate(lp, masked, masked,
+                               -static_cast<std::int32_t>(g));
+                }
+                if (g == 0) {
+                    emit(lp, HeOpKind::copy, out, masked);
+                } else {
+                    emit(lp, HeOpKind::ccAdd, out, masked);
+                }
+                for (std::size_t k = 0; k < rows_here; ++k) {
+                    out_layout.pos[g * copies + k] = {
+                        out,
+                        static_cast<std::int32_t>(k * vpad + g)};
+                }
+            } else {
+                // Keep the group register; heads live at k*vpad.
+                const std::int32_t kept = newReg();
+                emit(lp, HeOpKind::copy, kept, work);
+                std::vector<double> b(slots_, 0.0);
+                for (std::size_t k = 0; k < rows_here; ++k)
+                    b[k * vpad] = bias(g * copies + k);
+                const std::int32_t b_pt =
+                    addPlaintext(std::move(b), level_ - 1, false);
+                emit(lp, HeOpKind::pcAdd, kept, kept, b_pt);
+                for (std::size_t k = 0; k < rows_here; ++k) {
+                    out_layout.pos[g * copies + k] = {
+                        kept, static_cast<std::int32_t>(k * vpad)};
+                }
+                out_layout.regs.push_back(kept);
+            }
+        }
+
+        if (merge) {
+            std::vector<double> b(slots_, 0.0);
+            for (std::size_t r = 0; r < out_rows; ++r)
+                b[(r % copies) * vpad + r / copies] = bias(r);
+            const std::int32_t b_pt =
+                addPlaintext(std::move(b), level_ - 2, false);
+            emit(lp, HeOpKind::pcAdd, out, out, b_pt);
+            out_layout.regs.push_back(out);
+            consumeLevel(2);
+        } else {
+            consumeLevel(1);
+        }
+        (void)v;
+        finishLayer(lp, std::move(out_layout));
+    }
+
+    /** General path: scattered or multi-ciphertext inputs. */
+    void
+    compileMatVecGeneral(const std::string &name, std::size_t out_rows,
+                         const RowVisitor &rows,
+                         const std::function<double(std::size_t)> &bias,
+                         bool merge)
+    {
+        FXHENN_FATAL_IF(merge && out_rows > slots_,
+                        "merged dense output exceeds slot count");
+        HeLayerPlan &lp = beginLayer(name, out_rows);
+
+        const std::size_t reg_count = layout_.regs.size();
+        // reg -> dense index for plaintext bucketing
+        std::map<std::int32_t, std::size_t> reg_index;
+        for (std::size_t i = 0; i < reg_count; ++i)
+            reg_index[layout_.regs[i]] = i;
+
+        const std::int32_t acc = newReg();
+        const std::int32_t part = newReg();
+        const std::int32_t tmp = newReg();
+        const std::int32_t masked = newReg();
+        const std::int32_t out = merge ? newReg() : -1;
+
+        SlotLayout out_layout;
+        out_layout.pos.resize(out_rows);
+
+        for (std::size_t r = 0; r < out_rows; ++r) {
+            // Bucket this row's weights per input register.
+            std::vector<std::vector<double>> w(
+                reg_count, std::vector<double>(slots_, 0.0));
+            std::vector<bool> touched(reg_count, false);
+            rows(r, [&](std::size_t e, double weight) {
+                const auto [reg, slot] = layout_.pos[e];
+                const std::size_t i = reg_index.at(reg);
+                w[i][static_cast<std::size_t>(slot)] += weight;
+                touched[i] = true;
+            });
+
+            bool first = true;
+            for (std::size_t i = 0; i < reg_count; ++i) {
+                if (!touched[i])
+                    continue;
+                const std::int32_t pt =
+                    addPlaintext(std::move(w[i]), level_, true);
+                const std::int32_t dst = first ? acc : part;
+                emit(lp, HeOpKind::pcMult, dst, layout_.regs[i], pt);
+                if (!first)
+                    emit(lp, HeOpKind::ccAdd, acc, part);
+                first = false;
+            }
+            FXHENN_ASSERT(!first, "row with no weights");
+            emit(lp, HeOpKind::rescale, acc, acc);
+
+            // Full-width rotate-and-sum: the total lands in every slot.
+            for (std::size_t step = slots_ / 2; step >= 1; step >>= 1) {
+                emit(lp, HeOpKind::rotate, tmp, acc, -1,
+                     static_cast<std::int32_t>(step));
+                emit(lp, HeOpKind::ccAdd, acc, tmp);
+            }
+
+            if (merge) {
+                std::vector<double> mask(slots_, 0.0);
+                mask[r % slots_] = 1.0;
+                const std::int32_t mask_pt =
+                    addPlaintext(std::move(mask), level_ - 1, true);
+                emit(lp, HeOpKind::pcMult, masked, acc, mask_pt);
+                emit(lp, HeOpKind::rescale, masked, masked);
+                if (r == 0) {
+                    emit(lp, HeOpKind::copy, out, masked);
+                } else {
+                    emit(lp, HeOpKind::ccAdd, out, masked);
+                }
+                out_layout.pos[r] = {out,
+                                     static_cast<std::int32_t>(r %
+                                                               slots_)};
+            } else {
+                const std::int32_t kept = newReg();
+                emit(lp, HeOpKind::copy, kept, acc);
+                std::vector<double> b(slots_, 0.0);
+                b[0] = bias(r);
+                const std::int32_t b_pt =
+                    addPlaintext(std::move(b), level_ - 1, false);
+                emit(lp, HeOpKind::pcAdd, kept, kept, b_pt);
+                out_layout.pos[r] = {kept, 0};
+                out_layout.regs.push_back(kept);
+            }
+        }
+
+        if (merge) {
+            std::vector<double> b(slots_, 0.0);
+            for (std::size_t r = 0; r < out_rows; ++r)
+                b[r] = bias(r);
+            const std::int32_t b_pt =
+                addPlaintext(std::move(b), level_ - 2, false);
+            emit(lp, HeOpKind::pcAdd, out, out, b_pt);
+            out_layout.regs.push_back(out);
+            consumeLevel(2);
+        } else {
+            consumeLevel(1);
+        }
+        finishLayer(lp, std::move(out_layout));
+    }
+
+    const nn::Network &net_;
+    const ckks::CkksParams &params_;
+    const CompileOptions &options_;
+    const std::size_t slots_;
+
+    HeNetworkPlan plan_;
+    SlotLayout layout_;
+    std::size_t level_ = 0;
+    std::int32_t regCount_ = 0;
+};
+
+} // namespace
+
+HeNetworkPlan
+compile(const nn::Network &net, const ckks::CkksParams &params,
+        const CompileOptions &options)
+{
+    FXHENN_FATAL_IF(net.layerCount() == 0, "cannot compile empty network");
+    FXHENN_FATAL_IF(net.layer(0).kind() != nn::LayerKind::conv2d &&
+                        net.layer(0).kind() != nn::LayerKind::dense,
+                    "first layer must be conv2d or dense");
+    // Dense-first networks pack the flat input contiguously.
+    if (net.layer(0).kind() == nn::LayerKind::dense) {
+        FXHENN_FATAL_IF(net.inputSize() > params.n / 2,
+                        "dense-first input exceeds one ciphertext");
+    }
+    PlanBuilder builder(net, params, options);
+    return builder.build();
+}
+
+} // namespace fxhenn::hecnn

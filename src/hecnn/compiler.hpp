@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The HE-CNN compiler: lowers a plaintext CNN to an HeNetworkPlan.
+ *
+ * Packing strategy (LoLa-style, Sec. II-B and Listing 1 of the paper):
+ *
+ *  - First-layer convolution ("tap packing"): one input ciphertext per
+ *    kernel tap; slot (f * P + p) of tap ciphertext i holds the input
+ *    pixel that tap i needs for output position p. The layer is then a
+ *    single loop of PCmult / Rescale / CCadd over the taps — an NKS
+ *    layer (75 HOPs for LoLa-MNIST Cnv1, matching Table IV).
+ *
+ *  - Square activation: CCmult + Relinearize + Rescale per ciphertext
+ *    (a KS layer via Relinearize).
+ *
+ *  - Dense (and mid-network convolution via implicit im2col): the
+ *    rotate-and-sum matrix-vector product of Sec. V-A. When the input is
+ *    one ciphertext with contiguous elements, the vector is replicated
+ *    into slots/vpad copies and whole row groups are processed by a
+ *    single PCmult + log2(vpad) Rotate/CCadd pipeline; otherwise each
+ *    row is reduced with a full-width rotate-and-sum. Both are KS
+ *    layers dominated by Rotate.
+ *
+ * Non-final dense layers merge their scattered row results into one
+ * ciphertext with mask multiplies (one extra level); the final layer
+ * leaves results scattered so the total depth fits L = 7 (Sec. VII-A).
+ */
+#ifndef FXHENN_HECNN_COMPILER_HPP
+#define FXHENN_HECNN_COMPILER_HPP
+
+#include "src/ckks/params.hpp"
+#include "src/hecnn/plan.hpp"
+#include "src/nn/network.hpp"
+
+namespace fxhenn::hecnn {
+
+/** Compiler knobs. */
+struct CompileOptions
+{
+    /**
+     * Build a statistics-only plan: plaintext payloads are dropped
+     * (counts, levels and layouts stay exact). Needed for CIFAR10-scale
+     * plans whose packed weights would occupy hundreds of megabytes.
+     */
+    bool elideValues = false;
+
+    /**
+     * Decompose arbitrary rotation amounts (the dense layers' group
+     * offsets) into power-of-two steps. Trades a few extra Rotate HOPs
+     * for a logarithmic Galois key count — each rotation key is
+     * 2L(L+1)N words (Table VI scale), so key material shrinks
+     * substantially for wide dense layers.
+     */
+    bool decomposeRotations = false;
+};
+
+/** Lower @p net under CKKS parameters @p params. */
+HeNetworkPlan compile(const nn::Network &net,
+                      const ckks::CkksParams &params,
+                      const CompileOptions &options = {});
+
+} // namespace fxhenn::hecnn
+
+#endif // FXHENN_HECNN_COMPILER_HPP

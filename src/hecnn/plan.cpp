@@ -1,0 +1,128 @@
+#include "src/hecnn/plan.hpp"
+
+#include "src/common/assert.hpp"
+
+namespace fxhenn::hecnn {
+
+const char *
+opModuleLabel(HeOpKind kind)
+{
+    switch (kind) {
+      case HeOpKind::ccAdd:
+      case HeOpKind::pcAdd:
+        return "OP1";
+      case HeOpKind::pcMult:
+        return "OP2";
+      case HeOpKind::ccMult:
+        return "OP3";
+      case HeOpKind::rescale:
+        return "OP4";
+      case HeOpKind::relinearize:
+      case HeOpKind::rotate:
+        return "OP5";
+      case HeOpKind::copy:
+        return "-";
+    }
+    return "?";
+}
+
+const char *
+opName(HeOpKind kind)
+{
+    switch (kind) {
+      case HeOpKind::pcMult:
+        return "PCmult";
+      case HeOpKind::pcAdd:
+        return "PCadd";
+      case HeOpKind::ccAdd:
+        return "CCadd";
+      case HeOpKind::ccMult:
+        return "CCmult";
+      case HeOpKind::relinearize:
+        return "Relinearize";
+      case HeOpKind::rescale:
+        return "Rescale";
+      case HeOpKind::rotate:
+        return "Rotate";
+      case HeOpKind::copy:
+        return "Copy";
+    }
+    return "?";
+}
+
+bool
+SlotLayout::isContiguousSingleReg() const
+{
+    if (regs.size() != 1)
+        return false;
+    for (std::size_t e = 0; e < pos.size(); ++e) {
+        if (pos[e].first != regs[0] ||
+            pos[e].second != static_cast<std::int32_t>(e)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+HeOpCounts
+HeLayerPlan::counts() const
+{
+    auto at = [&](HeOpKind k) {
+        return kindCounts[static_cast<std::size_t>(k)];
+    };
+    HeOpCounts c;
+    c.ccAdd = at(HeOpKind::ccAdd) + at(HeOpKind::pcAdd);
+    c.pcMult = at(HeOpKind::pcMult);
+    c.ccMult = at(HeOpKind::ccMult);
+    c.rescale = at(HeOpKind::rescale);
+    c.relin = at(HeOpKind::relinearize);
+    c.rotate = at(HeOpKind::rotate);
+    return c;
+}
+
+void
+HeLayerPlan::classify()
+{
+    kindCounts = {};
+    for (const auto &instr : instrs)
+        ++kindCounts[static_cast<std::size_t>(instr.kind)];
+    cls = counts().keySwitch() > 0 ? LayerClass::ks : LayerClass::nks;
+}
+
+HeOpCounts
+HeNetworkPlan::totalCounts() const
+{
+    HeOpCounts total;
+    for (const auto &layer : layers) {
+        const HeOpCounts c = layer.counts();
+        total.ccAdd += c.ccAdd;
+        total.pcMult += c.pcMult;
+        total.ccMult += c.ccMult;
+        total.rescale += c.rescale;
+        total.relin += c.relin;
+        total.rotate += c.rotate;
+    }
+    return total;
+}
+
+std::set<std::int32_t>
+HeNetworkPlan::rotationSteps() const
+{
+    std::set<std::int32_t> steps;
+    for (const auto &layer : layers) {
+        for (const auto &instr : layer.instrs) {
+            if (instr.kind == HeOpKind::rotate && instr.step != 0)
+                steps.insert(instr.step);
+        }
+    }
+    return steps;
+}
+
+std::size_t
+HeNetworkPlan::depth() const
+{
+    FXHENN_ASSERT(!layers.empty(), "empty plan");
+    return layers.front().levelIn - layers.back().levelOut;
+}
+
+} // namespace fxhenn::hecnn

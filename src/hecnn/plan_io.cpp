@@ -1,0 +1,227 @@
+#include "src/hecnn/plan_io.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "src/common/assert.hpp"
+
+namespace fxhenn::hecnn {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4678504c414e3031ull; // "FxPLAN01"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void
+writePod(std::ostream &os, const T &value)
+{
+    os.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+T
+readPod(std::istream &is)
+{
+    T value{};
+    is.read(reinterpret_cast<char *>(&value), sizeof(T));
+    FXHENN_FATAL_IF(!is, "truncated plan stream");
+    return value;
+}
+
+void
+writeString(std::ostream &os, const std::string &s)
+{
+    writePod(os, static_cast<std::uint32_t>(s.size()));
+    os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string
+readString(std::istream &is)
+{
+    const auto size = readPod<std::uint32_t>(is);
+    FXHENN_FATAL_IF(size > 4096, "implausible string length in plan");
+    std::string s(size, '\0');
+    is.read(s.data(), size);
+    FXHENN_FATAL_IF(!is, "truncated plan stream");
+    return s;
+}
+
+template <typename T>
+void
+writeVector(std::ostream &os, const std::vector<T> &v)
+{
+    writePod(os, static_cast<std::uint64_t>(v.size()));
+    os.write(reinterpret_cast<const char *>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T>
+readVector(std::istream &is, std::uint64_t maxElems)
+{
+    const auto size = readPod<std::uint64_t>(is);
+    FXHENN_FATAL_IF(size > maxElems, "implausible vector size in plan");
+    std::vector<T> v(size);
+    is.read(reinterpret_cast<char *>(v.data()),
+            static_cast<std::streamsize>(size * sizeof(T)));
+    FXHENN_FATAL_IF(!is, "truncated plan stream");
+    return v;
+}
+
+void
+writeLayout(std::ostream &os, const SlotLayout &layout)
+{
+    writePod(os, static_cast<std::uint64_t>(layout.pos.size()));
+    for (const auto &[reg, slot] : layout.pos) {
+        writePod(os, reg);
+        writePod(os, slot);
+    }
+    writeVector(os, layout.regs);
+}
+
+SlotLayout
+readLayout(std::istream &is)
+{
+    SlotLayout layout;
+    const auto count = readPod<std::uint64_t>(is);
+    FXHENN_FATAL_IF(count > (1u << 24), "implausible layout size");
+    layout.pos.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const auto reg = readPod<std::int32_t>(is);
+        const auto slot = readPod<std::int32_t>(is);
+        layout.pos.emplace_back(reg, slot);
+    }
+    layout.regs = readVector<std::int32_t>(is, 1u << 24);
+    return layout;
+}
+
+} // namespace
+
+void
+savePlan(const HeNetworkPlan &plan, std::ostream &os)
+{
+    writePod(os, kMagic);
+    writePod(os, kVersion);
+    writeString(os, plan.name);
+    writePod(os, static_cast<std::uint64_t>(plan.params.n));
+    writePod(os, static_cast<std::uint64_t>(plan.params.levels));
+    writePod(os, plan.params.qBits);
+    writePod(os, plan.params.specialBits);
+    writePod(os, plan.params.scale);
+    writePod(os, plan.params.sigma);
+    writePod(os, static_cast<std::uint8_t>(plan.valuesElided ? 1 : 0));
+    writePod(os, plan.regCount);
+
+    writePod(os, static_cast<std::uint64_t>(plan.inputGather.size()));
+    for (const auto &gather : plan.inputGather)
+        writeVector(os, gather);
+
+    writePod(os, static_cast<std::uint64_t>(plan.layers.size()));
+    for (const auto &layer : plan.layers) {
+        writeString(os, layer.name);
+        writePod(os, static_cast<std::uint64_t>(layer.levelIn));
+        writePod(os, static_cast<std::uint64_t>(layer.levelOut));
+        writePod(os, static_cast<std::uint64_t>(layer.nIn));
+        writeVector(os, layer.instrs);
+        writeLayout(os, layer.outputLayout);
+    }
+
+    writePod(os, static_cast<std::uint64_t>(plan.plaintexts.size()));
+    for (const auto &pt : plan.plaintexts) {
+        writePod(os, static_cast<std::uint64_t>(pt.level));
+        writePod(os,
+                 static_cast<std::uint8_t>(pt.atSchemeScale ? 1 : 0));
+        writeVector(os, pt.values);
+    }
+
+    writeLayout(os, plan.outputLayout);
+}
+
+HeNetworkPlan
+loadPlan(std::istream &is)
+{
+    FXHENN_FATAL_IF(readPod<std::uint64_t>(is) != kMagic,
+                    "not an FxHENN plan stream");
+    FXHENN_FATAL_IF(readPod<std::uint32_t>(is) != kVersion,
+                    "unsupported plan version");
+
+    HeNetworkPlan plan;
+    plan.name = readString(is);
+    plan.params.n = readPod<std::uint64_t>(is);
+    plan.params.levels = readPod<std::uint64_t>(is);
+    plan.params.qBits = readPod<unsigned>(is);
+    plan.params.specialBits = readPod<unsigned>(is);
+    plan.params.scale = readPod<double>(is);
+    plan.params.sigma = readPod<double>(is);
+    plan.params.validate();
+    plan.valuesElided = readPod<std::uint8_t>(is) != 0;
+    plan.regCount = readPod<std::int32_t>(is);
+    FXHENN_FATAL_IF(plan.regCount < 0 || plan.regCount > (1 << 24),
+                    "implausible register count");
+
+    const auto gathers = readPod<std::uint64_t>(is);
+    FXHENN_FATAL_IF(gathers > 65536, "implausible input count");
+    for (std::uint64_t i = 0; i < gathers; ++i) {
+        plan.inputGather.push_back(
+            readVector<std::int32_t>(is, plan.params.n));
+        FXHENN_FATAL_IF(plan.inputGather.back().size() !=
+                            plan.params.n / 2,
+                        "gather length does not match slot count");
+    }
+
+    const auto layers = readPod<std::uint64_t>(is);
+    FXHENN_FATAL_IF(layers == 0 || layers > 4096,
+                    "implausible layer count");
+    for (std::uint64_t i = 0; i < layers; ++i) {
+        HeLayerPlan layer;
+        layer.name = readString(is);
+        layer.levelIn = readPod<std::uint64_t>(is);
+        layer.levelOut = readPod<std::uint64_t>(is);
+        layer.nIn = readPod<std::uint64_t>(is);
+        layer.instrs = readVector<HeInstr>(is, 1u << 26);
+        layer.outputLayout = readLayout(is);
+        FXHENN_FATAL_IF(layer.levelIn == 0 ||
+                            layer.levelIn > plan.params.levels ||
+                            layer.levelOut > layer.levelIn,
+                        "corrupt layer levels");
+        layer.classify();
+        plan.layers.push_back(std::move(layer));
+    }
+
+    const auto plaintexts = readPod<std::uint64_t>(is);
+    FXHENN_FATAL_IF(plaintexts > (1u << 26),
+                    "implausible plaintext count");
+    for (std::uint64_t i = 0; i < plaintexts; ++i) {
+        PlanPlaintext pt;
+        pt.level = readPod<std::uint64_t>(is);
+        pt.atSchemeScale = readPod<std::uint8_t>(is) != 0;
+        pt.values = readVector<double>(is, plan.params.n);
+        FXHENN_FATAL_IF(pt.level == 0 ||
+                            pt.level > plan.params.levels,
+                        "corrupt plaintext level");
+        FXHENN_FATAL_IF(!plan.valuesElided &&
+                            pt.values.size() != plan.params.n / 2,
+                        "plaintext length does not match slot count");
+        plan.plaintexts.push_back(std::move(pt));
+    }
+
+    plan.outputLayout = readLayout(is);
+    // Instruction references must stay inside the pools.
+    for (const auto &layer : plan.layers) {
+        for (const auto &instr : layer.instrs) {
+            FXHENN_FATAL_IF(instr.dst < 0 ||
+                                instr.dst >= plan.regCount ||
+                                instr.src < 0 ||
+                                instr.src >= plan.regCount,
+                            "instruction register out of range");
+            FXHENN_FATAL_IF(
+                instr.pt >= static_cast<std::int32_t>(
+                                plan.plaintexts.size()),
+                "instruction plaintext out of range");
+        }
+    }
+    return plan;
+}
+
+} // namespace fxhenn::hecnn

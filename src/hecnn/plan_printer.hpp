@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Human-readable rendering of compiled HE-CNN plans.
+ *
+ * Two levels of detail:
+ *  - summarize(): one table row per layer (class, level, N_in, op
+ *    counts) — the Listing-1-style view the paper extracts from LoLa;
+ *  - disassemble(): the full instruction stream of one layer, for
+ *    debugging packings.
+ */
+#ifndef FXHENN_HECNN_PLAN_PRINTER_HPP
+#define FXHENN_HECNN_PLAN_PRINTER_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "src/hecnn/plan.hpp"
+
+namespace fxhenn::hecnn {
+
+/** Print the per-layer summary table of @p plan to @p os. */
+void summarize(const HeNetworkPlan &plan, std::ostream &os);
+
+/** Render one instruction as text (e.g. "PCmult r5 <- r2 * pt17"). */
+std::string formatInstr(const HeInstr &instr);
+
+/**
+ * Print the instruction stream of layer @p layerIndex, at most
+ * @p maxInstrs lines (0 = all).
+ */
+void disassemble(const HeNetworkPlan &plan, std::size_t layerIndex,
+                 std::ostream &os, std::size_t maxInstrs = 0);
+
+} // namespace fxhenn::hecnn
+
+#endif // FXHENN_HECNN_PLAN_PRINTER_HPP

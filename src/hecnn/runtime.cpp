@@ -1,0 +1,161 @@
+#include "src/hecnn/runtime.hpp"
+
+#include "src/common/assert.hpp"
+
+namespace fxhenn::hecnn {
+
+Runtime::Runtime(const HeNetworkPlan &plan,
+                 const ckks::CkksContext &context, std::uint64_t seed)
+    : plan_(plan), context_(context), rng_(seed), keygen_(context, rng_),
+      encoder_(context), encryptor_(context, keygen_.makePublicKey(),
+                                    rng_),
+      decryptor_(context, keygen_.secretKey()), evaluator_(context),
+      relin_(keygen_.makeRelinKey())
+{
+    FXHENN_FATAL_IF(plan.valuesElided,
+                    "plan was compiled with elideValues=true and "
+                    "cannot be executed");
+    for (std::int32_t step : plan.rotationSteps())
+        keygen_.addGaloisKey(galois_, step);
+    regs_.resize(static_cast<std::size_t>(plan.regCount));
+}
+
+std::vector<std::vector<double>>
+Runtime::packInput(const nn::Tensor &input) const
+{
+    const std::size_t slots = context_.slots();
+    std::vector<std::vector<double>> packed;
+    packed.reserve(plan_.inputGather.size());
+    for (const auto &gather : plan_.inputGather) {
+        std::vector<double> v(slots, 0.0);
+        for (std::size_t s = 0; s < slots; ++s) {
+            if (gather[s] >= 0)
+                v[s] = input.data()[static_cast<std::size_t>(gather[s])];
+        }
+        packed.push_back(std::move(v));
+    }
+    return packed;
+}
+
+const ckks::Plaintext &
+Runtime::encodePooled(std::int32_t pt_id)
+{
+    auto it = plaintextCache_.find(pt_id);
+    if (it != plaintextCache_.end())
+        return it->second;
+    const PlanPlaintext &pt =
+        plan_.plaintexts[static_cast<std::size_t>(pt_id)];
+    FXHENN_ASSERT(pt.atSchemeScale,
+                  "only scheme-scale plaintexts are cacheable");
+    auto encoded = encoder_.encode(std::span<const double>(pt.values),
+                                   context_.params().scale, pt.level);
+    return plaintextCache_.emplace(pt_id, std::move(encoded))
+        .first->second;
+}
+
+void
+Runtime::execute(const HeLayerPlan &layer)
+{
+    auto reg = [&](std::int32_t id) -> ckks::Ciphertext & {
+        auto &slot = regs_[static_cast<std::size_t>(id)];
+        FXHENN_ASSERT(slot.has_value(), "read of unwritten register");
+        return *slot;
+    };
+
+    for (const auto &instr : layer.instrs) {
+        switch (instr.kind) {
+          case HeOpKind::pcMult: {
+            const auto &pt = encodePooled(instr.pt);
+            regs_[static_cast<std::size_t>(instr.dst)] =
+                evaluator_.mulPlain(reg(instr.src), pt);
+            break;
+          }
+          case HeOpKind::pcAdd: {
+            // Bias adds encode at the ciphertext's current scale.
+            const PlanPlaintext &pool =
+                plan_.plaintexts[static_cast<std::size_t>(instr.pt)];
+            ckks::Ciphertext &target = reg(instr.src);
+            const auto encoded = encoder_.encode(
+                std::span<const double>(pool.values), target.scale,
+                target.level());
+            regs_[static_cast<std::size_t>(instr.dst)] =
+                evaluator_.addPlain(target, encoded);
+            break;
+          }
+          case HeOpKind::ccAdd:
+            evaluator_.addInplace(reg(instr.dst), reg(instr.src));
+            break;
+          case HeOpKind::ccMult: {
+            const ckks::Ciphertext &src = reg(instr.src);
+            regs_[static_cast<std::size_t>(instr.dst)] =
+                evaluator_.mulNoRelin(src, src);
+            break;
+          }
+          case HeOpKind::relinearize:
+            regs_[static_cast<std::size_t>(instr.dst)] =
+                evaluator_.relinearize(reg(instr.src), relin_);
+            break;
+          case HeOpKind::rescale:
+            if (instr.dst == instr.src) {
+                evaluator_.rescaleInplace(reg(instr.dst));
+            } else {
+                regs_[static_cast<std::size_t>(instr.dst)] =
+                    evaluator_.rescale(reg(instr.src));
+            }
+            break;
+          case HeOpKind::rotate:
+            regs_[static_cast<std::size_t>(instr.dst)] =
+                evaluator_.rotate(reg(instr.src), instr.step, galois_);
+            break;
+          case HeOpKind::copy:
+            regs_[static_cast<std::size_t>(instr.dst)] = reg(instr.src);
+            break;
+        }
+    }
+}
+
+std::vector<double>
+Runtime::infer(const nn::Tensor &input)
+{
+    evaluator_.resetCounts();
+
+    // Client: pack, encode, encrypt into the input registers.
+    const auto packed = packInput(input);
+    for (std::size_t i = 0; i < packed.size(); ++i) {
+        const auto plain =
+            encoder_.encode(std::span<const double>(packed[i]),
+                            context_.params().scale,
+                            context_.maxLevel());
+        regs_[i] = encryptor_.encrypt(plain);
+    }
+
+    // Server: run every layer.
+    for (const auto &layer : plan_.layers)
+        execute(layer);
+
+    // Client: decrypt the output registers once each, extract logits.
+    std::map<std::int32_t, std::vector<double>> decoded;
+    std::vector<double> logits(plan_.outputLayout.elements(), 0.0);
+    for (std::size_t e = 0; e < logits.size(); ++e) {
+        const auto [reg_id, slot] = plan_.outputLayout.pos[e];
+        auto it = decoded.find(reg_id);
+        if (it == decoded.end()) {
+            auto &ct = regs_[static_cast<std::size_t>(reg_id)];
+            FXHENN_ASSERT(ct.has_value(), "output register unwritten");
+            it = decoded
+                     .emplace(reg_id, encoder_.decodeReal(
+                                          decryptor_.decrypt(*ct)))
+                     .first;
+        }
+        logits[e] = it->second[static_cast<std::size_t>(slot)];
+    }
+    return logits;
+}
+
+const ckks::OpCounts &
+Runtime::executedCounts() const
+{
+    return evaluator_.counts();
+}
+
+} // namespace fxhenn::hecnn

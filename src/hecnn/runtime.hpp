@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Executes a compiled HeNetworkPlan on real CKKS ciphertexts.
+ *
+ * This is the functional-verification half of FxHENN: the same plan the
+ * FPGA model analyses is run through the software evaluator so
+ * encrypted inference can be compared slot-for-slot against plaintext
+ * inference. It also plays the client role (packing + encryption of the
+ * input, decryption + logit extraction of the output).
+ */
+#ifndef FXHENN_HECNN_RUNTIME_HPP
+#define FXHENN_HECNN_RUNTIME_HPP
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/ckks/decryptor.hpp"
+#include "src/ckks/encoder.hpp"
+#include "src/ckks/encryptor.hpp"
+#include "src/ckks/evaluator.hpp"
+#include "src/ckks/keygen.hpp"
+#include "src/hecnn/plan.hpp"
+#include "src/nn/tensor.hpp"
+
+namespace fxhenn::hecnn {
+
+/** Client + server runtime for one compiled HE-CNN. */
+class Runtime
+{
+  public:
+    /**
+     * Generate all key material (public, relinearization, and the
+     * Galois keys for every rotation step the plan uses).
+     */
+    Runtime(const HeNetworkPlan &plan, const ckks::CkksContext &context,
+            std::uint64_t seed = 1);
+
+    /**
+     * Full encrypted inference: pack + encrypt @p input, execute every
+     * layer homomorphically, decrypt and extract the logits.
+     */
+    std::vector<double> infer(const nn::Tensor &input);
+
+    /** Executed-operation counters from the last inference. */
+    const ckks::OpCounts &executedCounts() const;
+
+    /** Number of Galois keys generated (rotation key footprint). */
+    std::size_t galoisKeyCount() const { return galois_.keys.size(); }
+
+  private:
+    /** Pack the input tensor into per-register slot vectors. */
+    std::vector<std::vector<double>> packInput(
+        const nn::Tensor &input) const;
+
+    /** Encode (with caching for scheme-scale plaintexts). */
+    const ckks::Plaintext &encodePooled(std::int32_t pt_id);
+
+    void execute(const HeLayerPlan &layer);
+
+    const HeNetworkPlan &plan_;
+    const ckks::CkksContext &context_;
+    Rng rng_;
+    ckks::KeyGenerator keygen_;
+    ckks::Encoder encoder_;
+    ckks::Encryptor encryptor_;
+    ckks::Decryptor decryptor_;
+    ckks::Evaluator evaluator_;
+    ckks::RelinKey relin_;
+    ckks::GaloisKeys galois_;
+
+    std::vector<std::optional<ckks::Ciphertext>> regs_;
+    std::map<std::int32_t, ckks::Plaintext> plaintextCache_;
+};
+
+} // namespace fxhenn::hecnn
+
+#endif // FXHENN_HECNN_RUNTIME_HPP

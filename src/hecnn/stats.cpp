@@ -1,0 +1,44 @@
+#include "src/hecnn/stats.hpp"
+
+#include "src/ckks/size_model.hpp"
+
+namespace fxhenn::hecnn {
+
+std::vector<LayerStats>
+layerStats(const HeNetworkPlan &plan)
+{
+    std::vector<LayerStats> rows;
+    rows.reserve(plan.layers.size());
+    for (const auto &layer : plan.layers) {
+        rows.push_back(LayerStats{layer.name, layer.cls, layer.nIn,
+                                  layer.levelIn, layer.counts()});
+    }
+    return rows;
+}
+
+ModelSize
+modelSize(const HeNetworkPlan &plan)
+{
+    ModelSize size;
+    for (const auto &pt : plan.plaintexts)
+        size.weightPlaintexts +=
+            ckks::plaintextBytes(plan.params, pt.level);
+    size.relinKey = ckks::kswKeyBytes(plan.params);
+    size.galoisKeys =
+        plan.rotationSteps().size() * ckks::kswKeyBytes(plan.params);
+    return size;
+}
+
+std::string
+layerSummary(const HeNetworkPlan &plan)
+{
+    std::string out;
+    for (const auto &layer : plan.layers) {
+        if (!out.empty())
+            out += ", ";
+        out += layer.name;
+    }
+    return out;
+}
+
+} // namespace fxhenn::hecnn

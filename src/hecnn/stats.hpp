@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Static statistics over compiled HE-CNN plans.
+ *
+ * Produces the quantities the paper tabulates: per-layer and total HOP
+ * counts, KeySwitch counts (Tables IV, VI, VII), and the server-side
+ * model size — packed weight plaintexts plus relinearization and Galois
+ * keys (the "Mod.Size" column of Table VI).
+ */
+#ifndef FXHENN_HECNN_STATS_HPP
+#define FXHENN_HECNN_STATS_HPP
+
+#include <string>
+#include <vector>
+
+#include "src/hecnn/plan.hpp"
+
+namespace fxhenn::hecnn {
+
+/** One row of the per-layer statistics table. */
+struct LayerStats
+{
+    std::string name;
+    LayerClass cls;
+    std::size_t nIn;     ///< independent input streams
+    std::size_t levelIn; ///< ciphertext level at entry
+    HeOpCounts counts;
+};
+
+/** Per-layer rows for @p plan. */
+std::vector<LayerStats> layerStats(const HeNetworkPlan &plan);
+
+/** Breakdown of the server-side model footprint in bytes. */
+struct ModelSize
+{
+    std::size_t weightPlaintexts = 0; ///< packed weights, masks, biases
+    std::size_t relinKey = 0;
+    std::size_t galoisKeys = 0;
+
+    std::size_t
+    total() const
+    {
+        return weightPlaintexts + relinKey + galoisKeys;
+    }
+    double totalMB() const { return double(total()) / (1024.0 * 1024.0); }
+};
+
+/** Compute the model footprint of @p plan. */
+ModelSize modelSize(const HeNetworkPlan &plan);
+
+/** The paper's layer label string, e.g. "Cnv1, Act1, Fc1, Act2, Fc2". */
+std::string layerSummary(const HeNetworkPlan &plan);
+
+} // namespace fxhenn::hecnn
+
+#endif // FXHENN_HECNN_STATS_HPP

@@ -1,0 +1,47 @@
+#include "src/hecnn/verify.hpp"
+
+#include <cmath>
+
+#include "src/ckks/context.hpp"
+#include "src/hecnn/compiler.hpp"
+#include "src/hecnn/runtime.hpp"
+#include "src/nn/model_zoo.hpp"
+
+namespace fxhenn::hecnn {
+
+VerifyResult
+verifyAgainstPlaintext(const nn::Network &net,
+                       const ckks::CkksParams &params,
+                       std::uint64_t inputSeed, std::uint64_t keySeed)
+{
+    const auto plan = compile(net, params);
+    ckks::CkksContext ctx(params);
+    Runtime runtime(plan, ctx, keySeed);
+
+    const nn::Tensor input = nn::syntheticInput(net, inputSeed);
+    const nn::Tensor expected = net.forward(input);
+
+    VerifyResult result;
+    result.encryptedLogits = runtime.infer(input);
+    result.plaintextLogits.assign(expected.data().begin(),
+                                  expected.data().end());
+    result.hopsExecuted = runtime.executedCounts().total();
+
+    std::size_t argmax_he = 0, argmax_pt = 0;
+    for (std::size_t i = 0; i < result.encryptedLogits.size(); ++i) {
+        result.maxAbsError = std::max(
+            result.maxAbsError,
+            std::abs(result.encryptedLogits[i] -
+                     result.plaintextLogits[i]));
+        if (result.encryptedLogits[i] >
+            result.encryptedLogits[argmax_he])
+            argmax_he = i;
+        if (result.plaintextLogits[i] >
+            result.plaintextLogits[argmax_pt])
+            argmax_pt = i;
+    }
+    result.argmaxMatches = (argmax_he == argmax_pt);
+    return result;
+}
+
+} // namespace fxhenn::hecnn

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * One-call encrypted-vs-plaintext verification.
+ *
+ * The repository's correctness metric (DESIGN.md): compile a network,
+ * run one input through both the plaintext forward pass and the full
+ * encrypted pipeline, and compare logits. Shared by the CLI `verify`
+ * command, the examples and the test suite.
+ */
+#ifndef FXHENN_HECNN_VERIFY_HPP
+#define FXHENN_HECNN_VERIFY_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ckks/params.hpp"
+#include "src/nn/network.hpp"
+
+namespace fxhenn::hecnn {
+
+/** Result of one encrypted-vs-plaintext comparison. */
+struct VerifyResult
+{
+    double maxAbsError = 0.0;  ///< max |encrypted - plaintext| logit
+    bool argmaxMatches = false;
+    std::uint64_t hopsExecuted = 0;
+    std::vector<double> encryptedLogits;
+    std::vector<double> plaintextLogits;
+
+    /** Pass criterion used across the repository. */
+    bool passed(double tolerance = 1e-2) const
+    {
+        return maxAbsError < tolerance && argmaxMatches;
+    }
+};
+
+/**
+ * Compile @p net under @p params, run encrypted inference on a seeded
+ * synthetic input, and compare against the plaintext forward pass.
+ *
+ * @param inputSeed seed of the synthetic input image
+ * @param keySeed   seed of the key material / encryption randomness
+ */
+VerifyResult verifyAgainstPlaintext(const nn::Network &net,
+                                    const ckks::CkksParams &params,
+                                    std::uint64_t inputSeed = 1,
+                                    std::uint64_t keySeed = 1);
+
+} // namespace fxhenn::hecnn
+
+#endif // FXHENN_HECNN_VERIFY_HPP

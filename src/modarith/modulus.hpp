@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Word-size modular arithmetic for RNS-CKKS.
+ *
+ * A Modulus wraps one RNS prime q_i (up to 60 bits) together with the
+ * Barrett constant needed for fast reduction of 128-bit products. This is
+ * the software analogue of the FPGA "Barrett Reduction" basic operation
+ * module in the paper's Table I.
+ */
+#ifndef FXHENN_MODARITH_MODULUS_HPP
+#define FXHENN_MODARITH_MODULUS_HPP
+
+#include <cstdint>
+
+namespace fxhenn {
+
+/** One RNS prime with precomputed Barrett reduction constants. */
+class Modulus
+{
+  public:
+    Modulus() = default;
+
+    /** Construct for prime (or at least odd) modulus @p value < 2^60. */
+    explicit Modulus(std::uint64_t value);
+
+    /** @return the modulus value q. */
+    std::uint64_t value() const { return value_; }
+
+    /** @return the bit width of q. */
+    unsigned bits() const { return bits_; }
+
+    /** Barrett reduction of a 128-bit value into [0, q). */
+    std::uint64_t
+    reduce(unsigned __int128 x) const
+    {
+        // Barrett with k = 2^128 / q precomputed as a 128-bit constant
+        // split into two 64-bit halves is overkill for our operand sizes:
+        // all products we reduce are < q^2 <= 2^120. We use the classic
+        // floor(x / 2^s * mu / 2^t) approximation with one correction.
+        const std::uint64_t xhi = static_cast<std::uint64_t>(x >> 64);
+        const std::uint64_t xlo = static_cast<std::uint64_t>(x);
+
+        // q1 = floor(x / 2^(bits-1)), fits in ~bits+2 bits beyond 64 only
+        // when x is close to q^2; keep full 128-bit shift.
+        const unsigned __int128 q1 = x >> (bits_ - 1);
+        const unsigned __int128 q2 =
+            q1 * static_cast<unsigned __int128>(mu_);
+        const std::uint64_t q3 =
+            static_cast<std::uint64_t>(q2 >> (bits_ + 1));
+
+        std::uint64_t r =
+            xlo - q3 * value_; // low 64 bits suffice: r < 2q < 2^61
+        (void)xhi;
+        if (r >= value_)
+            r -= value_;
+        if (r >= value_)
+            r -= value_;
+        return r;
+    }
+
+    /** @return (a + b) mod q for a, b in [0, q). */
+    std::uint64_t
+    add(std::uint64_t a, std::uint64_t b) const
+    {
+        std::uint64_t s = a + b;
+        if (s >= value_)
+            s -= value_;
+        return s;
+    }
+
+    /** @return (a - b) mod q for a, b in [0, q). */
+    std::uint64_t
+    sub(std::uint64_t a, std::uint64_t b) const
+    {
+        return a >= b ? a - b : a + value_ - b;
+    }
+
+    /** @return (a * b) mod q for a, b in [0, q). */
+    std::uint64_t
+    mul(std::uint64_t a, std::uint64_t b) const
+    {
+        return reduce(static_cast<unsigned __int128>(a) * b);
+    }
+
+    /** @return (-a) mod q for a in [0, q). */
+    std::uint64_t
+    negate(std::uint64_t a) const
+    {
+        return a == 0 ? 0 : value_ - a;
+    }
+
+    /** @return a^e mod q by square-and-multiply. */
+    std::uint64_t pow(std::uint64_t a, std::uint64_t e) const;
+
+    /**
+     * @return the multiplicative inverse of @p a, which must be coprime
+     * with q. For prime q this is a^(q-2).
+     */
+    std::uint64_t inverse(std::uint64_t a) const;
+
+    /** Reduce an arbitrary signed value into [0, q). */
+    std::uint64_t reduceSigned(__int128 x) const;
+
+    /** Map a residue to its centered representative in (-q/2, q/2]. */
+    std::int64_t
+    toCentered(std::uint64_t a) const
+    {
+        return a > value_ / 2
+                   ? static_cast<std::int64_t>(a) -
+                         static_cast<std::int64_t>(value_)
+                   : static_cast<std::int64_t>(a);
+    }
+
+    bool operator==(const Modulus &other) const
+    {
+        return value_ == other.value_;
+    }
+
+  private:
+    std::uint64_t value_ = 0;
+    std::uint64_t mu_ = 0; ///< floor(2^(2*bits) / q) Barrett constant
+    unsigned bits_ = 0;
+};
+
+} // namespace fxhenn
+
+#endif // FXHENN_MODARITH_MODULUS_HPP

@@ -1,0 +1,103 @@
+#include "src/modarith/ntt.hpp"
+
+#include "src/common/assert.hpp"
+#include "src/common/math_util.hpp"
+#include "src/modarith/primes.hpp"
+
+namespace fxhenn {
+
+NttTables::NttTables(std::uint64_t n, const Modulus &q)
+    : n_(n), log2n_(floorLog2(n)), q_(q)
+{
+    FXHENN_FATAL_IF(!isPowerOfTwo(n), "NTT size must be a power of two");
+    FXHENN_FATAL_IF((q.value() - 1) % (2 * n) != 0,
+                    "modulus does not support a 2N-th root of unity");
+
+    const std::uint64_t psi = findPrimitiveRoot(q.value(), 2 * n);
+    const std::uint64_t psi_inv = q.inverse(psi);
+
+    rootPowers_.resize(n);
+    invRootPowers_.resize(n);
+    std::uint64_t power = 1;
+    std::uint64_t inv_power = 1;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t r = reverseBits(i, log2n_);
+        rootPowers_[r] = power;
+        invRootPowers_[r] = inv_power;
+        power = q.mul(power, psi);
+        inv_power = q.mul(inv_power, psi_inv);
+    }
+    invN_ = q.inverse(n % q.value());
+
+    auto shoup = [&](std::uint64_t w) {
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(w) << 64) / q.value());
+    };
+    rootShoup_.resize(n);
+    invRootShoup_.resize(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        rootShoup_[i] = shoup(rootPowers_[i]);
+        invRootShoup_[i] = shoup(invRootPowers_[i]);
+    }
+    invNShoup_ = shoup(invN_);
+}
+
+void
+NttTables::forward(std::span<std::uint64_t> a) const
+{
+    FXHENN_ASSERT(a.size() == n_, "NTT operand has wrong length");
+    const std::uint64_t q = q_.value();
+
+    // Cooley-Tukey DIT with merged negacyclic twist, Shoup butterflies.
+    std::uint64_t t = n_;
+    for (std::uint64_t m = 1; m < n_; m <<= 1) {
+        t >>= 1;
+        for (std::uint64_t i = 0; i < m; ++i) {
+            const std::uint64_t w = rootPowers_[m + i];
+            const std::uint64_t ws = rootShoup_[m + i];
+            const std::uint64_t j1 = 2 * i * t;
+            for (std::uint64_t j = j1; j < j1 + t; ++j) {
+                const std::uint64_t u = a[j];
+                const std::uint64_t v = shoupMul(a[j + t], w, ws, q);
+                std::uint64_t s = u + v;
+                if (s >= q)
+                    s -= q;
+                a[j] = s;
+                a[j + t] = u >= v ? u - v : u + q - v;
+            }
+        }
+    }
+}
+
+void
+NttTables::inverse(std::span<std::uint64_t> a) const
+{
+    FXHENN_ASSERT(a.size() == n_, "NTT operand has wrong length");
+    const std::uint64_t q = q_.value();
+
+    // Gentleman-Sande DIF with merged inverse twist, Shoup butterflies.
+    std::uint64_t t = 1;
+    for (std::uint64_t m = n_; m > 1; m >>= 1) {
+        const std::uint64_t h = m >> 1;
+        for (std::uint64_t i = 0; i < h; ++i) {
+            const std::uint64_t w = invRootPowers_[h + i];
+            const std::uint64_t ws = invRootShoup_[h + i];
+            const std::uint64_t j1 = 2 * i * t;
+            for (std::uint64_t j = j1; j < j1 + t; ++j) {
+                const std::uint64_t u = a[j];
+                const std::uint64_t v = a[j + t];
+                std::uint64_t s = u + v;
+                if (s >= q)
+                    s -= q;
+                a[j] = s;
+                a[j + t] =
+                    shoupMul(u >= v ? u - v : u + q - v, w, ws, q);
+            }
+        }
+        t <<= 1;
+    }
+    for (auto &x : a)
+        x = shoupMul(x, invN_, invNShoup_, q);
+}
+
+} // namespace fxhenn

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Negacyclic number-theoretic transform over Z_q[X]/(X^N + 1).
+ *
+ * This is the software counterpart of the paper's fundamental NTT basic
+ * operation module (Eq. 4: LAT_NTT = log2(N) * N / (2 * nc_NTT)); the
+ * FPGA latency model in src/fpga mirrors exactly the butterfly counts
+ * performed here.
+ *
+ * The forward transform is the Cooley-Tukey decimation-in-time variant
+ * with the 2N-th root powers merged in (so no separate pre-multiply by
+ * psi^i is needed); the inverse is Gentleman-Sande with merged psi^-i and
+ * the final scaling by N^-1 folded into the last pass.
+ */
+#ifndef FXHENN_MODARITH_NTT_HPP
+#define FXHENN_MODARITH_NTT_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/modarith/modulus.hpp"
+
+namespace fxhenn {
+
+/** Precomputed twiddle tables for one (N, q) pair. */
+class NttTables
+{
+  public:
+    /**
+     * Build tables for ring degree @p n (power of two) and prime @p q
+     * with q = 1 (mod 2n).
+     */
+    NttTables(std::uint64_t n, const Modulus &q);
+
+    /** In-place forward negacyclic NTT (natural -> bit-reversed order). */
+    void forward(std::span<std::uint64_t> a) const;
+
+    /** In-place inverse negacyclic NTT (bit-reversed -> natural order). */
+    void inverse(std::span<std::uint64_t> a) const;
+
+    std::uint64_t n() const { return n_; }
+    const Modulus &modulus() const { return q_; }
+
+    /** Butterfly count of one forward or inverse transform. */
+    std::uint64_t
+    butterflyCount() const
+    {
+        return n_ / 2 * log2n_;
+    }
+
+  private:
+    std::uint64_t n_;
+    unsigned log2n_;
+    Modulus q_;
+    /** psi^brv(i): powers of the 2N-th root in bit-reversed order. */
+    std::vector<std::uint64_t> rootPowers_;
+    /** psi^-brv(i) for the inverse transform. */
+    std::vector<std::uint64_t> invRootPowers_;
+    /**
+     * Shoup precomputations floor(w * 2^64 / q) for every twiddle:
+     * the butterflies then need one high-half product and one wrapping
+     * multiply instead of a full Barrett reduction (the same trick the
+     * HEAX NTT core uses to fit one butterfly per cycle per DSP group).
+     */
+    std::vector<std::uint64_t> rootShoup_;
+    std::vector<std::uint64_t> invRootShoup_;
+    std::uint64_t invN_;      ///< N^-1 mod q
+    std::uint64_t invNShoup_; ///< Shoup constant of N^-1
+};
+
+/**
+ * Shoup modular multiplication: (x * w) mod q given the precomputed
+ * wShoup = floor(w * 2^64 / q). Requires x < q and w < q < 2^63.
+ */
+inline std::uint64_t
+shoupMul(std::uint64_t x, std::uint64_t w, std::uint64_t wShoup,
+         std::uint64_t q)
+{
+    const std::uint64_t hi = static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(x) * wShoup) >> 64);
+    std::uint64_t r = x * w - hi * q; // wrapping arithmetic
+    if (r >= q)
+        r -= q;
+    return r;
+}
+
+} // namespace fxhenn
+
+#endif // FXHENN_MODARITH_NTT_HPP

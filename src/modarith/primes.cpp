@@ -1,0 +1,90 @@
+#include "src/modarith/primes.hpp"
+
+#include "src/common/assert.hpp"
+#include "src/common/math_util.hpp"
+#include "src/modarith/modulus.hpp"
+
+namespace fxhenn {
+
+bool
+isPrime(std::uint64_t n)
+{
+    if (n < 2)
+        return false;
+    for (std::uint64_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull,
+                            19ull, 23ull, 29ull, 31ull, 37ull}) {
+        if (n == p)
+            return true;
+        if (n % p == 0)
+            return false;
+    }
+
+    // Write n - 1 = d * 2^r.
+    std::uint64_t d = n - 1;
+    unsigned r = 0;
+    while ((d & 1) == 0) {
+        d >>= 1;
+        ++r;
+    }
+
+    const Modulus mod(n);
+    // This witness set is deterministic for all n < 2^64.
+    for (std::uint64_t a : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull,
+                            19ull, 23ull, 29ull, 31ull, 37ull}) {
+        std::uint64_t x = mod.pow(a, d);
+        if (x == 1 || x == n - 1)
+            continue;
+        bool composite = true;
+        for (unsigned i = 0; i + 1 < r; ++i) {
+            x = mod.mul(x, x);
+            if (x == n - 1) {
+                composite = false;
+                break;
+            }
+        }
+        if (composite)
+            return false;
+    }
+    return true;
+}
+
+std::vector<std::uint64_t>
+generateNttPrimes(unsigned bits, std::uint64_t n, std::size_t count)
+{
+    FXHENN_FATAL_IF(bits < 20 || bits > 60,
+                    "prime bit width must be in [20, 60]");
+    FXHENN_FATAL_IF(!isPowerOfTwo(n), "ring degree must be a power of two");
+
+    const std::uint64_t step = 2 * n;
+    // Largest candidate of the form k * 2N + 1 below 2^bits.
+    std::uint64_t candidate = ((1ull << bits) - 1) / step * step + 1;
+
+    std::vector<std::uint64_t> primes;
+    while (primes.size() < count && (candidate >> (bits - 1)) == 1) {
+        if (isPrime(candidate))
+            primes.push_back(candidate);
+        candidate -= step;
+    }
+    FXHENN_FATAL_IF(primes.size() < count,
+                    "not enough NTT primes of the requested width");
+    return primes;
+}
+
+std::uint64_t
+findPrimitiveRoot(std::uint64_t p, std::uint64_t two_n)
+{
+    FXHENN_FATAL_IF((p - 1) % two_n != 0, "p != 1 (mod 2N)");
+    const Modulus mod(p);
+    const std::uint64_t cofactor = (p - 1) / two_n;
+
+    for (std::uint64_t g = 2; g < p; ++g) {
+        const std::uint64_t psi = mod.pow(g, cofactor);
+        // psi has order dividing 2N; it is primitive iff psi^N = -1.
+        if (mod.pow(psi, two_n / 2) == p - 1)
+            return psi;
+    }
+    FXHENN_PANIC_IF(true, "no primitive root found");
+    return 0;
+}
+
+} // namespace fxhenn

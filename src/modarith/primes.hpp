@@ -1,0 +1,41 @@
+/**
+ * @file
+ * NTT-friendly prime generation.
+ *
+ * RNS-CKKS needs a chain of word-size primes q_i with q_i = 1 (mod 2N) so
+ * that the ring Z_{q_i}[X]/(X^N + 1) supports the negacyclic NTT. The
+ * paper uses 30-bit primes for the MNIST network (N = 8192) and 36-bit
+ * primes for CIFAR-10 (N = 16384).
+ */
+#ifndef FXHENN_MODARITH_PRIMES_HPP
+#define FXHENN_MODARITH_PRIMES_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace fxhenn {
+
+/** Deterministic Miller-Rabin primality test, exact for 64-bit inputs. */
+bool isPrime(std::uint64_t n);
+
+/**
+ * Generate @p count distinct primes of exactly @p bits bits with
+ * p = 1 (mod 2 * @p n), searching downward from 2^bits.
+ *
+ * @param bits   desired prime bit width (20..60)
+ * @param n      ring degree N (power of two)
+ * @param count  number of primes to produce
+ * @return the primes in descending order
+ */
+std::vector<std::uint64_t> generateNttPrimes(unsigned bits, std::uint64_t n,
+                                             std::size_t count);
+
+/**
+ * Find a generator of the 2N-th roots of unity mod @p p, i.e. a primitive
+ * 2N-th root of unity psi with psi^(2N) = 1 and psi^N = -1.
+ */
+std::uint64_t findPrimitiveRoot(std::uint64_t p, std::uint64_t two_n);
+
+} // namespace fxhenn
+
+#endif // FXHENN_MODARITH_PRIMES_HPP

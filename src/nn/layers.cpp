@@ -1,0 +1,230 @@
+#include "src/nn/layers.hpp"
+
+#include "src/common/assert.hpp"
+
+namespace fxhenn::nn {
+
+Conv2D::Conv2D(std::string name, std::size_t inCh, std::size_t outCh,
+               std::size_t kernel, std::size_t stride, std::size_t inH,
+               std::size_t inW, std::size_t pad)
+    : name_(std::move(name)), inCh_(inCh), outCh_(outCh), kernel_(kernel),
+      stride_(stride), inH_(inH), inW_(inW), pad_(pad),
+      weights_(outCh * inCh * kernel * kernel, 0.0), bias_(outCh, 0.0)
+{
+    FXHENN_FATAL_IF(kernel > inH + 2 * pad || kernel > inW + 2 * pad,
+                    "kernel larger than padded input");
+    FXHENN_FATAL_IF(stride == 0, "stride must be positive");
+    FXHENN_FATAL_IF(pad >= kernel,
+                    "padding of a full kernel width is degenerate");
+}
+
+std::int64_t
+Conv2D::inputIndex(std::size_t c, std::size_t ky, std::size_t kx,
+                   std::size_t y, std::size_t x) const
+{
+    // Position in the padded coordinate system, shifted back.
+    const std::int64_t py = static_cast<std::int64_t>(y * stride_ + ky) -
+                            static_cast<std::int64_t>(pad_);
+    const std::int64_t px = static_cast<std::int64_t>(x * stride_ + kx) -
+                            static_cast<std::int64_t>(pad_);
+    if (py < 0 || px < 0 || py >= static_cast<std::int64_t>(inH_) ||
+        px >= static_cast<std::int64_t>(inW_)) {
+        return -1;
+    }
+    return (static_cast<std::int64_t>(c * inH_) + py) *
+               static_cast<std::int64_t>(inW_) +
+           px;
+}
+
+double &
+Conv2D::weight(std::size_t f, std::size_t c, std::size_t ky, std::size_t kx)
+{
+    return weights_[((f * inCh_ + c) * kernel_ + ky) * kernel_ + kx];
+}
+
+double
+Conv2D::weight(std::size_t f, std::size_t c, std::size_t ky,
+               std::size_t kx) const
+{
+    return weights_[((f * inCh_ + c) * kernel_ + ky) * kernel_ + kx];
+}
+
+Tensor
+Conv2D::forward(const Tensor &input) const
+{
+    FXHENN_FATAL_IF(input.channels() != inCh_ || input.height() != inH_ ||
+                        input.width() != inW_,
+                    "conv input shape mismatch for layer " + name_);
+    const std::size_t oh = outHeight();
+    const std::size_t ow = outWidth();
+    Tensor out(outCh_, oh, ow);
+    for (std::size_t f = 0; f < outCh_; ++f) {
+        for (std::size_t y = 0; y < oh; ++y) {
+            for (std::size_t x = 0; x < ow; ++x) {
+                double acc = bias_[f];
+                for (std::size_t c = 0; c < inCh_; ++c) {
+                    for (std::size_t ky = 0; ky < kernel_; ++ky) {
+                        for (std::size_t kx = 0; kx < kernel_; ++kx) {
+                            const std::int64_t idx =
+                                inputIndex(c, ky, kx, y, x);
+                            if (idx >= 0) {
+                                acc += weight(f, c, ky, kx) *
+                                       input.data()[static_cast<
+                                           std::size_t>(idx)];
+                            }
+                        }
+                    }
+                }
+                out.at(f, y, x) = acc;
+            }
+        }
+    }
+    return out;
+}
+
+std::uint64_t
+Conv2D::macs() const
+{
+    return static_cast<std::uint64_t>(outCh_) * outHeight() * outWidth() *
+           inCh_ * kernel_ * kernel_;
+}
+
+std::size_t
+Conv2D::outputSize() const
+{
+    return outCh_ * outHeight() * outWidth();
+}
+
+void
+Conv2D::randomize(Rng &rng, double magnitude)
+{
+    for (auto &w : weights_)
+        w = rng.uniformReal(-magnitude, magnitude);
+    for (auto &b : bias_)
+        b = rng.uniformReal(-magnitude, magnitude);
+}
+
+Dense::Dense(std::string name, std::size_t inSize, std::size_t outSize)
+    : name_(std::move(name)), inSize_(inSize), outSize_(outSize),
+      weights_(inSize * outSize, 0.0), bias_(outSize, 0.0)
+{}
+
+double &
+Dense::weight(std::size_t row, std::size_t col)
+{
+    return weights_[row * inSize_ + col];
+}
+
+double
+Dense::weight(std::size_t row, std::size_t col) const
+{
+    return weights_[row * inSize_ + col];
+}
+
+Tensor
+Dense::forward(const Tensor &input) const
+{
+    FXHENN_FATAL_IF(input.size() != inSize_,
+                    "dense input size mismatch for layer " + name_);
+    Tensor out(outSize_);
+    for (std::size_t r = 0; r < outSize_; ++r) {
+        double acc = bias_[r];
+        for (std::size_t c = 0; c < inSize_; ++c)
+            acc += weight(r, c) * input[c];
+        out[r] = acc;
+    }
+    return out;
+}
+
+std::uint64_t
+Dense::macs() const
+{
+    return static_cast<std::uint64_t>(inSize_) * outSize_;
+}
+
+void
+Dense::randomize(Rng &rng, double magnitude)
+{
+    for (auto &w : weights_)
+        w = rng.uniformReal(-magnitude, magnitude);
+    for (auto &b : bias_)
+        b = rng.uniformReal(-magnitude, magnitude);
+}
+
+AvgPool2D::AvgPool2D(std::string name, std::size_t channels,
+                     std::size_t kernel, std::size_t stride,
+                     std::size_t inH, std::size_t inW)
+    : name_(std::move(name)), channels_(channels), kernel_(kernel),
+      stride_(stride), inH_(inH), inW_(inW)
+{
+    FXHENN_FATAL_IF(kernel == 0 || kernel > inH || kernel > inW,
+                    "invalid pooling kernel");
+    FXHENN_FATAL_IF(stride == 0, "stride must be positive");
+}
+
+Tensor
+AvgPool2D::forward(const Tensor &input) const
+{
+    // Accept either a shaped CHW tensor or a flat vector of the right
+    // size (activations arrive flat after a square layer).
+    Tensor shaped;
+    const Tensor *in = &input;
+    if (input.channels() != channels_ || input.height() != inH_ ||
+        input.width() != inW_) {
+        FXHENN_FATAL_IF(input.size() != channels_ * inH_ * inW_,
+                        "pool input shape mismatch for layer " + name_);
+        shaped = Tensor(channels_, inH_, inW_);
+        shaped.data() = input.data();
+        in = &shaped;
+    }
+    const Tensor &input_shaped = *in;
+    const std::size_t oh = outHeight();
+    const std::size_t ow = outWidth();
+    const double inv = 1.0 / static_cast<double>(kernel_ * kernel_);
+    Tensor out(channels_, oh, ow);
+    for (std::size_t c = 0; c < channels_; ++c) {
+        for (std::size_t y = 0; y < oh; ++y) {
+            for (std::size_t x = 0; x < ow; ++x) {
+                double acc = 0.0;
+                for (std::size_t ky = 0; ky < kernel_; ++ky) {
+                    for (std::size_t kx = 0; kx < kernel_; ++kx) {
+                        acc += input_shaped.at(c, y * stride_ + ky,
+                                               x * stride_ + kx);
+                    }
+                }
+                out.at(c, y, x) = acc * inv;
+            }
+        }
+    }
+    return out;
+}
+
+std::uint64_t
+AvgPool2D::macs() const
+{
+    return static_cast<std::uint64_t>(channels_) * outHeight() *
+           outWidth() * kernel_ * kernel_;
+}
+
+std::size_t
+AvgPool2D::outputSize() const
+{
+    return channels_ * outHeight() * outWidth();
+}
+
+SquareActivation::SquareActivation(std::string name, std::size_t size)
+    : name_(std::move(name)), size_(size)
+{}
+
+Tensor
+SquareActivation::forward(const Tensor &input) const
+{
+    FXHENN_FATAL_IF(input.size() != size_,
+                    "activation size mismatch for layer " + name_);
+    Tensor out = input;
+    for (auto &v : out.data())
+        v = v * v;
+    return out;
+}
+
+} // namespace fxhenn::nn

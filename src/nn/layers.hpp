@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Plaintext CNN layers for the HE-CNN substrate.
+ *
+ * Only the layer types the paper's HE-CNN benchmarks need: convolution,
+ * fully connected (dense), and the square activation that replaces ReLU
+ * under FHE (Sec. II-B, the CryptoNets polynomial-approximation trick).
+ * Every layer reports its multiply-accumulate count, feeding the
+ * "MACs" column of Table IV.
+ */
+#ifndef FXHENN_NN_LAYERS_HPP
+#define FXHENN_NN_LAYERS_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/nn/tensor.hpp"
+
+namespace fxhenn::nn {
+
+/** Kind tag used by the HE-CNN compiler to pick a packing strategy. */
+enum class LayerKind { conv2d, dense, square, flatten, avgPool };
+
+/** Abstract inference layer. */
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    /** Run plaintext inference. */
+    virtual Tensor forward(const Tensor &input) const = 0;
+
+    /** Multiply-accumulate count of one forward pass. */
+    virtual std::uint64_t macs() const = 0;
+
+    /** Number of output elements. */
+    virtual std::size_t outputSize() const = 0;
+
+    virtual LayerKind kind() const = 0;
+    virtual const std::string &name() const = 0;
+};
+
+/** 2-d convolution (no padding), CHW tensors. */
+class Conv2D : public Layer
+{
+  public:
+    /**
+     * @param name     layer name (e.g. "Cnv1")
+     * @param inCh     input channels
+     * @param outCh    number of filters
+     * @param kernel   square kernel size
+     * @param stride   stride in both dimensions
+     * @param inH,inW  input spatial size (fixed per network)
+     * @param pad      symmetric zero padding on every border
+     */
+    Conv2D(std::string name, std::size_t inCh, std::size_t outCh,
+           std::size_t kernel, std::size_t stride, std::size_t inH,
+           std::size_t inW, std::size_t pad = 0);
+
+    Tensor forward(const Tensor &input) const override;
+    std::uint64_t macs() const override;
+    std::size_t outputSize() const override;
+    LayerKind kind() const override { return LayerKind::conv2d; }
+    const std::string &name() const override { return name_; }
+
+    std::size_t inChannels() const { return inCh_; }
+    std::size_t outChannels() const { return outCh_; }
+    std::size_t kernel() const { return kernel_; }
+    std::size_t stride() const { return stride_; }
+    std::size_t pad() const { return pad_; }
+    std::size_t
+    outHeight() const
+    {
+        return (inH_ + 2 * pad_ - kernel_) / stride_ + 1;
+    }
+    std::size_t
+    outWidth() const
+    {
+        return (inW_ + 2 * pad_ - kernel_) / stride_ + 1;
+    }
+    std::size_t inHeight() const { return inH_; }
+    std::size_t inWidth() const { return inW_; }
+
+    /**
+     * Flattened input-element index read by tap (c, ky, kx) at output
+     * position (y, x), or -1 when the tap lands in the zero padding.
+     * Shared by plaintext forward(), the first-layer packing gather
+     * and the im2col lowering, so all three agree by construction.
+     */
+    std::int64_t inputIndex(std::size_t c, std::size_t ky,
+                            std::size_t kx, std::size_t y,
+                            std::size_t x) const;
+
+    /** weight(f, c, ky, kx) */
+    double &weight(std::size_t f, std::size_t c, std::size_t ky,
+                   std::size_t kx);
+    double weight(std::size_t f, std::size_t c, std::size_t ky,
+                  std::size_t kx) const;
+    double &bias(std::size_t f) { return bias_[f]; }
+    double bias(std::size_t f) const { return bias_[f]; }
+
+    /** Fill weights/bias with small random values. */
+    void randomize(Rng &rng, double magnitude);
+
+  private:
+    std::string name_;
+    std::size_t inCh_, outCh_, kernel_, stride_, inH_, inW_, pad_;
+    std::vector<double> weights_; ///< [f][c][ky][kx]
+    std::vector<double> bias_;
+};
+
+/** Fully connected layer on flattened inputs. */
+class Dense : public Layer
+{
+  public:
+    Dense(std::string name, std::size_t inSize, std::size_t outSize);
+
+    Tensor forward(const Tensor &input) const override;
+    std::uint64_t macs() const override;
+    std::size_t outputSize() const override { return outSize_; }
+    LayerKind kind() const override { return LayerKind::dense; }
+    const std::string &name() const override { return name_; }
+
+    std::size_t inSize() const { return inSize_; }
+
+    double &weight(std::size_t row, std::size_t col);
+    double weight(std::size_t row, std::size_t col) const;
+    double &bias(std::size_t row) { return bias_[row]; }
+    double bias(std::size_t row) const { return bias_[row]; }
+
+    void randomize(Rng &rng, double magnitude);
+
+  private:
+    std::string name_;
+    std::size_t inSize_, outSize_;
+    std::vector<double> weights_; ///< [row][col]
+    std::vector<double> bias_;
+};
+
+/**
+ * Average pooling (the CryptoNets "scaled mean pool"): a linear,
+ * FHE-friendly downsampling layer. Channels are preserved.
+ */
+class AvgPool2D : public Layer
+{
+  public:
+    AvgPool2D(std::string name, std::size_t channels, std::size_t kernel,
+              std::size_t stride, std::size_t inH, std::size_t inW);
+
+    Tensor forward(const Tensor &input) const override;
+    std::uint64_t macs() const override;
+    std::size_t outputSize() const override;
+    LayerKind kind() const override { return LayerKind::avgPool; }
+    const std::string &name() const override { return name_; }
+
+    std::size_t channels() const { return channels_; }
+    std::size_t kernel() const { return kernel_; }
+    std::size_t stride() const { return stride_; }
+    std::size_t outHeight() const { return (inH_ - kernel_) / stride_ + 1; }
+    std::size_t outWidth() const { return (inW_ - kernel_) / stride_ + 1; }
+    std::size_t inHeight() const { return inH_; }
+    std::size_t inWidth() const { return inW_; }
+
+  private:
+    std::string name_;
+    std::size_t channels_, kernel_, stride_, inH_, inW_;
+};
+
+/** Square activation x -> x^2 (the FHE-friendly ReLU substitute). */
+class SquareActivation : public Layer
+{
+  public:
+    SquareActivation(std::string name, std::size_t size);
+
+    Tensor forward(const Tensor &input) const override;
+    std::uint64_t macs() const override { return size_; }
+    std::size_t outputSize() const override { return size_; }
+    LayerKind kind() const override { return LayerKind::square; }
+    const std::string &name() const override { return name_; }
+
+  private:
+    std::string name_;
+    std::size_t size_;
+};
+
+} // namespace fxhenn::nn
+
+#endif // FXHENN_NN_LAYERS_HPP

@@ -1,0 +1,98 @@
+#include "src/nn/model_zoo.hpp"
+
+#include <memory>
+
+#include "src/common/rng.hpp"
+
+namespace fxhenn::nn {
+
+Network
+buildMnistNetwork(std::uint64_t seed)
+{
+    Rng rng(seed);
+    Network net("FxHENN-MNIST", 1, 29, 29);
+
+    auto cnv1 = std::make_unique<Conv2D>("Cnv1", 1, 5, 5, 2, 29, 29);
+    cnv1->randomize(rng, 0.10);
+    const std::size_t cnv1_out = cnv1->outputSize(); // 845
+    net.addLayer(std::move(cnv1));
+
+    net.addLayer(std::make_unique<SquareActivation>("Act1", cnv1_out));
+
+    auto fc1 = std::make_unique<Dense>("Fc1", cnv1_out, 100);
+    fc1->randomize(rng, 0.02);
+    net.addLayer(std::move(fc1));
+
+    net.addLayer(std::make_unique<SquareActivation>("Act2", 100));
+
+    auto fc2 = std::make_unique<Dense>("Fc2", 100, 10);
+    fc2->randomize(rng, 0.03);
+    net.addLayer(std::move(fc2));
+
+    return net;
+}
+
+Network
+buildCifar10Network(std::uint64_t seed)
+{
+    Rng rng(seed);
+    Network net("FxHENN-CIFAR10", 3, 32, 32);
+
+    auto cnv1 = std::make_unique<Conv2D>("Cnv1", 3, 83, 8, 2, 32, 32);
+    cnv1->randomize(rng, 0.03);
+    net.addLayer(std::move(cnv1)); // 83 x 13 x 13 = 14027
+
+    net.addLayer(std::make_unique<SquareActivation>("Act1", 83 * 13 * 13));
+
+    auto cnv2 =
+        std::make_unique<Conv2D>("Cnv2", 83, 112, 10, 1, 13, 13);
+    cnv2->randomize(rng, 0.004);
+    const std::size_t cnv2_out = cnv2->outputSize(); // 112 x 4 x 4 = 1792
+    net.addLayer(std::move(cnv2));
+
+    net.addLayer(std::make_unique<SquareActivation>("Act2", cnv2_out));
+
+    auto fc2 = std::make_unique<Dense>("Fc2", cnv2_out, 10);
+    fc2->randomize(rng, 0.01);
+    net.addLayer(std::move(fc2));
+
+    return net;
+}
+
+Network
+buildTestNetwork(std::uint64_t seed)
+{
+    Rng rng(seed);
+    Network net("Test-5L", 1, 8, 8);
+
+    auto cnv1 = std::make_unique<Conv2D>("Cnv1", 1, 2, 3, 1, 8, 8);
+    cnv1->randomize(rng, 0.15);
+    const std::size_t cnv1_out = cnv1->outputSize(); // 2 x 6 x 6 = 72
+    net.addLayer(std::move(cnv1));
+
+    net.addLayer(std::make_unique<SquareActivation>("Act1", cnv1_out));
+
+    auto fc1 = std::make_unique<Dense>("Fc1", cnv1_out, 8);
+    fc1->randomize(rng, 0.08);
+    net.addLayer(std::move(fc1));
+
+    net.addLayer(std::make_unique<SquareActivation>("Act2", 8));
+
+    auto fc2 = std::make_unique<Dense>("Fc2", 8, 3);
+    fc2->randomize(rng, 0.15);
+    net.addLayer(std::move(fc2));
+
+    return net;
+}
+
+Tensor
+syntheticInput(const Network &net, std::uint64_t seed, double range)
+{
+    Rng rng(seed);
+    Tensor input(net.inChannels(), net.inHeight(), net.inWidth());
+    for (auto &v : input.data())
+        v = rng.uniformReal(0.0, range);
+    return input;
+}
+
+} // namespace fxhenn::nn

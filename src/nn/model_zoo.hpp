@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The benchmark networks of the paper (Table VI) plus a test-scale net.
+ *
+ * FxHENN-MNIST and FxHENN-CIFAR10 follow the LoLa [5] architectures:
+ * five layers (Cnv/Act/Fc/Act/Fc resp. Cnv/Act/Cnv/Act/Fc) with square
+ * activations and multiplication depth 5.
+ *
+ * Substitution note (DESIGN.md Sec. 2): the original trained weights and
+ * datasets are not redistributable, so the zoo fills the same topologies
+ * with seeded synthetic weights whose magnitudes keep every intermediate
+ * value inside the CKKS level-1 headroom; functional correctness is
+ * measured as encrypted-vs-plaintext output agreement.
+ */
+#ifndef FXHENN_NN_MODEL_ZOO_HPP
+#define FXHENN_NN_MODEL_ZOO_HPP
+
+#include "src/nn/network.hpp"
+
+namespace fxhenn::nn {
+
+/**
+ * FxHENN-MNIST: Cnv1 (5 filters 5x5 stride 2 on a 29x29 padded image,
+ * 845 outputs), Act1, Fc1 (845 -> 100), Act2, Fc2 (100 -> 10).
+ */
+Network buildMnistNetwork(std::uint64_t seed = 1);
+
+/**
+ * FxHENN-CIFAR10: Cnv1 (83 filters 8x8x3 stride 2, 13x13 maps), Act1,
+ * Cnv2 (112 filters 10x10x83 stride 1, 4x4 maps), Act2, Fc2 (1792->10).
+ */
+Network buildCifar10Network(std::uint64_t seed = 2);
+
+/**
+ * Tiny 5-layer network with the same layer pattern as FxHENN-MNIST for
+ * fast functional tests (input 8x8, 2 conv filters, 72 -> 8 -> 3).
+ */
+Network buildTestNetwork(std::uint64_t seed = 3);
+
+/** A deterministic synthetic input image for @p net in [0, range). */
+Tensor syntheticInput(const Network &net, std::uint64_t seed,
+                      double range = 0.25);
+
+} // namespace fxhenn::nn
+
+#endif // FXHENN_NN_MODEL_ZOO_HPP

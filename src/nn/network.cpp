@@ -1,0 +1,60 @@
+#include "src/nn/network.hpp"
+
+#include "src/common/assert.hpp"
+
+namespace fxhenn::nn {
+
+Network::Network(std::string name, std::size_t inCh, std::size_t inH,
+                 std::size_t inW)
+    : name_(std::move(name)), inCh_(inCh), inH_(inH), inW_(inW)
+{}
+
+void
+Network::addLayer(std::unique_ptr<Layer> layer)
+{
+    FXHENN_FATAL_IF(layer == nullptr, "null layer");
+    layers_.push_back(std::move(layer));
+}
+
+Tensor
+Network::forward(const Tensor &input) const
+{
+    Tensor current = input;
+    for (const auto &layer : layers_) {
+        if (layer->kind() == LayerKind::dense ||
+            layer->kind() == LayerKind::square) {
+            current = layer->forward(current.flattened());
+        } else {
+            current = layer->forward(current);
+        }
+    }
+    return current;
+}
+
+std::vector<Tensor>
+Network::forwardTrace(const Tensor &input) const
+{
+    std::vector<Tensor> trace;
+    Tensor current = input;
+    for (const auto &layer : layers_) {
+        if (layer->kind() == LayerKind::dense ||
+            layer->kind() == LayerKind::square) {
+            current = layer->forward(current.flattened());
+        } else {
+            current = layer->forward(current);
+        }
+        trace.push_back(current);
+    }
+    return trace;
+}
+
+std::uint64_t
+Network::totalMacs() const
+{
+    std::uint64_t total = 0;
+    for (const auto &layer : layers_)
+        total += layer->macs();
+    return total;
+}
+
+} // namespace fxhenn::nn

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Sequential CNN container.
+ */
+#ifndef FXHENN_NN_NETWORK_HPP
+#define FXHENN_NN_NETWORK_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/nn/layers.hpp"
+
+namespace fxhenn::nn {
+
+/** A sequential network: input tensor shape plus an ordered layer list. */
+class Network
+{
+  public:
+    /** @param name network name; input is (channels, height, width). */
+    Network(std::string name, std::size_t inCh, std::size_t inH,
+            std::size_t inW);
+
+    void addLayer(std::unique_ptr<Layer> layer);
+
+    /** Full plaintext inference. */
+    Tensor forward(const Tensor &input) const;
+
+    /** Per-layer intermediate outputs (index i = output of layer i). */
+    std::vector<Tensor> forwardTrace(const Tensor &input) const;
+
+    std::size_t layerCount() const { return layers_.size(); }
+    const Layer &layer(std::size_t i) const { return *layers_[i]; }
+    Layer &layer(std::size_t i) { return *layers_[i]; }
+
+    const std::string &name() const { return name_; }
+    std::size_t inChannels() const { return inCh_; }
+    std::size_t inHeight() const { return inH_; }
+    std::size_t inWidth() const { return inW_; }
+    std::size_t inputSize() const { return inCh_ * inH_ * inW_; }
+
+    /** Sum of per-layer MAC counts (the Table IV "MACs" column). */
+    std::uint64_t totalMacs() const;
+
+  private:
+    std::string name_;
+    std::size_t inCh_, inH_, inW_;
+    std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+} // namespace fxhenn::nn
+
+#endif // FXHENN_NN_NETWORK_HPP

@@ -1,0 +1,204 @@
+#include "src/nn/network_io.hpp"
+
+#include <istream>
+#include <memory>
+#include <ostream>
+
+#include "src/common/assert.hpp"
+
+namespace fxhenn::nn {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x46784e4554303143ull; // "FxNET01C"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void
+writePod(std::ostream &os, const T &value)
+{
+    os.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+T
+readPod(std::istream &is)
+{
+    T value{};
+    is.read(reinterpret_cast<char *>(&value), sizeof(T));
+    FXHENN_FATAL_IF(!is, "truncated network stream");
+    return value;
+}
+
+void
+writeString(std::ostream &os, const std::string &s)
+{
+    writePod(os, static_cast<std::uint32_t>(s.size()));
+    os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string
+readString(std::istream &is)
+{
+    const auto size = readPod<std::uint32_t>(is);
+    FXHENN_FATAL_IF(size > 4096, "implausible name length");
+    std::string s(size, '\0');
+    is.read(s.data(), size);
+    FXHENN_FATAL_IF(!is, "truncated network stream");
+    return s;
+}
+
+} // namespace
+
+void
+saveNetwork(const Network &net, std::ostream &os)
+{
+    writePod(os, kMagic);
+    writePod(os, kVersion);
+    writeString(os, net.name());
+    writePod(os, static_cast<std::uint64_t>(net.inChannels()));
+    writePod(os, static_cast<std::uint64_t>(net.inHeight()));
+    writePod(os, static_cast<std::uint64_t>(net.inWidth()));
+    writePod(os, static_cast<std::uint64_t>(net.layerCount()));
+
+    for (std::size_t i = 0; i < net.layerCount(); ++i) {
+        const Layer &layer = net.layer(i);
+        writePod(os, static_cast<std::uint32_t>(layer.kind()));
+        writeString(os, layer.name());
+        switch (layer.kind()) {
+          case LayerKind::conv2d: {
+            const auto &conv = static_cast<const Conv2D &>(layer);
+            for (std::uint64_t v :
+                 {conv.inChannels(), conv.outChannels(), conv.kernel(),
+                  conv.stride(), conv.inHeight(), conv.inWidth(),
+                  conv.pad()})
+                writePod(os, v);
+            for (std::size_t f = 0; f < conv.outChannels(); ++f) {
+                for (std::size_t c = 0; c < conv.inChannels(); ++c)
+                    for (std::size_t ky = 0; ky < conv.kernel(); ++ky)
+                        for (std::size_t kx = 0; kx < conv.kernel();
+                             ++kx)
+                            writePod(os, conv.weight(f, c, ky, kx));
+                writePod(os, conv.bias(f));
+            }
+            break;
+          }
+          case LayerKind::dense: {
+            const auto &fc = static_cast<const Dense &>(layer);
+            writePod(os, static_cast<std::uint64_t>(fc.inSize()));
+            writePod(os, static_cast<std::uint64_t>(fc.outputSize()));
+            for (std::size_t r = 0; r < fc.outputSize(); ++r) {
+                for (std::size_t c = 0; c < fc.inSize(); ++c)
+                    writePod(os, fc.weight(r, c));
+                writePod(os, fc.bias(r));
+            }
+            break;
+          }
+          case LayerKind::square:
+            writePod(os,
+                     static_cast<std::uint64_t>(layer.outputSize()));
+            break;
+          case LayerKind::avgPool: {
+            const auto &pool = static_cast<const AvgPool2D &>(layer);
+            for (std::uint64_t v :
+                 {pool.channels(), pool.kernel(), pool.stride(),
+                  pool.inHeight(), pool.inWidth()})
+                writePod(os, v);
+            break;
+          }
+          case LayerKind::flatten:
+            break;
+        }
+    }
+}
+
+Network
+loadNetwork(std::istream &is)
+{
+    FXHENN_FATAL_IF(readPod<std::uint64_t>(is) != kMagic,
+                    "not an FxHENN network stream");
+    FXHENN_FATAL_IF(readPod<std::uint32_t>(is) != kVersion,
+                    "unsupported network version");
+
+    const std::string name = readString(is);
+    const auto in_ch = readPod<std::uint64_t>(is);
+    const auto in_h = readPod<std::uint64_t>(is);
+    const auto in_w = readPod<std::uint64_t>(is);
+    FXHENN_FATAL_IF(in_ch == 0 || in_ch > 4096 || in_h == 0 ||
+                        in_h > 65536 || in_w == 0 || in_w > 65536,
+                    "implausible input shape");
+    Network net(name, in_ch, in_h, in_w);
+
+    const auto layers = readPod<std::uint64_t>(is);
+    FXHENN_FATAL_IF(layers > 1024, "implausible layer count");
+    for (std::uint64_t i = 0; i < layers; ++i) {
+        const auto kind =
+            static_cast<LayerKind>(readPod<std::uint32_t>(is));
+        const std::string lname = readString(is);
+        switch (kind) {
+          case LayerKind::conv2d: {
+            const auto ic = readPod<std::uint64_t>(is);
+            const auto oc = readPod<std::uint64_t>(is);
+            const auto k = readPod<std::uint64_t>(is);
+            const auto s = readPod<std::uint64_t>(is);
+            const auto h = readPod<std::uint64_t>(is);
+            const auto w = readPod<std::uint64_t>(is);
+            const auto pad = readPod<std::uint64_t>(is);
+            FXHENN_FATAL_IF(oc > 65536 || k > 256,
+                            "implausible conv shape");
+            auto conv = std::make_unique<Conv2D>(lname, ic, oc, k, s,
+                                                 h, w, pad);
+            for (std::size_t f = 0; f < oc; ++f) {
+                for (std::size_t c = 0; c < ic; ++c)
+                    for (std::size_t ky = 0; ky < k; ++ky)
+                        for (std::size_t kx = 0; kx < k; ++kx)
+                            conv->weight(f, c, ky, kx) =
+                                readPod<double>(is);
+                conv->bias(f) = readPod<double>(is);
+            }
+            net.addLayer(std::move(conv));
+            break;
+          }
+          case LayerKind::dense: {
+            const auto in_size = readPod<std::uint64_t>(is);
+            const auto out_size = readPod<std::uint64_t>(is);
+            FXHENN_FATAL_IF(in_size == 0 || in_size > (1u << 24) ||
+                                out_size == 0 ||
+                                out_size > (1u << 24),
+                            "implausible dense shape");
+            auto fc =
+                std::make_unique<Dense>(lname, in_size, out_size);
+            for (std::size_t r = 0; r < out_size; ++r) {
+                for (std::size_t c = 0; c < in_size; ++c)
+                    fc->weight(r, c) = readPod<double>(is);
+                fc->bias(r) = readPod<double>(is);
+            }
+            net.addLayer(std::move(fc));
+            break;
+          }
+          case LayerKind::square: {
+            const auto size = readPod<std::uint64_t>(is);
+            FXHENN_FATAL_IF(size == 0 || size > (1u << 24),
+                            "implausible activation size");
+            net.addLayer(
+                std::make_unique<SquareActivation>(lname, size));
+            break;
+          }
+          case LayerKind::avgPool: {
+            const auto c = readPod<std::uint64_t>(is);
+            const auto k = readPod<std::uint64_t>(is);
+            const auto s = readPod<std::uint64_t>(is);
+            const auto h = readPod<std::uint64_t>(is);
+            const auto w = readPod<std::uint64_t>(is);
+            net.addLayer(
+                std::make_unique<AvgPool2D>(lname, c, k, s, h, w));
+            break;
+          }
+          default:
+            FXHENN_FATAL_IF(true, "unknown layer kind in stream");
+        }
+    }
+    return net;
+}
+
+} // namespace fxhenn::nn

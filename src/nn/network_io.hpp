@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Binary serialization of plaintext networks (weights included).
+ *
+ * Lets the model owner persist a trained/initialized network and reload
+ * it for compilation on another machine — the front half of the
+ * deployment pipeline (the back half is hecnn::savePlan). The format
+ * follows the repository's framed-binary convention.
+ */
+#ifndef FXHENN_NN_NETWORK_IO_HPP
+#define FXHENN_NN_NETWORK_IO_HPP
+
+#include <iosfwd>
+
+#include "src/nn/network.hpp"
+
+namespace fxhenn::nn {
+
+/** Serialize @p net (topology + weights) to @p os. */
+void saveNetwork(const Network &net, std::ostream &os);
+
+/** Deserialize a network; validates framing and shapes. */
+Network loadNetwork(std::istream &is);
+
+} // namespace fxhenn::nn
+
+#endif // FXHENN_NN_NETWORK_IO_HPP

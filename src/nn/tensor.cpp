@@ -1,0 +1,22 @@
+#include "src/nn/tensor.hpp"
+
+namespace fxhenn::nn {
+
+Tensor::Tensor(std::size_t channels, std::size_t height, std::size_t width)
+    : channels_(channels), height_(height), width_(width),
+      data_(channels * height * width, 0.0)
+{}
+
+Tensor::Tensor(std::size_t size)
+    : channels_(1), height_(1), width_(size), data_(size, 0.0)
+{}
+
+Tensor
+Tensor::flattened() const
+{
+    Tensor out(data_.size());
+    out.data_ = data_;
+    return out;
+}
+
+} // namespace fxhenn::nn

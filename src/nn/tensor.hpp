@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Minimal dense tensor for the plaintext CNN substrate.
+ *
+ * The networks in this repository are the inference side only; tensors
+ * are CHW-ordered doubles, which is all the HE-CNN compiler needs to
+ * derive packings and ground-truth outputs.
+ */
+#ifndef FXHENN_NN_TENSOR_HPP
+#define FXHENN_NN_TENSOR_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace fxhenn::nn {
+
+/** A CHW-ordered dense tensor of doubles. */
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    /** 3-d constructor (channels, height, width), zero-filled. */
+    Tensor(std::size_t channels, std::size_t height, std::size_t width);
+
+    /** 1-d constructor (flat vector of @p size), zero-filled. */
+    explicit Tensor(std::size_t size);
+
+    std::size_t channels() const { return channels_; }
+    std::size_t height() const { return height_; }
+    std::size_t width() const { return width_; }
+    std::size_t size() const { return data_.size(); }
+
+    double &
+    at(std::size_t c, std::size_t y, std::size_t x)
+    {
+        return data_[(c * height_ + y) * width_ + x];
+    }
+    double
+    at(std::size_t c, std::size_t y, std::size_t x) const
+    {
+        return data_[(c * height_ + y) * width_ + x];
+    }
+
+    double &operator[](std::size_t i) { return data_[i]; }
+    double operator[](std::size_t i) const { return data_[i]; }
+
+    std::vector<double> &data() { return data_; }
+    const std::vector<double> &data() const { return data_; }
+
+    /** Reinterpret as a flat vector (keeps the same data). */
+    Tensor flattened() const;
+
+  private:
+    std::size_t channels_ = 0;
+    std::size_t height_ = 0;
+    std::size_t width_ = 0;
+    std::vector<double> data_;
+};
+
+} // namespace fxhenn::nn
+
+#endif // FXHENN_NN_TENSOR_HPP

@@ -1,0 +1,165 @@
+#include "src/rns/crt.hpp"
+
+#include <cmath>
+
+#include "src/common/assert.hpp"
+
+namespace fxhenn {
+
+void
+BigUInt::trim()
+{
+    while (!words_.empty() && words_.back() == 0)
+        words_.pop_back();
+}
+
+void
+BigUInt::addInplace(const BigUInt &other)
+{
+    if (other.words_.size() > words_.size())
+        words_.resize(other.words_.size(), 0);
+    unsigned __int128 carry = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        unsigned __int128 sum = carry + words_[i];
+        if (i < other.words_.size())
+            sum += other.words_[i];
+        words_[i] = static_cast<std::uint64_t>(sum);
+        carry = sum >> 64;
+    }
+    if (carry)
+        words_.push_back(static_cast<std::uint64_t>(carry));
+}
+
+void
+BigUInt::subInplace(const BigUInt &other)
+{
+    FXHENN_ASSERT(compare(other) >= 0, "BigUInt underflow");
+    unsigned __int128 borrow = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        const unsigned __int128 rhs =
+            (i < other.words_.size() ? other.words_[i] : 0);
+        const unsigned __int128 lhs = words_[i];
+        const unsigned __int128 need = rhs + borrow;
+        if (lhs >= need) {
+            words_[i] = static_cast<std::uint64_t>(lhs - need);
+            borrow = 0;
+        } else {
+            words_[i] = static_cast<std::uint64_t>(
+                (static_cast<unsigned __int128>(1) << 64) + lhs - need);
+            borrow = 1;
+        }
+    }
+    trim();
+}
+
+BigUInt
+BigUInt::mulWord(std::uint64_t scalar) const
+{
+    BigUInt out;
+    out.words_.resize(words_.size() + 1, 0);
+    unsigned __int128 carry = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        unsigned __int128 prod =
+            static_cast<unsigned __int128>(words_[i]) * scalar + carry;
+        out.words_[i] = static_cast<std::uint64_t>(prod);
+        carry = prod >> 64;
+    }
+    out.words_[words_.size()] = static_cast<std::uint64_t>(carry);
+    out.trim();
+    return out;
+}
+
+int
+BigUInt::compare(const BigUInt &other) const
+{
+    if (words_.size() != other.words_.size())
+        return words_.size() < other.words_.size() ? -1 : 1;
+    for (std::size_t i = words_.size(); i-- > 0;) {
+        if (words_[i] != other.words_[i])
+            return words_[i] < other.words_[i] ? -1 : 1;
+    }
+    return 0;
+}
+
+long double
+BigUInt::toLongDouble() const
+{
+    long double value = 0.0L;
+    for (std::size_t i = words_.size(); i-- > 0;) {
+        value = value * 18446744073709551616.0L /* 2^64 */ +
+                static_cast<long double>(words_[i]);
+    }
+    return value;
+}
+
+std::uint64_t
+BigUInt::modWord(std::uint64_t m) const
+{
+    unsigned __int128 r = 0;
+    for (std::size_t i = words_.size(); i-- > 0;) {
+        r = ((r << 64) | words_[i]) % m;
+    }
+    return static_cast<std::uint64_t>(r);
+}
+
+CrtReconstructor::CrtReconstructor(const RnsBasis &basis, std::size_t level)
+    : basis_(basis), level_(level)
+{
+    FXHENN_FATAL_IF(level == 0 || level > basis.levels(),
+                    "invalid CRT level");
+    bigQ_ = BigUInt(1);
+    for (std::size_t i = 0; i < level; ++i)
+        bigQ_ = bigQ_.mulWord(basis.q(i).value());
+
+    // Centering compares 2*x against Q directly, so halfQ_ just mirrors
+    // Q; kept as a named member for readability at the comparison site.
+    halfQ_ = bigQ_;
+
+    punctured_.reserve(level);
+    invPunctured_.reserve(level);
+    for (std::size_t i = 0; i < level; ++i) {
+        BigUInt m(1);
+        for (std::size_t j = 0; j < level; ++j) {
+            if (j != i)
+                m = m.mulWord(basis.q(j).value());
+        }
+        const std::uint64_t mi_mod_qi = m.modWord(basis.q(i).value());
+        invPunctured_.push_back(basis.q(i).inverse(mi_mod_qi));
+        punctured_.push_back(std::move(m));
+    }
+}
+
+long double
+CrtReconstructor::reconstructCentered(
+    std::span<const std::uint64_t> residues) const
+{
+    FXHENN_ASSERT(residues.size() == level_, "residue count mismatch");
+
+    // x = sum_i M_i * ((a_i * M_i^-1) mod q_i), reduced mod Q.
+    BigUInt x(0);
+    for (std::size_t i = 0; i < level_; ++i) {
+        const Modulus &q = basis_.q(i);
+        const std::uint64_t digit = q.mul(residues[i], invPunctured_[i]);
+        x.addInplace(punctured_[i].mulWord(digit));
+    }
+    // x < level * Q, reduce by subtraction.
+    while (!(x < bigQ_))
+        x.subInplace(bigQ_);
+
+    // Center: if 2x > Q, return x - Q (negative).
+    BigUInt twice = x.mulWord(2);
+    if (bigQ_ < twice) {
+        BigUInt neg = bigQ_;
+        neg.subInplace(x);
+        return -neg.toLongDouble();
+    }
+    return x.toLongDouble();
+}
+
+double
+CrtReconstructor::logQ() const
+{
+    return basis_.logQ(level_);
+}
+
+} // namespace fxhenn

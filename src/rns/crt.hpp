@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Exact CRT reconstruction of RNS residues to centered real values.
+ *
+ * CKKS decoding needs the centered integer value of each coefficient
+ * modulo Q = prod q_i, where Q can be hundreds of bits (the paper uses
+ * 210- and 252-bit Q). Doubles cannot carry that, so we reconstruct with
+ * a minimal fixed-purpose big unsigned integer and only then convert the
+ * (small, centered) result to long double.
+ */
+#ifndef FXHENN_RNS_CRT_HPP
+#define FXHENN_RNS_CRT_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/rns/rns_basis.hpp"
+
+namespace fxhenn {
+
+/** Little-endian multi-word unsigned integer, just big enough for Q^2. */
+class BigUInt
+{
+  public:
+    BigUInt() = default;
+    explicit BigUInt(std::uint64_t v) : words_{v} { trim(); }
+
+    /** this += other */
+    void addInplace(const BigUInt &other);
+    /** this -= other; other must be <= this. */
+    void subInplace(const BigUInt &other);
+    /** @return this * scalar. */
+    BigUInt mulWord(std::uint64_t scalar) const;
+    /** Three-way comparison. */
+    int compare(const BigUInt &other) const;
+    /** @return the value as long double (may round). */
+    long double toLongDouble() const;
+    /** @return value mod m (single word). */
+    std::uint64_t modWord(std::uint64_t m) const;
+
+    bool operator<(const BigUInt &o) const { return compare(o) < 0; }
+    bool operator==(const BigUInt &o) const { return compare(o) == 0; }
+
+  private:
+    void trim();
+    std::vector<std::uint64_t> words_; ///< empty means zero
+};
+
+/**
+ * Reconstructs centered coefficient values from RNS residues for a fixed
+ * level of a basis.
+ */
+class CrtReconstructor
+{
+  public:
+    /** Build for the first @p level data primes of @p basis. */
+    CrtReconstructor(const RnsBasis &basis, std::size_t level);
+
+    /**
+     * @param residues one residue per prime (residues[i] mod q_i)
+     * @return the centered value x in (-Q/2, Q/2] as long double
+     */
+    long double
+    reconstructCentered(std::span<const std::uint64_t> residues) const;
+
+    /** log2 of the composite modulus Q at this level. */
+    double logQ() const;
+
+  private:
+    const RnsBasis &basis_;
+    std::size_t level_;
+    BigUInt bigQ_;
+    BigUInt halfQ_;
+    std::vector<BigUInt> punctured_;     ///< M_i = Q / q_i
+    std::vector<std::uint64_t> invPunctured_; ///< M_i^-1 mod q_i
+};
+
+} // namespace fxhenn
+
+#endif // FXHENN_RNS_CRT_HPP

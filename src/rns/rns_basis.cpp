@@ -1,0 +1,57 @@
+#include "src/rns/rns_basis.hpp"
+
+#include <cmath>
+
+#include "src/common/assert.hpp"
+#include "src/common/math_util.hpp"
+
+namespace fxhenn {
+
+RnsBasis::RnsBasis(std::uint64_t n, std::vector<std::uint64_t> dataPrimes,
+                   std::uint64_t specialPrime)
+    : n_(n), specialModulus_(specialPrime)
+{
+    FXHENN_FATAL_IF(!isPowerOfTwo(n), "ring degree must be a power of two");
+    FXHENN_FATAL_IF(dataPrimes.empty(), "at least one data prime required");
+
+    dataModuli_.reserve(dataPrimes.size());
+    for (std::uint64_t q : dataPrimes) {
+        FXHENN_FATAL_IF(q == specialPrime,
+                        "special prime collides with a data prime");
+        dataModuli_.emplace_back(q);
+    }
+
+    nttTables_.reserve(dataModuli_.size());
+    for (const auto &q : dataModuli_)
+        nttTables_.push_back(std::make_unique<NttTables>(n, q));
+    specialNtt_ = std::make_unique<NttTables>(n, specialModulus_);
+
+    const std::size_t levels = dataModuli_.size();
+    invQ_.assign(levels, std::vector<std::uint64_t>(levels, 0));
+    for (std::size_t i = 0; i < levels; ++i) {
+        for (std::size_t j = 0; j < levels; ++j) {
+            if (i == j)
+                continue;
+            invQ_[i][j] =
+                dataModuli_[j].inverse(dataModuli_[i].value() %
+                                       dataModuli_[j].value());
+        }
+    }
+    invSpecialModQ_.resize(levels);
+    for (std::size_t j = 0; j < levels; ++j) {
+        invSpecialModQ_[j] = dataModuli_[j].inverse(
+            specialModulus_.value() % dataModuli_[j].value());
+    }
+}
+
+double
+RnsBasis::logQ(std::size_t level) const
+{
+    FXHENN_ASSERT(level <= levels(), "level out of range");
+    double bits = 0.0;
+    for (std::size_t i = 0; i < level; ++i)
+        bits += std::log2(static_cast<double>(dataModuli_[i].value()));
+    return bits;
+}
+
+} // namespace fxhenn

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * RNS modulus chain for RNS-CKKS.
+ *
+ * The coefficient modulus Q = q_0 * q_1 * ... * q_{L-1} is decomposed
+ * into word-size primes (Sec. II-A of the paper). One extra "special"
+ * prime p is kept at the end of the chain for hybrid key switching: keys
+ * live modulo Q * p, and the key-switch result is scaled back down by p.
+ *
+ * The basis owns the NTT tables for every prime and the cross-prime
+ * constants needed by Rescale and the key-switch ModDown:
+ *   - q_last^-1 mod q_j         (Rescale, drop the last data prime)
+ *   - p^-1 mod q_j              (ModDown after key switching)
+ */
+#ifndef FXHENN_RNS_RNS_BASIS_HPP
+#define FXHENN_RNS_RNS_BASIS_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/modarith/modulus.hpp"
+#include "src/modarith/ntt.hpp"
+
+namespace fxhenn {
+
+/** The prime chain q_0..q_{L-1}, p plus per-prime NTT tables. */
+class RnsBasis
+{
+  public:
+    /**
+     * Build a basis for ring degree @p n.
+     *
+     * @param n            ring degree (power of two)
+     * @param dataPrimes   the data primes q_0..q_{L-1}, q_0 first
+     * @param specialPrime the key-switching prime p (> every q_i ideally)
+     */
+    RnsBasis(std::uint64_t n, std::vector<std::uint64_t> dataPrimes,
+             std::uint64_t specialPrime);
+
+    std::uint64_t n() const { return n_; }
+
+    /** Number of data primes L (the maximum ciphertext level). */
+    std::size_t levels() const { return dataModuli_.size(); }
+
+    /** Data prime q_i. */
+    const Modulus &q(std::size_t i) const { return dataModuli_[i]; }
+
+    /** The key-switching special prime p. */
+    const Modulus &specialPrime() const { return specialModulus_; }
+
+    /** NTT tables for data prime @p i. */
+    const NttTables &ntt(std::size_t i) const { return *nttTables_[i]; }
+
+    /** NTT tables for the special prime. */
+    const NttTables &nttSpecial() const { return *specialNtt_; }
+
+    /** q_last^-1 mod q_j where q_last = q(level-1), for Rescale. */
+    std::uint64_t
+    invLastPrime(std::size_t level, std::size_t j) const
+    {
+        return invQ_[level - 1][j];
+    }
+
+    /** p^-1 mod q_j, for the key-switch ModDown. */
+    std::uint64_t
+    invSpecial(std::size_t j) const
+    {
+        return invSpecialModQ_[j];
+    }
+
+    /** log2(Q) over the first @p level primes, for noise budgeting. */
+    double logQ(std::size_t level) const;
+
+  private:
+    std::uint64_t n_;
+    std::vector<Modulus> dataModuli_;
+    Modulus specialModulus_;
+    std::vector<std::unique_ptr<NttTables>> nttTables_;
+    std::unique_ptr<NttTables> specialNtt_;
+    /** invQ_[i][j] = q_i^-1 mod q_j (j != i; diagonal unused). */
+    std::vector<std::vector<std::uint64_t>> invQ_;
+    std::vector<std::uint64_t> invSpecialModQ_;
+};
+
+} // namespace fxhenn
+
+#endif // FXHENN_RNS_RNS_BASIS_HPP

@@ -1,0 +1,305 @@
+#include "src/rns/rns_poly.hpp"
+
+#include "src/common/assert.hpp"
+#include "src/common/parallel.hpp"
+
+namespace fxhenn {
+
+RnsPoly::RnsPoly(const RnsBasis &basis, std::size_t level, bool withSpecial,
+                 PolyDomain domain)
+    : basis_(&basis), level_(level), hasSpecial_(withSpecial),
+      domain_(domain)
+{
+    FXHENN_FATAL_IF(level == 0 || level > basis.levels(),
+                    "invalid polynomial level");
+    limbs_.assign(level + (withSpecial ? 1 : 0),
+                  std::vector<std::uint64_t>(basis.n(), 0));
+}
+
+std::span<std::uint64_t>
+RnsPoly::limb(std::size_t i)
+{
+    FXHENN_ASSERT(i < limbs_.size(), "limb index out of range");
+    return limbs_[i];
+}
+
+std::span<const std::uint64_t>
+RnsPoly::limb(std::size_t i) const
+{
+    FXHENN_ASSERT(i < limbs_.size(), "limb index out of range");
+    return limbs_[i];
+}
+
+const Modulus &
+RnsPoly::limbModulus(std::size_t i) const
+{
+    FXHENN_ASSERT(i < limbs_.size(), "limb index out of range");
+    return i < level_ ? basis_->q(i) : basis_->specialPrime();
+}
+
+const NttTables &
+RnsPoly::limbNtt(std::size_t i) const
+{
+    FXHENN_ASSERT(i < limbs_.size(), "limb index out of range");
+    return i < level_ ? basis_->ntt(i) : basis_->nttSpecial();
+}
+
+void
+RnsPoly::checkCompatible(const RnsPoly &other) const
+{
+    FXHENN_ASSERT(basis_ == other.basis_, "operands from different bases");
+    FXHENN_ASSERT(level_ == other.level_, "operand level mismatch");
+    FXHENN_ASSERT(hasSpecial_ == other.hasSpecial_,
+                  "special-limb mismatch");
+    FXHENN_ASSERT(domain_ == other.domain_, "operand domain mismatch");
+}
+
+void
+RnsPoly::addInplace(const RnsPoly &other)
+{
+    checkCompatible(other);
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        const Modulus &q = limbModulus(i);
+        auto &dst = limbs_[i];
+        const auto &src = other.limbs_[i];
+        for (std::size_t j = 0; j < dst.size(); ++j)
+            dst[j] = q.add(dst[j], src[j]);
+    }
+}
+
+void
+RnsPoly::subInplace(const RnsPoly &other)
+{
+    checkCompatible(other);
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        const Modulus &q = limbModulus(i);
+        auto &dst = limbs_[i];
+        const auto &src = other.limbs_[i];
+        for (std::size_t j = 0; j < dst.size(); ++j)
+            dst[j] = q.sub(dst[j], src[j]);
+    }
+}
+
+void
+RnsPoly::negateInplace()
+{
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        const Modulus &q = limbModulus(i);
+        for (auto &x : limbs_[i])
+            x = q.negate(x);
+    }
+}
+
+void
+RnsPoly::mulInplace(const RnsPoly &other)
+{
+    checkCompatible(other);
+    FXHENN_ASSERT(domain_ == PolyDomain::ntt,
+                  "element-wise multiply requires NTT domain");
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        const Modulus &q = limbModulus(i);
+        auto &dst = limbs_[i];
+        const auto &src = other.limbs_[i];
+        for (std::size_t j = 0; j < dst.size(); ++j)
+            dst[j] = q.mul(dst[j], src[j]);
+    }
+}
+
+void
+RnsPoly::addProduct(const RnsPoly &a, const RnsPoly &b)
+{
+    checkCompatible(a);
+    checkCompatible(b);
+    FXHENN_ASSERT(domain_ == PolyDomain::ntt,
+                  "addProduct requires NTT domain");
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        const Modulus &q = limbModulus(i);
+        auto &dst = limbs_[i];
+        const auto &pa = a.limbs_[i];
+        const auto &pb = b.limbs_[i];
+        for (std::size_t j = 0; j < dst.size(); ++j)
+            dst[j] = q.add(dst[j], q.mul(pa[j], pb[j]));
+    }
+}
+
+void
+RnsPoly::mulScalarPerLimb(std::span<const std::uint64_t> scalars)
+{
+    FXHENN_ASSERT(scalars.size() == limbs_.size(),
+                  "one scalar per limb required");
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        const Modulus &q = limbModulus(i);
+        const std::uint64_t s = scalars[i];
+        for (auto &x : limbs_[i])
+            x = q.mul(x, s);
+    }
+}
+
+void
+RnsPoly::toNtt()
+{
+    FXHENN_ASSERT(domain_ == PolyDomain::coeff, "already in NTT domain");
+    // Limbs are independent polynomials mod distinct primes — the same
+    // parallelism the FPGA design's P_intra knob exploits (Sec. V-B).
+    parallelFor(limbs_.size(), [this](std::size_t i) {
+        limbNtt(i).forward(limbs_[i]);
+    });
+    domain_ = PolyDomain::ntt;
+}
+
+void
+RnsPoly::fromNtt()
+{
+    FXHENN_ASSERT(domain_ == PolyDomain::ntt,
+                  "already in coefficient domain");
+    parallelFor(limbs_.size(), [this](std::size_t i) {
+        limbNtt(i).inverse(limbs_[i]);
+    });
+    domain_ = PolyDomain::coeff;
+}
+
+void
+RnsPoly::rescaleLastPrime()
+{
+    FXHENN_ASSERT(domain_ == PolyDomain::coeff,
+                  "rescale requires coefficient domain");
+    FXHENN_ASSERT(!hasSpecial_, "rescale with special limb present");
+    FXHENN_ASSERT(level_ >= 2, "cannot rescale a level-1 polynomial");
+
+    const std::size_t last = level_ - 1;
+    const Modulus &q_last = basis_->q(last);
+    const std::uint64_t half = q_last.value() / 2;
+    const auto &tail = limbs_[last];
+
+    for (std::size_t j = 0; j < last; ++j) {
+        const Modulus &q = basis_->q(j);
+        const std::uint64_t inv = basis_->invLastPrime(level_, j);
+        auto &dst = limbs_[j];
+        for (std::size_t k = 0; k < dst.size(); ++k) {
+            // Centered representative of the tail residue, so the
+            // division rounds instead of truncating.
+            const std::uint64_t centered =
+                tail[k] > half
+                    ? q.sub(tail[k] % q.value(),
+                            q_last.value() % q.value())
+                    : tail[k] % q.value();
+            dst[k] = q.mul(q.sub(dst[k], centered), inv);
+        }
+    }
+    limbs_.pop_back();
+    --level_;
+}
+
+void
+RnsPoly::modDownSpecial()
+{
+    FXHENN_ASSERT(domain_ == PolyDomain::coeff,
+                  "modDown requires coefficient domain");
+    FXHENN_ASSERT(hasSpecial_, "no special limb to remove");
+
+    const Modulus &p = basis_->specialPrime();
+    const std::uint64_t half = p.value() / 2;
+    const auto &tail = limbs_.back();
+
+    for (std::size_t j = 0; j < level_; ++j) {
+        const Modulus &q = basis_->q(j);
+        const std::uint64_t inv = basis_->invSpecial(j);
+        auto &dst = limbs_[j];
+        for (std::size_t k = 0; k < dst.size(); ++k) {
+            const std::uint64_t centered =
+                tail[k] > half
+                    ? q.sub(tail[k] % q.value(), p.value() % q.value())
+                    : tail[k] % q.value();
+            dst[k] = q.mul(q.sub(dst[k], centered), inv);
+        }
+    }
+    limbs_.pop_back();
+    hasSpecial_ = false;
+}
+
+void
+RnsPoly::dropLastPrime()
+{
+    FXHENN_ASSERT(!hasSpecial_, "drop with special limb present");
+    FXHENN_ASSERT(level_ >= 2, "cannot drop below level 1");
+    limbs_.pop_back();
+    --level_;
+}
+
+void
+RnsPoly::sampleUniform(Rng &rng)
+{
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        const Modulus &q = limbModulus(i);
+        for (auto &x : limbs_[i])
+            x = rng.uniform(q.value());
+    }
+    domain_ = PolyDomain::coeff;
+}
+
+void
+RnsPoly::sampleTernary(Rng &rng)
+{
+    const std::uint64_t n = basis_->n();
+    std::vector<std::int64_t> secret(n);
+    for (auto &s : secret)
+        s = rng.ternary();
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        const Modulus &q = limbModulus(i);
+        for (std::size_t k = 0; k < n; ++k)
+            limbs_[i][k] = q.reduceSigned(secret[k]);
+    }
+    domain_ = PolyDomain::coeff;
+}
+
+void
+RnsPoly::sampleGaussian(Rng &rng, double sigma)
+{
+    const std::uint64_t n = basis_->n();
+    std::vector<std::int64_t> err(n);
+    for (auto &e : err)
+        e = rng.gaussian(sigma);
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        const Modulus &q = limbModulus(i);
+        for (std::size_t k = 0; k < n; ++k)
+            limbs_[i][k] = q.reduceSigned(err[k]);
+    }
+    domain_ = PolyDomain::coeff;
+}
+
+RnsPoly
+RnsPoly::galois(std::uint64_t galoisElt) const
+{
+    FXHENN_ASSERT(domain_ == PolyDomain::coeff,
+                  "galois requires coefficient domain");
+    FXHENN_ASSERT(galoisElt % 2 == 1, "galois element must be odd");
+
+    const std::uint64_t n = basis_->n();
+    RnsPoly out(*basis_, level_, hasSpecial_, PolyDomain::coeff);
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        const Modulus &q = limbModulus(i);
+        const auto &src = limbs_[i];
+        auto dst = out.limb(i);
+        for (std::uint64_t k = 0; k < n; ++k) {
+            // X^k -> X^(k * elt mod 2N), with sign flip when the image
+            // exponent wraps past N (negacyclic ring).
+            const std::uint64_t idx = (k * galoisElt) % (2 * n);
+            if (idx < n) {
+                dst[idx] = src[k];
+            } else {
+                dst[idx - n] = q.negate(src[k]);
+            }
+        }
+    }
+    return out;
+}
+
+bool
+RnsPoly::operator==(const RnsPoly &other) const
+{
+    return basis_ == other.basis_ && level_ == other.level_ &&
+           hasSpecial_ == other.hasSpecial_ && domain_ == other.domain_ &&
+           limbs_ == other.limbs_;
+}
+
+} // namespace fxhenn

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "src/common/assert.hpp"
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "src/ckks/encoder.hpp"
+#include "src/common/rng.hpp"
+
+namespace fxhenn::ckks {
+namespace {
+
+class EncoderTest : public ::testing::Test
+{
+  protected:
+    EncoderTest() : ctx_(testParams(1024, 4, 30)), encoder_(ctx_) {}
+
+    CkksContext ctx_;
+    Encoder encoder_;
+};
+
+TEST_F(EncoderTest, RealRoundTripWithinPrecision)
+{
+    Rng rng(1);
+    std::vector<double> values(ctx_.slots());
+    for (auto &v : values)
+        v = rng.uniformReal(-10.0, 10.0);
+
+    const auto plain =
+        encoder_.encode(std::span<const double>(values),
+                        ctx_.params().scale, 3);
+    const auto decoded = encoder_.decodeReal(plain);
+
+    ASSERT_EQ(decoded.size(), values.size());
+    for (std::size_t i = 0; i < values.size(); ++i)
+        EXPECT_NEAR(decoded[i], values[i], 1e-6);
+}
+
+TEST_F(EncoderTest, ComplexRoundTrip)
+{
+    Rng rng(2);
+    std::vector<std::complex<double>> values(ctx_.slots());
+    for (auto &v : values)
+        v = {rng.uniformReal(-1.0, 1.0), rng.uniformReal(-1.0, 1.0)};
+
+    const auto plain = encoder_.encode(
+        std::span<const std::complex<double>>(values),
+        ctx_.params().scale, 4);
+    const auto decoded = encoder_.decode(plain);
+
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        EXPECT_NEAR(decoded[i].real(), values[i].real(), 1e-6);
+        EXPECT_NEAR(decoded[i].imag(), values[i].imag(), 1e-6);
+    }
+}
+
+TEST_F(EncoderTest, PartialVectorZeroPads)
+{
+    std::vector<double> values{1.5, -2.5, 3.25};
+    const auto plain = encoder_.encode(
+        std::span<const double>(values), ctx_.params().scale, 2);
+    const auto decoded = encoder_.decodeReal(plain);
+    EXPECT_NEAR(decoded[0], 1.5, 1e-6);
+    EXPECT_NEAR(decoded[1], -2.5, 1e-6);
+    EXPECT_NEAR(decoded[2], 3.25, 1e-6);
+    for (std::size_t i = 3; i < decoded.size(); ++i)
+        EXPECT_NEAR(decoded[i], 0.0, 1e-6);
+}
+
+TEST_F(EncoderTest, ConstantEncodingFillsAllSlots)
+{
+    const auto plain =
+        encoder_.encodeConstant(2.75, ctx_.params().scale, 3);
+    const auto decoded = encoder_.decodeReal(plain);
+    for (double v : decoded)
+        EXPECT_NEAR(v, 2.75, 1e-6);
+}
+
+TEST_F(EncoderTest, EncodingIsAdditivelyHomomorphic)
+{
+    // encode(a) + encode(b) must decode to a + b: the embedding is
+    // linear, which the HE-CNN packing relies on.
+    Rng rng(3);
+    std::vector<double> a(ctx_.slots()), b(ctx_.slots());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        a[i] = rng.uniformReal(-5, 5);
+        b[i] = rng.uniformReal(-5, 5);
+    }
+    auto pa = encoder_.encode(std::span<const double>(a),
+                              ctx_.params().scale, 2);
+    const auto pb = encoder_.encode(std::span<const double>(b),
+                                    ctx_.params().scale, 2);
+    pa.poly.addInplace(pb.poly);
+    const auto decoded = encoder_.decodeReal(pa);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_NEAR(decoded[i], a[i] + b[i], 1e-5);
+}
+
+TEST_F(EncoderTest, RejectsOversizedInput)
+{
+    std::vector<double> too_many(ctx_.slots() + 1, 1.0);
+    EXPECT_THROW(encoder_.encode(std::span<const double>(too_many),
+                                 ctx_.params().scale, 2),
+                 ConfigError);
+}
+
+TEST(EncoderParamSweep, RoundTripAcrossRingSizes)
+{
+    for (std::uint64_t n : {64ull, 256ull, 2048ull}) {
+        CkksContext ctx(testParams(n, 3, 30));
+        Encoder encoder(ctx);
+        Rng rng(n);
+        std::vector<double> values(ctx.slots());
+        for (auto &v : values)
+            v = rng.uniformReal(-2.0, 2.0);
+        const auto plain = encoder.encode(
+            std::span<const double>(values), ctx.params().scale, 2);
+        const auto decoded = encoder.decodeReal(plain);
+        for (std::size_t i = 0; i < values.size(); ++i)
+            ASSERT_NEAR(decoded[i], values[i], 1e-5)
+                << "n=" << n << " slot " << i;
+    }
+}
+
+} // namespace
+} // namespace fxhenn::ckks

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/ckks/decryptor.hpp"
+#include "src/ckks/encoder.hpp"
+#include "src/ckks/encryptor.hpp"
+#include "src/ckks/keygen.hpp"
+#include "src/ckks/size_model.hpp"
+#include "src/common/rng.hpp"
+
+namespace fxhenn::ckks {
+namespace {
+
+class EncryptTest : public ::testing::Test
+{
+  protected:
+    EncryptTest()
+        : ctx_(testParams(1024, 4, 30)), rng_(2024), keygen_(ctx_, rng_),
+          encoder_(ctx_),
+          encryptor_(ctx_, keygen_.makePublicKey(), rng_),
+          decryptor_(ctx_, keygen_.secretKey())
+    {}
+
+    CkksContext ctx_;
+    Rng rng_;
+    KeyGenerator keygen_;
+    Encoder encoder_;
+    Encryptor encryptor_;
+    Decryptor decryptor_;
+};
+
+TEST_F(EncryptTest, EncryptDecryptRoundTrip)
+{
+    Rng data_rng(5);
+    std::vector<double> values(ctx_.slots());
+    for (auto &v : values)
+        v = data_rng.uniformReal(-4.0, 4.0);
+
+    const auto plain = encoder_.encode(
+        std::span<const double>(values), ctx_.params().scale, 4);
+    const auto ct = encryptor_.encrypt(plain);
+    EXPECT_EQ(ct.size(), 2u);
+    EXPECT_EQ(ct.level(), 4u);
+
+    const auto decoded = encoder_.decodeReal(decryptor_.decrypt(ct));
+    for (std::size_t i = 0; i < values.size(); ++i)
+        EXPECT_NEAR(decoded[i], values[i], 1e-4);
+}
+
+TEST_F(EncryptTest, EncryptionIsRandomized)
+{
+    const auto plain =
+        encoder_.encodeConstant(1.0, ctx_.params().scale, 4);
+    const auto ct1 = encryptor_.encrypt(plain);
+    const auto ct2 = encryptor_.encrypt(plain);
+    EXPECT_FALSE(ct1.parts[0] == ct2.parts[0])
+        << "two encryptions of the same plaintext must differ";
+}
+
+TEST_F(EncryptTest, EncryptAtLowerLevel)
+{
+    const auto plain =
+        encoder_.encodeConstant(3.5, ctx_.params().scale, 2);
+    const auto ct = encryptor_.encrypt(plain);
+    EXPECT_EQ(ct.level(), 2u);
+    const auto decoded = encoder_.decodeReal(decryptor_.decrypt(ct));
+    EXPECT_NEAR(decoded[0], 3.5, 1e-4);
+}
+
+TEST_F(EncryptTest, CiphertextNoiseIsSmall)
+{
+    // The decryption error of a fresh ciphertext must be far below one
+    // plaintext unit: check max error over all slots.
+    std::vector<double> values(ctx_.slots(), 0.0);
+    const auto plain = encoder_.encode(
+        std::span<const double>(values), ctx_.params().scale, 4);
+    const auto ct = encryptor_.encrypt(plain);
+    const auto decoded = encoder_.decodeReal(decryptor_.decrypt(ct));
+    double max_err = 0.0;
+    for (double v : decoded)
+        max_err = std::max(max_err, std::abs(v));
+    EXPECT_LT(max_err, 1e-4);
+}
+
+TEST(SizeModel, MatchesPaperExpansionClaims)
+{
+    // One MNIST ciphertext: 2 * 7 * 8192 * 8 bytes = 896 KiB for a
+    // 784-pixel image — about 3 orders of magnitude of expansion, and
+    // 5-6 orders versus a compressed image, as the abstract claims.
+    const CkksParams p = mnistParams();
+    EXPECT_EQ(ciphertextBytes(p, p.levels), 2u * 7u * 8192u * 8u);
+    EXPECT_EQ(plaintextBytes(p, p.levels), 7u * 8192u * 8u);
+    // Key-switch key: L pairs over Q*p.
+    EXPECT_EQ(kswKeyBytes(p), 7u * 2u * 8u * 8192u * 8u);
+    EXPECT_EQ(publicKeyBytes(p), 2u * 7u * 8192u * 8u);
+}
+
+} // namespace
+} // namespace fxhenn::ckks

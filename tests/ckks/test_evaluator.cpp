@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include "src/common/assert.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "src/ckks/decryptor.hpp"
+#include "src/ckks/encoder.hpp"
+#include "src/ckks/encryptor.hpp"
+#include "src/ckks/evaluator.hpp"
+#include "src/ckks/keygen.hpp"
+#include "src/common/rng.hpp"
+
+namespace fxhenn::ckks {
+namespace {
+
+class EvaluatorTest : public ::testing::Test
+{
+  protected:
+    EvaluatorTest()
+        : ctx_(testParams(1024, 4, 30)), rng_(7777), keygen_(ctx_, rng_),
+          encoder_(ctx_),
+          encryptor_(ctx_, keygen_.makePublicKey(), rng_),
+          decryptor_(ctx_, keygen_.secretKey()), eval_(ctx_),
+          relin_(keygen_.makeRelinKey())
+    {}
+
+    std::vector<double>
+    randomValues(double mag, std::uint64_t seed)
+    {
+        Rng r(seed);
+        std::vector<double> v(ctx_.slots());
+        for (auto &x : v)
+            x = r.uniformReal(-mag, mag);
+        return v;
+    }
+
+    Ciphertext
+    enc(const std::vector<double> &v, std::size_t level = 4)
+    {
+        return encryptor_.encrypt(encoder_.encode(
+            std::span<const double>(v), ctx_.params().scale, level));
+    }
+
+    std::vector<double>
+    dec(const Ciphertext &ct)
+    {
+        return encoder_.decodeReal(decryptor_.decrypt(ct));
+    }
+
+    CkksContext ctx_;
+    Rng rng_;
+    KeyGenerator keygen_;
+    Encoder encoder_;
+    Encryptor encryptor_;
+    Decryptor decryptor_;
+    Evaluator eval_;
+    RelinKey relin_;
+};
+
+TEST_F(EvaluatorTest, CCaddAddsSlotwise)
+{
+    const auto a = randomValues(5, 1);
+    const auto b = randomValues(5, 2);
+    const auto sum = dec(eval_.add(enc(a), enc(b)));
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_NEAR(sum[i], a[i] + b[i], 1e-4);
+    EXPECT_EQ(eval_.counts().ccAdd, 1u);
+}
+
+TEST_F(EvaluatorTest, SubSubtractsSlotwise)
+{
+    const auto a = randomValues(5, 3);
+    const auto b = randomValues(5, 4);
+    const auto diff = dec(eval_.sub(enc(a), enc(b)));
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_NEAR(diff[i], a[i] - b[i], 1e-4);
+}
+
+TEST_F(EvaluatorTest, AddPlainWorks)
+{
+    const auto a = randomValues(5, 5);
+    const auto b = randomValues(5, 6);
+    const auto pb = encoder_.encode(std::span<const double>(b),
+                                    ctx_.params().scale, 4);
+    const auto sum = dec(eval_.addPlain(enc(a), pb));
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_NEAR(sum[i], a[i] + b[i], 1e-4);
+}
+
+TEST_F(EvaluatorTest, MulPlainThenRescale)
+{
+    const auto a = randomValues(2, 7);
+    const auto w = randomValues(2, 8);
+    const auto pw = encoder_.encode(std::span<const double>(w),
+                                    ctx_.params().scale, 4);
+    auto ct = eval_.mulPlain(enc(a), pw);
+    EXPECT_NEAR(ct.scale,
+                ctx_.params().scale * ctx_.params().scale, 1.0);
+    eval_.rescaleInplace(ct);
+    EXPECT_EQ(ct.level(), 3u);
+    const auto prod = dec(ct);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_NEAR(prod[i], a[i] * w[i], 1e-3);
+    EXPECT_EQ(eval_.counts().pcMult, 1u);
+    EXPECT_EQ(eval_.counts().rescale, 1u);
+}
+
+TEST_F(EvaluatorTest, CCmultWithRelinearization)
+{
+    const auto a = randomValues(2, 9);
+    const auto b = randomValues(2, 10);
+    auto ct = eval_.mul(enc(a), enc(b), relin_);
+    EXPECT_EQ(ct.size(), 2u) << "relinearized ciphertext has 2 parts";
+    eval_.rescaleInplace(ct);
+    const auto prod = dec(ct);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_NEAR(prod[i], a[i] * b[i], 1e-3);
+    EXPECT_EQ(eval_.counts().ccMult, 1u);
+    EXPECT_EQ(eval_.counts().relinearize, 1u);
+}
+
+TEST_F(EvaluatorTest, ThreePartCiphertextDecryptsWithoutRelin)
+{
+    const auto a = randomValues(2, 11);
+    const auto b = randomValues(2, 12);
+    const auto ct3 = eval_.mulNoRelin(enc(a), enc(b));
+    EXPECT_EQ(ct3.size(), 3u);
+    const auto prod = dec(ct3);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_NEAR(prod[i], a[i] * b[i], 1e-3);
+}
+
+TEST_F(EvaluatorTest, SquareActivation)
+{
+    const auto a = randomValues(3, 13);
+    auto ct = eval_.square(enc(a), relin_);
+    eval_.rescaleInplace(ct);
+    const auto sq = dec(ct);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_NEAR(sq[i], a[i] * a[i], 1e-3);
+}
+
+TEST_F(EvaluatorTest, MultiplicativeDepthThree)
+{
+    // ((x^2)^2) * x at decreasing levels exercises the full chain of
+    // mul -> relin -> rescale across three levels.
+    const auto a = randomValues(1.2, 14);
+    auto x = enc(a);
+    auto x2 = eval_.square(x, relin_);
+    eval_.rescaleInplace(x2);
+    auto x4 = eval_.square(x2, relin_);
+    eval_.rescaleInplace(x4);
+    auto x1 = eval_.modSwitchToLevel(x, x4.level());
+    // Align scales: x4.scale differs slightly from x1.scale.
+    auto x5 = eval_.mulNoRelin(x4, x1);
+    auto relined = eval_.relinearize(x5, relin_);
+    eval_.rescaleInplace(relined);
+    const auto got = dec(relined);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double expect = std::pow(a[i], 5);
+        EXPECT_NEAR(got[i], expect, 5e-2);
+    }
+}
+
+TEST_F(EvaluatorTest, MismatchedLevelsRejected)
+{
+    const auto a = randomValues(1, 15);
+    auto low = eval_.modSwitchToLevel(enc(a), 2);
+    EXPECT_THROW(eval_.add(enc(a), low), ConfigError);
+}
+
+TEST_F(EvaluatorTest, MismatchedScalesRejected)
+{
+    const auto a = randomValues(1, 16);
+    auto ct1 = enc(a);
+    auto ct2 = enc(a);
+    ct2.scale *= 2.0;
+    EXPECT_THROW(eval_.add(ct1, ct2), ConfigError);
+}
+
+TEST_F(EvaluatorTest, NegateFlipsSign)
+{
+    const auto a = randomValues(4, 17);
+    const auto got = dec(eval_.negate(enc(a)));
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_NEAR(got[i], -a[i], 1e-4);
+}
+
+TEST_F(EvaluatorTest, ModSwitchPreservesMessage)
+{
+    const auto a = randomValues(4, 18);
+    const auto ct = eval_.modSwitchToLevel(enc(a), 2);
+    EXPECT_EQ(ct.level(), 2u);
+    const auto got = dec(ct);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_NEAR(got[i], a[i], 1e-4);
+}
+
+TEST_F(EvaluatorTest, AddManySumsTreeWise)
+{
+    std::vector<Ciphertext> cts;
+    std::vector<double> expect(ctx_.slots(), 0.0);
+    for (std::uint64_t s = 0; s < 5; ++s) {
+        const auto v = randomValues(1.0, 30 + s);
+        for (std::size_t i = 0; i < v.size(); ++i)
+            expect[i] += v[i];
+        cts.push_back(enc(v));
+    }
+    const auto sum =
+        dec(eval_.addMany(std::span<const Ciphertext>(cts)));
+    for (std::size_t i = 0; i < expect.size(); ++i)
+        ASSERT_NEAR(sum[i], expect[i], 1e-3);
+}
+
+TEST_F(EvaluatorTest, AddManySingleOperandIsIdentity)
+{
+    const auto a = randomValues(2.0, 40);
+    std::vector<Ciphertext> one{enc(a)};
+    const auto got =
+        dec(eval_.addMany(std::span<const Ciphertext>(one)));
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_NEAR(got[i], a[i], 1e-4);
+}
+
+TEST_F(EvaluatorTest, MulScalarKeepsLevelAndScale)
+{
+    const auto a = randomValues(0.5, 41);
+    auto ct = enc(a);
+    const double scale_before = ct.scale;
+    const std::size_t level_before = ct.level();
+    eval_.mulScalarInplace(ct, -3);
+    EXPECT_EQ(ct.level(), level_before);
+    EXPECT_DOUBLE_EQ(ct.scale, scale_before);
+    const auto got = dec(ct);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_NEAR(got[i], -3.0 * a[i], 1e-3);
+}
+
+TEST_F(EvaluatorTest, OpCountsAccumulateAndReset)
+{
+    const auto a = randomValues(1, 19);
+    auto ct = enc(a);
+    eval_.resetCounts();
+    auto s = eval_.add(ct, ct);
+    auto sq = eval_.square(ct, relin_);
+    eval_.rescaleInplace(sq);
+    EXPECT_EQ(eval_.counts().ccAdd, 1u);
+    EXPECT_EQ(eval_.counts().ccMult, 1u);
+    EXPECT_EQ(eval_.counts().relinearize, 1u);
+    EXPECT_EQ(eval_.counts().rescale, 1u);
+    EXPECT_EQ(eval_.counts().total(), 4u);
+    EXPECT_EQ(eval_.counts().keySwitch(), 1u);
+    eval_.resetCounts();
+    EXPECT_EQ(eval_.counts().total(), 0u);
+}
+
+} // namespace
+} // namespace fxhenn::ckks

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "src/ckks/encryptor.hpp"
+#include "src/ckks/evaluator.hpp"
+#include "src/ckks/keygen.hpp"
+#include "src/ckks/noise.hpp"
+
+namespace fxhenn::ckks {
+namespace {
+
+class NoiseTest : public ::testing::Test
+{
+  protected:
+    NoiseTest()
+        : ctx_(testParams(1024, 5, 30)), rng_(321), keygen_(ctx_, rng_),
+          encoder_(ctx_),
+          encryptor_(ctx_, keygen_.makePublicKey(), rng_),
+          decryptor_(ctx_, keygen_.secretKey()), eval_(ctx_)
+    {}
+
+    Ciphertext
+    enc(const std::vector<double> &v, std::size_t level = 5)
+    {
+        return encryptor_.encrypt(encoder_.encode(
+            std::span<const double>(v), ctx_.params().scale, level));
+    }
+
+    CkksContext ctx_;
+    Rng rng_;
+    KeyGenerator keygen_;
+    Encoder encoder_;
+    Encryptor encryptor_;
+    Decryptor decryptor_;
+    Evaluator eval_;
+};
+
+TEST_F(NoiseTest, FreshCiphertextNoiseIsNearEstimate)
+{
+    std::vector<double> values{0.5, -0.25, 1.0};
+    const auto ct = enc(values);
+    const auto report = measureNoise(
+        ct, std::span<const double>(values), ctx_, decryptor_,
+        encoder_);
+    EXPECT_LT(report.maxAbsError, 1e-4);
+    // Within a few orders of the heuristic bound, and not above it
+    // by more than 8 bits.
+    const double estimate = freshNoiseEstimate(ctx_.params());
+    EXPECT_LT(report.errorBits, std::log2(estimate) + 8.0);
+}
+
+TEST_F(NoiseTest, NoiseGrowsThroughMultiplications)
+{
+    std::vector<double> values{0.9, 0.8, 0.7};
+    auto ct = enc(values);
+    const auto relin = keygen_.makeRelinKey();
+
+    const auto fresh = measureNoise(
+        ct, std::span<const double>(values), ctx_, decryptor_,
+        encoder_);
+
+    // Two squarings: x -> x^4 across two levels.
+    auto sq = eval_.square(ct, relin);
+    eval_.rescaleInplace(sq);
+    sq = eval_.square(sq, relin);
+    eval_.rescaleInplace(sq);
+    std::vector<double> quartic;
+    for (double v : values)
+        quartic.push_back(v * v * v * v);
+    const auto after = measureNoise(
+        sq, std::span<const double>(quartic), ctx_, decryptor_,
+        encoder_);
+
+    // Rescale divides the absolute noise by ~Delta each level, so the
+    // message-unit error stays the same order; what must not happen is
+    // noise collapse (decryption still approximates) or blow-up.
+    EXPECT_GT(after.errorBits, fresh.errorBits - 4.0);
+    EXPECT_LT(after.maxAbsError, 1e-3)
+        << "but stays usable at this depth";
+    // Depth consumption is visible as two dropped levels.
+    EXPECT_EQ(sq.level(), 3u);
+}
+
+TEST_F(NoiseTest, HeadroomShrinksWithLevel)
+{
+    // The same message at a lower level has fewer modulus bits above
+    // it.
+    std::vector<double> values{0.5};
+    const auto high = measureNoise(enc(values, 5),
+                                   std::span<const double>(values),
+                                   ctx_, decryptor_, encoder_);
+    const auto low = measureNoise(enc(values, 2),
+                                  std::span<const double>(values),
+                                  ctx_, decryptor_, encoder_);
+    EXPECT_GT(high.headroomBits, low.headroomBits);
+    EXPECT_GT(low.headroomBits, 0.0) << "message must still fit";
+}
+
+TEST_F(NoiseTest, OverflowIsVisibleInHeadroom)
+{
+    // A message near the level-1 capacity leaves almost no headroom.
+    const double big = std::pow(2.0, 25); // scale 2^30, q0 ~ 2^30
+    std::vector<double> values{big * 0.9};
+    auto ct = eval_.modSwitchToLevel(enc(values, 2), 1);
+    const auto report = measureNoise(
+        ct, std::span<const double>(values), ctx_, decryptor_,
+        encoder_);
+    EXPECT_LT(report.headroomBits, 8.0);
+}
+
+TEST_F(NoiseTest, EstimateScalesWithRingDegree)
+{
+    CkksParams small = testParams(1024, 3, 30);
+    CkksParams large = testParams(8192, 3, 30);
+    EXPECT_LT(freshNoiseEstimate(small), freshNoiseEstimate(large));
+}
+
+} // namespace
+} // namespace fxhenn::ckks

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "src/ckks/params.hpp"
+#include "src/common/assert.hpp"
+
+namespace fxhenn::ckks {
+namespace {
+
+TEST(CkksParams, PaperMnistSetMatchesSectionVIIA)
+{
+    const CkksParams p = mnistParams();
+    EXPECT_EQ(p.n, 8192u);
+    EXPECT_EQ(p.qBits, 30u);
+    EXPECT_EQ(p.levels, 7u);
+    EXPECT_DOUBLE_EQ(p.logQ(), 210.0);
+    EXPECT_EQ(p.securityLevel(), 128u) << "paper claims lambda = 128";
+    p.validate();
+}
+
+TEST(CkksParams, PaperCifar10SetMatchesSectionVIIA)
+{
+    const CkksParams p = cifar10Params();
+    EXPECT_EQ(p.n, 16384u);
+    EXPECT_EQ(p.qBits, 36u);
+    EXPECT_DOUBLE_EQ(p.logQ(), 252.0);
+    EXPECT_EQ(p.securityLevel(), 192u) << "paper claims lambda = 192";
+    p.validate();
+}
+
+TEST(CkksParams, ValidationCatchesNonsense)
+{
+    CkksParams p = mnistParams();
+    p.n = 1000; // not a power of two
+    EXPECT_THROW(p.validate(), ConfigError);
+
+    p = mnistParams();
+    p.qBits = 10;
+    EXPECT_THROW(p.validate(), ConfigError);
+
+    p = mnistParams();
+    p.specialBits = 20; // narrower than qBits
+    EXPECT_THROW(p.validate(), ConfigError);
+
+    p = mnistParams();
+    p.scale = 0.5;
+    EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(CkksParams, SecurityDegradesWithWiderQ)
+{
+    CkksParams p = mnistParams();
+    const unsigned base = p.securityLevel();
+    p.levels = 14; // logQ doubles
+    EXPECT_LT(p.securityLevel(), base);
+}
+
+TEST(CkksParams, DescribeMentionsKeyNumbers)
+{
+    const std::string d = mnistParams().describe();
+    EXPECT_NE(d.find("8192"), std::string::npos);
+    EXPECT_NE(d.find("210"), std::string::npos);
+}
+
+} // namespace
+} // namespace fxhenn::ckks

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "src/common/assert.hpp"
+
+#include <vector>
+
+#include "src/ckks/decryptor.hpp"
+#include "src/ckks/encoder.hpp"
+#include "src/ckks/encryptor.hpp"
+#include "src/ckks/evaluator.hpp"
+#include "src/ckks/keygen.hpp"
+#include "src/common/rng.hpp"
+
+namespace fxhenn::ckks {
+namespace {
+
+class RotationTest : public ::testing::Test
+{
+  protected:
+    RotationTest()
+        : ctx_(testParams(1024, 4, 30)), rng_(4242), keygen_(ctx_, rng_),
+          encoder_(ctx_),
+          encryptor_(ctx_, keygen_.makePublicKey(), rng_),
+          decryptor_(ctx_, keygen_.secretKey()), eval_(ctx_)
+    {}
+
+    Ciphertext
+    enc(const std::vector<double> &v)
+    {
+        return encryptor_.encrypt(encoder_.encode(
+            std::span<const double>(v), ctx_.params().scale, 4));
+    }
+
+    std::vector<double>
+    dec(const Ciphertext &ct)
+    {
+        return encoder_.decodeReal(decryptor_.decrypt(ct));
+    }
+
+    std::vector<double>
+    ramp()
+    {
+        std::vector<double> v(ctx_.slots());
+        for (std::size_t i = 0; i < v.size(); ++i)
+            v[i] = static_cast<double>(i % 97) * 0.125;
+        return v;
+    }
+
+    CkksContext ctx_;
+    Rng rng_;
+    KeyGenerator keygen_;
+    Encoder encoder_;
+    Encryptor encryptor_;
+    Decryptor decryptor_;
+    Evaluator eval_;
+};
+
+class RotationStepTest : public RotationTest,
+                         public ::testing::WithParamInterface<int>
+{};
+
+TEST_P(RotationStepTest, RotatesSlotsLeftByStep)
+{
+    const int step = GetParam();
+    auto gk = keygen_.makeGaloisKeys({step});
+    const auto values = ramp();
+    const auto rotated = dec(eval_.rotate(enc(values), step, gk));
+
+    const std::size_t n_slots = ctx_.slots();
+    for (std::size_t i = 0; i < n_slots; ++i) {
+        const std::size_t src =
+            (i + static_cast<std::size_t>(
+                     ((step % static_cast<long>(n_slots)) +
+                      static_cast<long>(n_slots)) %
+                     static_cast<long>(n_slots))) %
+            n_slots;
+        ASSERT_NEAR(rotated[i], values[src], 1e-3)
+            << "step=" << step << " slot=" << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Steps, RotationStepTest,
+                         ::testing::Values(1, 2, 3, 7, 64, 255, 511));
+
+TEST_F(RotationTest, ZeroStepIsIdentityWithoutKey)
+{
+    GaloisKeys empty;
+    const auto values = ramp();
+    const auto got = dec(eval_.rotate(enc(values), 0, empty));
+    for (std::size_t i = 0; i < values.size(); ++i)
+        EXPECT_NEAR(got[i], values[i], 1e-4);
+}
+
+TEST_F(RotationTest, MissingKeyIsRejected)
+{
+    GaloisKeys empty;
+    EXPECT_THROW(eval_.rotate(enc(ramp()), 3, empty), ConfigError);
+}
+
+TEST_F(RotationTest, ComposedRotationsAccumulate)
+{
+    auto gk = keygen_.makeGaloisKeys({1, 2});
+    const auto values = ramp();
+    auto ct = eval_.rotate(enc(values), 1, gk);
+    ct = eval_.rotate(ct, 2, gk);
+    const auto got = dec(ct);
+    const std::size_t n_slots = ctx_.slots();
+    for (std::size_t i = 0; i < n_slots; ++i)
+        ASSERT_NEAR(got[i], values[(i + 3) % n_slots], 1e-3);
+}
+
+TEST_F(RotationTest, RotateAndSumComputesTotal)
+{
+    // The LoLa fully connected layer primitive: log2(slots) rotate+add
+    // rounds leave the slot-sum in every slot.
+    std::vector<int> steps;
+    for (std::size_t s = 1; s < ctx_.slots(); s <<= 1)
+        steps.push_back(static_cast<int>(s));
+    auto gk = keygen_.makeGaloisKeys(steps);
+
+    std::vector<double> values(ctx_.slots(), 0.0);
+    double expect = 0.0;
+    Rng r(5);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        values[i] = r.uniformReal(-0.01, 0.01);
+        expect += values[i];
+    }
+
+    auto ct = enc(values);
+    for (std::size_t s = 1; s < ctx_.slots(); s <<= 1) {
+        auto rot = eval_.rotate(ct, static_cast<int>(s), gk);
+        eval_.addInplace(ct, rot);
+    }
+    const auto got = dec(ct);
+    EXPECT_NEAR(got[0], expect, 1e-2);
+    EXPECT_NEAR(got[ctx_.slots() / 2], expect, 1e-2);
+}
+
+TEST_F(RotationTest, ConjugateFlipsImaginaryParts)
+{
+    GaloisKeys gk;
+    keygen_.addConjugateKey(gk);
+    std::vector<std::complex<double>> values(ctx_.slots());
+    Rng r(6);
+    for (auto &v : values)
+        v = {r.uniformReal(-1, 1), r.uniformReal(-1, 1)};
+    const auto plain = encoder_.encode(
+        std::span<const std::complex<double>>(values),
+        ctx_.params().scale, 4);
+    const auto ct = encryptor_.encrypt(plain);
+    const auto conj = eval_.conjugate(ct, gk);
+    const auto got = encoder_.decode(decryptor_.decrypt(conj));
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        EXPECT_NEAR(got[i].real(), values[i].real(), 1e-3);
+        EXPECT_NEAR(got[i].imag(), -values[i].imag(), 1e-3);
+    }
+}
+
+TEST_F(RotationTest, HoistedRotationsMatchSequentialRotations)
+{
+    auto gk = keygen_.makeGaloisKeys({1, 3, 16});
+    const auto values = ramp();
+    const auto ct = enc(values);
+
+    const auto hoisted =
+        eval_.rotateHoisted(ct, {0, 1, 3, 16}, gk);
+    ASSERT_EQ(hoisted.size(), 4u);
+
+    const std::vector<int> steps{0, 1, 3, 16};
+    for (std::size_t s = 0; s < steps.size(); ++s) {
+        const auto expect =
+            steps[s] == 0 ? dec(ct)
+                          : dec(eval_.rotate(ct, steps[s], gk));
+        const auto got = dec(hoisted[s]);
+        for (std::size_t i = 0; i < got.size(); ++i)
+            ASSERT_NEAR(got[i], expect[i], 1e-3)
+                << "step " << steps[s] << " slot " << i;
+    }
+}
+
+TEST_F(RotationTest, HoistedRotateAndSumMatchesPlainSum)
+{
+    // The dense-layer access pattern: all log2 rotations of one
+    // ciphertext, produced with a single hoisted decomposition.
+    std::vector<int> steps;
+    for (std::size_t s = 1; s < ctx_.slots(); s <<= 1)
+        steps.push_back(static_cast<int>(s));
+    auto gk = keygen_.makeGaloisKeys(steps);
+
+    std::vector<double> values(ctx_.slots());
+    double expect = 0.0;
+    Rng r(9);
+    for (auto &v : values) {
+        v = r.uniformReal(-0.01, 0.01);
+        expect += v;
+    }
+
+    auto ct = enc(values);
+    // Note: rotate-and-sum rotates the running sum, so hoist per
+    // round over the current ciphertext (1 decomposition per round
+    // instead of 1 per rotation when fan-out > 1; here fan-out is 1,
+    // exercising the degenerate case).
+    for (int step : steps) {
+        auto rots = eval_.rotateHoisted(ct, {step}, gk);
+        eval_.addInplace(ct, rots[0]);
+    }
+    const auto got = dec(ct);
+    EXPECT_NEAR(got[0], expect, 1e-2);
+}
+
+TEST_F(RotationTest, HoistedMissingKeyRejected)
+{
+    GaloisKeys empty;
+    EXPECT_THROW(eval_.rotateHoisted(enc(ramp()), {5}, empty),
+                 ConfigError);
+}
+
+TEST_F(RotationTest, RotationAfterMultiplySurvivesRescale)
+{
+    auto rk = keygen_.makeRelinKey();
+    auto gk = keygen_.makeGaloisKeys({4});
+    const auto values = ramp();
+    auto ct = enc(values);
+    ct = eval_.square(ct, rk);
+    eval_.rescaleInplace(ct);
+    ct = eval_.rotate(ct, 4, gk);
+    const auto got = dec(ct);
+    const std::size_t n_slots = ctx_.slots();
+    for (std::size_t i = 0; i < n_slots; ++i) {
+        const double expect =
+            values[(i + 4) % n_slots] * values[(i + 4) % n_slots];
+        ASSERT_NEAR(got[i], expect, 1e-2);
+    }
+}
+
+} // namespace
+} // namespace fxhenn::ckks

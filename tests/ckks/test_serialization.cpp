@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "src/common/assert.hpp"
+
+#include <sstream>
+
+#include "src/ckks/decryptor.hpp"
+#include "src/ckks/encoder.hpp"
+#include "src/ckks/encryptor.hpp"
+#include "src/ckks/evaluator.hpp"
+#include "src/ckks/keygen.hpp"
+#include "src/ckks/serialization.hpp"
+#include "src/ckks/size_model.hpp"
+
+namespace fxhenn::ckks {
+namespace {
+
+class SerializationTest : public ::testing::Test
+{
+  protected:
+    SerializationTest()
+        : ctx_(testParams(1024, 4, 30)), rng_(55), keygen_(ctx_, rng_),
+          encoder_(ctx_),
+          encryptor_(ctx_, keygen_.makePublicKey(), rng_),
+          decryptor_(ctx_, keygen_.secretKey())
+    {}
+
+    Ciphertext
+    sampleCt()
+    {
+        std::vector<double> values{1.25, -2.5, 3.75};
+        return encryptor_.encrypt(encoder_.encode(
+            std::span<const double>(values), ctx_.params().scale, 4));
+    }
+
+    CkksContext ctx_;
+    Rng rng_;
+    KeyGenerator keygen_;
+    Encoder encoder_;
+    Encryptor encryptor_;
+    Decryptor decryptor_;
+};
+
+TEST_F(SerializationTest, CiphertextRoundTripPreservesEverything)
+{
+    const Ciphertext ct = sampleCt();
+    std::stringstream ss;
+    saveCiphertext(ct, ctx_, ss);
+    const Ciphertext loaded = loadCiphertext(ctx_, ss);
+
+    ASSERT_EQ(loaded.parts.size(), ct.parts.size());
+    EXPECT_DOUBLE_EQ(loaded.scale, ct.scale);
+    for (std::size_t i = 0; i < ct.parts.size(); ++i)
+        EXPECT_TRUE(loaded.parts[i] == ct.parts[i]);
+
+    const auto vals = encoder_.decodeReal(decryptor_.decrypt(loaded));
+    EXPECT_NEAR(vals[0], 1.25, 1e-4);
+    EXPECT_NEAR(vals[1], -2.5, 1e-4);
+}
+
+TEST_F(SerializationTest, PlaintextRoundTrip)
+{
+    std::vector<double> values{0.5, 0.25};
+    const auto pt = encoder_.encode(std::span<const double>(values),
+                                    ctx_.params().scale, 3);
+    std::stringstream ss;
+    savePlaintext(pt, ctx_, ss);
+    const auto loaded = loadPlaintext(ctx_, ss);
+    EXPECT_TRUE(loaded.poly == pt.poly);
+    EXPECT_DOUBLE_EQ(loaded.scale, pt.scale);
+}
+
+TEST_F(SerializationTest, KeysRoundTripAndStillWork)
+{
+    // Ship a public key + relin key + Galois keys through the wire
+    // format and use the loaded copies for a real computation.
+    const PublicKey pk = keygen_.makePublicKey();
+    const RelinKey rk = keygen_.makeRelinKey();
+    const GaloisKeys gk = keygen_.makeGaloisKeys({2});
+
+    std::stringstream ss;
+    savePublicKey(pk, ctx_, ss);
+    saveRelinKey(rk, ctx_, ss);
+    saveGaloisKeys(gk, ctx_, ss);
+
+    const PublicKey pk2 = loadPublicKey(ctx_, ss);
+    const RelinKey rk2 = loadRelinKey(ctx_, ss);
+    const GaloisKeys gk2 = loadGaloisKeys(ctx_, ss);
+    EXPECT_EQ(gk2.keys.size(), gk.keys.size());
+
+    Encryptor enc2(ctx_, pk2, rng_);
+    Evaluator eval(ctx_);
+    std::vector<double> values(ctx_.slots());
+    for (std::size_t i = 0; i < values.size(); ++i)
+        values[i] = 0.001 * static_cast<double>(i % 50);
+    auto ct = enc2.encrypt(encoder_.encode(
+        std::span<const double>(values), ctx_.params().scale, 4));
+
+    auto sq = eval.square(ct, rk2);
+    eval.rescaleInplace(sq);
+    auto rot = eval.rotate(sq, 2, gk2);
+    const auto got = encoder_.decodeReal(decryptor_.decrypt(rot));
+    for (std::size_t i = 0; i + 2 < 20; ++i) {
+        const double expect = values[i + 2] * values[i + 2];
+        ASSERT_NEAR(got[i], expect, 1e-3) << i;
+    }
+}
+
+TEST_F(SerializationTest, RejectsWrongContext)
+{
+    const Ciphertext ct = sampleCt();
+    std::stringstream ss;
+    saveCiphertext(ct, ctx_, ss);
+
+    CkksContext other(testParams(2048, 4, 30));
+    EXPECT_THROW(loadCiphertext(other, ss), ConfigError);
+}
+
+TEST_F(SerializationTest, RejectsWrongObjectType)
+{
+    const Ciphertext ct = sampleCt();
+    std::stringstream ss;
+    saveCiphertext(ct, ctx_, ss);
+    EXPECT_THROW(loadPublicKey(ctx_, ss), ConfigError);
+}
+
+TEST_F(SerializationTest, RejectsGarbageAndTruncation)
+{
+    std::stringstream garbage("this is not a ciphertext");
+    EXPECT_THROW(loadCiphertext(ctx_, garbage), ConfigError);
+
+    const Ciphertext ct = sampleCt();
+    std::stringstream ss;
+    saveCiphertext(ct, ctx_, ss);
+    const std::string full = ss.str();
+    std::stringstream truncated(full.substr(0, full.size() / 2));
+    EXPECT_THROW(loadCiphertext(ctx_, truncated), ConfigError);
+}
+
+TEST_F(SerializationTest, WireSizeTracksSizeModel)
+{
+    const Ciphertext ct = sampleCt();
+    std::stringstream ss;
+    saveCiphertext(ct, ctx_, ss);
+    const std::size_t wire = ss.str().size();
+    const std::size_t model = ciphertextBytes(ctx_.params(), 4);
+    // Payload dominates; the framing overhead is < 1 KiB.
+    EXPECT_GE(wire, model);
+    EXPECT_LT(wire, model + 1024);
+}
+
+} // namespace
+} // namespace fxhenn::ckks

@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "src/common/math_util.hpp"
+
+namespace fxhenn {
+namespace {
+
+TEST(MathUtil, PowerOfTwoDetection)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 40));
+    EXPECT_FALSE(isPowerOfTwo((1ull << 40) + 1));
+}
+
+TEST(MathUtil, FloorAndCeilLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+    EXPECT_EQ(floorLog2(~0ull), 63u);
+}
+
+TEST(MathUtil, DivCeil)
+{
+    EXPECT_EQ(divCeil(10, 5), 2u);
+    EXPECT_EQ(divCeil(11, 5), 3u);
+    EXPECT_EQ(divCeil(1, 7), 1u);
+    EXPECT_EQ(divCeil(0, 7), 0u);
+}
+
+TEST(MathUtil, ReverseBits)
+{
+    EXPECT_EQ(reverseBits(0b001, 3), 0b100u);
+    EXPECT_EQ(reverseBits(0b110, 3), 0b011u);
+    EXPECT_EQ(reverseBits(1, 13), 1ull << 12);
+    // Involution property on a sample of widths/values.
+    for (unsigned bits = 1; bits <= 16; ++bits) {
+        for (std::uint64_t v : {0ull, 1ull, 5ull, 100ull}) {
+            const std::uint64_t masked = v & ((1ull << bits) - 1);
+            EXPECT_EQ(reverseBits(reverseBits(masked, bits), bits), masked);
+        }
+    }
+}
+
+} // namespace
+} // namespace fxhenn

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "src/common/assert.hpp"
+#include "src/common/parallel.hpp"
+
+namespace fxhenn {
+namespace {
+
+TEST(Parallel, RunsEveryIndexExactlyOnce)
+{
+    std::vector<std::atomic<int>> hits(1000);
+    parallelFor(hits.size(),
+                [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, ZeroCountIsNoOp)
+{
+    bool ran = false;
+    parallelFor(0, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(Parallel, SerialModeMatchesParallelResults)
+{
+    auto compute = [](std::vector<double> &out) {
+        parallelFor(out.size(), [&](std::size_t i) {
+            double acc = 0.0;
+            for (int k = 0; k < 100; ++k)
+                acc += static_cast<double>(i * k % 17);
+            out[i] = acc;
+        });
+    };
+    std::vector<double> parallel_out(256), serial_out(256);
+    const unsigned original = threadCount();
+    compute(parallel_out);
+    setThreadCount(1);
+    compute(serial_out);
+    setThreadCount(original);
+    EXPECT_EQ(parallel_out, serial_out);
+}
+
+TEST(Parallel, NestedCallsExecuteInline)
+{
+    std::atomic<int> total{0};
+    parallelFor(8, [&](std::size_t) {
+        parallelFor(8, [&](std::size_t) { total.fetch_add(1); });
+    });
+    EXPECT_EQ(total.load(), 64);
+}
+
+TEST(Parallel, ExceptionsPropagate)
+{
+    EXPECT_THROW(parallelFor(16,
+                             [](std::size_t i) {
+                                 if (i == 7)
+                                     throw ConfigError("boom");
+                             }),
+                 ConfigError);
+}
+
+TEST(Parallel, ThreadCountIsConfigurable)
+{
+    const unsigned original = threadCount();
+    setThreadCount(3);
+    EXPECT_EQ(threadCount(), 3u);
+    setThreadCount(0); // clamps to 1
+    EXPECT_EQ(threadCount(), 1u);
+    setThreadCount(original);
+}
+
+} // namespace
+} // namespace fxhenn

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.hpp"
+
+namespace fxhenn {
+namespace {
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42), b(42), c(43);
+    bool all_equal = true;
+    bool any_diff_seed = false;
+    for (int i = 0; i < 100; ++i) {
+        const auto va = a.next();
+        all_equal &= (va == b.next());
+        any_diff_seed |= (va != c.next());
+    }
+    EXPECT_TRUE(all_equal);
+    EXPECT_TRUE(any_diff_seed);
+}
+
+TEST(Rng, UniformRespectsBound)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 17ull, 1000003ull}) {
+        for (int i = 0; i < 200; ++i)
+            ASSERT_LT(rng.uniform(bound), bound);
+    }
+}
+
+TEST(Rng, UniformCoversRange)
+{
+    Rng rng(11);
+    std::vector<int> histogram(8, 0);
+    for (int i = 0; i < 8000; ++i)
+        ++histogram[rng.uniform(8)];
+    for (int count : histogram) {
+        EXPECT_GT(count, 800);  // expect ~1000 per bucket
+        EXPECT_LT(count, 1200);
+    }
+}
+
+TEST(Rng, UniformRealInUnitInterval)
+{
+    Rng rng(3);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.uniformReal();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMomentsRoughlyCorrect)
+{
+    Rng rng(5);
+    const double sigma = 3.2;
+    double sum = 0.0, sum_sq = 0.0;
+    const int samples = 20000;
+    for (int i = 0; i < samples; ++i) {
+        const double v = static_cast<double>(rng.gaussian(sigma));
+        sum += v;
+        sum_sq += v * v;
+    }
+    const double mean = sum / samples;
+    const double var = sum_sq / samples - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.1);
+    EXPECT_NEAR(std::sqrt(var), sigma, 0.2);
+}
+
+TEST(Rng, TernaryOnlyProducesMinusOneZeroOne)
+{
+    Rng rng(9);
+    int counts[3] = {0, 0, 0};
+    for (int i = 0; i < 3000; ++i) {
+        const auto v = rng.ternary();
+        ASSERT_GE(v, -1);
+        ASSERT_LE(v, 1);
+        ++counts[v + 1];
+    }
+    for (int c : counts)
+        EXPECT_GT(c, 800);
+}
+
+} // namespace
+} // namespace fxhenn

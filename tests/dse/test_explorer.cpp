@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "src/dse/explorer.hpp"
+#include "src/dse/pareto.hpp"
+#include "src/hecnn/compiler.hpp"
+#include "src/nn/model_zoo.hpp"
+
+namespace fxhenn::dse {
+namespace {
+
+class ExplorerTest : public ::testing::Test
+{
+  protected:
+    ExplorerTest()
+        : plan_(hecnn::compile(nn::buildMnistNetwork(),
+                               ckks::mnistParams())),
+          device_(fpga::acu9eg())
+    {}
+
+    hecnn::HeNetworkPlan plan_;
+    fpga::DeviceSpec device_;
+};
+
+TEST_F(ExplorerTest, FindsFeasibleOptimum)
+{
+    const auto result = explore(plan_, device_);
+    ASSERT_TRUE(result.best.has_value());
+    EXPECT_GT(result.evaluated, 0u);
+    EXPECT_LE(result.best->dspFraction, 1.0);
+    EXPECT_LE(result.best->bramFraction, 1.0);
+    // MNIST must land in the sub-second regime (paper: 0.24 s).
+    EXPECT_LT(result.best->latencySeconds, 1.0);
+    EXPECT_GT(result.best->latencySeconds, 0.005);
+}
+
+TEST_F(ExplorerTest, OptimumBeatsEveryEnumeratedPoint)
+{
+    ExploreOptions opts;
+    opts.collectAll = true;
+    const auto result = explore(plan_, device_, opts);
+    ASSERT_TRUE(result.best.has_value());
+    for (const auto &point : result.all) {
+        EXPECT_GE(point.latencySeconds,
+                  result.best->latencySeconds - 1e-12);
+    }
+}
+
+TEST_F(ExplorerTest, TinyBramBudgetShrinksTheSpace)
+{
+    // Fig. 9: with a small BRAM budget only few (slow) designs exist.
+    ExploreOptions small, large;
+    small.collectAll = large.collectAll = true;
+    small.bramBudgetBlocks = 460.0;
+    large.bramBudgetBlocks = 1500.0;
+    const auto r_small = explore(plan_, device_, small);
+    const auto r_large = explore(plan_, device_, large);
+    ASSERT_TRUE(r_small.best.has_value());
+    ASSERT_TRUE(r_large.best.has_value());
+    EXPECT_LT(r_small.all.size(), r_large.all.size());
+    EXPECT_GE(r_small.best->latencySeconds,
+              r_large.best->latencySeconds);
+}
+
+TEST_F(ExplorerTest, InfeasibleBudgetYieldsNoPoint)
+{
+    ExploreOptions opts;
+    opts.bramBudgetBlocks = 10.0;
+    const auto result = explore(plan_, device_, opts);
+    EXPECT_FALSE(result.best.has_value());
+    EXPECT_GT(result.pruned, 0u);
+}
+
+TEST_F(ExplorerTest, LargerDeviceIsNoSlower)
+{
+    const auto small = explore(plan_, fpga::acu9eg());
+    const auto large = explore(plan_, fpga::acu15eg());
+    ASSERT_TRUE(small.best && large.best);
+    EXPECT_LE(large.best->latencySeconds,
+              small.best->latencySeconds + 1e-12);
+}
+
+TEST_F(ExplorerTest, SearchSpaceIsAFewThousandPoints)
+{
+    // Sec. VI-B: "a few thousand design points ... within seconds".
+    const auto result = explore(plan_, device_);
+    const std::size_t space = result.evaluated + result.pruned;
+    EXPECT_GT(space, 1000u);
+    EXPECT_LT(space, 1000000u);
+}
+
+TEST(Pareto, FrontIsNonDominatedAndSorted)
+{
+    std::vector<ParetoSample> pts{{500, 1.0}, {400, 2.0}, {600, 0.5},
+                                  {450, 1.5}, {400, 1.8}, {700, 0.6}};
+    const auto front = paretoFront(pts);
+    ASSERT_FALSE(front.empty());
+    for (std::size_t i = 0; i < front.size(); ++i) {
+        for (std::size_t j = 0; j < front.size(); ++j) {
+            if (i != j)
+                EXPECT_FALSE(dominates(front[i], front[j]));
+        }
+        if (i > 0) {
+            EXPECT_GT(front[i].bramBlocks, front[i - 1].bramBlocks);
+            EXPECT_LT(front[i].latencySeconds,
+                      front[i - 1].latencySeconds);
+        }
+    }
+    // Every input point must be dominated by or equal to some front
+    // point.
+    for (const auto &p : pts) {
+        bool covered = false;
+        for (const auto &f : front)
+            covered |= !dominates(p, f);
+        EXPECT_TRUE(covered);
+    }
+}
+
+TEST(Pareto, DominanceIsStrict)
+{
+    EXPECT_TRUE(dominates({100, 1.0}, {200, 2.0}));
+    EXPECT_TRUE(dominates({100, 1.0}, {100, 2.0}));
+    EXPECT_FALSE(dominates({100, 1.0}, {100, 1.0}));
+    EXPECT_FALSE(dominates({100, 2.0}, {200, 1.0}));
+}
+
+} // namespace
+} // namespace fxhenn::dse

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "src/common/assert.hpp"
+#include "src/fpga/device.hpp"
+#include "src/fpga/op_model.hpp"
+
+namespace fxhenn::fpga {
+namespace {
+
+/** Table I context: ACU9EG, N = 8192, L = 7, 300 MHz. */
+constexpr RingView kMnistRing{8192, 7};
+
+double
+msOf(double cycles)
+{
+    return cycles / (300.0e6) * 1e3;
+}
+
+TEST(OpModel, NttLatencyFollowsEq4)
+{
+    // Eq. 4: LAT_NTT = log2(N) * N / (2 * nc).
+    EXPECT_DOUBLE_EQ(nttLatencyCycles(8192, 2), 13.0 * 8192 / 4.0);
+    EXPECT_DOUBLE_EQ(nttLatencyCycles(8192, 4), 13.0 * 8192 / 8.0);
+    // Doubling the cores halves the latency.
+    EXPECT_DOUBLE_EQ(nttLatencyCycles(16384, 4),
+                     2.0 * nttLatencyCycles(16384, 8));
+}
+
+TEST(OpModel, TableILatenciesWithinTolerance)
+{
+    // Table I on ACU9EG; we require every entry within 20 % of the
+    // published measurement (observed: all within ~12 %).
+    struct Row { HeOpModule op; unsigned nc; double paperMs; };
+    const Row rows[] = {
+        {HeOpModule::ccAdd, 2, 0.25},   {HeOpModule::pcMult, 2, 0.25},
+        {HeOpModule::ccMult, 2, 0.25},  {HeOpModule::rescale, 2, 1.19},
+        {HeOpModule::rescale, 4, 0.68}, {HeOpModule::rescale, 8, 0.34},
+        {HeOpModule::keySwitch, 2, 3.17},
+        {HeOpModule::keySwitch, 4, 1.60},
+        {HeOpModule::keySwitch, 8, 0.81},
+    };
+    for (const auto &row : rows) {
+        const OpAllocation alloc{row.nc, 1, 1};
+        const double ms =
+            msOf(singleOpLatencyCycles(row.op, kMnistRing, alloc));
+        EXPECT_NEAR(ms, row.paperMs, row.paperMs * 0.20)
+            << moduleName(row.op) << " nc=" << row.nc;
+    }
+}
+
+TEST(OpModel, TableIDspWithinTolerance)
+{
+    // Table I DSP percentages of 2520 slices.
+    struct Row { HeOpModule op; unsigned nc; double paperPct; };
+    const Row rows[] = {
+        {HeOpModule::ccAdd, 2, 0.0},    {HeOpModule::pcMult, 2, 3.97},
+        {HeOpModule::ccMult, 2, 3.97},  {HeOpModule::rescale, 2, 4.44},
+        {HeOpModule::rescale, 4, 7.30}, {HeOpModule::rescale, 8, 13.01},
+        {HeOpModule::keySwitch, 2, 10.08},
+        {HeOpModule::keySwitch, 4, 19.01},
+        {HeOpModule::keySwitch, 8, 28.61},
+    };
+    for (const auto &row : rows) {
+        const double pct =
+            100.0 * dspConst(row.op, row.nc) / 2520.0;
+        EXPECT_NEAR(pct, row.paperPct,
+                    std::max(row.paperPct * 0.20, 0.5))
+            << moduleName(row.op) << " nc=" << row.nc;
+    }
+}
+
+TEST(OpModel, BramStepsOnlyAtEightCores)
+{
+    // The dual-port observation: BRAM stays flat from nc 2 -> 4 and
+    // doubles at nc = 8 (Table I).
+    EXPECT_EQ(limbBufferBlocks(8192, 2), limbBufferBlocks(8192, 4));
+    EXPECT_EQ(limbBufferBlocks(8192, 8), 2 * limbBufferBlocks(8192, 4));
+    EXPECT_EQ(limbBufferBlocks(8192, 2), 8u);
+    EXPECT_EQ(limbBufferBlocks(16384, 2), 16u);
+}
+
+TEST(OpModel, Eq7DspScalesLinearly)
+{
+    for (auto op : {HeOpModule::pcMult, HeOpModule::rescale,
+                    HeOpModule::keySwitch}) {
+        const unsigned base = dspUsage(op, {2, 1, 1});
+        EXPECT_EQ(dspUsage(op, {2, 2, 1}), 2 * base);
+        EXPECT_EQ(dspUsage(op, {2, 1, 3}), 3 * base);
+        EXPECT_EQ(dspUsage(op, {2, 2, 3}), 6 * base);
+    }
+}
+
+TEST(OpModel, Eq3IntervalShrinksWithIntra)
+{
+    // PI = ceil(L/P_intra) * LAT_b: with L = 7, intra 1/2/4/7 give
+    // 7/4/2/1 rounds.
+    const double lat_b =
+        basicLatencyCycles(HeOpModule::rescale, kMnistRing, 2);
+    EXPECT_DOUBLE_EQ(pipelineIntervalCycles(HeOpModule::rescale,
+                                            kMnistRing, {2, 1, 1}),
+                     7 * lat_b);
+    EXPECT_DOUBLE_EQ(pipelineIntervalCycles(HeOpModule::rescale,
+                                            kMnistRing, {2, 2, 1}),
+                     4 * lat_b);
+    EXPECT_DOUBLE_EQ(pipelineIntervalCycles(HeOpModule::rescale,
+                                            kMnistRing, {2, 4, 1}),
+                     2 * lat_b);
+    EXPECT_DOUBLE_EQ(pipelineIntervalCycles(HeOpModule::rescale,
+                                            kMnistRing, {2, 7, 1}),
+                     1 * lat_b);
+}
+
+TEST(OpModel, IntraThreeWastesParallelCopies)
+{
+    // Sec. V-B / Fig. 4: for L = 4, P_intra = 3 gives the same interval
+    // as P_intra = 2 (ceil(4/3) = ceil(4/2) = 2 rounds).
+    const RingView ring{8192, 4};
+    EXPECT_DOUBLE_EQ(
+        pipelineIntervalCycles(HeOpModule::rescale, ring, {2, 3, 1}),
+        pipelineIntervalCycles(HeOpModule::rescale, ring, {2, 2, 1}));
+    EXPECT_LT(
+        pipelineIntervalCycles(HeOpModule::rescale, ring, {2, 4, 1}),
+        pipelineIntervalCycles(HeOpModule::rescale, ring, {2, 3, 1}));
+}
+
+TEST(OpModel, KeySwitchDominatesOffChipPenalty)
+{
+    // Table III: Fc1 (KeySwitch heavy) degrades ~140X off-chip while
+    // Cnv1 degrades ~16X.
+    EXPECT_GT(offChipPenalty(HeOpModule::keySwitch), 100.0);
+    EXPECT_LT(offChipPenalty(HeOpModule::rescale), 30.0);
+}
+
+TEST(OpModel, ModMulsGrowWithLevelAndDegree)
+{
+    const RingView small{8192, 3};
+    const RingView big{8192, 7};
+    for (auto op : {HeOpModule::pcMult, HeOpModule::rescale,
+                    HeOpModule::keySwitch}) {
+        EXPECT_LT(opModMuls(op, small), opModMuls(op, big))
+            << moduleName(op);
+    }
+    EXPECT_EQ(opModMuls(HeOpModule::ccAdd, big), 0.0);
+}
+
+TEST(OpModel, UramConversionRatio)
+{
+    // Sec. VI-A: ratio 1 below 1K words/tile, num/1K between, 4 above.
+    const DeviceSpec d = acu15eg();
+    EXPECT_DOUBLE_EQ(d.effectiveBramBlocks(512),
+                     744.0 + 112.0 * 1.0);
+    EXPECT_DOUBLE_EQ(d.effectiveBramBlocks(2048),
+                     744.0 + 112.0 * 2.0);
+    EXPECT_DOUBLE_EQ(d.effectiveBramBlocks(8192),
+                     744.0 + 112.0 * 4.0);
+}
+
+TEST(OpModel, DeviceSpecsMatchPaper)
+{
+    EXPECT_EQ(acu9eg().dspSlices, 2520u);
+    EXPECT_EQ(acu9eg().bram36kBlocks, 912u);
+    EXPECT_EQ(acu9eg().uramBlocks, 0u);
+    EXPECT_EQ(acu15eg().dspSlices, 3528u);
+    EXPECT_GT(fpl21Device().dspSlices, acu15eg().dspSlices);
+    EXPECT_DOUBLE_EQ(acu9eg().tdpWatts, 10.0);
+}
+
+} // namespace
+} // namespace fxhenn::fpga

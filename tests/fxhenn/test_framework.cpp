@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "src/fxhenn/codegen.hpp"
+#include "src/fxhenn/framework.hpp"
+#include "src/fxhenn/report.hpp"
+#include "src/nn/model_zoo.hpp"
+
+namespace fxhenn {
+namespace {
+
+TEST(Framework, GeneratesMnistSolutionOnBothDevices)
+{
+    const auto net = nn::buildMnistNetwork();
+    const auto s9 =
+        Fxhenn::generate(net, ckks::mnistParams(), fpga::acu9eg());
+    const auto s15 =
+        Fxhenn::generate(net, ckks::mnistParams(), fpga::acu15eg());
+
+    // Paper Table VII: 0.24 s / 0.19 s — sub-second on both, with the
+    // larger device no slower.
+    EXPECT_LT(s9.latencySeconds(), 1.0);
+    EXPECT_LE(s15.latencySeconds(), s9.latencySeconds());
+    EXPECT_GT(s9.dsePointsEvaluated, 0u);
+}
+
+TEST(Framework, Cifar10IsTwoOrdersSlowerThanMnist)
+{
+    FxhennOptions opts;
+    opts.elideValues = true;
+    const auto mnist = Fxhenn::generate(
+        nn::buildMnistNetwork(), ckks::mnistParams(), fpga::acu15eg());
+    const auto cifar =
+        Fxhenn::generate(nn::buildCifar10Network(), ckks::cifar10Params(),
+                         fpga::acu15eg(), opts);
+    const double ratio =
+        cifar.latencySeconds() / mnist.latencySeconds();
+    EXPECT_GT(ratio, 50.0);
+    EXPECT_LT(ratio, 5000.0);
+}
+
+TEST(Framework, EnergyUsesDeviceTdp)
+{
+    const auto net = nn::buildMnistNetwork();
+    const auto dev = fpga::acu9eg();
+    const auto sol = Fxhenn::generate(net, ckks::mnistParams(), dev);
+    EXPECT_DOUBLE_EQ(sol.energyJoules(dev),
+                     sol.latencySeconds() * 10.0);
+}
+
+TEST(Framework, BaselineIsSlowerThanOptimized)
+{
+    const auto net = nn::buildMnistNetwork();
+    const auto dev = fpga::acu9eg();
+    const auto sol = Fxhenn::generate(net, ckks::mnistParams(), dev);
+    const auto base =
+        Fxhenn::generateBaseline(net, ckks::mnistParams(), dev);
+    EXPECT_GT(base.latencySeconds, sol.latencySeconds());
+}
+
+TEST(Framework, LutEstimateIsTrackedAndNonBinding)
+{
+    // The paper optimizes DSP/BRAM as the binding resources; the LUT
+    // estimate must be reported but stay clear of the capacity at the
+    // selected optimum.
+    const auto dev = fpga::acu9eg();
+    const auto sol = Fxhenn::generate(
+        nn::buildMnistNetwork(), ckks::mnistParams(), dev);
+    EXPECT_GT(sol.design.perf.lutPhysical, 0u);
+    EXPECT_LT(sol.design.perf.lutPhysical, dev.luts / 2);
+}
+
+TEST(Report, ContainsEverySectionAndLayer)
+{
+    const auto dev = fpga::acu9eg();
+    const auto sol = Fxhenn::generate(
+        nn::buildMnistNetwork(), ckks::mnistParams(), dev);
+    const std::string md = renderDesignReport(sol, dev);
+    for (const char *needle :
+         {"# FxHENN design report", "## Resource summary",
+          "## HE operation modules", "## Per-layer breakdown",
+          "## Workload", "Cnv1", "Fc1", "Fc2", "KeySwitch",
+          "BRAM36K"})
+        EXPECT_NE(md.find(needle), std::string::npos) << needle;
+}
+
+TEST(Report, LayerSharesSumToRoughlyOneHundredPercent)
+{
+    const auto dev = fpga::acu9eg();
+    const auto sol = Fxhenn::generate(
+        nn::buildMnistNetwork(), ckks::mnistParams(), dev);
+    double total = 0.0;
+    for (const auto &lp : sol.design.perf.layers)
+        total += lp.cycles;
+    EXPECT_NEAR(total / sol.design.perf.totalCycles, 1.0, 1e-9);
+}
+
+TEST(Codegen, DirectivesMentionEveryModuleAndKnob)
+{
+    const auto sol = Fxhenn::generate(
+        nn::buildMnistNetwork(), ckks::mnistParams(), fpga::acu9eg());
+    const std::string tcl = renderHlsDirectives(sol);
+    for (const char *label : {"OP1", "OP2", "OP3", "OP4", "OP5"})
+        EXPECT_NE(tcl.find(label), std::string::npos) << label;
+    EXPECT_NE(tcl.find("set_directive_array_partition"),
+              std::string::npos);
+    EXPECT_NE(tcl.find("set_directive_unroll"), std::string::npos);
+    EXPECT_NE(tcl.find("set_directive_pipeline"), std::string::npos);
+}
+
+TEST(Codegen, ConfigHeaderCarriesParameters)
+{
+    const auto sol = Fxhenn::generate(
+        nn::buildMnistNetwork(), ckks::mnistParams(), fpga::acu9eg());
+    const std::string hdr = renderConfigHeader(sol);
+    EXPECT_NE(hdr.find("kPolyDegree = 8192"), std::string::npos);
+    EXPECT_NE(hdr.find("kLevels = 7"), std::string::npos);
+    EXPECT_NE(hdr.find("kNcNttKeyswitch"), std::string::npos);
+}
+
+TEST(Codegen, WriteAcceleratorProducesFiles)
+{
+    const auto sol = Fxhenn::generate(
+        nn::buildMnistNetwork(), ckks::mnistParams(), fpga::acu9eg());
+    const std::string dir = "codegen_test_out";
+    const auto [tcl, hdr] = writeAccelerator(sol, dir);
+    EXPECT_TRUE(std::filesystem::exists(tcl));
+    EXPECT_TRUE(std::filesystem::exists(hdr));
+    std::ifstream f(tcl);
+    std::string first;
+    std::getline(f, first);
+    EXPECT_NE(first.find("FxHENN"), std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
+} // namespace
+} // namespace fxhenn

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "src/common/assert.hpp"
+
+#include <sstream>
+
+#include "src/hecnn/compiler.hpp"
+#include "src/hecnn/plan_printer.hpp"
+#include "src/nn/model_zoo.hpp"
+
+namespace fxhenn::hecnn {
+namespace {
+
+TEST(PlanPrinter, SummaryListsEveryLayerAndTotals)
+{
+    const auto plan =
+        compile(nn::buildMnistNetwork(), ckks::mnistParams());
+    std::ostringstream oss;
+    summarize(plan, oss);
+    const std::string out = oss.str();
+    for (const char *name : {"Cnv1", "Act1", "Fc1", "Act2", "Fc2",
+                             "Total", "KS", "NKS"})
+        EXPECT_NE(out.find(name), std::string::npos) << name;
+    EXPECT_NE(out.find("FxHENN-MNIST"), std::string::npos);
+}
+
+TEST(PlanPrinter, FormatInstrCoversEveryOpcode)
+{
+    EXPECT_EQ(formatInstr({HeOpKind::pcMult, 5, 2, 17, 0}),
+              "PCmult r5 <- r2 * pt17");
+    EXPECT_EQ(formatInstr({HeOpKind::pcAdd, 1, 1, 3, 0}),
+              "PCadd r1 <- r1 + pt3");
+    EXPECT_EQ(formatInstr({HeOpKind::ccAdd, 4, 7, -1, 0}),
+              "CCadd r4 += r7");
+    EXPECT_EQ(formatInstr({HeOpKind::ccMult, 2, 2, -1, 0}),
+              "CCmult r2 <- r2^2");
+    EXPECT_EQ(formatInstr({HeOpKind::relinearize, 2, 2, -1, 0}),
+              "Relinearize r2 <- r2");
+    EXPECT_EQ(formatInstr({HeOpKind::rescale, 2, 2, -1, 0}),
+              "Rescale r2 <- r2");
+    EXPECT_EQ(formatInstr({HeOpKind::rotate, 9, 8, -1, -12}),
+              "Rotate r9 <- rot(r8, -12)");
+    EXPECT_EQ(formatInstr({HeOpKind::copy, 3, 1, -1, 0}),
+              "Copy r3 <- r1");
+}
+
+TEST(PlanPrinter, DisassembleTruncatesAtLimit)
+{
+    const auto plan =
+        compile(nn::buildMnistNetwork(), ckks::mnistParams());
+    std::ostringstream oss;
+    disassemble(plan, 0, oss, 5);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("Cnv1"), std::string::npos);
+    EXPECT_NE(out.find("more)"), std::string::npos);
+    // 5 instruction lines + header + ellipsis.
+    EXPECT_LE(std::count(out.begin(), out.end(), '\n'), 8);
+}
+
+TEST(PlanPrinter, DisassembleFullLayerMatchesInstrCount)
+{
+    const auto plan =
+        compile(nn::buildTestNetwork(), ckks::testParams(2048, 7, 30));
+    std::ostringstream oss;
+    disassemble(plan, 1, oss);
+    const std::string out = oss.str();
+    const auto lines = std::count(out.begin(), out.end(), '\n');
+    EXPECT_EQ(static_cast<std::size_t>(lines),
+              plan.layers[1].instrs.size() + 1);
+}
+
+TEST(PlanPrinter, RejectsBadLayerIndex)
+{
+    const auto plan =
+        compile(nn::buildTestNetwork(), ckks::testParams(2048, 7, 30));
+    std::ostringstream oss;
+    EXPECT_THROW(disassemble(plan, 99, oss), ConfigError);
+}
+
+TEST(PlanPrinter, FirstConvInstructionIsListingOneShaped)
+{
+    // Listing 1 of the paper: the conv layer is a PCmult/Rescale/CCadd
+    // loop — check the instruction stream starts exactly that way.
+    const auto plan =
+        compile(nn::buildMnistNetwork(), ckks::mnistParams());
+    const auto &instrs = plan.layers[0].instrs;
+    ASSERT_GE(instrs.size(), 6u);
+    EXPECT_EQ(instrs[0].kind, HeOpKind::pcMult);
+    EXPECT_EQ(instrs[1].kind, HeOpKind::rescale);
+    EXPECT_EQ(instrs[2].kind, HeOpKind::pcMult);
+    EXPECT_EQ(instrs[3].kind, HeOpKind::rescale);
+    EXPECT_EQ(instrs[4].kind, HeOpKind::ccAdd);
+}
+
+} // namespace
+} // namespace fxhenn::hecnn

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "src/common/assert.hpp"
+
+#include <cmath>
+
+#include "src/hecnn/compiler.hpp"
+#include "src/hecnn/runtime.hpp"
+#include "src/nn/model_zoo.hpp"
+
+namespace fxhenn::hecnn {
+namespace {
+
+/** Max absolute error between two logit vectors. */
+double
+maxAbsError(const std::vector<double> &a, const nn::Tensor &b)
+{
+    double err = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        err = std::max(err, std::abs(a[i] - b[i]));
+    return err;
+}
+
+TEST(Runtime, TestNetworkEncryptedInferenceMatchesPlaintext)
+{
+    const auto net = nn::buildTestNetwork();
+    const auto params = ckks::testParams(2048, 7, 30);
+    const auto plan = compile(net, params);
+
+    ckks::CkksContext ctx(params);
+    Runtime runtime(plan, ctx, /*seed=*/99);
+
+    const nn::Tensor input = nn::syntheticInput(net, 21);
+    const nn::Tensor expect = net.forward(input);
+    const auto logits = runtime.infer(input);
+
+    ASSERT_EQ(logits.size(), expect.size());
+    EXPECT_LT(maxAbsError(logits, expect), 1e-2)
+        << "encrypted inference diverged from plaintext";
+}
+
+TEST(Runtime, ExecutedCountsMatchStaticPlanCounts)
+{
+    // The runtime must execute exactly the operations the static plan
+    // promises — this ties the FPGA model's inputs to reality.
+    const auto net = nn::buildTestNetwork();
+    const auto params = ckks::testParams(2048, 7, 30);
+    const auto plan = compile(net, params);
+
+    ckks::CkksContext ctx(params);
+    Runtime runtime(plan, ctx, 3);
+    runtime.infer(nn::syntheticInput(net, 4));
+
+    const auto &run = runtime.executedCounts();
+    const HeOpCounts planned = plan.totalCounts();
+    EXPECT_EQ(run.pcMult, planned.pcMult);
+    EXPECT_EQ(run.ccMult, planned.ccMult);
+    EXPECT_EQ(run.rescale, planned.rescale);
+    EXPECT_EQ(run.relinearize, planned.relin);
+    EXPECT_EQ(run.rotate, planned.rotate);
+    EXPECT_EQ(run.ccAdd + run.pcAdd, planned.ccAdd);
+}
+
+TEST(Runtime, RepeatedInferenceTracksPlaintextDeltas)
+{
+    // A second infer() on the same Runtime must not inherit stale
+    // register state: the encrypted outputs of two different inputs
+    // must each match their own plaintext ground truth.
+    const auto net = nn::buildTestNetwork();
+    const auto params = ckks::testParams(2048, 7, 30);
+    const auto plan = compile(net, params);
+    ckks::CkksContext ctx(params);
+    Runtime runtime(plan, ctx, 5);
+
+    const nn::Tensor in1 = nn::syntheticInput(net, 1, 0.25);
+    const nn::Tensor in2 = nn::syntheticInput(net, 2, 0.05);
+    const auto l1 = runtime.infer(in1);
+    const auto l2 = runtime.infer(in2);
+    const nn::Tensor p1 = net.forward(in1);
+    const nn::Tensor p2 = net.forward(in2);
+    EXPECT_LT(maxAbsError(l1, p1), 1e-2);
+    EXPECT_LT(maxAbsError(l2, p2), 1e-2);
+    // The two inputs have very different ranges, so both the encrypted
+    // and plaintext logit vectors must differ by the same amount.
+    double he_diff = 0.0, pt_diff = 0.0;
+    for (std::size_t i = 0; i < l1.size(); ++i) {
+        he_diff = std::max(he_diff, std::abs(l1[i] - l2[i]));
+        pt_diff = std::max(pt_diff, std::abs(p1[i] - p2[i]));
+    }
+    EXPECT_NEAR(he_diff, pt_diff, 1e-2);
+}
+
+TEST(Runtime, PredictionAgreesWithPlaintextArgmax)
+{
+    // Across several synthetic inputs the encrypted argmax must match
+    // the plaintext argmax — the HE-CNN "accuracy preservation" check.
+    const auto net = nn::buildTestNetwork();
+    const auto params = ckks::testParams(2048, 7, 30);
+    const auto plan = compile(net, params);
+    ckks::CkksContext ctx(params);
+    Runtime runtime(plan, ctx, 6);
+
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        const nn::Tensor input = nn::syntheticInput(net, seed);
+        const nn::Tensor expect = net.forward(input);
+        const auto logits = runtime.infer(input);
+
+        std::size_t argmax_he = 0, argmax_pt = 0;
+        for (std::size_t i = 1; i < logits.size(); ++i) {
+            if (logits[i] > logits[argmax_he])
+                argmax_he = i;
+            if (expect[i] > expect[argmax_pt])
+                argmax_pt = i;
+        }
+        EXPECT_EQ(argmax_he, argmax_pt) << "seed " << seed;
+    }
+}
+
+TEST(Runtime, RejectsElidedPlan)
+{
+    const auto net = nn::buildTestNetwork();
+    const auto params = ckks::testParams(2048, 7, 30);
+    CompileOptions opts;
+    opts.elideValues = true;
+    const auto plan = compile(net, params, opts);
+    ckks::CkksContext ctx(params);
+    EXPECT_THROW(Runtime(plan, ctx), ConfigError);
+}
+
+TEST(Runtime, GaloisKeyCountMatchesPlanSteps)
+{
+    const auto net = nn::buildTestNetwork();
+    const auto params = ckks::testParams(2048, 7, 30);
+    const auto plan = compile(net, params);
+    ckks::CkksContext ctx(params);
+    Runtime runtime(plan, ctx, 8);
+    // Distinct steps can map to the same Galois element (e.g. step s
+    // and s - slots), so the key count is at most the step count.
+    EXPECT_GE(runtime.galoisKeyCount(), 1u);
+    EXPECT_LE(runtime.galoisKeyCount(), plan.rotationSteps().size());
+}
+
+} // namespace
+} // namespace fxhenn::hecnn

@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+
+#include "src/hecnn/verify.hpp"
+#include "src/nn/model_zoo.hpp"
+
+namespace fxhenn::hecnn {
+namespace {
+
+TEST(Verify, TestNetworkPassesAcrossSeeds)
+{
+    const auto net = nn::buildTestNetwork();
+    const auto params = ckks::testParams(2048, 7, 30);
+    for (std::uint64_t seed : {1ull, 9ull, 42ull}) {
+        const auto result =
+            verifyAgainstPlaintext(net, params, seed, seed);
+        EXPECT_TRUE(result.passed()) << "seed " << seed << " err "
+                                     << result.maxAbsError;
+        EXPECT_GT(result.hopsExecuted, 0u);
+        EXPECT_EQ(result.encryptedLogits.size(),
+                  result.plaintextLogits.size());
+    }
+}
+
+TEST(Verify, ReportsFailureOnTamperedLogits)
+{
+    // passed() must reject a result with a broken argmax or big error.
+    VerifyResult bad;
+    bad.maxAbsError = 0.5;
+    bad.argmaxMatches = true;
+    EXPECT_FALSE(bad.passed());
+    bad.maxAbsError = 1e-5;
+    bad.argmaxMatches = false;
+    EXPECT_FALSE(bad.passed());
+    bad.argmaxMatches = true;
+    EXPECT_TRUE(bad.passed());
+}
+
+TEST(Verify, CustomToleranceIsRespected)
+{
+    VerifyResult r;
+    r.maxAbsError = 0.05;
+    r.argmaxMatches = true;
+    EXPECT_FALSE(r.passed(0.01));
+    EXPECT_TRUE(r.passed(0.1));
+}
+
+} // namespace
+} // namespace fxhenn::hecnn

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "src/common/assert.hpp"
+#include "src/common/rng.hpp"
+#include "src/modarith/modulus.hpp"
+#include "src/modarith/primes.hpp"
+
+namespace fxhenn {
+namespace {
+
+TEST(Modulus, RejectsInvalidValues)
+{
+    EXPECT_THROW(Modulus(0), ConfigError);
+    EXPECT_THROW(Modulus(1), ConfigError);
+    EXPECT_THROW(Modulus(1ull << 60), ConfigError);
+}
+
+TEST(Modulus, BasicOps)
+{
+    const Modulus q(17);
+    EXPECT_EQ(q.add(9, 9), 1u);
+    EXPECT_EQ(q.sub(3, 9), 11u);
+    EXPECT_EQ(q.mul(5, 7), 35u % 17);
+    EXPECT_EQ(q.negate(0), 0u);
+    EXPECT_EQ(q.negate(5), 12u);
+    EXPECT_EQ(q.bits(), 5u);
+}
+
+TEST(Modulus, BarrettMatchesNaiveOnRandomInputs)
+{
+    Rng rng(123);
+    for (std::uint64_t prime :
+         {1073741789ull /* 30-bit */, 68719476389ull /* 36-bit */,
+          1125899906842597ull /* 50-bit */}) {
+        ASSERT_TRUE(isPrime(prime));
+        const Modulus q(prime);
+        for (int i = 0; i < 2000; ++i) {
+            const std::uint64_t a = rng.uniform(prime);
+            const std::uint64_t b = rng.uniform(prime);
+            const unsigned __int128 wide =
+                static_cast<unsigned __int128>(a) * b;
+            EXPECT_EQ(q.mul(a, b),
+                      static_cast<std::uint64_t>(wide % prime));
+        }
+    }
+}
+
+TEST(Modulus, PowMatchesRepeatedMultiplication)
+{
+    const Modulus q(1073741789ull);
+    std::uint64_t expect = 1;
+    for (unsigned e = 0; e < 40; ++e) {
+        EXPECT_EQ(q.pow(3, e), expect);
+        expect = q.mul(expect, 3);
+    }
+}
+
+TEST(Modulus, InverseIsTwoSided)
+{
+    Rng rng(77);
+    const Modulus q(1073741789ull);
+    for (int i = 0; i < 200; ++i) {
+        const std::uint64_t a = 1 + rng.uniform(q.value() - 1);
+        const std::uint64_t inv = q.inverse(a);
+        EXPECT_EQ(q.mul(a, inv), 1u);
+        EXPECT_EQ(q.mul(inv, a), 1u);
+    }
+}
+
+TEST(Modulus, ReduceSignedHandlesNegatives)
+{
+    const Modulus q(97);
+    EXPECT_EQ(q.reduceSigned(-1), 96u);
+    EXPECT_EQ(q.reduceSigned(-97), 0u);
+    EXPECT_EQ(q.reduceSigned(-98), 96u);
+    EXPECT_EQ(q.reduceSigned(194), 0u);
+    const __int128 big = static_cast<__int128>(1) << 100;
+    EXPECT_EQ(q.reduceSigned(big),
+              static_cast<std::uint64_t>(big % 97));
+}
+
+TEST(Modulus, ToCenteredRoundTrips)
+{
+    const Modulus q(101);
+    for (std::uint64_t a = 0; a < 101; ++a) {
+        const std::int64_t c = q.toCentered(a);
+        EXPECT_GE(c, -50);
+        EXPECT_LE(c, 50);
+        EXPECT_EQ(q.reduceSigned(c), a);
+    }
+}
+
+} // namespace
+} // namespace fxhenn

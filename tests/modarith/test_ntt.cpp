@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/modarith/ntt.hpp"
+#include "src/modarith/primes.hpp"
+
+namespace fxhenn {
+namespace {
+
+/** Schoolbook negacyclic convolution, the NTT ground truth. */
+std::vector<std::uint64_t>
+negacyclicMul(const std::vector<std::uint64_t> &a,
+              const std::vector<std::uint64_t> &b, const Modulus &q)
+{
+    const std::size_t n = a.size();
+    std::vector<std::uint64_t> out(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            const std::uint64_t prod = q.mul(a[i], b[j]);
+            const std::size_t k = i + j;
+            if (k < n) {
+                out[k] = q.add(out[k], prod);
+            } else {
+                out[k - n] = q.sub(out[k - n], prod);
+            }
+        }
+    }
+    return out;
+}
+
+class NttParamTest : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(NttParamTest, ForwardInverseIsIdentity)
+{
+    const std::uint64_t n = GetParam();
+    const Modulus q(generateNttPrimes(30, n, 1)[0]);
+    const NttTables ntt(n, q);
+    Rng rng(n);
+
+    std::vector<std::uint64_t> a(n);
+    for (auto &x : a)
+        x = rng.uniform(q.value());
+    auto b = a;
+    ntt.forward(b);
+    EXPECT_NE(a, b); // the transform must actually do something
+    ntt.inverse(b);
+    EXPECT_EQ(a, b);
+}
+
+TEST_P(NttParamTest, PointwiseProductMatchesSchoolbook)
+{
+    const std::uint64_t n = GetParam();
+    if (n > 256)
+        GTEST_SKIP() << "schoolbook check limited to small rings";
+    const Modulus q(generateNttPrimes(30, n, 1)[0]);
+    const NttTables ntt(n, q);
+    Rng rng(n + 1);
+
+    std::vector<std::uint64_t> a(n), b(n);
+    for (auto &x : a)
+        x = rng.uniform(q.value());
+    for (auto &x : b)
+        x = rng.uniform(q.value());
+
+    const auto expect = negacyclicMul(a, b, q);
+
+    auto fa = a;
+    auto fb = b;
+    ntt.forward(fa);
+    ntt.forward(fb);
+    for (std::size_t i = 0; i < n; ++i)
+        fa[i] = q.mul(fa[i], fb[i]);
+    ntt.inverse(fa);
+
+    EXPECT_EQ(fa, expect);
+}
+
+TEST_P(NttParamTest, TransformIsLinear)
+{
+    const std::uint64_t n = GetParam();
+    const Modulus q(generateNttPrimes(30, n, 1)[0]);
+    const NttTables ntt(n, q);
+    Rng rng(n + 2);
+
+    std::vector<std::uint64_t> a(n), b(n), sum(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        a[i] = rng.uniform(q.value());
+        b[i] = rng.uniform(q.value());
+        sum[i] = q.add(a[i], b[i]);
+    }
+    ntt.forward(a);
+    ntt.forward(b);
+    ntt.forward(sum);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(sum[i], q.add(a[i], b[i]));
+}
+
+INSTANTIATE_TEST_SUITE_P(RingDegrees, NttParamTest,
+                         ::testing::Values(16, 64, 256, 1024, 8192));
+
+TEST(Ntt, MultiplyByXShiftsNegacyclically)
+{
+    const std::uint64_t n = 64;
+    const Modulus q(generateNttPrimes(30, n, 1)[0]);
+    const NttTables ntt(n, q);
+
+    // a = X^(n-1), b = X  =>  a * b = X^n = -1.
+    std::vector<std::uint64_t> a(n, 0), b(n, 0);
+    a[n - 1] = 1;
+    b[1] = 1;
+    ntt.forward(a);
+    ntt.forward(b);
+    for (std::size_t i = 0; i < n; ++i)
+        a[i] = q.mul(a[i], b[i]);
+    ntt.inverse(a);
+    EXPECT_EQ(a[0], q.value() - 1);
+    for (std::size_t i = 1; i < n; ++i)
+        EXPECT_EQ(a[i], 0u);
+}
+
+TEST(Ntt, ShoupMulMatchesBarrettOnRandomInputs)
+{
+    const Modulus q(generateNttPrimes(36, 1024, 1)[0]);
+    Rng rng(321);
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t x = rng.uniform(q.value());
+        const std::uint64_t w = rng.uniform(q.value());
+        const std::uint64_t w_shoup = static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(w) << 64) / q.value());
+        ASSERT_EQ(shoupMul(x, w, w_shoup, q.value()), q.mul(x, w));
+    }
+}
+
+TEST(Ntt, ButterflyCountMatchesEq4Numerator)
+{
+    // Eq. 4: LAT_NTT = log2(N) * N / (2 nc); the numerator is the
+    // butterfly count, which the software transform must perform too.
+    const std::uint64_t n = 1024;
+    const Modulus q(generateNttPrimes(30, n, 1)[0]);
+    const NttTables ntt(n, q);
+    EXPECT_EQ(ntt.butterflyCount(), n / 2 * 10);
+}
+
+} // namespace
+} // namespace fxhenn

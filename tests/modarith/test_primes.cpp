@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "src/common/assert.hpp"
+#include "src/modarith/modulus.hpp"
+#include "src/modarith/primes.hpp"
+
+namespace fxhenn {
+namespace {
+
+TEST(Primes, MillerRabinKnownValues)
+{
+    EXPECT_FALSE(isPrime(0));
+    EXPECT_FALSE(isPrime(1));
+    EXPECT_TRUE(isPrime(2));
+    EXPECT_TRUE(isPrime(3));
+    EXPECT_FALSE(isPrime(4));
+    EXPECT_TRUE(isPrime(97));
+    EXPECT_FALSE(isPrime(1001));            // 7 * 11 * 13
+    EXPECT_TRUE(isPrime(2147483647ull));    // Mersenne 2^31-1
+    EXPECT_FALSE(isPrime(2147483647ull * 97));
+    EXPECT_TRUE(isPrime(1125899906842597ull));
+    // Carmichael numbers must be rejected.
+    EXPECT_FALSE(isPrime(561));
+    EXPECT_FALSE(isPrime(41041));
+    EXPECT_FALSE(isPrime(825265));
+}
+
+TEST(Primes, GeneratedPrimesHaveNttForm)
+{
+    const std::uint64_t n = 8192;
+    const auto primes = generateNttPrimes(30, n, 8);
+    ASSERT_EQ(primes.size(), 8u);
+    std::uint64_t prev = ~0ull;
+    for (std::uint64_t p : primes) {
+        EXPECT_TRUE(isPrime(p));
+        EXPECT_EQ(p % (2 * n), 1u);
+        EXPECT_EQ(p >> 29, 1u) << "prime must be exactly 30 bits";
+        EXPECT_LT(p, prev) << "primes must be distinct and descending";
+        prev = p;
+    }
+}
+
+TEST(Primes, GeneratorSupportsPaperParameterSets)
+{
+    // MNIST: 30-bit primes for N = 8192; CIFAR10: 36-bit for N = 16384.
+    EXPECT_EQ(generateNttPrimes(30, 8192, 7).size(), 7u);
+    EXPECT_EQ(generateNttPrimes(36, 16384, 7).size(), 7u);
+}
+
+TEST(Primes, PrimitiveRootHasExactOrder)
+{
+    const std::uint64_t n = 1024;
+    const auto primes = generateNttPrimes(30, n, 2);
+    for (std::uint64_t p : primes) {
+        const Modulus q(p);
+        const std::uint64_t psi = findPrimitiveRoot(p, 2 * n);
+        EXPECT_EQ(q.pow(psi, 2 * n), 1u);
+        EXPECT_EQ(q.pow(psi, n), p - 1) << "psi^N must equal -1";
+    }
+}
+
+TEST(Primes, RejectsBadRequests)
+{
+    EXPECT_THROW(generateNttPrimes(10, 1024, 1), ConfigError);
+    EXPECT_THROW(generateNttPrimes(30, 1000, 1), ConfigError);
+    // Asking for far more 20-bit primes of NTT form than exist for a
+    // large ring must fail loudly rather than loop forever.
+    EXPECT_THROW(generateNttPrimes(20, 65536, 100), ConfigError);
+}
+
+} // namespace
+} // namespace fxhenn

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/common/assert.hpp"
+#include "src/hecnn/compiler.hpp"
+#include "src/hecnn/verify.hpp"
+#include "src/nn/layers.hpp"
+#include "src/nn/model_zoo.hpp"
+
+namespace fxhenn::nn {
+namespace {
+
+TEST(AvgPool2D, HandComputedWindowAverages)
+{
+    AvgPool2D pool("p", 1, 2, 2, 4, 4);
+    Tensor in(1, 4, 4);
+    for (std::size_t i = 0; i < 16; ++i)
+        in[i] = static_cast<double>(i);
+    const Tensor out = pool.forward(in);
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_DOUBLE_EQ(out.at(0, 0, 0), (0 + 1 + 4 + 5) / 4.0);
+    EXPECT_DOUBLE_EQ(out.at(0, 0, 1), (2 + 3 + 6 + 7) / 4.0);
+    EXPECT_DOUBLE_EQ(out.at(0, 1, 0), (8 + 9 + 12 + 13) / 4.0);
+    EXPECT_DOUBLE_EQ(out.at(0, 1, 1), (10 + 11 + 14 + 15) / 4.0);
+}
+
+TEST(AvgPool2D, AcceptsFlatInput)
+{
+    AvgPool2D pool("p", 2, 2, 2, 4, 4);
+    Tensor flat(2 * 4 * 4);
+    for (std::size_t i = 0; i < flat.size(); ++i)
+        flat[i] = 1.0;
+    const Tensor out = pool.forward(flat);
+    ASSERT_EQ(out.size(), 2u * 2u * 2u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_DOUBLE_EQ(out[i], 1.0);
+}
+
+TEST(AvgPool2D, PreservesChannels)
+{
+    AvgPool2D pool("p", 3, 3, 3, 9, 9);
+    EXPECT_EQ(pool.outputSize(), 3u * 3u * 3u);
+    EXPECT_EQ(pool.macs(), 3u * 9u * 9u);
+    Tensor in(3, 9, 9);
+    in.at(2, 0, 0) = 9.0;
+    const Tensor out = pool.forward(in);
+    EXPECT_DOUBLE_EQ(out.at(2, 0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(out.at(0, 0, 0), 0.0);
+}
+
+TEST(AvgPool2D, RejectsBadShapes)
+{
+    EXPECT_THROW(AvgPool2D("p", 1, 5, 1, 4, 4), ConfigError);
+    EXPECT_THROW(AvgPool2D("p", 1, 2, 0, 4, 4), ConfigError);
+    AvgPool2D pool("p", 1, 2, 2, 4, 4);
+    EXPECT_THROW(pool.forward(Tensor(7)), ConfigError);
+}
+
+/** A CryptoNets-shaped net: conv, square, POOL, fc — with pooling. */
+Network
+buildPoolingNet()
+{
+    Rng rng(31);
+    Network net("Pooling-Net", 1, 10, 10);
+    auto conv = std::make_unique<Conv2D>("Cnv1", 1, 2, 3, 1, 10, 10);
+    conv->randomize(rng, 0.12);
+    net.addLayer(std::move(conv)); // 2 x 8 x 8 = 128
+    net.addLayer(std::make_unique<SquareActivation>("Act1", 128));
+    net.addLayer(
+        std::make_unique<AvgPool2D>("Pool1", 2, 2, 2, 8, 8)); // 32
+    auto fc = std::make_unique<Dense>("Fc1", 32, 4);
+    fc->randomize(rng, 0.2);
+    net.addLayer(std::move(fc));
+    return net;
+}
+
+TEST(AvgPool2D, CompilesAsLinearKsLayer)
+{
+    const auto net = buildPoolingNet();
+    const auto plan =
+        hecnn::compile(net, ckks::testParams(2048, 7, 30));
+    ASSERT_EQ(plan.layers.size(), 4u);
+    const auto &pool = plan.layers[2];
+    EXPECT_EQ(pool.name, "Pool1");
+    // Pooling is linear: rotate-and-sum, no CCmult.
+    EXPECT_EQ(pool.counts().ccMult, 0u);
+    EXPECT_GT(pool.counts().rotate, 0u);
+    EXPECT_GT(pool.counts().pcMult, 0u);
+}
+
+TEST(AvgPool2D, EncryptedPoolingMatchesPlaintext)
+{
+    const auto result = hecnn::verifyAgainstPlaintext(
+        buildPoolingNet(), ckks::testParams(2048, 7, 30), 5, 5);
+    EXPECT_TRUE(result.passed())
+        << "max err " << result.maxAbsError;
+}
+
+} // namespace
+} // namespace fxhenn::nn

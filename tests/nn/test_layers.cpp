@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "src/common/assert.hpp"
+#include "src/common/rng.hpp"
+#include "src/nn/layers.hpp"
+
+namespace fxhenn::nn {
+namespace {
+
+TEST(Conv2D, IdentityKernelPassesThrough)
+{
+    // 1x1 kernel with weight 1 and stride 1 copies the input.
+    Conv2D conv("c", 1, 1, 1, 1, 4, 4);
+    conv.weight(0, 0, 0, 0) = 1.0;
+    Tensor in(1, 4, 4);
+    for (std::size_t i = 0; i < in.size(); ++i)
+        in[i] = static_cast<double>(i);
+    const Tensor out = conv.forward(in);
+    ASSERT_EQ(out.size(), in.size());
+    for (std::size_t i = 0; i < in.size(); ++i)
+        EXPECT_DOUBLE_EQ(out[i], in[i]);
+}
+
+TEST(Conv2D, HandComputedExample)
+{
+    // 2x2 averaging kernel, stride 2, on a 4x4 ramp.
+    Conv2D conv("c", 1, 1, 2, 2, 4, 4);
+    for (std::size_t ky = 0; ky < 2; ++ky)
+        for (std::size_t kx = 0; kx < 2; ++kx)
+            conv.weight(0, 0, ky, kx) = 0.25;
+    conv.bias(0) = 1.0;
+    Tensor in(1, 4, 4);
+    for (std::size_t i = 0; i < 16; ++i)
+        in[i] = static_cast<double>(i);
+    const Tensor out = conv.forward(in);
+    ASSERT_EQ(out.height(), 2u);
+    // top-left block mean = (0+1+4+5)/4 = 2.5, plus bias.
+    EXPECT_DOUBLE_EQ(out.at(0, 0, 0), 3.5);
+    EXPECT_DOUBLE_EQ(out.at(0, 0, 1), 5.5);
+    EXPECT_DOUBLE_EQ(out.at(0, 1, 0), 11.5);
+    EXPECT_DOUBLE_EQ(out.at(0, 1, 1), 13.5);
+}
+
+TEST(Conv2D, MultiChannelAccumulates)
+{
+    Conv2D conv("c", 2, 1, 1, 1, 2, 2);
+    conv.weight(0, 0, 0, 0) = 2.0;
+    conv.weight(0, 1, 0, 0) = 3.0;
+    Tensor in(2, 2, 2);
+    in.at(0, 0, 0) = 1.0;
+    in.at(1, 0, 0) = 1.0;
+    const Tensor out = conv.forward(in);
+    EXPECT_DOUBLE_EQ(out.at(0, 0, 0), 5.0);
+}
+
+TEST(Conv2D, MacsMatchPaperCnv1)
+{
+    // Table IV: LoLa-MNIST Cnv1 has 2.11 * 10^4 MACs.
+    Conv2D conv("Cnv1", 1, 5, 5, 2, 29, 29);
+    EXPECT_EQ(conv.outHeight(), 13u);
+    EXPECT_EQ(conv.outputSize(), 845u);
+    EXPECT_EQ(conv.macs(), 845u * 25u); // 21125 ~= 2.11e4
+}
+
+TEST(Conv2D, PaddingHandComputed)
+{
+    // 3x3 all-ones kernel, pad 1, stride 1 on a 2x2 input of ones:
+    // each output counts the in-bounds taps.
+    Conv2D conv("c", 1, 1, 3, 1, 2, 2, 1);
+    for (std::size_t ky = 0; ky < 3; ++ky)
+        for (std::size_t kx = 0; kx < 3; ++kx)
+            conv.weight(0, 0, ky, kx) = 1.0;
+    Tensor in(1, 2, 2);
+    for (auto &v : in.data())
+        v = 1.0;
+    const Tensor out = conv.forward(in);
+    ASSERT_EQ(out.height(), 2u);
+    ASSERT_EQ(out.width(), 2u);
+    // Every output window covers all 4 input pixels (corners of the
+    // padded image), so each output is 4.
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_DOUBLE_EQ(out[i], 4.0);
+}
+
+TEST(Conv2D, PaddedShapeMatchesResNetConv1)
+{
+    // ResNet-50 conv1: 7x7 stride 2 pad 3 on 224x224 -> 112x112.
+    Conv2D conv("conv1", 3, 64, 7, 2, 224, 224, 3);
+    EXPECT_EQ(conv.outHeight(), 112u);
+    EXPECT_EQ(conv.outWidth(), 112u);
+}
+
+TEST(Conv2D, InputIndexAgreesWithForward)
+{
+    // The shared tap-index helper must flag exactly the padded taps.
+    Conv2D conv("c", 2, 1, 3, 2, 5, 5, 1);
+    int padded = 0, inside = 0;
+    for (std::size_t c = 0; c < 2; ++c) {
+        for (std::size_t ky = 0; ky < 3; ++ky) {
+            for (std::size_t kx = 0; kx < 3; ++kx) {
+                for (std::size_t y = 0; y < conv.outHeight(); ++y) {
+                    for (std::size_t x = 0; x < conv.outWidth(); ++x) {
+                        const auto idx =
+                            conv.inputIndex(c, ky, kx, y, x);
+                        if (idx < 0) {
+                            ++padded;
+                        } else {
+                            ++inside;
+                            EXPECT_LT(idx, 2 * 5 * 5);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    EXPECT_GT(padded, 0);
+    EXPECT_GT(inside, padded);
+}
+
+TEST(Conv2D, ShapeMismatchRejected)
+{
+    Conv2D conv("c", 1, 1, 3, 1, 8, 8);
+    Tensor wrong(1, 4, 4);
+    EXPECT_THROW(conv.forward(wrong), ConfigError);
+}
+
+TEST(Dense, MatVecHandComputed)
+{
+    Dense fc("fc", 3, 2);
+    // y0 = 1*x0 + 2*x1 + 3*x2 + 0.5; y1 = -x0 + x2
+    fc.weight(0, 0) = 1;
+    fc.weight(0, 1) = 2;
+    fc.weight(0, 2) = 3;
+    fc.bias(0) = 0.5;
+    fc.weight(1, 0) = -1;
+    fc.weight(1, 2) = 1;
+    Tensor in(3);
+    in[0] = 1;
+    in[1] = 2;
+    in[2] = 3;
+    const Tensor out = fc.forward(in);
+    EXPECT_DOUBLE_EQ(out[0], 14.5);
+    EXPECT_DOUBLE_EQ(out[1], 2.0);
+}
+
+TEST(Dense, MacsMatchPaperFc1)
+{
+    // Table IV: LoLa-MNIST Fc1 has 8.45 * 10^4 MACs.
+    Dense fc("Fc1", 845, 100);
+    EXPECT_EQ(fc.macs(), 84500u);
+}
+
+TEST(SquareActivation, SquaresEveryElement)
+{
+    SquareActivation act("a", 4);
+    Tensor in(4);
+    in[0] = -2;
+    in[1] = 0.5;
+    in[2] = 0;
+    in[3] = 3;
+    const Tensor out = act.forward(in);
+    EXPECT_DOUBLE_EQ(out[0], 4.0);
+    EXPECT_DOUBLE_EQ(out[1], 0.25);
+    EXPECT_DOUBLE_EQ(out[2], 0.0);
+    EXPECT_DOUBLE_EQ(out[3], 9.0);
+}
+
+TEST(Layers, RandomizeIsBoundedAndSeeded)
+{
+    Rng rng1(9), rng2(9);
+    Dense a("a", 10, 10), b("b", 10, 10);
+    a.randomize(rng1, 0.1);
+    b.randomize(rng2, 0.1);
+    for (std::size_t r = 0; r < 10; ++r) {
+        for (std::size_t c = 0; c < 10; ++c) {
+            EXPECT_DOUBLE_EQ(a.weight(r, c), b.weight(r, c));
+            EXPECT_LE(std::abs(a.weight(r, c)), 0.1);
+        }
+    }
+}
+
+} // namespace
+} // namespace fxhenn::nn

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "src/common/assert.hpp"
+
+#include <sstream>
+
+#include "src/nn/model_zoo.hpp"
+#include "src/nn/network_io.hpp"
+
+namespace fxhenn::nn {
+namespace {
+
+TEST(NetworkIo, MnistRoundTripIsBehaviorallyIdentical)
+{
+    const Network net = buildMnistNetwork();
+    std::stringstream ss;
+    saveNetwork(net, ss);
+    const Network loaded = loadNetwork(ss);
+
+    EXPECT_EQ(loaded.name(), net.name());
+    EXPECT_EQ(loaded.layerCount(), net.layerCount());
+    EXPECT_EQ(loaded.totalMacs(), net.totalMacs());
+
+    // Same weights -> bit-identical forward pass.
+    const Tensor input = syntheticInput(net, 5);
+    const Tensor a = net.forward(input);
+    const Tensor b = loaded.forward(input);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(NetworkIo, PaddedConvSurvivesRoundTrip)
+{
+    Rng rng(3);
+    Network net("Padded", 1, 6, 6);
+    auto conv = std::make_unique<Conv2D>("C", 1, 2, 3, 1, 6, 6, 1);
+    conv->randomize(rng, 0.2);
+    net.addLayer(std::move(conv));
+
+    std::stringstream ss;
+    saveNetwork(net, ss);
+    const Network loaded = loadNetwork(ss);
+    const auto &c = static_cast<const Conv2D &>(loaded.layer(0));
+    EXPECT_EQ(c.pad(), 1u);
+    EXPECT_EQ(c.outHeight(), 6u);
+}
+
+TEST(NetworkIo, PoolingNetworkRoundTrips)
+{
+    Network net("P", 1, 8, 8);
+    net.addLayer(std::make_unique<AvgPool2D>("Pool", 1, 2, 2, 8, 8));
+    std::stringstream ss;
+    saveNetwork(net, ss);
+    const Network loaded = loadNetwork(ss);
+    EXPECT_EQ(loaded.layer(0).kind(), LayerKind::avgPool);
+    EXPECT_EQ(loaded.layer(0).outputSize(), 16u);
+}
+
+TEST(NetworkIo, RejectsGarbage)
+{
+    std::stringstream garbage("this is not a network");
+    EXPECT_THROW(loadNetwork(garbage), ConfigError);
+}
+
+TEST(NetworkIo, RejectsTruncation)
+{
+    const Network net = buildTestNetwork();
+    std::stringstream ss;
+    saveNetwork(net, ss);
+    const std::string full = ss.str();
+    std::stringstream truncated(full.substr(0, full.size() - 64));
+    EXPECT_THROW(loadNetwork(truncated), ConfigError);
+}
+
+} // namespace
+} // namespace fxhenn::nn

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Property-style sweeps over CKKS parameter grids: the homomorphic
+ * identities must hold for every (N, L, qBits) combination, not just
+ * the fixtures the unit tests pin down.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "src/ckks/decryptor.hpp"
+#include "src/ckks/encoder.hpp"
+#include "src/ckks/encryptor.hpp"
+#include "src/ckks/evaluator.hpp"
+#include "src/ckks/keygen.hpp"
+
+namespace fxhenn::ckks {
+namespace {
+
+using ParamTuple = std::tuple<std::uint64_t /*n*/, std::size_t /*L*/,
+                              unsigned /*qBits*/>;
+
+class CkksPropertyTest : public ::testing::TestWithParam<ParamTuple>
+{
+  protected:
+    CkksPropertyTest()
+        : params_(testParams(std::get<0>(GetParam()),
+                             std::get<1>(GetParam()),
+                             std::get<2>(GetParam()))),
+          ctx_(params_), rng_(0xF00D), keygen_(ctx_, rng_),
+          encoder_(ctx_),
+          encryptor_(ctx_, keygen_.makePublicKey(), rng_),
+          decryptor_(ctx_, keygen_.secretKey()), eval_(ctx_)
+    {}
+
+    std::vector<double>
+    randomValues(double mag, std::uint64_t seed)
+    {
+        Rng r(seed);
+        std::vector<double> v(ctx_.slots());
+        for (auto &x : v)
+            x = r.uniformReal(-mag, mag);
+        return v;
+    }
+
+    Ciphertext
+    enc(const std::vector<double> &v)
+    {
+        return encryptor_.encrypt(
+            encoder_.encode(std::span<const double>(v), params_.scale,
+                            params_.levels));
+    }
+
+    std::vector<double>
+    dec(const Ciphertext &ct)
+    {
+        return encoder_.decodeReal(decryptor_.decrypt(ct));
+    }
+
+    CkksParams params_;
+    CkksContext ctx_;
+    Rng rng_;
+    KeyGenerator keygen_;
+    Encoder encoder_;
+    Encryptor encryptor_;
+    Decryptor decryptor_;
+    Evaluator eval_;
+};
+
+TEST_P(CkksPropertyTest, AdditionIsSlotwise)
+{
+    const auto a = randomValues(3.0, 1);
+    const auto b = randomValues(3.0, 2);
+    const auto got = dec(eval_.add(enc(a), enc(b)));
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_NEAR(got[i], a[i] + b[i], 1e-3) << i;
+}
+
+TEST_P(CkksPropertyTest, PlainMultiplyDistributesOverAdd)
+{
+    // w * (a + b) == w*a + w*b under the evaluator.
+    const auto a = randomValues(1.0, 3);
+    const auto b = randomValues(1.0, 4);
+    const auto w = randomValues(1.0, 5);
+    const auto pw = encoder_.encode(std::span<const double>(w),
+                                    params_.scale, params_.levels);
+
+    auto lhs = eval_.mulPlain(eval_.add(enc(a), enc(b)), pw);
+    eval_.rescaleInplace(lhs);
+
+    auto wa = eval_.mulPlain(enc(a), pw);
+    auto wb = eval_.mulPlain(enc(b), pw);
+    auto rhs = eval_.add(wa, wb);
+    eval_.rescaleInplace(rhs);
+
+    const auto l = dec(lhs);
+    const auto r = dec(rhs);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_NEAR(l[i], r[i], 1e-2) << i;
+}
+
+TEST_P(CkksPropertyTest, SquareMatchesMulSelf)
+{
+    const auto a = randomValues(1.5, 6);
+    const auto rk = keygen_.makeRelinKey();
+    auto sq = eval_.square(enc(a), rk);
+    eval_.rescaleInplace(sq);
+    auto mul = eval_.mul(enc(a), enc(a), rk);
+    eval_.rescaleInplace(mul);
+    const auto s = dec(sq);
+    const auto m = dec(mul);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_NEAR(s[i], m[i], 1e-2) << i;
+}
+
+TEST_P(CkksPropertyTest, RotateComposesAdditively)
+{
+    // rot(rot(x, 1), 2) == rot(x, 3).
+    auto gk = keygen_.makeGaloisKeys({1, 2, 3});
+    const auto a = randomValues(2.0, 7);
+    auto two_step =
+        eval_.rotate(eval_.rotate(enc(a), 1, gk), 2, gk);
+    auto one_step = eval_.rotate(enc(a), 3, gk);
+    const auto x = dec(two_step);
+    const auto y = dec(one_step);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_NEAR(x[i], y[i], 1e-2) << i;
+}
+
+TEST_P(CkksPropertyTest, FullRotationIsIdentity)
+{
+    const int slots = static_cast<int>(ctx_.slots());
+    auto gk = keygen_.makeGaloisKeys({slots / 2});
+    const auto a = randomValues(2.0, 8);
+    // Two half-rotations bring every slot home.
+    auto ct = eval_.rotate(enc(a), slots / 2, gk);
+    ct = eval_.rotate(ct, slots / 2, gk);
+    const auto got = dec(ct);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_NEAR(got[i], a[i], 1e-2) << i;
+}
+
+TEST_P(CkksPropertyTest, RescaleTracksScaleExactly)
+{
+    const auto a = randomValues(1.0, 9);
+    const auto w = randomValues(1.0, 10);
+    const auto pw = encoder_.encode(std::span<const double>(w),
+                                    params_.scale, params_.levels);
+    auto ct = eval_.mulPlain(enc(a), pw);
+    const double before = ct.scale;
+    const double q_last = static_cast<double>(
+        ctx_.basis().q(ct.level() - 1).value());
+    eval_.rescaleInplace(ct);
+    EXPECT_DOUBLE_EQ(ct.scale, before / q_last);
+}
+
+TEST_P(CkksPropertyTest, FullLevelExhaustionStaysAccurate)
+{
+    // Consume every available level with squarings: x^(2^(L-1)).
+    // The error in message units must stay bounded at every step and
+    // the final level must be exactly 1.
+    const auto rk = keygen_.makeRelinKey();
+    std::vector<double> values(ctx_.slots(), 0.0);
+    Rng r(99);
+    for (auto &v : values)
+        v = r.uniformReal(0.6, 0.95); // stays in (0,1) under squaring
+
+    auto ct = enc(values);
+    std::vector<double> expect = values;
+    while (ct.level() >= 2) {
+        ct = eval_.square(ct, rk);
+        eval_.rescaleInplace(ct);
+        for (auto &v : expect)
+            v *= v;
+    }
+    EXPECT_EQ(ct.level(), 1u);
+    const auto got = dec(ct);
+    for (std::size_t i = 0; i < expect.size(); ++i)
+        ASSERT_NEAR(got[i], expect[i], 5e-2) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParamGrid, CkksPropertyTest,
+    ::testing::Values(ParamTuple{512, 3, 28}, ParamTuple{1024, 4, 30},
+                      ParamTuple{2048, 5, 30}, ParamTuple{2048, 3, 36},
+                      ParamTuple{4096, 4, 36}));
+
+} // namespace
+} // namespace fxhenn::ckks

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Fuzz-style robustness tests for the wire formats: random byte flips
+ * and truncations of serialized ciphertexts, keys and plans must never
+ * crash the loaders — they either throw ConfigError or (for payload
+ * bytes whose corruption is semantically invisible to framing) produce
+ * a structurally valid object.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/ckks/encoder.hpp"
+#include "src/ckks/encryptor.hpp"
+#include "src/ckks/keygen.hpp"
+#include "src/ckks/serialization.hpp"
+#include "src/common/assert.hpp"
+#include "src/common/rng.hpp"
+#include "src/hecnn/compiler.hpp"
+#include "src/hecnn/plan_io.hpp"
+#include "src/nn/model_zoo.hpp"
+
+namespace fxhenn {
+namespace {
+
+/** Apply @p mutate to a serialized blob and check the loader behaves. */
+template <typename LoadFn>
+void
+fuzzBlob(const std::string &blob, LoadFn load, std::uint64_t seed,
+         int iterations)
+{
+    Rng rng(seed);
+    for (int i = 0; i < iterations; ++i) {
+        std::string mutated = blob;
+        switch (rng.uniform(3)) {
+          case 0: { // flip one byte
+            const std::size_t pos = rng.uniform(mutated.size());
+            mutated[pos] = static_cast<char>(rng.uniform(256));
+            break;
+          }
+          case 1: { // truncate
+            mutated.resize(rng.uniform(mutated.size()));
+            break;
+          }
+          default: { // flip several bytes
+            for (int k = 0; k < 8; ++k) {
+                const std::size_t pos = rng.uniform(mutated.size());
+                mutated[pos] = static_cast<char>(rng.uniform(256));
+            }
+            break;
+          }
+        }
+        std::stringstream ss(mutated);
+        try {
+            load(ss);
+        } catch (const ConfigError &) {
+            // detected corruption — the desired outcome
+        } catch (const InternalError &) {
+            // also acceptable: an invariant caught it
+        }
+        // Any other exception or a crash fails the test.
+    }
+}
+
+TEST(SerializationFuzz, CiphertextLoaderNeverCrashes)
+{
+    ckks::CkksContext ctx(ckks::testParams(1024, 3, 30));
+    Rng rng(1);
+    ckks::KeyGenerator keygen(ctx, rng);
+    ckks::Encoder encoder(ctx);
+    ckks::Encryptor encryptor(ctx, keygen.makePublicKey(), rng);
+    std::vector<double> v{1.0, 2.0};
+    const auto ct = encryptor.encrypt(encoder.encode(
+        std::span<const double>(v), ctx.params().scale, 3));
+
+    std::stringstream ss;
+    ckks::saveCiphertext(ct, ctx, ss);
+    fuzzBlob(ss.str(),
+             [&](std::istream &is) {
+                 return ckks::loadCiphertext(ctx, is);
+             },
+             11, 60);
+}
+
+TEST(SerializationFuzz, RelinKeyLoaderNeverCrashes)
+{
+    ckks::CkksContext ctx(ckks::testParams(1024, 3, 30));
+    Rng rng(2);
+    ckks::KeyGenerator keygen(ctx, rng);
+    std::stringstream ss;
+    ckks::saveRelinKey(keygen.makeRelinKey(), ctx, ss);
+    fuzzBlob(ss.str(),
+             [&](std::istream &is) {
+                 return ckks::loadRelinKey(ctx, is);
+             },
+             13, 40);
+}
+
+TEST(SerializationFuzz, PlanLoaderNeverCrashes)
+{
+    const auto plan = hecnn::compile(nn::buildTestNetwork(),
+                                     ckks::testParams(2048, 7, 30));
+    std::stringstream ss;
+    hecnn::savePlan(plan, ss);
+    fuzzBlob(ss.str(),
+             [](std::istream &is) { return hecnn::loadPlan(is); }, 17,
+             80);
+}
+
+} // namespace
+} // namespace fxhenn

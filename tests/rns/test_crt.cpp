@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.hpp"
+#include "src/modarith/primes.hpp"
+#include "src/rns/crt.hpp"
+
+namespace fxhenn {
+namespace {
+
+TEST(BigUInt, AddSubRoundTrip)
+{
+    BigUInt a(~0ull); // 2^64 - 1
+    BigUInt b(1);
+    a.addInplace(b); // 2^64
+    BigUInt c = a.mulWord(~0ull);
+    EXPECT_EQ(c.modWord(97), ((static_cast<unsigned __int128>(1) << 64) %
+                              97 * ((~0ull) % 97)) %
+                                 97);
+    c.subInplace(a);
+    // c = 2^64 * (2^64 - 2)
+    EXPECT_NEAR(static_cast<double>(c.toLongDouble()),
+                std::pow(2.0, 64) * (std::pow(2.0, 64) - 2.0),
+                std::pow(2.0, 75));
+}
+
+TEST(BigUInt, CompareOrdersValues)
+{
+    BigUInt small(5);
+    BigUInt big = BigUInt(1).mulWord(~0ull).mulWord(~0ull);
+    EXPECT_LT(small.compare(big), 0);
+    EXPECT_GT(big.compare(small), 0);
+    EXPECT_EQ(small.compare(BigUInt(5)), 0);
+}
+
+TEST(BigUInt, ZeroBehaves)
+{
+    BigUInt zero(0);
+    EXPECT_EQ(zero.toLongDouble(), 0.0L);
+    EXPECT_EQ(zero.modWord(13), 0u);
+    BigUInt x(42);
+    x.subInplace(x);
+    EXPECT_TRUE(x == zero);
+}
+
+class CrtTest : public ::testing::Test
+{
+  protected:
+    CrtTest()
+        : basis_(1024, generateNttPrimes(30, 1024, 4),
+                 generateNttPrimes(40, 1024, 1)[0])
+    {}
+    RnsBasis basis_;
+};
+
+TEST_F(CrtTest, SmallIntegersRoundTrip)
+{
+    const CrtReconstructor crt(basis_, 3);
+    for (std::int64_t v : {0ll, 1ll, -1ll, 123456789ll, -987654321ll,
+                           (1ll << 55), -(1ll << 55)}) {
+        std::vector<std::uint64_t> residues(3);
+        for (std::size_t i = 0; i < 3; ++i)
+            residues[i] = basis_.q(i).reduceSigned(v);
+        EXPECT_EQ(static_cast<std::int64_t>(
+                      crt.reconstructCentered(residues)),
+                  v);
+    }
+}
+
+TEST_F(CrtTest, RandomValuesRoundTripAtEveryLevel)
+{
+    Rng rng(31);
+    for (std::size_t level = 1; level <= 4; ++level) {
+        const CrtReconstructor crt(basis_, level);
+        for (int iter = 0; iter < 200; ++iter) {
+            // Random value well inside +-Q/4 at this level.
+            const double max_mag = std::pow(2.0, 29.0 * level);
+            const std::int64_t v = static_cast<std::int64_t>(
+                (rng.uniformReal() - 0.5) *
+                std::min(max_mag, 9.0e17));
+            std::vector<std::uint64_t> residues(level);
+            for (std::size_t i = 0; i < level; ++i)
+                residues[i] = basis_.q(i).reduceSigned(v);
+            EXPECT_EQ(static_cast<std::int64_t>(
+                          crt.reconstructCentered(residues)),
+                      v);
+        }
+    }
+}
+
+TEST_F(CrtTest, CenteringSplitsAtHalfQ)
+{
+    const CrtReconstructor crt(basis_, 1);
+    const std::uint64_t q0 = basis_.q(0).value();
+    // q0 - 1 should reconstruct as -1, not q0 - 1.
+    std::vector<std::uint64_t> residues{q0 - 1};
+    EXPECT_EQ(crt.reconstructCentered(residues), -1.0L);
+    residues[0] = 1;
+    EXPECT_EQ(crt.reconstructCentered(residues), 1.0L);
+}
+
+TEST_F(CrtTest, LogQMatchesPrimeWidths)
+{
+    const CrtReconstructor crt(basis_, 4);
+    EXPECT_NEAR(crt.logQ(), 4 * 30.0, 0.5);
+}
+
+} // namespace
+} // namespace fxhenn

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "src/common/assert.hpp"
+#include "src/modarith/primes.hpp"
+#include "src/rns/rns_basis.hpp"
+
+namespace fxhenn {
+namespace {
+
+TEST(RnsBasis, ConstructsPaperMnistChain)
+{
+    const std::uint64_t n = 8192;
+    RnsBasis basis(n, generateNttPrimes(30, n, 7),
+                   generateNttPrimes(50, n, 1)[0]);
+    EXPECT_EQ(basis.levels(), 7u);
+    EXPECT_EQ(basis.n(), n);
+    EXPECT_NEAR(basis.logQ(7), 210.0, 1.0);
+    EXPECT_EQ(basis.specialPrime().bits(), 50u);
+}
+
+TEST(RnsBasis, PrecomputedInversesAreCorrect)
+{
+    const std::uint64_t n = 1024;
+    RnsBasis basis(n, generateNttPrimes(30, n, 5),
+                   generateNttPrimes(40, n, 1)[0]);
+    for (std::size_t level = 2; level <= 5; ++level) {
+        const std::uint64_t q_last = basis.q(level - 1).value();
+        for (std::size_t j = 0; j + 1 < level; ++j) {
+            const auto inv = basis.invLastPrime(level, j);
+            EXPECT_EQ(basis.q(j).mul(q_last % basis.q(j).value(), inv),
+                      1u);
+        }
+    }
+    for (std::size_t j = 0; j < 5; ++j) {
+        const auto inv = basis.invSpecial(j);
+        EXPECT_EQ(basis.q(j).mul(basis.specialPrime().value() %
+                                     basis.q(j).value(),
+                                 inv),
+                  1u);
+    }
+}
+
+TEST(RnsBasis, RejectsCollidingSpecialPrime)
+{
+    const std::uint64_t n = 1024;
+    const auto primes = generateNttPrimes(30, n, 2);
+    EXPECT_THROW(RnsBasis(n, primes, primes[0]), ConfigError);
+}
+
+TEST(RnsBasis, NttTablesSharePrimeOrdering)
+{
+    const std::uint64_t n = 1024;
+    const auto primes = generateNttPrimes(30, n, 3);
+    RnsBasis basis(n, primes, generateNttPrimes(40, n, 1)[0]);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(basis.ntt(i).modulus().value(), primes[i]);
+        EXPECT_EQ(basis.ntt(i).n(), n);
+    }
+}
+
+} // namespace
+} // namespace fxhenn

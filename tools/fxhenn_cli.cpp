@@ -1,0 +1,290 @@
+/**
+ * @file
+ * fxhenn — command-line frontend for the FxHENN framework.
+ *
+ *   fxhenn info    --model mnist|cifar10
+ *   fxhenn plan    --model mnist|cifar10 [--layer N]
+ *   fxhenn design  --model mnist|cifar10 --device acu9eg|acu15eg
+ *                  [--out DIR]
+ *   fxhenn sweep   --model mnist|cifar10 [--min B] [--max B] [--step B]
+ *   fxhenn verify  [--seed S]
+ *
+ * `verify` runs a fast encrypted-vs-plaintext inference on the
+ * test-scale network; `design` runs the full DSE and writes the HLS
+ * artifacts.
+ */
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "src/common/assert.hpp"
+#include "src/dse/explorer.hpp"
+#include "src/fxhenn/codegen.hpp"
+#include "src/fxhenn/framework.hpp"
+#include "src/fxhenn/report.hpp"
+#include "src/hecnn/compiler.hpp"
+#include "src/hecnn/plan_io.hpp"
+#include "src/hecnn/plan_printer.hpp"
+#include "src/hecnn/runtime.hpp"
+#include "src/hecnn/stats.hpp"
+#include "src/hecnn/verify.hpp"
+#include "src/nn/model_zoo.hpp"
+
+using namespace fxhenn;
+
+namespace {
+
+struct Args
+{
+    std::string command;
+    std::map<std::string, std::string> options;
+
+    std::string
+    get(const std::string &key, const std::string &fallback) const
+    {
+        auto it = options.find(key);
+        return it == options.end() ? fallback : it->second;
+    }
+};
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args args;
+    if (argc >= 2)
+        args.command = argv[1];
+    for (int i = 2; i + 1 < argc; i += 2) {
+        std::string key = argv[i];
+        if (key.rfind("--", 0) == 0)
+            key = key.substr(2);
+        args.options[key] = argv[i + 1];
+    }
+    return args;
+}
+
+int
+usage()
+{
+    std::cout <<
+        "fxhenn — FPGA acceleration framework for HE-CNN inference\n"
+        "\n"
+        "Commands:\n"
+        "  info   --model mnist|cifar10          network + HE stats\n"
+        "  plan   --model mnist|cifar10          per-layer HE plan\n"
+        "         [--save FILE] [--load FILE]     plan deployment\n"
+        "         [--layer N]                    disassemble layer N\n"
+        "  design --model mnist|cifar10          run DSE, emit HLS\n"
+        "         --device acu9eg|acu15eg\n"
+        "         [--out DIR] [--report 1]\n"
+        "  sweep  --model mnist|cifar10          Fig. 9 budget sweep\n"
+        "         [--min 350] [--max 1500] [--step 100]\n"
+        "  verify [--seed 1]                     encrypted-vs-plain "
+        "check\n";
+    return 2;
+}
+
+struct ModelChoice
+{
+    nn::Network net;
+    ckks::CkksParams params;
+    bool elide;
+};
+
+ModelChoice
+pickModel(const std::string &name)
+{
+    if (name == "mnist") {
+        return {nn::buildMnistNetwork(), ckks::mnistParams(), false};
+    }
+    if (name == "cifar10") {
+        return {nn::buildCifar10Network(), ckks::cifar10Params(), true};
+    }
+    throw ConfigError("unknown model '" + name +
+                      "' (expected mnist or cifar10)");
+}
+
+fpga::DeviceSpec
+pickDevice(const std::string &name)
+{
+    if (name == "acu9eg")
+        return fpga::acu9eg();
+    if (name == "acu15eg")
+        return fpga::acu15eg();
+    throw ConfigError("unknown device '" + name +
+                      "' (expected acu9eg or acu15eg)");
+}
+
+int
+cmdInfo(const Args &args)
+{
+    auto model = pickModel(args.get("model", "mnist"));
+    hecnn::CompileOptions opts;
+    opts.elideValues = model.elide;
+    const auto plan = hecnn::compile(model.net, model.params, opts);
+    const auto size = hecnn::modelSize(plan);
+
+    std::cout << "Model: " << model.net.name() << "\n"
+              << "Parameters: " << model.params.describe() << "\n"
+              << "Plain MACs: " << model.net.totalMacs() << "\n"
+              << "HOPs: " << plan.totalCounts().total()
+              << " (KeySwitch " << plan.totalCounts().keySwitch()
+              << ")\n"
+              << "Depth: " << plan.depth() << " levels of "
+              << model.params.levels << "\n"
+              << "Input ciphertexts: " << plan.inputCiphertexts()
+              << "\n"
+              << "Packed weights: "
+              << double(size.weightPlaintexts) / (1 << 20) << " MiB, "
+              << "keys: "
+              << double(size.relinKey + size.galoisKeys) / (1 << 20)
+              << " MiB\n";
+    return 0;
+}
+
+int
+cmdPlan(const Args &args)
+{
+    const std::string load = args.get("load", "");
+    hecnn::HeNetworkPlan plan;
+    if (!load.empty()) {
+        std::ifstream in(load, std::ios::binary);
+        FXHENN_FATAL_IF(!in, "cannot open plan file " + load);
+        plan = hecnn::loadPlan(in);
+    } else {
+        auto model = pickModel(args.get("model", "mnist"));
+        hecnn::CompileOptions opts;
+        opts.elideValues = model.elide;
+        plan = hecnn::compile(model.net, model.params, opts);
+    }
+    hecnn::summarize(plan, std::cout);
+    const std::string layer = args.get("layer", "");
+    if (!layer.empty()) {
+        std::cout << "\n";
+        hecnn::disassemble(plan,
+                           static_cast<std::size_t>(std::stoul(layer)),
+                           std::cout, 64);
+    }
+    const std::string save = args.get("save", "");
+    if (!save.empty()) {
+        std::ofstream out(save, std::ios::binary);
+        FXHENN_FATAL_IF(!out, "cannot write plan file " + save);
+        hecnn::savePlan(plan, out);
+        std::cout << "\nSaved plan to " << save << "\n";
+    }
+    return 0;
+}
+
+int
+cmdDesign(const Args &args)
+{
+    auto model = pickModel(args.get("model", "mnist"));
+    const auto device = pickDevice(args.get("device", "acu9eg"));
+    FxhennOptions opts;
+    opts.elideValues = model.elide;
+    const auto sol =
+        Fxhenn::generate(model.net, model.params, device, opts);
+
+    std::cout << "Design for " << sol.modelName << " on "
+              << sol.deviceName << "\n"
+              << "  latency  " << sol.latencySeconds() << " s\n"
+              << "  energy   " << sol.energyJoules(device) << " J\n"
+              << "  DSP      " << 100.0 * sol.design.dspFraction
+              << " %\n"
+              << "  BRAM     " << 100.0 * sol.design.bramFraction
+              << " %\n"
+              << "  DSE      " << sol.dsePointsEvaluated
+              << " feasible / " << sol.dsePointsPruned << " pruned\n";
+    for (std::size_t m = 0; m < fpga::kOpModuleCount; ++m) {
+        const auto op = static_cast<fpga::HeOpModule>(m);
+        const auto &a = sol.design.alloc[op];
+        std::cout << "  " << fpga::moduleName(op) << ": nc="
+                  << a.ncNtt << " intra=" << a.pIntra << " inter="
+                  << a.pInter << "\n";
+    }
+
+    const std::string out = args.get("out", "");
+    if (!out.empty()) {
+        const auto [tcl, hdr] = writeAccelerator(sol, out);
+        std::cout << "Wrote " << tcl << " and " << hdr << "\n";
+    }
+    if (args.get("report", "") == "1" ||
+        args.get("report", "") == "true") {
+        std::cout << "\n" << renderDesignReport(sol, device);
+    }
+    return 0;
+}
+
+int
+cmdSweep(const Args &args)
+{
+    auto model = pickModel(args.get("model", "mnist"));
+    const double lo = std::stod(args.get("min", "350"));
+    const double hi = std::stod(args.get("max", "1500"));
+    const double step = std::stod(args.get("step", "100"));
+
+    hecnn::CompileOptions copts;
+    copts.elideValues = model.elide;
+    const auto plan = hecnn::compile(model.net, model.params, copts);
+    const auto device = fpga::acu9eg();
+
+    std::cout << "budget_blocks,feasible,best_latency_s\n";
+    for (double budget = lo; budget <= hi; budget += step) {
+        dse::ExploreOptions opts;
+        opts.bramBudgetBlocks = budget;
+        const auto result = dse::explore(plan, device, opts);
+        std::cout << budget << "," << result.evaluated << ",";
+        if (result.best) {
+            std::cout << result.best->latencySeconds;
+        } else {
+            std::cout << "inf";
+        }
+        std::cout << "\n";
+    }
+    return 0;
+}
+
+int
+cmdVerify(const Args &args)
+{
+    const auto seed =
+        static_cast<std::uint64_t>(std::stoull(args.get("seed", "1")));
+    const auto result = hecnn::verifyAgainstPlaintext(
+        nn::buildTestNetwork(), ckks::testParams(2048, 7, 30), seed,
+        seed);
+    std::cout << "encrypted-vs-plaintext max |err| = "
+              << result.maxAbsError << " over "
+              << result.encryptedLogits.size() << " logits, "
+              << result.hopsExecuted << " HE ops executed\n"
+              << (result.argmaxMatches ? "argmax matches\n"
+                                       : "argmax DIFFERS\n");
+    const bool pass = result.passed();
+    std::cout << (pass ? "PASS" : "FAIL") << "\n";
+    return pass ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        const Args args = parseArgs(argc, argv);
+        if (args.command == "info")
+            return cmdInfo(args);
+        if (args.command == "plan")
+            return cmdPlan(args);
+        if (args.command == "design")
+            return cmdDesign(args);
+        if (args.command == "sweep")
+            return cmdSweep(args);
+        if (args.command == "verify")
+            return cmdVerify(args);
+        return usage();
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}
