@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_ncntt"
+  "../bench/ablation_ncntt.pdb"
+  "CMakeFiles/ablation_ncntt.dir/ablation_ncntt.cpp.o"
+  "CMakeFiles/ablation_ncntt.dir/ablation_ncntt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ncntt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_ntt_banks"
+  "../bench/ablation_ntt_banks.pdb"
+  "CMakeFiles/ablation_ntt_banks.dir/ablation_ntt_banks.cpp.o"
+  "CMakeFiles/ablation_ntt_banks.dir/ablation_ntt_banks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ntt_banks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_uram"
+  "../bench/ablation_uram.pdb"
+  "CMakeFiles/ablation_uram.dir/ablation_uram.cpp.o"
+  "CMakeFiles/ablation_uram.dir/ablation_uram.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_uram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_parallelism"
+  "../bench/fig10_parallelism.pdb"
+  "CMakeFiles/fig10_parallelism.dir/fig10_parallelism.cpp.o"
+  "CMakeFiles/fig10_parallelism.dir/fig10_parallelism.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_layer_breakdown"
+  "../bench/fig7_layer_breakdown.pdb"
+  "CMakeFiles/fig7_layer_breakdown.dir/fig7_layer_breakdown.cpp.o"
+  "CMakeFiles/fig7_layer_breakdown.dir/fig7_layer_breakdown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_layer_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

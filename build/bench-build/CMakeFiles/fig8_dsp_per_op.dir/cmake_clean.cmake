@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_dsp_per_op"
+  "../bench/fig8_dsp_per_op.pdb"
+  "CMakeFiles/fig8_dsp_per_op.dir/fig8_dsp_per_op.cpp.o"
+  "CMakeFiles/fig8_dsp_per_op.dir/fig8_dsp_per_op.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_dsp_per_op.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig8_dsp_per_op.
+# This may be replaced when dependencies are built.

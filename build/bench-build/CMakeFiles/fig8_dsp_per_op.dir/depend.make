@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_dsp_per_op.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_dse_pareto"
+  "../bench/fig9_dse_pareto.pdb"
+  "CMakeFiles/fig9_dse_pareto.dir/fig9_dse_pareto.cpp.o"
+  "CMakeFiles/fig9_dse_pareto.dir/fig9_dse_pareto.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_dse_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_he_op_modules"
+  "../bench/table1_he_op_modules.pdb"
+  "CMakeFiles/table1_he_op_modules.dir/table1_he_op_modules.cpp.o"
+  "CMakeFiles/table1_he_op_modules.dir/table1_he_op_modules.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_he_op_modules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_preliminary_design"
+  "../bench/table2_preliminary_design.pdb"
+  "CMakeFiles/table2_preliminary_design.dir/table2_preliminary_design.cpp.o"
+  "CMakeFiles/table2_preliminary_design.dir/table2_preliminary_design.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_preliminary_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

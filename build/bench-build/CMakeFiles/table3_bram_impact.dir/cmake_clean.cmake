@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_bram_impact"
+  "../bench/table3_bram_impact.pdb"
+  "CMakeFiles/table3_bram_impact.dir/table3_bram_impact.cpp.o"
+  "CMakeFiles/table3_bram_impact.dir/table3_bram_impact.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_bram_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_macs_hops"
+  "../bench/table4_macs_hops.pdb"
+  "CMakeFiles/table4_macs_hops.dir/table4_macs_hops.cpp.o"
+  "CMakeFiles/table4_macs_hops.dir/table4_macs_hops.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_macs_hops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_dse_configs"
+  "../bench/table5_dse_configs.pdb"
+  "CMakeFiles/table5_dse_configs.dir/table5_dse_configs.cpp.o"
+  "CMakeFiles/table5_dse_configs.dir/table5_dse_configs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_dse_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_networks"
+  "../bench/table6_networks.pdb"
+  "CMakeFiles/table6_networks.dir/table6_networks.cpp.o"
+  "CMakeFiles/table6_networks.dir/table6_networks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

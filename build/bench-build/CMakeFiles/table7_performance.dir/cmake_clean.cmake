@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table7_performance"
+  "../bench/table7_performance.pdb"
+  "CMakeFiles/table7_performance.dir/table7_performance.cpp.o"
+  "CMakeFiles/table7_performance.dir/table7_performance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

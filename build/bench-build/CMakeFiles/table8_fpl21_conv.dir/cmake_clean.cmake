@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table8_fpl21_conv"
+  "../bench/table8_fpl21_conv.pdb"
+  "CMakeFiles/table8_fpl21_conv.dir/table8_fpl21_conv.cpp.o"
+  "CMakeFiles/table8_fpl21_conv.dir/table8_fpl21_conv.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_fpl21_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table9_baseline_vs_fxhenn"
+  "../bench/table9_baseline_vs_fxhenn.pdb"
+  "CMakeFiles/table9_baseline_vs_fxhenn.dir/table9_baseline_vs_fxhenn.cpp.o"
+  "CMakeFiles/table9_baseline_vs_fxhenn.dir/table9_baseline_vs_fxhenn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_baseline_vs_fxhenn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

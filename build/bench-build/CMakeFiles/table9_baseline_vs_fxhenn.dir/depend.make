@@ -1,0 +1,2 @@
+# Empty dependencies file for table9_baseline_vs_fxhenn.
+# This may be replaced when dependencies are built.

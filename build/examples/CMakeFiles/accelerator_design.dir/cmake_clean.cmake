@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelerator_design.dir/accelerator_design.cpp.o"
+  "CMakeFiles/accelerator_design.dir/accelerator_design.cpp.o.d"
+  "accelerator_design"
+  "accelerator_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelerator_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

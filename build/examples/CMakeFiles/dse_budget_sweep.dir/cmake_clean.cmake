@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dse_budget_sweep.dir/dse_budget_sweep.cpp.o"
+  "CMakeFiles/dse_budget_sweep.dir/dse_budget_sweep.cpp.o.d"
+  "dse_budget_sweep"
+  "dse_budget_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dse_budget_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encrypted_mnist.dir/encrypted_mnist.cpp.o"
+  "CMakeFiles/encrypted_mnist.dir/encrypted_mnist.cpp.o.d"
+  "encrypted_mnist"
+  "encrypted_mnist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encrypted_mnist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ckks/context.cpp" "src/ckks/CMakeFiles/fxhenn_ckks.dir/context.cpp.o" "gcc" "src/ckks/CMakeFiles/fxhenn_ckks.dir/context.cpp.o.d"
+  "/root/repo/src/ckks/decryptor.cpp" "src/ckks/CMakeFiles/fxhenn_ckks.dir/decryptor.cpp.o" "gcc" "src/ckks/CMakeFiles/fxhenn_ckks.dir/decryptor.cpp.o.d"
+  "/root/repo/src/ckks/encoder.cpp" "src/ckks/CMakeFiles/fxhenn_ckks.dir/encoder.cpp.o" "gcc" "src/ckks/CMakeFiles/fxhenn_ckks.dir/encoder.cpp.o.d"
+  "/root/repo/src/ckks/encryptor.cpp" "src/ckks/CMakeFiles/fxhenn_ckks.dir/encryptor.cpp.o" "gcc" "src/ckks/CMakeFiles/fxhenn_ckks.dir/encryptor.cpp.o.d"
+  "/root/repo/src/ckks/evaluator.cpp" "src/ckks/CMakeFiles/fxhenn_ckks.dir/evaluator.cpp.o" "gcc" "src/ckks/CMakeFiles/fxhenn_ckks.dir/evaluator.cpp.o.d"
+  "/root/repo/src/ckks/keygen.cpp" "src/ckks/CMakeFiles/fxhenn_ckks.dir/keygen.cpp.o" "gcc" "src/ckks/CMakeFiles/fxhenn_ckks.dir/keygen.cpp.o.d"
+  "/root/repo/src/ckks/noise.cpp" "src/ckks/CMakeFiles/fxhenn_ckks.dir/noise.cpp.o" "gcc" "src/ckks/CMakeFiles/fxhenn_ckks.dir/noise.cpp.o.d"
+  "/root/repo/src/ckks/params.cpp" "src/ckks/CMakeFiles/fxhenn_ckks.dir/params.cpp.o" "gcc" "src/ckks/CMakeFiles/fxhenn_ckks.dir/params.cpp.o.d"
+  "/root/repo/src/ckks/serialization.cpp" "src/ckks/CMakeFiles/fxhenn_ckks.dir/serialization.cpp.o" "gcc" "src/ckks/CMakeFiles/fxhenn_ckks.dir/serialization.cpp.o.d"
+  "/root/repo/src/ckks/size_model.cpp" "src/ckks/CMakeFiles/fxhenn_ckks.dir/size_model.cpp.o" "gcc" "src/ckks/CMakeFiles/fxhenn_ckks.dir/size_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rns/CMakeFiles/fxhenn_rns.dir/DependInfo.cmake"
+  "/root/repo/build/src/modarith/CMakeFiles/fxhenn_modarith.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fxhenn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxhenn_ckks.dir/context.cpp.o"
+  "CMakeFiles/fxhenn_ckks.dir/context.cpp.o.d"
+  "CMakeFiles/fxhenn_ckks.dir/decryptor.cpp.o"
+  "CMakeFiles/fxhenn_ckks.dir/decryptor.cpp.o.d"
+  "CMakeFiles/fxhenn_ckks.dir/encoder.cpp.o"
+  "CMakeFiles/fxhenn_ckks.dir/encoder.cpp.o.d"
+  "CMakeFiles/fxhenn_ckks.dir/encryptor.cpp.o"
+  "CMakeFiles/fxhenn_ckks.dir/encryptor.cpp.o.d"
+  "CMakeFiles/fxhenn_ckks.dir/evaluator.cpp.o"
+  "CMakeFiles/fxhenn_ckks.dir/evaluator.cpp.o.d"
+  "CMakeFiles/fxhenn_ckks.dir/keygen.cpp.o"
+  "CMakeFiles/fxhenn_ckks.dir/keygen.cpp.o.d"
+  "CMakeFiles/fxhenn_ckks.dir/noise.cpp.o"
+  "CMakeFiles/fxhenn_ckks.dir/noise.cpp.o.d"
+  "CMakeFiles/fxhenn_ckks.dir/params.cpp.o"
+  "CMakeFiles/fxhenn_ckks.dir/params.cpp.o.d"
+  "CMakeFiles/fxhenn_ckks.dir/serialization.cpp.o"
+  "CMakeFiles/fxhenn_ckks.dir/serialization.cpp.o.d"
+  "CMakeFiles/fxhenn_ckks.dir/size_model.cpp.o"
+  "CMakeFiles/fxhenn_ckks.dir/size_model.cpp.o.d"
+  "libfxhenn_ckks.a"
+  "libfxhenn_ckks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxhenn_ckks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

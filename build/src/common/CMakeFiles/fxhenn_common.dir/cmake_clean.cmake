@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxhenn_common.dir/parallel.cpp.o"
+  "CMakeFiles/fxhenn_common.dir/parallel.cpp.o.d"
+  "CMakeFiles/fxhenn_common.dir/rng.cpp.o"
+  "CMakeFiles/fxhenn_common.dir/rng.cpp.o.d"
+  "CMakeFiles/fxhenn_common.dir/table_printer.cpp.o"
+  "CMakeFiles/fxhenn_common.dir/table_printer.cpp.o.d"
+  "libfxhenn_common.a"
+  "libfxhenn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxhenn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxhenn_dse.dir/baseline.cpp.o"
+  "CMakeFiles/fxhenn_dse.dir/baseline.cpp.o.d"
+  "CMakeFiles/fxhenn_dse.dir/explorer.cpp.o"
+  "CMakeFiles/fxhenn_dse.dir/explorer.cpp.o.d"
+  "CMakeFiles/fxhenn_dse.dir/pareto.cpp.o"
+  "CMakeFiles/fxhenn_dse.dir/pareto.cpp.o.d"
+  "libfxhenn_dse.a"
+  "libfxhenn_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxhenn_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

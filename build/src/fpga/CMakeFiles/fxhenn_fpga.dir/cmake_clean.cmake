@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxhenn_fpga.dir/device.cpp.o"
+  "CMakeFiles/fxhenn_fpga.dir/device.cpp.o.d"
+  "CMakeFiles/fxhenn_fpga.dir/layer_model.cpp.o"
+  "CMakeFiles/fxhenn_fpga.dir/layer_model.cpp.o.d"
+  "CMakeFiles/fxhenn_fpga.dir/ntt_sim.cpp.o"
+  "CMakeFiles/fxhenn_fpga.dir/ntt_sim.cpp.o.d"
+  "CMakeFiles/fxhenn_fpga.dir/op_model.cpp.o"
+  "CMakeFiles/fxhenn_fpga.dir/op_model.cpp.o.d"
+  "CMakeFiles/fxhenn_fpga.dir/pipeline_sim.cpp.o"
+  "CMakeFiles/fxhenn_fpga.dir/pipeline_sim.cpp.o.d"
+  "libfxhenn_fpga.a"
+  "libfxhenn_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxhenn_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxhenn_core.dir/codegen.cpp.o"
+  "CMakeFiles/fxhenn_core.dir/codegen.cpp.o.d"
+  "CMakeFiles/fxhenn_core.dir/framework.cpp.o"
+  "CMakeFiles/fxhenn_core.dir/framework.cpp.o.d"
+  "CMakeFiles/fxhenn_core.dir/report.cpp.o"
+  "CMakeFiles/fxhenn_core.dir/report.cpp.o.d"
+  "libfxhenn_core.a"
+  "libfxhenn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxhenn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hecnn/compiler.cpp" "src/hecnn/CMakeFiles/fxhenn_hecnn.dir/compiler.cpp.o" "gcc" "src/hecnn/CMakeFiles/fxhenn_hecnn.dir/compiler.cpp.o.d"
+  "/root/repo/src/hecnn/plan.cpp" "src/hecnn/CMakeFiles/fxhenn_hecnn.dir/plan.cpp.o" "gcc" "src/hecnn/CMakeFiles/fxhenn_hecnn.dir/plan.cpp.o.d"
+  "/root/repo/src/hecnn/plan_io.cpp" "src/hecnn/CMakeFiles/fxhenn_hecnn.dir/plan_io.cpp.o" "gcc" "src/hecnn/CMakeFiles/fxhenn_hecnn.dir/plan_io.cpp.o.d"
+  "/root/repo/src/hecnn/plan_printer.cpp" "src/hecnn/CMakeFiles/fxhenn_hecnn.dir/plan_printer.cpp.o" "gcc" "src/hecnn/CMakeFiles/fxhenn_hecnn.dir/plan_printer.cpp.o.d"
+  "/root/repo/src/hecnn/runtime.cpp" "src/hecnn/CMakeFiles/fxhenn_hecnn.dir/runtime.cpp.o" "gcc" "src/hecnn/CMakeFiles/fxhenn_hecnn.dir/runtime.cpp.o.d"
+  "/root/repo/src/hecnn/stats.cpp" "src/hecnn/CMakeFiles/fxhenn_hecnn.dir/stats.cpp.o" "gcc" "src/hecnn/CMakeFiles/fxhenn_hecnn.dir/stats.cpp.o.d"
+  "/root/repo/src/hecnn/verify.cpp" "src/hecnn/CMakeFiles/fxhenn_hecnn.dir/verify.cpp.o" "gcc" "src/hecnn/CMakeFiles/fxhenn_hecnn.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ckks/CMakeFiles/fxhenn_ckks.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fxhenn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/rns/CMakeFiles/fxhenn_rns.dir/DependInfo.cmake"
+  "/root/repo/build/src/modarith/CMakeFiles/fxhenn_modarith.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fxhenn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

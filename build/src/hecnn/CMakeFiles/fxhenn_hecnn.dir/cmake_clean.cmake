@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxhenn_hecnn.dir/compiler.cpp.o"
+  "CMakeFiles/fxhenn_hecnn.dir/compiler.cpp.o.d"
+  "CMakeFiles/fxhenn_hecnn.dir/plan.cpp.o"
+  "CMakeFiles/fxhenn_hecnn.dir/plan.cpp.o.d"
+  "CMakeFiles/fxhenn_hecnn.dir/plan_io.cpp.o"
+  "CMakeFiles/fxhenn_hecnn.dir/plan_io.cpp.o.d"
+  "CMakeFiles/fxhenn_hecnn.dir/plan_printer.cpp.o"
+  "CMakeFiles/fxhenn_hecnn.dir/plan_printer.cpp.o.d"
+  "CMakeFiles/fxhenn_hecnn.dir/runtime.cpp.o"
+  "CMakeFiles/fxhenn_hecnn.dir/runtime.cpp.o.d"
+  "CMakeFiles/fxhenn_hecnn.dir/stats.cpp.o"
+  "CMakeFiles/fxhenn_hecnn.dir/stats.cpp.o.d"
+  "CMakeFiles/fxhenn_hecnn.dir/verify.cpp.o"
+  "CMakeFiles/fxhenn_hecnn.dir/verify.cpp.o.d"
+  "libfxhenn_hecnn.a"
+  "libfxhenn_hecnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxhenn_hecnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

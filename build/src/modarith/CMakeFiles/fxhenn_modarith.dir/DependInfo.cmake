@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/modarith/modulus.cpp" "src/modarith/CMakeFiles/fxhenn_modarith.dir/modulus.cpp.o" "gcc" "src/modarith/CMakeFiles/fxhenn_modarith.dir/modulus.cpp.o.d"
+  "/root/repo/src/modarith/ntt.cpp" "src/modarith/CMakeFiles/fxhenn_modarith.dir/ntt.cpp.o" "gcc" "src/modarith/CMakeFiles/fxhenn_modarith.dir/ntt.cpp.o.d"
+  "/root/repo/src/modarith/primes.cpp" "src/modarith/CMakeFiles/fxhenn_modarith.dir/primes.cpp.o" "gcc" "src/modarith/CMakeFiles/fxhenn_modarith.dir/primes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fxhenn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

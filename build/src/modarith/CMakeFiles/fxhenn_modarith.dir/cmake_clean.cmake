@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxhenn_modarith.dir/modulus.cpp.o"
+  "CMakeFiles/fxhenn_modarith.dir/modulus.cpp.o.d"
+  "CMakeFiles/fxhenn_modarith.dir/ntt.cpp.o"
+  "CMakeFiles/fxhenn_modarith.dir/ntt.cpp.o.d"
+  "CMakeFiles/fxhenn_modarith.dir/primes.cpp.o"
+  "CMakeFiles/fxhenn_modarith.dir/primes.cpp.o.d"
+  "libfxhenn_modarith.a"
+  "libfxhenn_modarith.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxhenn_modarith.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/fxhenn_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/fxhenn_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/model_zoo.cpp" "src/nn/CMakeFiles/fxhenn_nn.dir/model_zoo.cpp.o" "gcc" "src/nn/CMakeFiles/fxhenn_nn.dir/model_zoo.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "src/nn/CMakeFiles/fxhenn_nn.dir/network.cpp.o" "gcc" "src/nn/CMakeFiles/fxhenn_nn.dir/network.cpp.o.d"
+  "/root/repo/src/nn/network_io.cpp" "src/nn/CMakeFiles/fxhenn_nn.dir/network_io.cpp.o" "gcc" "src/nn/CMakeFiles/fxhenn_nn.dir/network_io.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/fxhenn_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/fxhenn_nn.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fxhenn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

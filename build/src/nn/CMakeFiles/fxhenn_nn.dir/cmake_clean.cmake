@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxhenn_nn.dir/layers.cpp.o"
+  "CMakeFiles/fxhenn_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/fxhenn_nn.dir/model_zoo.cpp.o"
+  "CMakeFiles/fxhenn_nn.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/fxhenn_nn.dir/network.cpp.o"
+  "CMakeFiles/fxhenn_nn.dir/network.cpp.o.d"
+  "CMakeFiles/fxhenn_nn.dir/network_io.cpp.o"
+  "CMakeFiles/fxhenn_nn.dir/network_io.cpp.o.d"
+  "CMakeFiles/fxhenn_nn.dir/tensor.cpp.o"
+  "CMakeFiles/fxhenn_nn.dir/tensor.cpp.o.d"
+  "libfxhenn_nn.a"
+  "libfxhenn_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxhenn_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

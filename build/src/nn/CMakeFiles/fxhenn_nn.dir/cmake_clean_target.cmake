@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfxhenn_nn.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rns/crt.cpp" "src/rns/CMakeFiles/fxhenn_rns.dir/crt.cpp.o" "gcc" "src/rns/CMakeFiles/fxhenn_rns.dir/crt.cpp.o.d"
+  "/root/repo/src/rns/rns_basis.cpp" "src/rns/CMakeFiles/fxhenn_rns.dir/rns_basis.cpp.o" "gcc" "src/rns/CMakeFiles/fxhenn_rns.dir/rns_basis.cpp.o.d"
+  "/root/repo/src/rns/rns_poly.cpp" "src/rns/CMakeFiles/fxhenn_rns.dir/rns_poly.cpp.o" "gcc" "src/rns/CMakeFiles/fxhenn_rns.dir/rns_poly.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/modarith/CMakeFiles/fxhenn_modarith.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fxhenn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

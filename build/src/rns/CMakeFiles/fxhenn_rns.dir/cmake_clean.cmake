@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxhenn_rns.dir/crt.cpp.o"
+  "CMakeFiles/fxhenn_rns.dir/crt.cpp.o.d"
+  "CMakeFiles/fxhenn_rns.dir/rns_basis.cpp.o"
+  "CMakeFiles/fxhenn_rns.dir/rns_basis.cpp.o.d"
+  "CMakeFiles/fxhenn_rns.dir/rns_poly.cpp.o"
+  "CMakeFiles/fxhenn_rns.dir/rns_poly.cpp.o.d"
+  "libfxhenn_rns.a"
+  "libfxhenn_rns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxhenn_rns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fxhenn_rns.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ckks.dir/ckks/test_encoder.cpp.o"
+  "CMakeFiles/test_ckks.dir/ckks/test_encoder.cpp.o.d"
+  "CMakeFiles/test_ckks.dir/ckks/test_encrypt.cpp.o"
+  "CMakeFiles/test_ckks.dir/ckks/test_encrypt.cpp.o.d"
+  "CMakeFiles/test_ckks.dir/ckks/test_evaluator.cpp.o"
+  "CMakeFiles/test_ckks.dir/ckks/test_evaluator.cpp.o.d"
+  "CMakeFiles/test_ckks.dir/ckks/test_noise.cpp.o"
+  "CMakeFiles/test_ckks.dir/ckks/test_noise.cpp.o.d"
+  "CMakeFiles/test_ckks.dir/ckks/test_params.cpp.o"
+  "CMakeFiles/test_ckks.dir/ckks/test_params.cpp.o.d"
+  "CMakeFiles/test_ckks.dir/ckks/test_rotation.cpp.o"
+  "CMakeFiles/test_ckks.dir/ckks/test_rotation.cpp.o.d"
+  "CMakeFiles/test_ckks.dir/ckks/test_serialization.cpp.o"
+  "CMakeFiles/test_ckks.dir/ckks/test_serialization.cpp.o.d"
+  "test_ckks"
+  "test_ckks.pdb"
+  "test_ckks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ckks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fpga.dir/fpga/test_buffer_model.cpp.o"
+  "CMakeFiles/test_fpga.dir/fpga/test_buffer_model.cpp.o.d"
+  "CMakeFiles/test_fpga.dir/fpga/test_layer_model.cpp.o"
+  "CMakeFiles/test_fpga.dir/fpga/test_layer_model.cpp.o.d"
+  "CMakeFiles/test_fpga.dir/fpga/test_ntt_sim.cpp.o"
+  "CMakeFiles/test_fpga.dir/fpga/test_ntt_sim.cpp.o.d"
+  "CMakeFiles/test_fpga.dir/fpga/test_op_model.cpp.o"
+  "CMakeFiles/test_fpga.dir/fpga/test_op_model.cpp.o.d"
+  "CMakeFiles/test_fpga.dir/fpga/test_pipeline_sim.cpp.o"
+  "CMakeFiles/test_fpga.dir/fpga/test_pipeline_sim.cpp.o.d"
+  "test_fpga"
+  "test_fpga.pdb"
+  "test_fpga[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hecnn.dir/hecnn/test_compiler.cpp.o"
+  "CMakeFiles/test_hecnn.dir/hecnn/test_compiler.cpp.o.d"
+  "CMakeFiles/test_hecnn.dir/hecnn/test_plan_io.cpp.o"
+  "CMakeFiles/test_hecnn.dir/hecnn/test_plan_io.cpp.o.d"
+  "CMakeFiles/test_hecnn.dir/hecnn/test_plan_printer.cpp.o"
+  "CMakeFiles/test_hecnn.dir/hecnn/test_plan_printer.cpp.o.d"
+  "CMakeFiles/test_hecnn.dir/hecnn/test_runtime.cpp.o"
+  "CMakeFiles/test_hecnn.dir/hecnn/test_runtime.cpp.o.d"
+  "CMakeFiles/test_hecnn.dir/hecnn/test_verify.cpp.o"
+  "CMakeFiles/test_hecnn.dir/hecnn/test_verify.cpp.o.d"
+  "test_hecnn"
+  "test_hecnn.pdb"
+  "test_hecnn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hecnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

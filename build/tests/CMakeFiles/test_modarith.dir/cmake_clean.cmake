@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_modarith.dir/modarith/test_modulus.cpp.o"
+  "CMakeFiles/test_modarith.dir/modarith/test_modulus.cpp.o.d"
+  "CMakeFiles/test_modarith.dir/modarith/test_ntt.cpp.o"
+  "CMakeFiles/test_modarith.dir/modarith/test_ntt.cpp.o.d"
+  "CMakeFiles/test_modarith.dir/modarith/test_primes.cpp.o"
+  "CMakeFiles/test_modarith.dir/modarith/test_primes.cpp.o.d"
+  "test_modarith"
+  "test_modarith.pdb"
+  "test_modarith[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_modarith.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

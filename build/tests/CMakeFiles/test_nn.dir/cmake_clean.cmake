@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn.dir/nn/test_avgpool.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_avgpool.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_layers.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_layers.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_network.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_network.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_network_io.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_network_io.cpp.o.d"
+  "test_nn"
+  "test_nn.pdb"
+  "test_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties.dir/property/test_ckks_properties.cpp.o"
+  "CMakeFiles/test_properties.dir/property/test_ckks_properties.cpp.o.d"
+  "CMakeFiles/test_properties.dir/property/test_compiler_properties.cpp.o"
+  "CMakeFiles/test_properties.dir/property/test_compiler_properties.cpp.o.d"
+  "CMakeFiles/test_properties.dir/property/test_model_properties.cpp.o"
+  "CMakeFiles/test_properties.dir/property/test_model_properties.cpp.o.d"
+  "CMakeFiles/test_properties.dir/property/test_serialization_fuzz.cpp.o"
+  "CMakeFiles/test_properties.dir/property/test_serialization_fuzz.cpp.o.d"
+  "test_properties"
+  "test_properties.pdb"
+  "test_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

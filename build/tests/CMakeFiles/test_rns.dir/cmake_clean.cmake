@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rns.dir/rns/test_crt.cpp.o"
+  "CMakeFiles/test_rns.dir/rns/test_crt.cpp.o.d"
+  "CMakeFiles/test_rns.dir/rns/test_rns_basis.cpp.o"
+  "CMakeFiles/test_rns.dir/rns/test_rns_basis.cpp.o.d"
+  "CMakeFiles/test_rns.dir/rns/test_rns_poly.cpp.o"
+  "CMakeFiles/test_rns.dir/rns/test_rns_poly.cpp.o.d"
+  "test_rns"
+  "test_rns.pdb"
+  "test_rns[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/fxhenn_cli.cpp" "tools/CMakeFiles/fxhenn_cli.dir/fxhenn_cli.cpp.o" "gcc" "tools/CMakeFiles/fxhenn_cli.dir/fxhenn_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fxhenn/CMakeFiles/fxhenn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dse/CMakeFiles/fxhenn_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/fxhenn_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/hecnn/CMakeFiles/fxhenn_hecnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckks/CMakeFiles/fxhenn_ckks.dir/DependInfo.cmake"
+  "/root/repo/build/src/rns/CMakeFiles/fxhenn_rns.dir/DependInfo.cmake"
+  "/root/repo/build/src/modarith/CMakeFiles/fxhenn_modarith.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fxhenn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fxhenn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxhenn_cli.dir/fxhenn_cli.cpp.o"
+  "CMakeFiles/fxhenn_cli.dir/fxhenn_cli.cpp.o.d"
+  "fxhenn"
+  "fxhenn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxhenn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
