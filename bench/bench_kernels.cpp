@@ -3,8 +3,18 @@
  * google-benchmark microbenchmarks of the software CKKS kernels — the
  * CPU reference the FPGA model is compared against, and a regression
  * guard for the NTT/keyswitch implementations.
+ *
+ * The binary carries its own main(): telemetry is switched on for the
+ * run and the aggregated counters/timers are written as JSON
+ * (BENCH_kernels.json by default, --telemetry-json=FILE to override),
+ * so one invocation yields both throughput numbers and the per-op /
+ * per-layer profile.
  */
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <iostream>
+#include <string>
 
 #include "src/ckks/decryptor.hpp"
 #include "src/ckks/encoder.hpp"
@@ -12,8 +22,12 @@
 #include "src/ckks/evaluator.hpp"
 #include "src/ckks/keygen.hpp"
 #include "src/common/rng.hpp"
+#include "src/hecnn/compiler.hpp"
+#include "src/hecnn/runtime.hpp"
 #include "src/modarith/ntt.hpp"
 #include "src/modarith/primes.hpp"
+#include "src/nn/model_zoo.hpp"
+#include "src/telemetry/telemetry.hpp"
 
 namespace {
 
@@ -187,4 +201,61 @@ BM_Encode(benchmark::State &state)
 }
 BENCHMARK(BM_Encode);
 
+void
+BM_EncryptedInference(benchmark::State &state)
+{
+    // End-to-end encrypted inference on the test-scale network. Runs
+    // with telemetry enabled, so BENCH_kernels.json picks up the
+    // hecnn.layer.<name>.ns per-layer timing histograms alongside the
+    // ckks.op.* counters.
+    const auto net = nn::buildTestNetwork();
+    const auto params = ckks::testParams(2048, 7, 30);
+    const auto plan = hecnn::compile(net, params);
+    ckks::CkksContext ctx(params);
+    hecnn::Runtime runtime(plan, ctx, /*seed=*/1);
+    const nn::Tensor input = nn::syntheticInput(net, 1);
+    for (auto _ : state) {
+        auto logits = runtime.infer(input);
+        benchmark::DoNotOptimize(logits);
+    }
+}
+BENCHMARK(BM_EncryptedInference)->Unit(benchmark::kMillisecond);
+
 } // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Peel off our own flag before google-benchmark sees the argv.
+    std::string telemetryPath = "BENCH_kernels.json";
+    int outArgc = 0;
+    for (int i = 0; i < argc; ++i) {
+        constexpr const char *kFlag = "--telemetry-json=";
+        if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+            telemetryPath = argv[i] + std::strlen(kFlag);
+        } else {
+            argv[outArgc++] = argv[i];
+        }
+    }
+    argc = outArgc;
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+
+    fxhenn::telemetry::setEnabled(true);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    if (!telemetryPath.empty()) {
+        if (fxhenn::telemetry::writeJsonFile(telemetryPath)) {
+            std::cerr << "telemetry written to " << telemetryPath
+                      << "\n";
+        } else {
+            std::cerr << "failed to write telemetry to "
+                      << telemetryPath << "\n";
+            return 1;
+        }
+    }
+    return 0;
+}

@@ -4,6 +4,7 @@
 
 #include "src/common/assert.hpp"
 #include "src/common/parallel.hpp"
+#include "src/telemetry/telemetry.hpp"
 
 namespace fxhenn::ckks {
 
@@ -42,6 +43,8 @@ Evaluator::addInplace(Ciphertext &a, const Ciphertext &b)
 {
     checkSameShape(a, b);
     checkScaleClose(a.scale, b.scale);
+    FXHENN_TELEM_COUNT("ckks.op.cc_add", 1);
+    FXHENN_TELEM_COUNT("ckks.limbs", a.level() * a.parts.size());
     for (std::size_t k = 0; k < a.parts.size(); ++k)
         a.parts[k].addInplace(b.parts[k]);
     ++counts_.ccAdd;
@@ -73,6 +76,8 @@ Evaluator::addPlainInplace(Ciphertext &a, const Plaintext &p)
     FXHENN_FATAL_IF(a.level() != p.level(),
                     "plaintext level does not match ciphertext");
     checkScaleClose(a.scale, p.scale);
+    FXHENN_TELEM_COUNT("ckks.op.pc_add", 1);
+    FXHENN_TELEM_COUNT("ckks.limbs", a.level());
     a.parts[0].addInplace(p.poly);
     ++counts_.pcAdd;
 }
@@ -129,6 +134,9 @@ Evaluator::mulPlainInplace(Ciphertext &a, const Plaintext &p)
 {
     FXHENN_FATAL_IF(a.level() != p.level(),
                     "plaintext level does not match ciphertext");
+    FXHENN_TELEM_SCOPED_TIMER("ckks.time.pc_mult.ns");
+    FXHENN_TELEM_COUNT("ckks.op.pc_mult", 1);
+    FXHENN_TELEM_COUNT("ckks.limbs", a.level() * a.parts.size());
     for (auto &part : a.parts)
         part.mulInplace(p.poly);
     a.scale *= p.scale;
@@ -141,6 +149,9 @@ Evaluator::mulNoRelin(const Ciphertext &a, const Ciphertext &b)
     checkSameShape(a, b);
     FXHENN_FATAL_IF(a.size() != 2 || b.size() != 2,
                     "multiply requires 2-part operands");
+    FXHENN_TELEM_SCOPED_TIMER("ckks.time.cc_mult.ns");
+    FXHENN_TELEM_COUNT("ckks.op.cc_mult", 1);
+    FXHENN_TELEM_COUNT("ckks.limbs", a.level() * 4);
 
     Ciphertext out;
     out.scale = a.scale * b.scale;
@@ -176,6 +187,9 @@ Evaluator::applyKsw(RnsPoly d, const KswKey &key)
 {
     const RnsBasis &basis = context_.basis();
     const std::size_t level = d.level();
+    FXHENN_TELEM_SCOPED_TIMER("ckks.time.keyswitch.ns");
+    FXHENN_TELEM_COUNT("ckks.op.keyswitch_core", 1);
+    FXHENN_TELEM_COUNT("ckks.limbs", level * (level + 1));
     FXHENN_ASSERT(!d.hasSpecial(), "input must not carry the special limb");
     FXHENN_ASSERT(key.pairs.size() >= level, "key too short for level");
 
@@ -239,6 +253,8 @@ Evaluator::relinearize(const Ciphertext &a, const RelinKey &rk)
 {
     FXHENN_FATAL_IF(a.size() != 3,
                     "relinearize expects a 3-part ciphertext");
+    FXHENN_TELEM_SCOPED_TIMER("ckks.time.relinearize.ns");
+    FXHENN_TELEM_COUNT("ckks.op.relinearize", 1);
     auto [u0, u1] = applyKsw(a.parts[2], rk.key);
 
     Ciphertext out;
@@ -265,6 +281,9 @@ void
 Evaluator::rescaleInplace(Ciphertext &a)
 {
     FXHENN_FATAL_IF(a.level() < 2, "no prime left to rescale into");
+    FXHENN_TELEM_SCOPED_TIMER("ckks.time.rescale.ns");
+    FXHENN_TELEM_COUNT("ckks.op.rescale", 1);
+    FXHENN_TELEM_COUNT("ckks.limbs", a.level() * a.parts.size());
     const std::uint64_t q_last =
         context_.basis().q(a.level() - 1).value();
     for (auto &part : a.parts) {
@@ -295,6 +314,8 @@ Evaluator::rotate(const Ciphertext &a, int steps, const GaloisKeys &gk)
     FXHENN_FATAL_IF(a.size() != 2, "rotate expects a 2-part ciphertext");
     if (steps == 0)
         return a;
+    FXHENN_TELEM_SCOPED_TIMER("ckks.time.rotate.ns");
+    FXHENN_TELEM_COUNT("ckks.op.rotate", 1);
     const std::uint64_t elt = context_.galoisElt(steps);
     FXHENN_FATAL_IF(!gk.has(elt),
                     "missing Galois key for requested rotation");
@@ -326,6 +347,7 @@ Evaluator::rotateHoisted(const Ciphertext &a,
 {
     FXHENN_FATAL_IF(a.size() != 2,
                     "rotateHoisted expects a 2-part ciphertext");
+    FXHENN_TELEM_SCOPED_TIMER("ckks.time.rotate_hoisted.ns");
     const RnsBasis &basis = context_.basis();
     const std::size_t level = a.level();
 
@@ -409,6 +431,7 @@ Evaluator::rotateHoisted(const Ciphertext &a,
         ct.parts.push_back(std::move(u0));
         ct.parts.push_back(std::move(u1));
         out.push_back(std::move(ct));
+        FXHENN_TELEM_COUNT("ckks.op.rotate", 1);
         ++counts_.rotate;
     }
     return out;
@@ -438,6 +461,7 @@ Evaluator::conjugate(const Ciphertext &a, const GaloisKeys &gk)
     out.scale = a.scale;
     out.parts.push_back(std::move(u0));
     out.parts.push_back(std::move(u1));
+    FXHENN_TELEM_COUNT("ckks.op.rotate", 1);
     ++counts_.rotate;
     return out;
 }

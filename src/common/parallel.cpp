@@ -1,11 +1,14 @@
 #include "src/common/parallel.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/telemetry/telemetry.hpp"
 
 namespace fxhenn {
 
@@ -50,10 +53,15 @@ class Pool
             workers = desired_;
         }
         if (t_inWorker || workers <= 1 || count == 1) {
+            FXHENN_TELEM_COUNT("parallel.inline_calls", 1);
+            FXHENN_TELEM_COUNT("parallel.items", count);
             for (std::size_t i = 0; i < count; ++i)
                 fn(i);
             return;
         }
+        FXHENN_TELEM_COUNT("parallel.calls", 1);
+        FXHENN_TELEM_COUNT("parallel.items", count);
+        FXHENN_TELEM_SCOPED_TIMER("parallel.region.ns");
 
         // Fork a bounded set of helpers per call. Thread creation is
         // ~10 us; every loop this guards is >= 100 us of NTT work.
@@ -63,7 +71,23 @@ class Pool
         std::exception_ptr error;
         std::mutex error_mutex;
 
+        // Queue depth = items each worker would own on average; with
+        // the utilization counters below this tells whether a loop is
+        // too fine-grained to feed the pool (software P_intra health).
+        if (telemetry::enabled()) {
+            telemetry::histogram("parallel.queue_depth")
+                .record(count / helpers);
+            telemetry::histogram("parallel.workers_used").record(helpers);
+            telemetry::counter("parallel.threads_spawned")
+                .add(helpers - 1);
+        }
+
         auto body = [&]() {
+            const bool measure = telemetry::enabled();
+            const auto begin = measure
+                                   ? std::chrono::steady_clock::now()
+                                   : std::chrono::steady_clock::
+                                         time_point{};
             t_inWorker = true;
             for (;;) {
                 const std::size_t i =
@@ -79,6 +103,15 @@ class Pool
                 }
             }
             t_inWorker = false;
+            if (measure) {
+                const auto ns =
+                    std::chrono::duration_cast<
+                        std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - begin)
+                        .count();
+                telemetry::counter("parallel.worker_busy_ns")
+                    .add(static_cast<std::uint64_t>(ns));
+            }
         };
 
         std::vector<std::thread> threads;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/assert.hpp"
+#include "src/telemetry/telemetry.hpp"
 
 namespace fxhenn::dse {
 
@@ -32,6 +33,8 @@ explore(const hecnn::HeNetworkPlan &plan, const fpga::DeviceSpec &device,
         const ExploreOptions &options)
 {
     FXHENN_FATAL_IF(plan.layers.empty(), "cannot explore an empty plan");
+    FXHENN_TELEM_SCOPED_TIMER("dse.explore.ns");
+    FXHENN_TELEM_COUNT("dse.explorations", 1);
     ExploreResult result;
 
     std::vector<unsigned> ntt_intra;
@@ -99,6 +102,8 @@ explore(const hecnn::HeNetworkPlan &plan, const fpga::DeviceSpec &device,
             }
         }
     }
+    FXHENN_TELEM_COUNT("dse.points_evaluated", result.evaluated);
+    FXHENN_TELEM_COUNT("dse.points_pruned", result.pruned);
     return result;
 }
 

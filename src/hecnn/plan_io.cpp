@@ -1,6 +1,7 @@
 #include "src/hecnn/plan_io.hpp"
 
 #include <istream>
+#include <limits>
 #include <ostream>
 
 #include "src/common/assert.hpp"
@@ -36,11 +37,34 @@ writeString(std::ostream &os, const std::string &s)
     os.write(s.data(), static_cast<std::streamsize>(s.size()));
 }
 
+/**
+ * Bytes left between the current read position and end-of-stream, or
+ * UINT64_MAX when the stream is not seekable. Size fields read from the
+ * wire are checked against this before any allocation, so a corrupted
+ * length that still clears the element-count cap cannot trigger a
+ * multi-gigabyte allocation for data that is not there.
+ */
+std::uint64_t
+remainingBytes(std::istream &is)
+{
+    const auto cur = is.tellg();
+    if (cur < 0)
+        return std::numeric_limits<std::uint64_t>::max();
+    is.seekg(0, std::ios::end);
+    const auto end = is.tellg();
+    is.seekg(cur);
+    if (end < cur)
+        return 0;
+    return static_cast<std::uint64_t>(end - cur);
+}
+
 std::string
 readString(std::istream &is)
 {
     const auto size = readPod<std::uint32_t>(is);
     FXHENN_FATAL_IF(size > 4096, "implausible string length in plan");
+    FXHENN_FATAL_IF(size > remainingBytes(is),
+                    "string length exceeds remaining plan bytes");
     std::string s(size, '\0');
     is.read(s.data(), size);
     FXHENN_FATAL_IF(!is, "truncated plan stream");
@@ -62,6 +86,8 @@ readVector(std::istream &is, std::uint64_t maxElems)
 {
     const auto size = readPod<std::uint64_t>(is);
     FXHENN_FATAL_IF(size > maxElems, "implausible vector size in plan");
+    FXHENN_FATAL_IF(size * sizeof(T) > remainingBytes(is),
+                    "vector size exceeds remaining plan bytes");
     std::vector<T> v(size);
     is.read(reinterpret_cast<char *>(v.data()),
             static_cast<std::streamsize>(size * sizeof(T)));
@@ -86,6 +112,9 @@ readLayout(std::istream &is)
     SlotLayout layout;
     const auto count = readPod<std::uint64_t>(is);
     FXHENN_FATAL_IF(count > (1u << 24), "implausible layout size");
+    FXHENN_FATAL_IF(count * (sizeof(std::int32_t) * 2) >
+                        remainingBytes(is),
+                    "layout size exceeds remaining plan bytes");
     layout.pos.reserve(count);
     for (std::uint64_t i = 0; i < count; ++i) {
         const auto reg = readPod<std::int32_t>(is);

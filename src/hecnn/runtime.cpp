@@ -1,6 +1,8 @@
 #include "src/hecnn/runtime.hpp"
 
 #include "src/common/assert.hpp"
+#include "src/common/timer.hpp"
+#include "src/telemetry/telemetry.hpp"
 
 namespace fxhenn::hecnn {
 
@@ -118,6 +120,10 @@ std::vector<double>
 Runtime::infer(const nn::Tensor &input)
 {
     evaluator_.resetCounts();
+    layerStats_.clear();
+    layerStats_.reserve(plan_.layers.size());
+    FXHENN_TELEM_SCOPED_TIMER("hecnn.infer.ns");
+    FXHENN_TELEM_COUNT("hecnn.inferences", 1);
 
     // Client: pack, encode, encrypt into the input registers.
     const auto packed = packInput(input);
@@ -129,9 +135,30 @@ Runtime::infer(const nn::Tensor &input)
         regs_[i] = encryptor_.encrypt(plain);
     }
 
-    // Server: run every layer.
-    for (const auto &layer : plan_.layers)
+    // Server: run every layer, recording wall time and the delta of
+    // the evaluator's op counters across each layer.
+    for (const auto &layer : plan_.layers) {
+        const ckks::OpCounts before = evaluator_.counts();
+        Timer timer;
         execute(layer);
+        MeasuredLayerStats row;
+        row.name = layer.name;
+        row.seconds = timer.elapsedSeconds();
+        const ckks::OpCounts &after = evaluator_.counts();
+        row.executed.ccAdd = after.ccAdd - before.ccAdd;
+        row.executed.pcAdd = after.pcAdd - before.pcAdd;
+        row.executed.pcMult = after.pcMult - before.pcMult;
+        row.executed.ccMult = after.ccMult - before.ccMult;
+        row.executed.rescale = after.rescale - before.rescale;
+        row.executed.relinearize =
+            after.relinearize - before.relinearize;
+        row.executed.rotate = after.rotate - before.rotate;
+        if (telemetry::enabled()) {
+            telemetry::histogram("hecnn.layer." + layer.name + ".ns")
+                .record(static_cast<std::uint64_t>(row.seconds * 1e9));
+        }
+        layerStats_.push_back(std::move(row));
+    }
 
     // Client: decrypt the output registers once each, extract logits.
     std::map<std::int32_t, std::vector<double>> decoded;

@@ -22,6 +22,7 @@
 #include "src/ckks/evaluator.hpp"
 #include "src/ckks/keygen.hpp"
 #include "src/hecnn/plan.hpp"
+#include "src/hecnn/stats.hpp"
 #include "src/nn/tensor.hpp"
 
 namespace fxhenn::hecnn {
@@ -45,6 +46,17 @@ class Runtime
 
     /** Executed-operation counters from the last inference. */
     const ckks::OpCounts &executedCounts() const;
+
+    /**
+     * Measured per-layer statistics of the last infer(): wall time and
+     * executed-op breakdown. Always collected (the cost is two clock
+     * reads per layer); also mirrored into the telemetry registry as
+     * "hecnn.layer.<name>.ns" histograms when telemetry is enabled.
+     */
+    const std::vector<MeasuredLayerStats> &lastLayerStats() const
+    {
+        return layerStats_;
+    }
 
     /** Number of Galois keys generated (rotation key footprint). */
     std::size_t galoisKeyCount() const { return galois_.keys.size(); }
@@ -72,6 +84,7 @@ class Runtime
 
     std::vector<std::optional<ckks::Ciphertext>> regs_;
     std::map<std::int32_t, ckks::Plaintext> plaintextCache_;
+    std::vector<MeasuredLayerStats> layerStats_;
 };
 
 } // namespace fxhenn::hecnn

@@ -1,18 +1,25 @@
 /**
  * @file
- * Static statistics over compiled HE-CNN plans.
+ * Static statistics over compiled HE-CNN plans, plus the measured
+ * per-layer runtime statistics the telemetry layer collects.
  *
  * Produces the quantities the paper tabulates: per-layer and total HOP
  * counts, KeySwitch counts (Tables IV, VI, VII), and the server-side
  * model size — packed weight plaintexts plus relinearization and Galois
- * keys (the "Mod.Size" column of Table VI).
+ * keys (the "Mod.Size" column of Table VI). The measured side
+ * (MeasuredLayerStats) is the dynamic counterpart: wall time and
+ * executed-op breakdown per layer from an actual encrypted inference,
+ * the software analogue of the paper's Fig. 7 layer breakdown.
  */
 #ifndef FXHENN_HECNN_STATS_HPP
 #define FXHENN_HECNN_STATS_HPP
 
+#include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "src/ckks/evaluator.hpp"
 #include "src/hecnn/plan.hpp"
 
 namespace fxhenn::hecnn {
@@ -50,6 +57,31 @@ ModelSize modelSize(const HeNetworkPlan &plan);
 
 /** The paper's layer label string, e.g. "Cnv1, Act1, Fc1, Act2, Fc2". */
 std::string layerSummary(const HeNetworkPlan &plan);
+
+/**
+ * One measured layer of an encrypted inference: wall time plus the
+ * evaluator ops the layer actually executed (delta of the evaluator's
+ * counters across the layer).
+ */
+struct MeasuredLayerStats
+{
+    std::string name;
+    double seconds = 0.0;
+    ckks::OpCounts executed;
+};
+
+/**
+ * Render measured layers as a JSON array:
+ * [{"layer": n, "seconds": s, "ops": {"cc_add": .., "pc_add": ..,
+ *   "pc_mult": .., "cc_mult": .., "rescale": .., "relinearize": ..,
+ *   "rotate": ..}}, ...]
+ */
+void writeMeasuredStatsJson(std::span<const MeasuredLayerStats> rows,
+                            std::ostream &os);
+
+/** Render measured layers as a human-readable table. */
+std::string renderMeasuredStats(
+    std::span<const MeasuredLayerStats> rows);
 
 } // namespace fxhenn::hecnn
 

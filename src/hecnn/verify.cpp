@@ -26,6 +26,7 @@ verifyAgainstPlaintext(const nn::Network &net,
     result.plaintextLogits.assign(expected.data().begin(),
                                   expected.data().end());
     result.hopsExecuted = runtime.executedCounts().total();
+    result.layers = runtime.lastLayerStats();
 
     std::size_t argmax_he = 0, argmax_pt = 0;
     for (std::size_t i = 0; i < result.encryptedLogits.size(); ++i) {

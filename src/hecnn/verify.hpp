@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/ckks/params.hpp"
+#include "src/hecnn/stats.hpp"
 #include "src/nn/network.hpp"
 
 namespace fxhenn::hecnn {
@@ -26,6 +27,8 @@ struct VerifyResult
     std::uint64_t hopsExecuted = 0;
     std::vector<double> encryptedLogits;
     std::vector<double> plaintextLogits;
+    /** Measured per-layer wall time + op breakdown of the run. */
+    std::vector<MeasuredLayerStats> layers;
 
     /** Pass criterion used across the repository. */
     bool passed(double tolerance = 1e-2) const

@@ -3,6 +3,7 @@
 #include "src/common/assert.hpp"
 #include "src/common/math_util.hpp"
 #include "src/modarith/primes.hpp"
+#include "src/telemetry/telemetry.hpp"
 
 namespace fxhenn {
 
@@ -46,6 +47,8 @@ void
 NttTables::forward(std::span<std::uint64_t> a) const
 {
     FXHENN_ASSERT(a.size() == n_, "NTT operand has wrong length");
+    FXHENN_TELEM_COUNT("modarith.ntt.forward", 1);
+    FXHENN_TELEM_COUNT("modarith.ntt.butterflies", butterflyCount());
     const std::uint64_t q = q_.value();
 
     // Cooley-Tukey DIT with merged negacyclic twist, Shoup butterflies.
@@ -73,6 +76,8 @@ void
 NttTables::inverse(std::span<std::uint64_t> a) const
 {
     FXHENN_ASSERT(a.size() == n_, "NTT operand has wrong length");
+    FXHENN_TELEM_COUNT("modarith.ntt.inverse", 1);
+    FXHENN_TELEM_COUNT("modarith.ntt.butterflies", butterflyCount());
     const std::uint64_t q = q_.value();
 
     // Gentleman-Sande DIF with merged inverse twist, Shoup butterflies.

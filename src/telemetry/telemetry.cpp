@@ -1,0 +1,214 @@
+#include "src/telemetry/telemetry.hpp"
+
+#include <bit>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+namespace fxhenn::telemetry {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+/**
+ * Name -> metric maps. Node-based so references handed out by
+ * counter()/histogram() stay valid forever; ordered so the JSON export
+ * is deterministic.
+ */
+struct Registry
+{
+    static Registry &
+    instance()
+    {
+        static Registry registry;
+        return registry;
+    }
+
+    std::mutex mutex;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
+        histograms;
+};
+
+void
+writeJsonString(std::ostream &os, std::string_view s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                os << ' ';
+            else
+                os << c;
+        }
+    }
+    os << '"';
+}
+
+} // namespace
+
+#if FXHENN_TELEMETRY_ENABLED
+bool
+enabled()
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+#endif
+
+void
+setEnabled(bool on)
+{
+    g_enabled.store(on && compiledIn(), std::memory_order_relaxed);
+}
+
+void
+Histogram::record(std::uint64_t value)
+{
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+
+    std::uint64_t seen = min_.load(std::memory_order_relaxed);
+    while (value < seen &&
+           !min_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+    seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+
+    const std::size_t idx =
+        value == 0 ? 0
+                   : std::min<std::size_t>(std::bit_width(value),
+                                           kBuckets - 1);
+    buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+Histogram::reset()
+{
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    min_.store(~0ull, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+    for (auto &b : buckets_)
+        b.store(0, std::memory_order_relaxed);
+}
+
+Counter &
+counter(std::string_view name)
+{
+    auto &reg = Registry::instance();
+    std::scoped_lock lock(reg.mutex);
+    auto it = reg.counters.find(name);
+    if (it == reg.counters.end()) {
+        it = reg.counters
+                 .emplace(std::string(name), std::make_unique<Counter>())
+                 .first;
+    }
+    return *it->second;
+}
+
+Histogram &
+histogram(std::string_view name)
+{
+    auto &reg = Registry::instance();
+    std::scoped_lock lock(reg.mutex);
+    auto it = reg.histograms.find(name);
+    if (it == reg.histograms.end()) {
+        it = reg.histograms
+                 .emplace(std::string(name),
+                          std::make_unique<Histogram>())
+                 .first;
+    }
+    return *it->second;
+}
+
+void
+reset()
+{
+    auto &reg = Registry::instance();
+    std::scoped_lock lock(reg.mutex);
+    for (auto &[name, c] : reg.counters)
+        c->reset();
+    for (auto &[name, h] : reg.histograms)
+        h->reset();
+}
+
+void
+writeJson(std::ostream &os)
+{
+    auto &reg = Registry::instance();
+    std::scoped_lock lock(reg.mutex);
+
+    os << "{\n  \"schema\": \"fxhenn-telemetry-v1\",\n"
+       << "  \"compiled\": " << (compiledIn() ? "true" : "false")
+       << ",\n  \"enabled\": " << (enabled() ? "true" : "false")
+       << ",\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, c] : reg.counters) {
+        os << (first ? "\n    " : ",\n    ");
+        first = false;
+        writeJsonString(os, name);
+        os << ": " << c->value();
+    }
+    os << (first ? "}" : "\n  }") << ",\n  \"histograms\": {";
+
+    first = true;
+    for (const auto &[name, h] : reg.histograms) {
+        os << (first ? "\n    " : ",\n    ");
+        first = false;
+        writeJsonString(os, name);
+        const std::uint64_t count = h->count();
+        os << ": {\"count\": " << count << ", \"sum\": " << h->sum()
+           << ", \"min\": " << (count == 0 ? 0 : h->min())
+           << ", \"max\": " << h->max() << ", \"mean\": "
+           << (count == 0
+                   ? 0.0
+                   : static_cast<double>(h->sum()) /
+                         static_cast<double>(count))
+           << ", \"buckets\": {";
+        bool bfirst = true;
+        for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+            const std::uint64_t b = h->bucket(i);
+            if (b == 0)
+                continue;
+            if (!bfirst)
+                os << ", ";
+            bfirst = false;
+            os << '"' << i << "\": " << b;
+        }
+        os << "}}";
+    }
+    os << (first ? "}" : "\n  }") << "\n}\n";
+}
+
+std::string
+toJson()
+{
+    std::ostringstream oss;
+    writeJson(oss);
+    return oss.str();
+}
+
+bool
+writeJsonFile(const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeJson(os);
+    return static_cast<bool>(os);
+}
+
+} // namespace fxhenn::telemetry

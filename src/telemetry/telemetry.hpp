@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Lightweight telemetry for the HE-CNN stack: monotonic counters,
+ * scoped wall-clock timers and log2-bucketed histograms behind a
+ * process-global registry, exported as JSON.
+ *
+ * The instrumentation is the measured counterpart of the paper's
+ * analytical latency model (Eqs. 1-9): the evaluator reports how many
+ * HE ops and NTT transforms actually ran and how long they took, so
+ * every perf PR can prove itself against a recorded baseline
+ * (BENCH_kernels.json).
+ *
+ * Overhead discipline, two gates:
+ *  - compile time: building with FXHENN_TELEMETRY_ENABLED=0 (CMake
+ *    option FXHENN_TELEMETRY=OFF) expands every probe macro to nothing,
+ *    removing telemetry from the hot paths entirely;
+ *  - run time: probes compiled in are still inert until setEnabled(true)
+ *    — the only cost on a disabled probe is one relaxed atomic load and
+ *    a predicted branch.
+ *
+ * All recording paths are thread-safe (atomics with relaxed ordering;
+ * the registry map is mutex-guarded and only touched on first lookup of
+ * a metric name — probe macros cache the resulting reference in a
+ * function-local static).
+ */
+#ifndef FXHENN_TELEMETRY_TELEMETRY_HPP
+#define FXHENN_TELEMETRY_TELEMETRY_HPP
+
+#ifndef FXHENN_TELEMETRY_ENABLED
+#define FXHENN_TELEMETRY_ENABLED 1
+#endif
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace fxhenn::telemetry {
+
+/** @return true when probes were compiled in (FXHENN_TELEMETRY). */
+constexpr bool
+compiledIn()
+{
+    return FXHENN_TELEMETRY_ENABLED != 0;
+}
+
+#if FXHENN_TELEMETRY_ENABLED
+/** @return true when recording is live (compiled in AND enabled). */
+bool enabled();
+#else
+constexpr bool enabled() { return false; }
+#endif
+
+/** Turn recording on or off (no-op when compiled out). */
+void setEnabled(bool on);
+
+/** A named monotonic counter. */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t delta)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/**
+ * A named distribution: count, sum, min, max plus power-of-two buckets
+ * (bucket i counts values v with 2^(i-1) <= v < 2^i; bucket 0 counts
+ * zeros). Timers record nanoseconds into histograms named "*.ns".
+ */
+class Histogram
+{
+  public:
+    static constexpr std::size_t kBuckets = 64;
+
+    void record(std::uint64_t value);
+
+    std::uint64_t
+    count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    sum() const
+    {
+        return sum_.load(std::memory_order_relaxed);
+    }
+
+    /** Minimum recorded value (UINT64_MAX when empty). */
+    std::uint64_t
+    min() const
+    {
+        return min_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    max() const
+    {
+        return max_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    bucket(std::size_t i) const
+    {
+        return buckets_[i].load(std::memory_order_relaxed);
+    }
+
+    void reset();
+
+  private:
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sum_{0};
+    std::atomic<std::uint64_t> min_{~0ull};
+    std::atomic<std::uint64_t> max_{0};
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/**
+ * Find-or-create the counter named @p name. The reference stays valid
+ * for the process lifetime (reset() zeroes values, never removes
+ * metrics).
+ */
+Counter &counter(std::string_view name);
+
+/** Find-or-create the histogram named @p name. */
+Histogram &histogram(std::string_view name);
+
+/** Zero every registered metric (names stay registered). */
+void reset();
+
+/**
+ * Export every registered metric as one JSON document:
+ * {"schema": "fxhenn-telemetry-v1", "compiled": b, "enabled": b,
+ *  "counters": {name: value}, "histograms": {name: {count, sum, min,
+ *  max, mean, buckets: {log2_exponent: count}}}}.
+ */
+void writeJson(std::ostream &os);
+
+/** writeJson() into a string. */
+std::string toJson();
+
+/** writeJson() into @p path; @return false when the file can't open. */
+bool writeJsonFile(const std::string &path);
+
+/**
+ * Records the wall time of a scope into a Histogram, in nanoseconds.
+ * Pass nullptr to make the timer inert (the disabled-probe path).
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Histogram *stat)
+        : stat_(stat),
+          start_(stat ? std::chrono::steady_clock::now()
+                      : std::chrono::steady_clock::time_point{})
+    {}
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    ~ScopedTimer()
+    {
+        if (!stat_)
+            return;
+        const auto ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+        stat_->record(static_cast<std::uint64_t>(ns));
+    }
+
+  private:
+    Histogram *stat_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace fxhenn::telemetry
+
+#define FXHENN_TELEM_CONCAT2(a, b) a##b
+#define FXHENN_TELEM_CONCAT(a, b) FXHENN_TELEM_CONCAT2(a, b)
+
+#if FXHENN_TELEMETRY_ENABLED
+
+/**
+ * Add @p delta to the counter @p name (a string literal). The registry
+ * lookup happens once per call site, on the first enabled pass.
+ */
+#define FXHENN_TELEM_COUNT(name, delta)                                     \
+    do {                                                                    \
+        if (::fxhenn::telemetry::enabled()) {                               \
+            static ::fxhenn::telemetry::Counter &fxhenn_telem_c_ =          \
+                ::fxhenn::telemetry::counter(name);                         \
+            fxhenn_telem_c_.add(delta);                                     \
+        }                                                                   \
+    } while (0)
+
+/** Time the rest of the enclosing scope into histogram @p name. */
+#define FXHENN_TELEM_SCOPED_TIMER(name)                                     \
+    ::fxhenn::telemetry::ScopedTimer FXHENN_TELEM_CONCAT(                   \
+        fxhenn_telem_scope_, __LINE__)(                                     \
+        ::fxhenn::telemetry::enabled()                                      \
+            ? &[]() -> ::fxhenn::telemetry::Histogram & {                   \
+                  static ::fxhenn::telemetry::Histogram &h =                \
+                      ::fxhenn::telemetry::histogram(name);                 \
+                  return h;                                                 \
+              }()                                                           \
+            : nullptr)
+
+#else // !FXHENN_TELEMETRY_ENABLED
+
+#define FXHENN_TELEM_COUNT(name, delta)                                     \
+    do {                                                                    \
+    } while (0)
+#define FXHENN_TELEM_SCOPED_TIMER(name)                                     \
+    do {                                                                    \
+    } while (0)
+
+#endif // FXHENN_TELEMETRY_ENABLED
+
+#endif // FXHENN_TELEMETRY_TELEMETRY_HPP

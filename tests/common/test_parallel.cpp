@@ -2,10 +2,15 @@
 
 #include <atomic>
 #include <numeric>
+#include <span>
 #include <vector>
 
 #include "src/common/assert.hpp"
 #include "src/common/parallel.hpp"
+#include "src/common/rng.hpp"
+#include "src/hecnn/compiler.hpp"
+#include "src/hecnn/runtime.hpp"
+#include "src/nn/model_zoo.hpp"
 
 namespace fxhenn {
 namespace {
@@ -62,6 +67,66 @@ TEST(Parallel, ExceptionsPropagate)
                                      throw ConfigError("boom");
                              }),
                  ConfigError);
+}
+
+TEST(Parallel, EncryptedInferenceIsThreadCountInvariant)
+{
+    // The pool only distributes work across RNS limbs — it must never
+    // change results. Same seeds, thread count 1 vs 8: the ciphertext
+    // polynomials coming out of the HE pipeline must be bit-identical,
+    // and so must every decrypted logit.
+    const auto net = nn::buildTestNetwork();
+    const auto params = ckks::testParams(2048, 7, 30);
+    const auto plan = hecnn::compile(net, params);
+    const nn::Tensor input = nn::syntheticInput(net, 77);
+
+    // Both runs share one context: RnsPoly::operator== includes basis
+    // identity, so comparing ciphertexts only makes sense within a
+    // single basis instance.
+    ckks::CkksContext ctx(params);
+    ckks::CkksContext ctx2(params);
+
+    auto runOnce = [&](unsigned threads, ckks::Ciphertext &lastCt) {
+        setThreadCount(threads);
+        // A standalone kernel chain, checked at the ciphertext level.
+        Rng rng(42);
+        ckks::KeyGenerator keygen(ctx2, rng);
+        ckks::Encoder encoder(ctx2);
+        ckks::Encryptor encryptor(ctx2, keygen.makePublicKey(), rng);
+        ckks::Evaluator evaluator(ctx2);
+        const auto relin = keygen.makeRelinKey();
+        const auto galois = keygen.makeGaloisKeys({1, 3});
+        std::vector<double> v(ctx2.slots(), 0.125);
+        const auto pt = encoder.encode(std::span<const double>(v),
+                                       ctx2.params().scale, 7);
+        auto ct = encryptor.encrypt(pt);
+        ct = evaluator.mulPlain(ct, pt);
+        evaluator.rescaleInplace(ct);
+        ct = evaluator.relinearize(evaluator.mulNoRelin(ct, ct), relin);
+        evaluator.rescaleInplace(ct);
+        ct = evaluator.rotate(ct, 3, galois);
+        lastCt = ct;
+        // And the full runtime path, checked at the logit level.
+        hecnn::Runtime runtime(plan, ctx, /*seed=*/9);
+        return runtime.infer(input);
+    };
+
+    const unsigned original = threadCount();
+    ckks::Ciphertext serialCt, parallelCt;
+    const auto serialLogits = runOnce(1, serialCt);
+    const auto parallelLogits = runOnce(8, parallelCt);
+    setThreadCount(original);
+
+    ASSERT_EQ(serialCt.parts.size(), parallelCt.parts.size());
+    EXPECT_EQ(serialCt.scale, parallelCt.scale);
+    for (std::size_t k = 0; k < serialCt.parts.size(); ++k)
+        EXPECT_TRUE(serialCt.parts[k] == parallelCt.parts[k])
+            << "ciphertext part " << k
+            << " differs between serial and parallel execution";
+    ASSERT_EQ(serialLogits.size(), parallelLogits.size());
+    for (std::size_t i = 0; i < serialLogits.size(); ++i)
+        EXPECT_EQ(serialLogits[i], parallelLogits[i])
+            << "logit " << i << " is not bit-identical";
 }
 
 TEST(Parallel, ThreadCountIsConfigurable)

@@ -13,6 +13,7 @@
 #include "src/hecnn/compiler.hpp"
 #include "src/hecnn/runtime.hpp"
 #include "src/nn/model_zoo.hpp"
+#include "src/telemetry/telemetry.hpp"
 
 namespace fxhenn {
 namespace {
@@ -29,7 +30,13 @@ TEST(MnistEndToEnd, EncryptedInferenceMatchesPlaintext)
 
     const nn::Tensor input = nn::syntheticInput(net, 7);
     const nn::Tensor expected = net.forward(input);
+
+    // Record the run: the telemetry differential below reuses this one
+    // (costly) inference instead of running a second.
+    telemetry::reset();
+    telemetry::setEnabled(true);
     const auto logits = runtime.infer(input);
+    telemetry::setEnabled(false);
 
     ASSERT_EQ(logits.size(), 10u);
     double max_err = 0.0;
@@ -51,6 +58,33 @@ TEST(MnistEndToEnd, EncryptedInferenceMatchesPlaintext)
     EXPECT_EQ(run.pcMult, planned.pcMult);
     EXPECT_EQ(run.rotate, planned.rotate);
     EXPECT_EQ(run.relinearize, planned.relin);
+
+    // Telemetry differential at full MNIST scale: the recorded op
+    // counters must equal the static plan counts, and every layer must
+    // have produced a timing sample.
+    if (telemetry::compiledIn()) {
+        EXPECT_EQ(telemetry::counter("ckks.op.pc_mult").value(),
+                  planned.pcMult);
+        EXPECT_EQ(telemetry::counter("ckks.op.cc_mult").value(),
+                  planned.ccMult);
+        EXPECT_EQ(telemetry::counter("ckks.op.rescale").value(),
+                  planned.rescale);
+        EXPECT_EQ(telemetry::counter("ckks.op.relinearize").value(),
+                  planned.relin);
+        EXPECT_EQ(telemetry::counter("ckks.op.rotate").value(),
+                  planned.rotate);
+        EXPECT_EQ(telemetry::counter("ckks.op.cc_add").value() +
+                      telemetry::counter("ckks.op.pc_add").value(),
+                  planned.ccAdd);
+        EXPECT_EQ(telemetry::counter("hecnn.inferences").value(), 1u);
+        for (const auto &layer : plan.layers)
+            EXPECT_EQ(telemetry::histogram("hecnn.layer." +
+                                           layer.name + ".ns")
+                          .count(),
+                      1u)
+                << "layer " << layer.name;
+        telemetry::reset();
+    }
 }
 
 TEST(MnistEndToEnd, FrameworkSolutionIsConsistentWithPlan)

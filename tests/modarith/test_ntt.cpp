@@ -101,6 +101,110 @@ TEST_P(NttParamTest, TransformIsLinear)
 INSTANTIATE_TEST_SUITE_P(RingDegrees, NttParamTest,
                          ::testing::Values(16, 64, 256, 1024, 8192));
 
+/**
+ * One output coefficient of the negacyclic product, computed naively
+ * in O(n): c[k] = sum_{i+j=k} a_i b_j - sum_{i+j=k+n} a_i b_j.
+ * Lets large rings be spot-checked without the O(n^2) schoolbook.
+ */
+std::uint64_t
+negacyclicCoeff(const std::vector<std::uint64_t> &a,
+                const std::vector<std::uint64_t> &b, std::size_t k,
+                const Modulus &q)
+{
+    const std::size_t n = a.size();
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t prod =
+            q.mul(a[i], b[(k + n - i) % n]);
+        if (i <= k)
+            acc = q.add(acc, prod);
+        else
+            acc = q.sub(acc, prod);
+    }
+    return acc;
+}
+
+/** (ring degree, prime width) grid for the exhaustive property sweep. */
+struct NttPropertyParam
+{
+    std::uint64_t n;
+    unsigned bits;
+};
+
+class NttPropertyTest
+    : public ::testing::TestWithParam<NttPropertyParam>
+{};
+
+TEST_P(NttPropertyTest, ForwardInverseRoundtripsRandomVectors)
+{
+    const auto [n, bits] = GetParam();
+    const Modulus q(generateNttPrimes(bits, n, 1)[0]);
+    const NttTables ntt(n, q);
+    Rng rng(n * 31 + bits);
+
+    for (int trial = 0; trial < 3; ++trial) {
+        std::vector<std::uint64_t> a(n);
+        for (auto &x : a)
+            x = rng.uniform(q.value());
+        auto b = a;
+        ntt.forward(b);
+        ntt.inverse(b);
+        ASSERT_EQ(a, b) << "n=" << n << " bits=" << bits;
+    }
+}
+
+TEST_P(NttPropertyTest, NegacyclicConvolutionMatchesNaive)
+{
+    const auto [n, bits] = GetParam();
+    const Modulus q(generateNttPrimes(bits, n, 1)[0]);
+    const NttTables ntt(n, q);
+    Rng rng(n * 37 + bits);
+
+    std::vector<std::uint64_t> a(n), b(n);
+    for (auto &x : a)
+        x = rng.uniform(q.value());
+    for (auto &x : b)
+        x = rng.uniform(q.value());
+
+    auto fa = a;
+    auto fb = b;
+    ntt.forward(fa);
+    ntt.forward(fb);
+    for (std::size_t i = 0; i < n; ++i)
+        fa[i] = q.mul(fa[i], fb[i]);
+    ntt.inverse(fa);
+
+    if (n <= 512) {
+        // Small rings: full O(n^2) schoolbook comparison.
+        EXPECT_EQ(fa, negacyclicMul(a, b, q));
+    } else {
+        // Large rings: spot-check 32 coefficients in O(32 n).
+        for (int s = 0; s < 32; ++s) {
+            const std::size_t k = rng.uniform(n);
+            ASSERT_EQ(fa[k], negacyclicCoeff(a, b, k, q))
+                << "n=" << n << " bits=" << bits << " coeff " << k;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DegreeByPrimeWidth, NttPropertyTest,
+    ::testing::Values(
+        NttPropertyParam{16, 30}, NttPropertyParam{32, 30},
+        NttPropertyParam{64, 30}, NttPropertyParam{128, 30},
+        NttPropertyParam{256, 30}, NttPropertyParam{512, 30},
+        NttPropertyParam{1024, 30}, NttPropertyParam{2048, 30},
+        NttPropertyParam{4096, 30}, NttPropertyParam{8192, 30},
+        NttPropertyParam{16, 36}, NttPropertyParam{32, 36},
+        NttPropertyParam{64, 36}, NttPropertyParam{128, 36},
+        NttPropertyParam{256, 36}, NttPropertyParam{512, 36},
+        NttPropertyParam{1024, 36}, NttPropertyParam{2048, 36},
+        NttPropertyParam{4096, 36}, NttPropertyParam{8192, 36}),
+    [](const ::testing::TestParamInfo<NttPropertyParam> &info) {
+        return "n" + std::to_string(info.param.n) + "_q" +
+               std::to_string(info.param.bits) + "bit";
+    });
+
 TEST(Ntt, MultiplyByXShiftsNegacyclically)
 {
     const std::uint64_t n = 64;

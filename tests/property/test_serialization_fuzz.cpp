@@ -8,6 +8,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstring>
 #include <sstream>
 
 #include "src/ckks/encoder.hpp"
@@ -22,6 +24,71 @@
 
 namespace fxhenn {
 namespace {
+
+/**
+ * Every strict prefix of a well-formed blob must be detected as
+ * truncated (the loaders consume the entire stream, so missing bytes
+ * are never survivable). Dense near the framed header, then a seeded
+ * random sample of longer prefixes to keep the test fast.
+ */
+template <typename LoadFn>
+void
+checkTruncationCorpus(const std::string &blob, LoadFn load,
+                      std::uint64_t seed)
+{
+    auto mustThrow = [&](std::size_t len) {
+        std::stringstream ss(blob.substr(0, len));
+        EXPECT_THROW(
+            {
+                try {
+                    load(ss);
+                } catch (const InternalError &) {
+                    throw ConfigError("invariant caught truncation");
+                }
+            },
+            ConfigError)
+            << "prefix of " << len << " / " << blob.size()
+            << " bytes was accepted";
+    };
+    const std::size_t dense = std::min<std::size_t>(blob.size(), 96);
+    for (std::size_t len = 0; len < dense; ++len)
+        mustThrow(len);
+    Rng rng(seed);
+    for (int i = 0; i < 160; ++i)
+        mustThrow(dense + rng.uniform(blob.size() - dense));
+}
+
+/**
+ * Flip every bit of the first @p headerBytes bytes, one at a time:
+ * each one corrupts a framed, validated field (magic, version, tag or
+ * parameter fingerprint) and must be rejected.
+ */
+template <typename LoadFn>
+void
+checkHeaderBitFlips(const std::string &blob, std::size_t headerBytes,
+                    LoadFn load)
+{
+    ASSERT_LE(headerBytes, blob.size());
+    for (std::size_t byte = 0; byte < headerBytes; ++byte) {
+        for (int bit = 0; bit < 8; ++bit) {
+            std::string mutated = blob;
+            mutated[byte] =
+                static_cast<char>(mutated[byte] ^ (1 << bit));
+            std::stringstream ss(mutated);
+            EXPECT_THROW(
+                {
+                    try {
+                        load(ss);
+                    } catch (const InternalError &) {
+                        throw ConfigError("invariant caught flip");
+                    }
+                },
+                ConfigError)
+                << "flip of byte " << byte << " bit " << bit
+                << " was accepted";
+        }
+    }
+}
 
 /** Apply @p mutate to a serialized blob and check the loader behaves. */
 template <typename LoadFn>
@@ -105,6 +172,159 @@ TEST(SerializationFuzz, PlanLoaderNeverCrashes)
     fuzzBlob(ss.str(),
              [](std::istream &is) { return hecnn::loadPlan(is); }, 17,
              80);
+}
+
+/** Shared small context + key material for the remaining targets. */
+struct FuzzFixture
+{
+    FuzzFixture()
+        : ctx(ckks::testParams(1024, 3, 30)), rng(5), keygen(ctx, rng),
+          encoder(ctx)
+    {}
+
+    ckks::CkksContext ctx;
+    Rng rng;
+    ckks::KeyGenerator keygen;
+    ckks::Encoder encoder;
+};
+
+TEST(SerializationFuzz, PublicKeyLoaderNeverCrashes)
+{
+    FuzzFixture f;
+    std::stringstream ss;
+    ckks::savePublicKey(f.keygen.makePublicKey(), f.ctx, ss);
+    fuzzBlob(ss.str(),
+             [&](std::istream &is) {
+                 return ckks::loadPublicKey(f.ctx, is);
+             },
+             19, 40);
+}
+
+TEST(SerializationFuzz, GaloisKeysLoaderNeverCrashes)
+{
+    FuzzFixture f;
+    std::stringstream ss;
+    ckks::saveGaloisKeys(f.keygen.makeGaloisKeys({1, 2}), f.ctx, ss);
+    fuzzBlob(ss.str(),
+             [&](std::istream &is) {
+                 return ckks::loadGaloisKeys(f.ctx, is);
+             },
+             23, 40);
+}
+
+TEST(SerializationFuzz, PlaintextLoaderNeverCrashes)
+{
+    FuzzFixture f;
+    std::vector<double> v{0.5, -0.25, 3.0};
+    const auto pt = f.encoder.encode(std::span<const double>(v),
+                                     f.ctx.params().scale, 3);
+    std::stringstream ss;
+    ckks::savePlaintext(pt, f.ctx, ss);
+    fuzzBlob(ss.str(),
+             [&](std::istream &is) {
+                 return ckks::loadPlaintext(f.ctx, is);
+             },
+             29, 60);
+}
+
+TEST(SerializationFuzz, CiphertextTruncationCorpusAlwaysRejected)
+{
+    FuzzFixture f;
+    ckks::Encryptor encryptor(f.ctx, f.keygen.makePublicKey(), f.rng);
+    std::vector<double> v{1.5, -2.0};
+    const auto ct = encryptor.encrypt(f.encoder.encode(
+        std::span<const double>(v), f.ctx.params().scale, 3));
+    std::stringstream ss;
+    ckks::saveCiphertext(ct, f.ctx, ss);
+    checkTruncationCorpus(ss.str(),
+                          [&](std::istream &is) {
+                              return ckks::loadCiphertext(f.ctx, is);
+                          },
+                          101);
+}
+
+TEST(SerializationFuzz, PlanTruncationCorpusAlwaysRejected)
+{
+    const auto plan = hecnn::compile(nn::buildTestNetwork(),
+                                     ckks::testParams(2048, 7, 30));
+    std::stringstream ss;
+    hecnn::savePlan(plan, ss);
+    checkTruncationCorpus(
+        ss.str(), [](std::istream &is) { return hecnn::loadPlan(is); },
+        103);
+}
+
+TEST(SerializationFuzz, CiphertextHeaderBitFlipsAlwaysRejected)
+{
+    // The framed CKKS header — magic(8) + version(4) + tag(4) +
+    // fingerprint n(8)/levels(8)/qBits(4)/specialBits(4) — is 40 bytes,
+    // all validated, so every single-bit flip must be rejected.
+    FuzzFixture f;
+    ckks::Encryptor encryptor(f.ctx, f.keygen.makePublicKey(), f.rng);
+    std::vector<double> v{0.75};
+    const auto ct = encryptor.encrypt(f.encoder.encode(
+        std::span<const double>(v), f.ctx.params().scale, 3));
+    std::stringstream ss;
+    ckks::saveCiphertext(ct, f.ctx, ss);
+    checkHeaderBitFlips(ss.str(), 40, [&](std::istream &is) {
+        return ckks::loadCiphertext(f.ctx, is);
+    });
+}
+
+TEST(SerializationFuzz, PlanHeaderBitFlipsAlwaysRejected)
+{
+    // Plan framing is magic(8) + version(4) = 12 validated bytes.
+    const auto plan = hecnn::compile(nn::buildTestNetwork(),
+                                     ckks::testParams(2048, 7, 30));
+    std::stringstream ss;
+    hecnn::savePlan(plan, ss);
+    checkHeaderBitFlips(ss.str(), 12, [](std::istream &is) {
+        return hecnn::loadPlan(is);
+    });
+}
+
+TEST(SerializationFuzz, OversizedVectorClaimIsRejectedBeforeAllocating)
+{
+    // Corrupt a plan's first instruction-vector length to a value that
+    // clears the element cap but dwarfs the stream: the loader must
+    // reject it against the remaining byte count instead of allocating
+    // gigabytes for data that cannot be there.
+    const auto plan = hecnn::compile(nn::buildTestNetwork(),
+                                     ckks::testParams(2048, 7, 30));
+    std::stringstream ss;
+    hecnn::savePlan(plan, ss);
+    std::string blob = ss.str();
+
+    // Replay the writer's layout to locate the u64 length of layer 0's
+    // instruction vector, then claim close to the 2^26-element cap —
+    // far more bytes than the stream holds.
+    std::size_t off = 12;                  // magic + version
+    off += 4 + plan.name.size();           // plan name
+    off += 8 + 8 + 4 + 4 + 8 + 8;          // params fields
+    off += 1 + 4;                          // elided flag + regCount
+    off += 8;                              // gather count
+    for (const auto &gather : plan.inputGather)
+        off += 8 + gather.size() * sizeof(std::int32_t);
+    off += 8;                              // layer count
+    off += 4 + plan.layers[0].name.size(); // layer name
+    off += 8 + 8 + 8;                      // levelIn, levelOut, nIn
+    ASSERT_LE(off + 8, blob.size());
+    std::uint64_t value;
+    std::memcpy(&value, blob.data() + off, 8);
+    ASSERT_EQ(value, plan.layers[0].instrs.size())
+        << "layout replay drifted from the writer";
+    const std::uint64_t huge = (1u << 26) - 1;
+    std::memcpy(blob.data() + off, &huge, 8);
+    std::stringstream in(blob);
+    EXPECT_THROW(
+        {
+            try {
+                hecnn::loadPlan(in);
+            } catch (const InternalError &) {
+                throw ConfigError("invariant caught it");
+            }
+        },
+        ConfigError);
 }
 
 } // namespace

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests of the telemetry registry: counters, histograms, the
+ * enable gate, probe macros, thread safety and the JSON export.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "src/telemetry/telemetry.hpp"
+
+namespace fxhenn {
+namespace {
+
+/** Enables telemetry for one test and restores the off state after. */
+struct TelemetryScope
+{
+    TelemetryScope()
+    {
+        telemetry::reset();
+        telemetry::setEnabled(true);
+    }
+    ~TelemetryScope()
+    {
+        telemetry::setEnabled(false);
+        telemetry::reset();
+    }
+};
+
+TEST(Telemetry, CounterAccumulatesAndResets)
+{
+    TelemetryScope scope;
+    auto &c = telemetry::counter("test.counter.basic");
+    EXPECT_EQ(c.value(), 0u);
+    c.add(3);
+    c.add(4);
+    EXPECT_EQ(c.value(), 7u);
+    telemetry::reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Telemetry, RegistryReturnsSameObjectForSameName)
+{
+    TelemetryScope scope;
+    auto &a = telemetry::counter("test.counter.same");
+    auto &b = telemetry::counter("test.counter.same");
+    EXPECT_EQ(&a, &b);
+    auto &h1 = telemetry::histogram("test.hist.same");
+    auto &h2 = telemetry::histogram("test.hist.same");
+    EXPECT_EQ(&h1, &h2);
+}
+
+TEST(Telemetry, HistogramTracksCountSumMinMax)
+{
+    TelemetryScope scope;
+    auto &h = telemetry::histogram("test.hist.stats");
+    h.record(5);
+    h.record(100);
+    h.record(1);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.sum(), 106u);
+    EXPECT_EQ(h.min(), 1u);
+    EXPECT_EQ(h.max(), 100u);
+}
+
+TEST(Telemetry, HistogramBucketsAreLog2)
+{
+    TelemetryScope scope;
+    auto &h = telemetry::histogram("test.hist.buckets");
+    // Bucket 0 holds zeros; bucket i holds 2^(i-1) <= v < 2^i.
+    h.record(0);
+    h.record(1);  // bucket 1
+    h.record(2);  // bucket 2
+    h.record(3);  // bucket 2
+    h.record(4);  // bucket 3
+    h.record(~0ull); // saturates into the last bucket
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(2), 2u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.bucket(telemetry::Histogram::kBuckets - 1), 1u);
+}
+
+TEST(Telemetry, DisabledProbesRecordNothing)
+{
+    telemetry::reset();
+    telemetry::setEnabled(false);
+    FXHENN_TELEM_COUNT("test.counter.disabled", 1);
+    EXPECT_EQ(telemetry::counter("test.counter.disabled").value(), 0u);
+}
+
+TEST(Telemetry, ProbeMacrosRecordWhenEnabled)
+{
+    if (!telemetry::compiledIn())
+        GTEST_SKIP() << "telemetry compiled out";
+    TelemetryScope scope;
+    for (int i = 0; i < 10; ++i)
+        FXHENN_TELEM_COUNT("test.counter.macro", 2);
+    EXPECT_EQ(telemetry::counter("test.counter.macro").value(), 20u);
+    {
+        FXHENN_TELEM_SCOPED_TIMER("test.timer.macro.ns");
+    }
+    EXPECT_EQ(telemetry::histogram("test.timer.macro.ns").count(), 1u);
+}
+
+TEST(Telemetry, ScopedTimerWithNullHistogramIsInert)
+{
+    telemetry::ScopedTimer timer(nullptr);
+    // Destruction must not crash or record anything.
+}
+
+TEST(Telemetry, ConcurrentRecordingLosesNothing)
+{
+    TelemetryScope scope;
+    auto &c = telemetry::counter("test.counter.mt");
+    auto &h = telemetry::histogram("test.hist.mt");
+    constexpr int kThreads = 8;
+    constexpr int kIters = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < kIters; ++i) {
+                c.add(1);
+                h.record(static_cast<std::uint64_t>(i));
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(c.value(), std::uint64_t(kThreads) * kIters);
+    EXPECT_EQ(h.count(), std::uint64_t(kThreads) * kIters);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), std::uint64_t(kIters) - 1);
+}
+
+TEST(Telemetry, JsonExportIsWellFormed)
+{
+    TelemetryScope scope;
+    telemetry::counter("test.json.counter").add(42);
+    telemetry::histogram("test.json.hist").record(7);
+    const std::string json = telemetry::toJson();
+    EXPECT_NE(json.find("\"schema\": \"fxhenn-telemetry-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"test.json.counter\": 42"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"test.json.hist\""), std::string::npos);
+    // Balanced braces — cheap structural sanity without a JSON parser.
+    long depth = 0;
+    for (char ch : json) {
+        if (ch == '{')
+            ++depth;
+        if (ch == '}')
+            --depth;
+        EXPECT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+TEST(Telemetry, SetEnabledRespectsCompileGate)
+{
+    telemetry::setEnabled(true);
+    EXPECT_EQ(telemetry::enabled(), telemetry::compiledIn());
+    telemetry::setEnabled(false);
+    EXPECT_FALSE(telemetry::enabled());
+}
+
+} // namespace
+} // namespace fxhenn

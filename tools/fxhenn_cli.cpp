@@ -22,6 +22,7 @@
 
 #include "src/common/assert.hpp"
 #include "src/dse/explorer.hpp"
+#include "src/telemetry/telemetry.hpp"
 #include "src/fxhenn/codegen.hpp"
 #include "src/fxhenn/framework.hpp"
 #include "src/fxhenn/report.hpp"
@@ -82,7 +83,11 @@ usage()
         "  sweep  --model mnist|cifar10          Fig. 9 budget sweep\n"
         "         [--min 350] [--max 1500] [--step 100]\n"
         "  verify [--seed 1]                     encrypted-vs-plain "
-        "check\n";
+        "check\n"
+        "\n"
+        "Global options (any command):\n"
+        "  --telemetry-json FILE   record counters/timers while the\n"
+        "                          command runs and write them as JSON\n";
     return 2;
 }
 
@@ -259,7 +264,9 @@ cmdVerify(const Args &args)
               << result.encryptedLogits.size() << " logits, "
               << result.hopsExecuted << " HE ops executed\n"
               << (result.argmaxMatches ? "argmax matches\n"
-                                       : "argmax DIFFERS\n");
+                                       : "argmax DIFFERS\n")
+              << "\n"
+              << hecnn::renderMeasuredStats(result.layers);
     const bool pass = result.passed();
     std::cout << (pass ? "PASS" : "FAIL") << "\n";
     return pass ? 0 : 1;
@@ -272,17 +279,33 @@ main(int argc, char **argv)
 {
     try {
         const Args args = parseArgs(argc, argv);
+        const std::string telemetryPath =
+            args.get("telemetry-json", "");
+        if (!telemetryPath.empty())
+            telemetry::setEnabled(true);
+
+        int rc;
         if (args.command == "info")
-            return cmdInfo(args);
-        if (args.command == "plan")
-            return cmdPlan(args);
-        if (args.command == "design")
-            return cmdDesign(args);
-        if (args.command == "sweep")
-            return cmdSweep(args);
-        if (args.command == "verify")
-            return cmdVerify(args);
-        return usage();
+            rc = cmdInfo(args);
+        else if (args.command == "plan")
+            rc = cmdPlan(args);
+        else if (args.command == "design")
+            rc = cmdDesign(args);
+        else if (args.command == "sweep")
+            rc = cmdSweep(args);
+        else if (args.command == "verify")
+            rc = cmdVerify(args);
+        else
+            return usage();
+
+        if (!telemetryPath.empty()) {
+            FXHENN_FATAL_IF(!telemetry::writeJsonFile(telemetryPath),
+                            "cannot write telemetry file " +
+                                telemetryPath);
+            std::cerr << "telemetry written to " << telemetryPath
+                      << "\n";
+        }
+        return rc;
     } catch (const std::exception &e) {
         std::cerr << "error: " << e.what() << "\n";
         return 1;
