@@ -33,6 +33,7 @@ main()
     for (unsigned nc : {2u, 4u, 8u}) {
         dse::ExploreOptions opts;
         opts.ncNttChoices = {nc};
+        opts.allowInfeasible = true; // an infeasible pin is a table row
         const auto result = dse::explore(plan, device, opts);
         if (!result.best) {
             table.addRow({fmtI(nc), "0", "-", "-", "-", "-"});

@@ -36,6 +36,7 @@ main(int argc, char **argv)
     for (double budget = lo; budget <= hi; budget += step) {
         dse::ExploreOptions opts;
         opts.bramBudgetBlocks = budget;
+        opts.allowInfeasible = true; // infeasible budgets are rows here
         const auto result = dse::explore(plan, device, opts);
         if (!result.best) {
             table.addRow({fmtF(budget, 0), "0", "-", "-", "-", "-"});

@@ -1,0 +1,33 @@
+# FxHENN generated HLS directives
+# model:  FxHENN-CIFAR10
+# device: ACU15EG
+# predicted latency: 50.2741 s
+
+# OP1 CCadd: nc_ntt=4 intra=4 inter=1
+set_directive_array_partition -type cyclic -factor 8 "he_ccadd" poly_buf
+set_directive_unroll -factor 4 "he_ccadd/limb_loop"
+set_directive_pipeline "he_ccadd/stage_loop"
+
+# OP2 PCmult: nc_ntt=4 intra=4 inter=1
+set_directive_array_partition -type cyclic -factor 8 "he_pcmult" poly_buf
+set_directive_unroll -factor 4 "he_pcmult/limb_loop"
+set_directive_pipeline "he_pcmult/stage_loop"
+
+# OP3 CCmult: nc_ntt=4 intra=1 inter=1
+set_directive_array_partition -type cyclic -factor 8 "he_ccmult" poly_buf
+set_directive_unroll -factor 1 "he_ccmult/limb_loop"
+set_directive_pipeline "he_ccmult/stage_loop"
+
+# OP4 Rescale: nc_ntt=4 intra=5 inter=1
+set_directive_array_partition -type cyclic -factor 8 "he_rescale" poly_buf
+set_directive_unroll -factor 5 "he_rescale/limb_loop"
+set_directive_pipeline "he_rescale/stage_loop"
+
+# OP5 KeySwitch: nc_ntt=4 intra=1 inter=1
+set_directive_array_partition -type cyclic -factor 8 "he_keyswitch" poly_buf
+set_directive_unroll -factor 1 "he_keyswitch/limb_loop"
+set_directive_pipeline "he_keyswitch/stage_loop"
+
+# inter-layer buffer reuse: bind all layer I/O buffers to
+# the shared BRAM pool sized by the DSE
+set_directive_bind_storage -type ram_t2p -impl bram "top" shared_pool

@@ -1,0 +1,28 @@
+// FxHENN generated accelerator configuration
+// model:  FxHENN-MNIST
+// device: ACU15EG
+#pragma once
+
+namespace fxhenn_accel {
+
+inline constexpr unsigned kPolyDegree = 8192;
+inline constexpr unsigned kLevels = 7;
+inline constexpr unsigned kPrimeBits = 30;
+
+inline constexpr unsigned kNcNttCcadd = 4;
+inline constexpr unsigned kIntraCcadd = 4;
+inline constexpr unsigned kInterCcadd = 1;
+inline constexpr unsigned kNcNttPcmult = 4;
+inline constexpr unsigned kIntraPcmult = 4;
+inline constexpr unsigned kInterPcmult = 1;
+inline constexpr unsigned kNcNttCcmult = 4;
+inline constexpr unsigned kIntraCcmult = 1;
+inline constexpr unsigned kInterCcmult = 1;
+inline constexpr unsigned kNcNttRescale = 4;
+inline constexpr unsigned kIntraRescale = 1;
+inline constexpr unsigned kInterRescale = 2;
+inline constexpr unsigned kNcNttKeyswitch = 4;
+inline constexpr unsigned kIntraKeyswitch = 5;
+inline constexpr unsigned kInterKeyswitch = 1;
+
+} // namespace fxhenn_accel

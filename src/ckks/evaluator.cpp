@@ -4,6 +4,7 @@
 
 #include "src/common/assert.hpp"
 #include "src/common/parallel.hpp"
+#include "src/robustness/fault_injection.hpp"
 #include "src/telemetry/telemetry.hpp"
 
 namespace fxhenn::ckks {
@@ -30,6 +31,25 @@ Evaluator::checkScaleClose(double a, double b) const
                     "before additive operations");
 }
 
+void
+Evaluator::checkScaleSane(double scale) const
+{
+    FXHENN_FATAL_IF(!std::isfinite(scale) || scale <= 0.0,
+                    "ciphertext scale is non-finite or non-positive");
+}
+
+void
+Evaluator::checkScaleFits(double scale, std::size_t level) const
+{
+    // SEAL-style "scale out of bounds". A legitimate product at the
+    // last usable level sits within a fraction of a bit of logQ (prime
+    // drift), while a missing rescale overshoots by a full ~scaleBits,
+    // so a 2-bit margin separates the two cleanly.
+    FXHENN_FATAL_IF(std::log2(scale) > context_.basis().logQ(level) + 2.0,
+                    "product scale exceeds the modulus at this level; "
+                    "rescale before multiplying again");
+}
+
 Ciphertext
 Evaluator::add(const Ciphertext &a, const Ciphertext &b)
 {
@@ -42,6 +62,7 @@ void
 Evaluator::addInplace(Ciphertext &a, const Ciphertext &b)
 {
     checkSameShape(a, b);
+    checkScaleSane(a.scale);
     checkScaleClose(a.scale, b.scale);
     FXHENN_TELEM_COUNT("ckks.op.cc_add", 1);
     FXHENN_TELEM_COUNT("ckks.limbs", a.level() * a.parts.size());
@@ -134,12 +155,18 @@ Evaluator::mulPlainInplace(Ciphertext &a, const Plaintext &p)
 {
     FXHENN_FATAL_IF(a.level() != p.level(),
                     "plaintext level does not match ciphertext");
+    checkScaleSane(a.scale);
     FXHENN_TELEM_SCOPED_TIMER("ckks.time.pc_mult.ns");
     FXHENN_TELEM_COUNT("ckks.op.pc_mult", 1);
     FXHENN_TELEM_COUNT("ckks.limbs", a.level() * a.parts.size());
     for (auto &part : a.parts)
         part.mulInplace(p.poly);
     a.scale *= p.scale;
+    checkScaleFits(a.scale, a.level());
+    if (auto fault = robustness::fireFault("evaluator.scale")) {
+        if (fault->kind == "perturb")
+            a.scale *= 1.25;
+    }
     ++counts_.pcMult;
 }
 
@@ -155,6 +182,7 @@ Evaluator::mulNoRelin(const Ciphertext &a, const Ciphertext &b)
 
     Ciphertext out;
     out.scale = a.scale * b.scale;
+    checkScaleFits(out.scale, a.level());
     // r0 = a0 b0, r1 = a0 b1 + a1 b0, r2 = a1 b1
     RnsPoly r0 = a.parts[0];
     r0.mulInplace(b.parts[0]);
@@ -281,6 +309,10 @@ void
 Evaluator::rescaleInplace(Ciphertext &a)
 {
     FXHENN_FATAL_IF(a.level() < 2, "no prime left to rescale into");
+    checkScaleSane(a.scale);
+    const auto fault = robustness::fireFault("evaluator.rescale");
+    if (fault && fault->kind == "drop")
+        return; // injected fault: the rescale silently never happens
     FXHENN_TELEM_SCOPED_TIMER("ckks.time.rescale.ns");
     FXHENN_TELEM_COUNT("ckks.op.rescale", 1);
     FXHENN_TELEM_COUNT("ckks.limbs", a.level() * a.parts.size());
@@ -292,6 +324,8 @@ Evaluator::rescaleInplace(Ciphertext &a)
         part.toNtt();
     }
     a.scale /= static_cast<double>(q_last);
+    if (fault && fault->kind == "bitflip")
+        robustness::corruptResidues(a.parts[0], fault->seed);
     ++counts_.rescale;
 }
 

@@ -158,6 +158,8 @@ class Evaluator
 
     void checkSameShape(const Ciphertext &a, const Ciphertext &b) const;
     void checkScaleClose(double a, double b) const;
+    void checkScaleSane(double scale) const;
+    void checkScaleFits(double scale, std::size_t level) const;
 
     const CkksContext &context_;
     OpCounts counts_;

@@ -8,6 +8,38 @@
 
 namespace fxhenn::ckks {
 
+namespace {
+
+/**
+ * Headroom of a decrypted plaintext: largest centered coefficient
+ * versus half the current modulus.
+ */
+double
+plaintextHeadroomBits(const Plaintext &plain, const CkksContext &ctx)
+{
+    RnsPoly poly = plain.poly;
+    if (poly.domain() == PolyDomain::ntt)
+        poly.fromNtt();
+    const CrtReconstructor crt(ctx.basis(), poly.level());
+    long double max_coeff = 0.0L;
+    std::vector<std::uint64_t> residues(poly.level());
+    for (std::size_t k = 0; k < ctx.n(); ++k) {
+        for (std::size_t l = 0; l < poly.level(); ++l)
+            residues[l] = poly.limb(l)[k];
+        const long double c =
+            std::abs(crt.reconstructCentered(residues));
+        max_coeff = std::max(max_coeff, c);
+    }
+    const double log_half_q = ctx.basis().logQ(poly.level()) - 1.0;
+    const double log_coeff =
+        max_coeff > 0.0L
+            ? static_cast<double>(std::log2(max_coeff))
+            : 0.0;
+    return log_half_q - log_coeff;
+}
+
+} // namespace
+
 NoiseReport
 measureNoise(const Ciphertext &ct, std::span<const double> expected,
              const CkksContext &ctx, const Decryptor &decryptor,
@@ -29,29 +61,15 @@ measureNoise(const Ciphertext &ct, std::span<const double> expected,
                            ? std::log2(report.maxAbsError)
                            : -1074.0;
 
-    // Headroom: largest centered coefficient of the decrypted
-    // plaintext versus half the current modulus.
-    RnsPoly poly = plain.poly;
-    if (poly.domain() == PolyDomain::ntt)
-        poly.fromNtt();
-    const CrtReconstructor crt(ctx.basis(), poly.level());
-    long double max_coeff = 0.0L;
-    std::vector<std::uint64_t> residues(poly.level());
-    for (std::size_t k = 0; k < ctx.n(); ++k) {
-        for (std::size_t l = 0; l < poly.level(); ++l)
-            residues[l] = poly.limb(l)[k];
-        const long double c =
-            std::abs(crt.reconstructCentered(residues));
-        max_coeff = std::max(max_coeff, c);
-    }
-    const double log_half_q =
-        ctx.basis().logQ(poly.level()) - 1.0;
-    const double log_coeff =
-        max_coeff > 0.0L
-            ? static_cast<double>(std::log2(max_coeff))
-            : 0.0;
-    report.headroomBits = log_half_q - log_coeff;
+    report.headroomBits = plaintextHeadroomBits(plain, ctx);
     return report;
+}
+
+double
+headroomBits(const Ciphertext &ct, const CkksContext &ctx,
+             const Decryptor &decryptor)
+{
+    return plaintextHeadroomBits(decryptor.decrypt(ct), ctx);
 }
 
 double

@@ -47,6 +47,16 @@ NoiseReport measureNoise(const Ciphertext &ct,
                          const Encoder &encoder);
 
 /**
+ * Measured headroom of @p ct alone: decrypt and compare the largest
+ * centered coefficient against half the level's modulus. Negative
+ * means the message has overflowed and the decryption is garbage.
+ * This is the measured counterpart of the runtime guard's predicted
+ * per-layer headroom.
+ */
+double headroomBits(const Ciphertext &ct, const CkksContext &ctx,
+                    const Decryptor &decryptor);
+
+/**
  * Rough a-priori bound on the fresh-encryption noise in plaintext
  * units: ~ sigma * sqrt(2N) * (2 sqrt(N) + 1) / scale. Used to sanity
  * check measured noise (heuristic, not a security statement).

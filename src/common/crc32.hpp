@@ -1,0 +1,49 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte
+ * buffers. Used as an integrity trailer on serialized artifacts so a
+ * corrupted file is rejected with ConfigError at load time instead of
+ * surfacing as garbage mid-run.
+ */
+#ifndef FXHENN_COMMON_CRC32_HPP
+#define FXHENN_COMMON_CRC32_HPP
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace fxhenn {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256>
+makeCrc32Table()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+        table[i] = c;
+    }
+    return table;
+}
+
+inline constexpr auto kCrc32Table = makeCrc32Table();
+
+} // namespace detail
+
+/** CRC-32 of @p size bytes at @p data. */
+inline std::uint32_t
+crc32(const void *data, std::size_t size)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    std::uint32_t crc = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < size; ++i)
+        crc = detail::kCrc32Table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
+
+} // namespace fxhenn
+
+#endif // FXHENN_COMMON_CRC32_HPP

@@ -1,8 +1,12 @@
 #include "src/dse/explorer.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
 
 #include "src/common/assert.hpp"
+#include "src/robustness/fault_injection.hpp"
 #include "src/telemetry/telemetry.hpp"
 
 namespace fxhenn::dse {
@@ -37,6 +41,15 @@ explore(const hecnn::HeNetworkPlan &plan, const fpga::DeviceSpec &device,
     FXHENN_TELEM_COUNT("dse.explorations", 1);
     ExploreResult result;
 
+    fpga::DeviceSpec spec = device;
+    if (auto fault = robustness::fireFault("dse.device")) {
+        if (fault->kind == "infeasible") {
+            spec.dspSlices = 1;
+            spec.bram36kBlocks = 1;
+            spec.uramBlocks = 0;
+        }
+    }
+
     std::vector<unsigned> ntt_intra;
     for (unsigned i = 1; i <= options.maxIntraNtt; ++i)
         ntt_intra.push_back(i);
@@ -53,6 +66,9 @@ explore(const hecnn::HeNetworkPlan &plan, const fpga::DeviceSpec &device,
     const OpAllocation ccmult_alloc{2, 1, 1};
 
     double best_cycles = 0.0;
+    unsigned min_dsp = std::numeric_limits<unsigned>::max();
+    double min_bram = std::numeric_limits<double>::infinity();
+    double last_bram_cap = 0.0;
     for (unsigned nc : options.ncNttChoices) {
         for (const auto &[ks_a, ks_b] : ntt_pairs) {
             for (const auto &[rs_a, rs_b] : ntt_pairs) {
@@ -71,11 +87,14 @@ explore(const hecnn::HeNetworkPlan &plan, const fpga::DeviceSpec &device,
                     const double bram_cap =
                         options.bramBudgetBlocks
                             ? *options.bramBudgetBlocks
-                            : device.effectiveBramBlocks(
+                            : spec.effectiveBramBlocks(
                                   plan.params.n / (2 * nc));
-                    if (perf.dspPhysical > device.dspSlices ||
-                        (device.luts != 0 &&
-                         perf.lutPhysical > device.luts) ||
+                    min_dsp = std::min(min_dsp, perf.dspPhysical);
+                    min_bram = std::min(min_bram, perf.bramPhysical);
+                    last_bram_cap = bram_cap;
+                    if (perf.dspPhysical > spec.dspSlices ||
+                        (spec.luts != 0 &&
+                         perf.lutPhysical > spec.luts) ||
                         perf.bramPhysical > bram_cap) {
                         ++result.pruned;
                         continue;
@@ -85,9 +104,9 @@ explore(const hecnn::HeNetworkPlan &plan, const fpga::DeviceSpec &device,
                     DesignPoint point;
                     point.alloc = alloc;
                     point.latencySeconds =
-                        device.seconds(perf.totalCycles);
+                        spec.seconds(perf.totalCycles);
                     point.dspFraction =
-                        double(perf.dspPhysical) / device.dspSlices;
+                        double(perf.dspPhysical) / spec.dspSlices;
                     point.bramFraction = perf.bramPhysical / bram_cap;
                     point.perf = perf;
 
@@ -104,6 +123,19 @@ explore(const hecnn::HeNetworkPlan &plan, const fpga::DeviceSpec &device,
     }
     FXHENN_TELEM_COUNT("dse.points_evaluated", result.evaluated);
     FXHENN_TELEM_COUNT("dse.points_pruned", result.pruned);
+    if (!result.best && !options.allowInfeasible) {
+        std::ostringstream oss;
+        oss << "design space exploration found no feasible point for "
+               "plan '"
+            << plan.name << "' on device '" << spec.name << "': all "
+            << result.pruned << " candidates exceed the resource "
+            << "constraints. The smallest candidate needs >= "
+            << min_dsp << " DSP slices (device has " << spec.dspSlices
+            << ") and >= " << std::llround(std::ceil(min_bram))
+            << " BRAM blocks (capacity " << std::llround(last_bram_cap)
+            << "); pick a larger device or raise the BRAM budget.";
+        FXHENN_FATAL_IF(true, oss.str());
+    }
     return result;
 }
 

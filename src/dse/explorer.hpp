@@ -48,6 +48,12 @@ struct ExploreOptions
     std::optional<double> bramBudgetBlocks;
     /** Keep every feasible point (Fig. 9 scatter), not just the best. */
     bool collectAll = false;
+    /**
+     * Return an empty result instead of throwing ConfigError when no
+     * design point fits the device. Budget sweeps set this: an
+     * infeasible budget is a data point there, not a user error.
+     */
+    bool allowInfeasible = false;
 };
 
 /** Result of a search. */

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Plan-aware runtime guard: statically simulates the (level, scale,
+ * parts) state of every register as the Runtime executes a plan, using
+ * the exact double arithmetic the evaluator applies. On a healthy run
+ * the prediction matches the ciphertext tags bit-for-bit; a dropped
+ * rescale, perturbed scale or corrupted plan shows up as divergence at
+ * the next layer boundary. The guard also tracks the predicted
+ * noise-budget headroom per layer and flags exhaustion before the
+ * message overflows the modulus.
+ */
+#ifndef FXHENN_HECNN_GUARD_HPP
+#define FXHENN_HECNN_GUARD_HPP
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/ckks/ciphertext.hpp"
+#include "src/ckks/context.hpp"
+#include "src/hecnn/plan.hpp"
+#include "src/robustness/guard.hpp"
+
+namespace fxhenn::hecnn {
+
+/** Per-inference invariant tracker owned by hecnn::Runtime. */
+class RuntimeGuard
+{
+  public:
+    RuntimeGuard(const HeNetworkPlan &plan,
+                 const ckks::CkksContext &context,
+                 robustness::GuardOptions options);
+
+    const robustness::GuardOptions &options() const { return options_; }
+
+    /** Reset predicted state to "inputs freshly encrypted". */
+    void beginInfer();
+
+    /**
+     * Validate @p instr against the predicted register state before it
+     * executes: operands written, levels/scales compatible, part
+     * counts as the op expects. @return the violation, or nullopt.
+     */
+    std::optional<std::string> preCheck(const HeInstr &instr) const;
+
+    /** Advance the predicted state across @p instr. */
+    void apply(const HeInstr &instr);
+
+    /**
+     * Layer-boundary check: compare every predicted register against
+     * the actual ciphertexts, validate the plan's levelOut metadata,
+     * append this layer's BudgetSample, and flag predicted headroom
+     * exhaustion. @return the first violation found, or nullopt.
+     */
+    std::optional<std::string> checkLayerEnd(
+        const HeLayerPlan &layer,
+        std::span<const std::optional<ckks::Ciphertext>> regs);
+
+    /** Predicted headroom trajectory of the current inference. */
+    const std::vector<robustness::BudgetSample> &trajectory() const
+    {
+        return trajectory_;
+    }
+
+  private:
+    struct RegState
+    {
+        bool written = false;
+        std::size_t level = 0;
+        double scale = 0.0;
+        std::size_t parts = 2;
+    };
+
+    const HeNetworkPlan &plan_;
+    const ckks::CkksContext &context_;
+    robustness::GuardOptions options_;
+    std::vector<RegState> regs_;
+    std::vector<robustness::BudgetSample> trajectory_;
+};
+
+} // namespace fxhenn::hecnn
+
+#endif // FXHENN_HECNN_GUARD_HPP

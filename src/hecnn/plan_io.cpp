@@ -1,17 +1,28 @@
 #include "src/hecnn/plan_io.hpp"
 
+#include <cstring>
 #include <istream>
+#include <iterator>
 #include <limits>
 #include <ostream>
+#include <sstream>
 
 #include "src/common/assert.hpp"
+#include "src/common/crc32.hpp"
+#include "src/robustness/fault_injection.hpp"
 
 namespace fxhenn::hecnn {
 
 namespace {
 
 constexpr std::uint64_t kMagic = 0x4678504c414e3031ull; // "FxPLAN01"
-constexpr std::uint32_t kVersion = 1;
+/**
+ * Version 2 appends a CRC-32 trailer over everything before it.
+ * Version-1 streams (no trailer) remain readable.
+ */
+constexpr std::uint32_t kVersion = 2;
+constexpr std::size_t kHeaderSize =
+    sizeof(std::uint64_t) + sizeof(std::uint32_t); // magic + version
 
 template <typename T>
 void
@@ -128,8 +139,11 @@ readLayout(std::istream &is)
 } // namespace
 
 void
-savePlan(const HeNetworkPlan &plan, std::ostream &os)
+savePlan(const HeNetworkPlan &plan, std::ostream &outer)
 {
+    // Serialize into a buffer first so the CRC-32 trailer can cover
+    // the whole payload.
+    std::ostringstream os;
     writePod(os, kMagic);
     writePod(os, kVersion);
     writeString(os, plan.name);
@@ -165,15 +179,53 @@ savePlan(const HeNetworkPlan &plan, std::ostream &os)
     }
 
     writeLayout(os, plan.outputLayout);
+
+    const std::string bytes = os.str();
+    outer.write(bytes.data(),
+                static_cast<std::streamsize>(bytes.size()));
+    writePod(outer, crc32(bytes.data(), bytes.size()));
 }
 
 HeNetworkPlan
-loadPlan(std::istream &is)
+loadPlan(std::istream &stream)
 {
-    FXHENN_FATAL_IF(readPod<std::uint64_t>(is) != kMagic,
-                    "not an FxHENN plan stream");
-    FXHENN_FATAL_IF(readPod<std::uint32_t>(is) != kVersion,
+    std::string bytes{std::istreambuf_iterator<char>(stream),
+                      std::istreambuf_iterator<char>()};
+    if (auto fault = robustness::fireFault("plan.load")) {
+        if (fault->kind == "truncate") {
+            bytes.resize(bytes.size() * 2 / 3);
+        } else if (fault->kind == "corrupt" && !bytes.empty()) {
+            bytes[bytes.size() / 2] =
+                static_cast<char>(bytes[bytes.size() / 2] ^ 0x40);
+        }
+    }
+    FXHENN_FATAL_IF(bytes.size() < kHeaderSize,
+                    "truncated plan stream");
+    std::uint64_t magic = 0;
+    std::memcpy(&magic, bytes.data(), sizeof(magic));
+    FXHENN_FATAL_IF(magic != kMagic, "not an FxHENN plan stream");
+    std::uint32_t version = 0;
+    std::memcpy(&version, bytes.data() + sizeof(magic),
+                sizeof(version));
+    FXHENN_FATAL_IF(version == 0 || version > kVersion,
                     "unsupported plan version");
+
+    std::size_t payload_size = bytes.size();
+    if (version >= 2) {
+        FXHENN_FATAL_IF(bytes.size() <
+                            kHeaderSize + sizeof(std::uint32_t),
+                        "truncated plan stream (checksum missing)");
+        payload_size = bytes.size() - sizeof(std::uint32_t);
+        std::uint32_t stored = 0;
+        std::memcpy(&stored, bytes.data() + payload_size,
+                    sizeof(stored));
+        FXHENN_FATAL_IF(stored != crc32(bytes.data(), payload_size),
+                        "plan checksum mismatch (corrupted plan "
+                        "file)");
+    }
+
+    std::istringstream is(bytes.substr(0, payload_size));
+    is.ignore(static_cast<std::streamsize>(kHeaderSize));
 
     HeNetworkPlan plan;
     plan.name = readString(is);

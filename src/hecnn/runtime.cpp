@@ -1,18 +1,38 @@
 #include "src/hecnn/runtime.hpp"
 
+#include <iostream>
+#include <limits>
+#include <set>
+
+#include "src/ckks/noise.hpp"
 #include "src/common/assert.hpp"
 #include "src/common/timer.hpp"
+#include "src/robustness/fault_injection.hpp"
 #include "src/telemetry/telemetry.hpp"
 
 namespace fxhenn::hecnn {
 
+namespace {
+
+/**
+ * Internal control-flow signal for GuardPolicy::degrade: thrown by
+ * guardViolation(), caught in inferGuarded(), never escapes.
+ */
+struct DegradeSignal
+{
+    robustness::FailureReport report;
+};
+
+} // namespace
+
 Runtime::Runtime(const HeNetworkPlan &plan,
-                 const ckks::CkksContext &context, std::uint64_t seed)
+                 const ckks::CkksContext &context, std::uint64_t seed,
+                 robustness::GuardOptions guard)
     : plan_(plan), context_(context), rng_(seed), keygen_(context, rng_),
       encoder_(context), encryptor_(context, keygen_.makePublicKey(),
                                     rng_),
       decryptor_(context, keygen_.secretKey()), evaluator_(context),
-      relin_(keygen_.makeRelinKey())
+      relin_(keygen_.makeRelinKey()), guard_(plan, context, guard)
 {
     FXHENN_FATAL_IF(plan.valuesElided,
                     "plan was compiled with elideValues=true and "
@@ -56,6 +76,31 @@ Runtime::encodePooled(std::int32_t pt_id)
 }
 
 void
+Runtime::guardViolation(const std::string &layer, const char *op,
+                        const std::string &reason)
+{
+    FXHENN_TELEM_COUNT("robustness.guard.violations", 1);
+    switch (guard_.options().policy) {
+      case robustness::GuardPolicy::strict:
+        FXHENN_PANIC_IF(true, "guard: " + reason + " (layer " + layer +
+                                  ", op " + std::string(op) + ")");
+        break;
+      case robustness::GuardPolicy::warn:
+        std::cerr << "fxhenn guard warning: " << reason << " (layer "
+                  << layer << ", op " << op << ")\n";
+        break;
+      case robustness::GuardPolicy::degrade: {
+        robustness::FailureReport report;
+        report.layer = layer;
+        report.op = op;
+        report.reason = reason;
+        report.trajectory = guard_.trajectory();
+        throw DegradeSignal{std::move(report)};
+      }
+    }
+}
+
+void
 Runtime::execute(const HeLayerPlan &layer)
 {
     auto reg = [&](std::int32_t id) -> ckks::Ciphertext & {
@@ -65,6 +110,8 @@ Runtime::execute(const HeLayerPlan &layer)
     };
 
     for (const auto &instr : layer.instrs) {
+        if (auto reason = guard_.preCheck(instr))
+            guardViolation(layer.name, opName(instr.kind), *reason);
         switch (instr.kind) {
           case HeOpKind::pcMult: {
             const auto &pt = encodePooled(instr.pt);
@@ -113,17 +160,20 @@ Runtime::execute(const HeLayerPlan &layer)
             regs_[static_cast<std::size_t>(instr.dst)] = reg(instr.src);
             break;
         }
+        guard_.apply(instr);
     }
 }
 
-std::vector<double>
-Runtime::infer(const nn::Tensor &input)
+InferOutcome
+Runtime::inferGuarded(const nn::Tensor &input)
 {
     evaluator_.resetCounts();
     layerStats_.clear();
     layerStats_.reserve(plan_.layers.size());
     FXHENN_TELEM_SCOPED_TIMER("hecnn.infer.ns");
     FXHENN_TELEM_COUNT("hecnn.inferences", 1);
+    guard_.beginInfer();
+    InferOutcome out;
 
     // Client: pack, encode, encrypt into the input registers.
     const auto packed = packInput(input);
@@ -136,28 +186,75 @@ Runtime::infer(const nn::Tensor &input)
     }
 
     // Server: run every layer, recording wall time and the delta of
-    // the evaluator's op counters across each layer.
+    // the evaluator's op counters across each layer. Under
+    // GuardPolicy::degrade any violation (or a mid-layer
+    // ConfigError/InternalError) aborts the run with a report instead
+    // of propagating or producing garbage.
+    const bool degrade = guard_.options().policy ==
+                         robustness::GuardPolicy::degrade;
     for (const auto &layer : plan_.layers) {
-        const ckks::OpCounts before = evaluator_.counts();
-        Timer timer;
-        execute(layer);
-        MeasuredLayerStats row;
-        row.name = layer.name;
-        row.seconds = timer.elapsedSeconds();
-        const ckks::OpCounts &after = evaluator_.counts();
-        row.executed.ccAdd = after.ccAdd - before.ccAdd;
-        row.executed.pcAdd = after.pcAdd - before.pcAdd;
-        row.executed.pcMult = after.pcMult - before.pcMult;
-        row.executed.ccMult = after.ccMult - before.ccMult;
-        row.executed.rescale = after.rescale - before.rescale;
-        row.executed.relinearize =
-            after.relinearize - before.relinearize;
-        row.executed.rotate = after.rotate - before.rotate;
-        if (telemetry::enabled()) {
-            telemetry::histogram("hecnn.layer." + layer.name + ".ns")
-                .record(static_cast<std::uint64_t>(row.seconds * 1e9));
+        try {
+            if (auto fault = robustness::fireFault("ciphertext.limb")) {
+                for (auto &slot : regs_) {
+                    if (slot.has_value() && !slot->parts.empty()) {
+                        robustness::corruptResidues(slot->parts[0],
+                                                    fault->seed);
+                        break;
+                    }
+                }
+            }
+            const ckks::OpCounts before = evaluator_.counts();
+            Timer timer;
+            execute(layer);
+            MeasuredLayerStats row;
+            row.name = layer.name;
+            row.seconds = timer.elapsedSeconds();
+            const ckks::OpCounts &after = evaluator_.counts();
+            row.executed.ccAdd = after.ccAdd - before.ccAdd;
+            row.executed.pcAdd = after.pcAdd - before.pcAdd;
+            row.executed.pcMult = after.pcMult - before.pcMult;
+            row.executed.ccMult = after.ccMult - before.ccMult;
+            row.executed.rescale = after.rescale - before.rescale;
+            row.executed.relinearize =
+                after.relinearize - before.relinearize;
+            row.executed.rotate = after.rotate - before.rotate;
+            if (telemetry::enabled()) {
+                telemetry::histogram("hecnn.layer." + layer.name +
+                                     ".ns")
+                    .record(static_cast<std::uint64_t>(row.seconds *
+                                                       1e9));
+            }
+            layerStats_.push_back(std::move(row));
+            if (auto reason = guard_.checkLayerEnd(layer, regs_))
+                guardViolation(layer.name, "layer-end", *reason);
+        } catch (DegradeSignal &sig) {
+            out.failure = std::move(sig.report);
+        } catch (const ConfigError &e) {
+            if (!degrade)
+                throw;
+            robustness::FailureReport report;
+            report.layer = layer.name;
+            report.op = "exception";
+            report.reason = e.what();
+            report.trajectory = guard_.trajectory();
+            out.failure = std::move(report);
+        } catch (const InternalError &e) {
+            if (!degrade)
+                throw;
+            robustness::FailureReport report;
+            report.layer = layer.name;
+            report.op = "exception";
+            report.reason = e.what();
+            report.trajectory = guard_.trajectory();
+            out.failure = std::move(report);
         }
-        layerStats_.push_back(std::move(row));
+        if (out.failure)
+            break;
+    }
+    out.budget = guard_.trajectory();
+    if (out.failure) {
+        FXHENN_TELEM_COUNT("robustness.guard.degraded_runs", 1);
+        return out; // degraded: no decryption, no garbage logits
     }
 
     // Client: decrypt the output registers once each, extract logits.
@@ -176,7 +273,36 @@ Runtime::infer(const nn::Tensor &input)
         }
         logits[e] = it->second[static_cast<std::size_t>(slot)];
     }
-    return logits;
+    out.logits = std::move(logits);
+    return out;
+}
+
+std::vector<double>
+Runtime::infer(const nn::Tensor &input)
+{
+    auto out = inferGuarded(input);
+    if (out.failure)
+        FXHENN_PANIC_IF(true, "encrypted inference degraded at layer " +
+                                  out.failure->layer + ": " +
+                                  out.failure->reason);
+    return std::move(out.logits);
+}
+
+double
+Runtime::outputHeadroomBits() const
+{
+    double headroom = std::numeric_limits<double>::infinity();
+    std::set<std::int32_t> seen;
+    for (const auto &pos : plan_.outputLayout.pos) {
+        const std::int32_t reg_id = pos.first;
+        if (!seen.insert(reg_id).second)
+            continue;
+        const auto &ct = regs_[static_cast<std::size_t>(reg_id)];
+        FXHENN_ASSERT(ct.has_value(), "output register unwritten");
+        headroom = std::min(
+            headroom, ckks::headroomBits(*ct, context_, decryptor_));
+    }
+    return headroom;
 }
 
 const ckks::OpCounts &

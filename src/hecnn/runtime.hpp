@@ -21,11 +21,28 @@
 #include "src/ckks/encryptor.hpp"
 #include "src/ckks/evaluator.hpp"
 #include "src/ckks/keygen.hpp"
+#include "src/hecnn/guard.hpp"
 #include "src/hecnn/plan.hpp"
 #include "src/hecnn/stats.hpp"
 #include "src/nn/tensor.hpp"
+#include "src/robustness/guard.hpp"
 
 namespace fxhenn::hecnn {
+
+/**
+ * Outcome of one guarded encrypted inference. Either `logits` holds
+ * the decrypted result, or `failure` explains why the run was aborted
+ * (GuardPolicy::degrade) — never garbage logits.
+ */
+struct InferOutcome
+{
+    std::vector<double> logits;
+    std::optional<robustness::FailureReport> failure;
+    /** Predicted per-layer noise-budget trajectory. */
+    std::vector<robustness::BudgetSample> budget;
+
+    bool degraded() const { return failure.has_value(); }
+};
 
 /** Client + server runtime for one compiled HE-CNN. */
 class Runtime
@@ -33,16 +50,38 @@ class Runtime
   public:
     /**
      * Generate all key material (public, relinearization, and the
-     * Galois keys for every rotation step the plan uses).
+     * Galois keys for every rotation step the plan uses). @p guard
+     * selects what happens when a runtime invariant breaks; the
+     * default (warn) preserves the historical behavior.
      */
     Runtime(const HeNetworkPlan &plan, const ckks::CkksContext &context,
-            std::uint64_t seed = 1);
+            std::uint64_t seed = 1,
+            robustness::GuardOptions guard = {});
 
     /**
      * Full encrypted inference: pack + encrypt @p input, execute every
-     * layer homomorphically, decrypt and extract the logits.
+     * layer homomorphically, decrypt and extract the logits. Throws
+     * InternalError if the run degrades (use inferGuarded() for the
+     * structured report).
      */
     std::vector<double> infer(const nn::Tensor &input);
+
+    /**
+     * Like infer(), but under GuardPolicy::degrade a guard violation
+     * aborts the encrypted run at the failing layer and returns a
+     * FailureReport (with the headroom trajectory) instead of garbage
+     * logits. ConfigError/InternalError thrown mid-layer are converted
+     * into the report too, so a degraded run never escapes as an
+     * exception.
+     */
+    InferOutcome inferGuarded(const nn::Tensor &input);
+
+    /**
+     * Measured headroom of the output registers after the last
+     * inference: min over output ciphertexts of
+     * ckks::headroomBits(). Negative means the logits are garbage.
+     */
+    double outputHeadroomBits() const;
 
     /** Executed-operation counters from the last inference. */
     const ckks::OpCounts &executedCounts() const;
@@ -71,6 +110,10 @@ class Runtime
 
     void execute(const HeLayerPlan &layer);
 
+    /** Dispatch a guard violation according to the active policy. */
+    void guardViolation(const std::string &layer, const char *op,
+                        const std::string &reason);
+
     const HeNetworkPlan &plan_;
     const ckks::CkksContext &context_;
     Rng rng_;
@@ -85,6 +128,7 @@ class Runtime
     std::vector<std::optional<ckks::Ciphertext>> regs_;
     std::map<std::int32_t, ckks::Plaintext> plaintextCache_;
     std::vector<MeasuredLayerStats> layerStats_;
+    RuntimeGuard guard_;
 };
 
 } // namespace fxhenn::hecnn

@@ -11,11 +11,14 @@
 #define FXHENN_HECNN_VERIFY_HPP
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "src/ckks/params.hpp"
 #include "src/hecnn/stats.hpp"
 #include "src/nn/network.hpp"
+#include "src/robustness/guard.hpp"
 
 namespace fxhenn::hecnn {
 
@@ -29,12 +32,33 @@ struct VerifyResult
     std::vector<double> plaintextLogits;
     /** Measured per-layer wall time + op breakdown of the run. */
     std::vector<MeasuredLayerStats> layers;
+    /**
+     * Failure diagnosis: set when the guarded run degraded, when the
+     * measured output headroom went negative, or when the logits
+     * diverged catastrophically (corrupted ciphertext state). A set
+     * failure always fails passed().
+     */
+    std::optional<robustness::FailureReport> failure;
+    /** Predicted per-layer noise-budget trajectory. */
+    std::vector<robustness::BudgetSample> noiseBudget;
+    /** Predicted headroom after the final layer (bits). */
+    double predictedHeadroomBits = 0.0;
+    /** Measured headroom of the output ciphertexts (bits). */
+    double measuredHeadroomBits = 0.0;
 
     /** Pass criterion used across the repository. */
     bool passed(double tolerance = 1e-2) const
     {
-        return maxAbsError < tolerance && argmaxMatches;
+        return !failure.has_value() && maxAbsError < tolerance &&
+               argmaxMatches;
     }
+
+    /**
+     * Render the failure-diagnosis section: the predicted headroom
+     * trajectory, measured-vs-predicted output headroom, and the
+     * FailureReport when the run failed.
+     */
+    std::string renderDiagnosis() const;
 };
 
 /**
@@ -43,11 +67,15 @@ struct VerifyResult
  *
  * @param inputSeed seed of the synthetic input image
  * @param keySeed   seed of the key material / encryption randomness
+ * @param guard     guard options for the encrypted run; defaults to
+ *                  GuardPolicy::degrade so a broken run yields a
+ *                  FailureReport instead of garbage logits
  */
-VerifyResult verifyAgainstPlaintext(const nn::Network &net,
-                                    const ckks::CkksParams &params,
-                                    std::uint64_t inputSeed = 1,
-                                    std::uint64_t keySeed = 1);
+VerifyResult verifyAgainstPlaintext(
+    const nn::Network &net, const ckks::CkksParams &params,
+    std::uint64_t inputSeed = 1, std::uint64_t keySeed = 1,
+    const robustness::GuardOptions &guard = {
+        robustness::GuardPolicy::degrade});
 
 } // namespace fxhenn::hecnn
 

@@ -1,0 +1,212 @@
+#include "src/robustness/fault_injection.hpp"
+
+#include <mutex>
+#include <vector>
+
+#include "src/common/assert.hpp"
+#include "src/common/rng.hpp"
+#include "src/rns/rns_poly.hpp"
+#include "src/telemetry/telemetry.hpp"
+
+namespace fxhenn::robustness {
+
+namespace {
+
+/**
+ * The fault matrix. Every row must have a scenario in
+ * tests/robustness/test_fault_matrix.cpp proving the fault is detected
+ * as the documented class; the matrix test fails on unknown sites.
+ */
+constexpr FaultSiteInfo kRegistry[] = {
+    {"plan.load", "truncate", "ConfigError"},
+    {"plan.load", "corrupt", "ConfigError"},
+    {"evaluator.rescale", "drop", "FailureReport"},
+    {"evaluator.rescale", "bitflip", "FailureReport"},
+    {"evaluator.scale", "perturb", "FailureReport"},
+    {"ciphertext.limb", "bitflip", "FailureReport"},
+    {"dse.device", "infeasible", "ConfigError"},
+};
+
+struct ArmedFault
+{
+    FaultSpec spec;
+    std::uint64_t hits = 0;
+    bool fired = false;
+};
+
+struct Injector
+{
+    std::mutex mutex;
+    std::vector<ArmedFault> armed;
+    std::uint64_t fires = 0;
+    FaultHook hook = nullptr;
+};
+
+Injector &
+injector()
+{
+    static Injector instance;
+    return instance;
+}
+
+bool
+inRegistry(const std::string &site, const std::string &kind)
+{
+    for (const auto &info : kRegistry) {
+        if (site == info.site && kind == info.kind)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+#if FXHENN_FAULTINJECT_ENABLED
+namespace detail {
+
+std::atomic<std::size_t> armedCount{0};
+
+std::optional<ActiveFault>
+fireFaultSlow(const char *site)
+{
+    Injector &inj = injector();
+    std::lock_guard<std::mutex> lock(inj.mutex);
+    for (auto &fault : inj.armed) {
+        if (fault.fired || fault.spec.site != site)
+            continue;
+        if (++fault.hits < fault.spec.trigger)
+            continue;
+        fault.fired = true;
+        armedCount.fetch_sub(1, std::memory_order_relaxed);
+        ++inj.fires;
+        FXHENN_TELEM_COUNT("robustness.fault.fired", 1);
+        ActiveFault active{fault.spec.kind, fault.spec.seed};
+        if (inj.hook)
+            inj.hook(site, active);
+        return active;
+    }
+    return std::nullopt;
+}
+
+} // namespace detail
+#endif // FXHENN_FAULTINJECT_ENABLED
+
+std::span<const FaultSiteInfo>
+faultRegistry()
+{
+    return kRegistry;
+}
+
+FaultSpec
+parseFaultSpec(const std::string &text)
+{
+    FaultSpec spec;
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (true) {
+        const auto colon = text.find(':', start);
+        parts.push_back(text.substr(start, colon - start));
+        if (colon == std::string::npos)
+            break;
+        start = colon + 1;
+    }
+    FXHENN_FATAL_IF(parts.size() < 2 || parts.size() > 4 ||
+                        parts[0].empty() || parts[1].empty(),
+                    "malformed fault spec '" + text +
+                        "' (expected site:kind[:trigger[:seed]])");
+    spec.site = parts[0];
+    spec.kind = parts[1];
+    auto parseNum = [&](const std::string &field, const char *what) {
+        std::size_t pos = 0;
+        unsigned long long v = 0;
+        try {
+            v = std::stoull(field, &pos);
+        } catch (const std::exception &) {
+            pos = 0;
+        }
+        FXHENN_FATAL_IF(pos != field.size() || field.empty(),
+                        std::string("fault spec ") + what +
+                            " must be an integer, got '" + field + "'");
+        return static_cast<std::uint64_t>(v);
+    };
+    if (parts.size() >= 3) {
+        spec.trigger = parseNum(parts[2], "trigger");
+        FXHENN_FATAL_IF(spec.trigger == 0, "fault trigger must be >= 1");
+    }
+    if (parts.size() >= 4)
+        spec.seed = parseNum(parts[3], "seed");
+    return spec;
+}
+
+void
+armFault(const FaultSpec &spec)
+{
+    FXHENN_FATAL_IF(!inRegistry(spec.site, spec.kind),
+                    "unknown fault site/kind '" + spec.site + ":" +
+                        spec.kind + "' (see robustness::faultRegistry)");
+    FXHENN_FATAL_IF(!faultInjectCompiledIn(),
+                    "fault injection was compiled out "
+                    "(rebuild with FXHENN_FAULTINJECT=ON)");
+#if FXHENN_FAULTINJECT_ENABLED
+    Injector &inj = injector();
+    std::lock_guard<std::mutex> lock(inj.mutex);
+    inj.armed.push_back(ArmedFault{spec, 0, false});
+    detail::armedCount.fetch_add(1, std::memory_order_relaxed);
+#endif
+}
+
+void
+disarmFaults()
+{
+#if FXHENN_FAULTINJECT_ENABLED
+    Injector &inj = injector();
+    std::lock_guard<std::mutex> lock(inj.mutex);
+    inj.armed.clear();
+    inj.fires = 0;
+    detail::armedCount.store(0, std::memory_order_relaxed);
+#endif
+}
+
+std::size_t
+armedFaultCount()
+{
+#if FXHENN_FAULTINJECT_ENABLED
+    return detail::armedCount.load(std::memory_order_relaxed);
+#else
+    return 0;
+#endif
+}
+
+std::uint64_t
+faultFireCount()
+{
+    Injector &inj = injector();
+    std::lock_guard<std::mutex> lock(inj.mutex);
+    return inj.fires;
+}
+
+void
+setFaultHook(FaultHook hook)
+{
+    Injector &inj = injector();
+    std::lock_guard<std::mutex> lock(inj.mutex);
+    inj.hook = hook;
+}
+
+void
+corruptResidues(RnsPoly &poly, std::uint64_t seed)
+{
+    Rng rng(seed);
+    // Limb 0 survives every rescale, so the damage cannot be divided
+    // away by the modulus chain: the overwritten residues leave the
+    // CRT reconstruction off by random multiples of the companion
+    // primes, which decodes as unmistakable garbage.
+    const std::uint64_t q = poly.limbModulus(0).value();
+    auto limb = poly.limb(0);
+    for (int i = 0; i < 64; ++i) {
+        const std::size_t k = rng.uniform(limb.size());
+        limb[k] = rng.uniform(q);
+    }
+}
+
+} // namespace fxhenn::robustness

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Deterministic, seedable fault injection for robustness testing.
+ *
+ * Probes are named "sites" threaded through the stack (ciphertext
+ * limbs, plan deserialization, evaluator ops, DSE device specs); each
+ * site supports a small set of fault "kinds". A fault is armed at
+ * runtime (CLI `--fault <site>:<kind>[:<trigger>[:<seed>]]` or
+ * armFault() in tests) and fires exactly once, on the trigger-th hit of
+ * its site. The test suite proves that every registered site x kind is
+ * detected and classified by the guard layer — never silently
+ * swallowed.
+ *
+ * Overhead discipline mirrors src/telemetry: the CMake option
+ * FXHENN_FAULTINJECT (default ON) controls FXHENN_FAULTINJECT_ENABLED;
+ * OFF makes fireFault() a constexpr-nullopt inline that dead-strips
+ * from the hot paths. Compiled in but disarmed, a probe costs one
+ * relaxed atomic load and a predicted branch.
+ */
+#ifndef FXHENN_ROBUSTNESS_FAULT_INJECTION_HPP
+#define FXHENN_ROBUSTNESS_FAULT_INJECTION_HPP
+
+#ifndef FXHENN_FAULTINJECT_ENABLED
+#define FXHENN_FAULTINJECT_ENABLED 1
+#endif
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+namespace fxhenn {
+
+class RnsPoly;
+
+namespace robustness {
+
+/** @return true when probes were compiled in (FXHENN_FAULTINJECT). */
+constexpr bool
+faultInjectCompiledIn()
+{
+    return FXHENN_FAULTINJECT_ENABLED != 0;
+}
+
+/** One parsed fault directive: site:kind[:trigger[:seed]]. */
+struct FaultSpec
+{
+    std::string site;
+    std::string kind;
+    std::uint64_t trigger = 1; ///< fire on the Nth hit of the site
+    std::uint64_t seed = 1;    ///< seeds any randomized mutation
+};
+
+/** What a firing probe receives. */
+struct ActiveFault
+{
+    std::string kind;
+    std::uint64_t seed = 1;
+};
+
+/** Registry metadata: one row per supported site x kind. */
+struct FaultSiteInfo
+{
+    const char *site;
+    const char *kind;
+    /** Documented detection class: "ConfigError" or "FailureReport". */
+    const char *detectedAs;
+};
+
+/** Every site x kind the harness knows (the matrix test iterates it). */
+std::span<const FaultSiteInfo> faultRegistry();
+
+/**
+ * Parse "site:kind[:trigger[:seed]]"; throws ConfigError on malformed
+ * input (the site/kind pair is validated later, by armFault()).
+ */
+FaultSpec parseFaultSpec(const std::string &text);
+
+/**
+ * Arm @p spec. Throws ConfigError when the site x kind pair is not in
+ * the registry, or when fault injection was compiled out.
+ */
+void armFault(const FaultSpec &spec);
+
+/** Disarm everything and zero the fire counter. */
+void disarmFaults();
+
+/** Number of currently armed (not yet fired) faults. */
+std::size_t armedFaultCount();
+
+/** Total fires since the last disarmFaults(). */
+std::uint64_t faultFireCount();
+
+/**
+ * Test-only observation hook, invoked synchronously whenever a fault
+ * fires. Pass nullptr to clear.
+ */
+using FaultHook = void (*)(const std::string &site,
+                           const ActiveFault &fault);
+void setFaultHook(FaultHook hook);
+
+#if FXHENN_FAULTINJECT_ENABLED
+
+namespace detail {
+extern std::atomic<std::size_t> armedCount;
+std::optional<ActiveFault> fireFaultSlow(const char *site);
+} // namespace detail
+
+/**
+ * Probe: called from an instrumented site. Returns the fault to apply
+ * when one armed for @p site reaches its trigger count, nullopt
+ * otherwise. The caller interprets the kind.
+ */
+inline std::optional<ActiveFault>
+fireFault(const char *site)
+{
+    if (detail::armedCount.load(std::memory_order_relaxed) == 0)
+        return std::nullopt;
+    return detail::fireFaultSlow(site);
+}
+
+#else // !FXHENN_FAULTINJECT_ENABLED
+
+inline std::optional<ActiveFault>
+fireFault(const char *)
+{
+    return std::nullopt;
+}
+
+#endif // FXHENN_FAULTINJECT_ENABLED
+
+/**
+ * Seeded corruption helper for ciphertext/plaintext limbs: XORs a
+ * random bit into a handful of residues of one limb, reduced back into
+ * [0, q) so the poly stays structurally valid while its contents turn
+ * to garbage.
+ */
+void corruptResidues(RnsPoly &poly, std::uint64_t seed);
+
+} // namespace robustness
+} // namespace fxhenn
+
+#endif // FXHENN_ROBUSTNESS_FAULT_INJECTION_HPP

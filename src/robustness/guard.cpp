@@ -1,0 +1,65 @@
+#include "src/robustness/guard.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "src/common/assert.hpp"
+
+namespace fxhenn::robustness {
+
+const char *
+guardPolicyName(GuardPolicy policy)
+{
+    switch (policy) {
+      case GuardPolicy::strict:
+        return "strict";
+      case GuardPolicy::warn:
+        return "warn";
+      case GuardPolicy::degrade:
+        return "degrade";
+    }
+    return "?";
+}
+
+GuardPolicy
+parseGuardPolicy(const std::string &name)
+{
+    if (name == "strict")
+        return GuardPolicy::strict;
+    if (name == "warn")
+        return GuardPolicy::warn;
+    if (name == "degrade")
+        return GuardPolicy::degrade;
+    throw ConfigError("unknown guard policy '" + name +
+                      "' (expected strict, warn or degrade)");
+}
+
+std::string
+renderTrajectory(std::span<const BudgetSample> trajectory)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(1);
+    for (const auto &s : trajectory) {
+        oss << "    " << std::left << std::setw(12) << s.layer
+            << std::right << "  level " << std::setw(2) << s.level
+            << "  scale 2^" << std::setw(5) << s.scaleBits
+            << "  headroom " << std::showpos << std::setw(7)
+            << s.headroomBits << std::noshowpos << " bits\n";
+    }
+    return oss.str();
+}
+
+std::string
+FailureReport::render() const
+{
+    std::ostringstream oss;
+    oss << "FAILURE: " << reason << "\n"
+        << "  at layer: " << layer << ", op: " << op << "\n";
+    if (!trajectory.empty()) {
+        oss << "  predicted headroom trajectory:\n"
+            << renderTrajectory(trajectory);
+    }
+    return oss.str();
+}
+
+} // namespace fxhenn::robustness

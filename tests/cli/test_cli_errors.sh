@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# CLI error-path coverage: every misuse must exit with its documented
+# code (2 usage, 3 config error) and must never crash or abort.
+# Usage: test_cli_errors.sh /path/to/fxhenn
+set -u
+
+CLI="${1:?usage: test_cli_errors.sh /path/to/fxhenn}"
+failures=0
+case_no=0
+
+expect() {
+    local want="$1"
+    local desc="$2"
+    shift 2
+    case_no=$((case_no + 1))
+    local out
+    out="$("$CLI" "$@" 2>&1)"
+    local got=$?
+    if [ "$got" -ne "$want" ]; then
+        echo "FAIL [$case_no] $desc: expected exit $want, got $got"
+        echo "     cmd: fxhenn $*"
+        echo "$out" | sed 's/^/     | /'
+        failures=$((failures + 1))
+        return
+    fi
+    case "$out" in
+    *"terminate called"* | *Aborted* | *Segmentation*)
+        echo "FAIL [$case_no] $desc: exit $got but crashed:"
+        echo "$out" | sed 's/^/     | /'
+        failures=$((failures + 1))
+        return
+        ;;
+    esac
+    echo "ok   [$case_no] $desc (exit $got)"
+}
+
+# --- usage errors: exit 2 ------------------------------------------------
+expect 2 "no command"
+expect 2 "unknown subcommand" frobnicate
+
+# --- configuration errors: exit 3 ----------------------------------------
+expect 3 "unknown model" info --model lenet300
+expect 3 "unknown device" design --model mnist --device virtex7
+expect 3 "missing plan file" plan --load /nonexistent/path/plan.bin
+expect 3 "flag missing its value" info --model
+expect 3 "malformed flag (no --)" info model mnist
+expect 3 "unknown flag for command" verify --bogus 1
+expect 3 "non-numeric seed" verify --seed notanumber
+expect 3 "negative seed" verify --seed -3
+expect 3 "bad guard policy" verify --guard lenient
+expect 3 "non-positive sweep step" sweep --model mnist --step 0
+expect 3 "malformed fault spec" info --model mnist --fault nocolon
+expect 3 "unknown fault site" info --model mnist --fault no.site:bitflip
+expect 3 "bad plan layer index" plan --model mnist --layer twelve
+
+echo
+if [ "$failures" -ne 0 ]; then
+    echo "$failures of $case_no CLI error-path cases failed"
+    exit 1
+fi
+echo "all $case_no CLI error-path cases passed"
+exit 0

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "src/common/assert.hpp"
 #include "src/dse/explorer.hpp"
 #include "src/dse/pareto.hpp"
 #include "src/hecnn/compiler.hpp"
@@ -65,9 +66,29 @@ TEST_F(ExplorerTest, InfeasibleBudgetYieldsNoPoint)
 {
     ExploreOptions opts;
     opts.bramBudgetBlocks = 10.0;
+    opts.allowInfeasible = true;
     const auto result = explore(plan_, device_, opts);
     EXPECT_FALSE(result.best.has_value());
     EXPECT_GT(result.pruned, 0u);
+}
+
+TEST_F(ExplorerTest, InfeasibleBudgetThrowsWithSuggestion)
+{
+    // Without allowInfeasible an empty design space is a user error:
+    // the exception names the plan and suggests the nearest-feasible
+    // resources.
+    ExploreOptions opts;
+    opts.bramBudgetBlocks = 10.0;
+    try {
+        explore(plan_, device_, opts);
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("no feasible point"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("BRAM"), std::string::npos) << msg;
+        EXPECT_NE(msg.find(plan_.name), std::string::npos) << msg;
+    }
 }
 
 TEST_F(ExplorerTest, LargerDeviceIsNoSlower)

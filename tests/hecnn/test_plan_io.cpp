@@ -2,6 +2,7 @@
 
 #include "src/common/assert.hpp"
 
+#include <cstring>
 #include <sstream>
 
 #include "src/hecnn/compiler.hpp"
@@ -117,6 +118,47 @@ TEST(PlanIo, RejectsCorruptRegisterReferences)
         // acceptable: detected corruption
     }
     SUCCEED();
+}
+
+TEST(PlanIo, CrcTrailerRejectsPayloadCorruption)
+{
+    // Version 2 streams carry a CRC-32 trailer: any payload flip —
+    // even one that would deserialize into a structurally valid plan —
+    // must be rejected as corruption, deterministically.
+    const auto plan =
+        compile(nn::buildTestNetwork(), ckks::testParams(2048, 7, 30));
+    std::stringstream ss;
+    savePlan(plan, ss);
+    std::string bytes = ss.str();
+    bytes[bytes.size() / 2] =
+        static_cast<char>(bytes[bytes.size() / 2] ^ 0x01);
+    std::stringstream corrupted(bytes);
+    try {
+        loadPlan(corrupted);
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("checksum"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(PlanIo, ReadsVersion1StreamsWithoutTrailer)
+{
+    // Backward compatibility: a v1 stream (no CRC trailer) produced by
+    // older builds must still load.
+    const auto plan =
+        compile(nn::buildTestNetwork(), ckks::testParams(2048, 7, 30));
+    std::stringstream ss;
+    savePlan(plan, ss);
+    std::string bytes = ss.str();
+    bytes.resize(bytes.size() - 4); // strip the CRC trailer
+    const std::uint32_t v1 = 1;
+    std::memcpy(bytes.data() + 8, &v1, sizeof(v1));
+    std::stringstream legacy(bytes);
+    const auto loaded = loadPlan(legacy);
+    EXPECT_EQ(loaded.name, plan.name);
+    EXPECT_EQ(loaded.layers.size(), plan.layers.size());
 }
 
 } // namespace

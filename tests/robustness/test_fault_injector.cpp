@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/assert.hpp"
+#include "src/robustness/fault_injection.hpp"
+
+namespace fxhenn::robustness {
+namespace {
+
+int g_hookCalls = 0;
+std::string g_hookSite;
+std::string g_hookKind;
+
+void
+recordingHook(const std::string &site, const ActiveFault &fault)
+{
+    ++g_hookCalls;
+    g_hookSite = site;
+    g_hookKind = fault.kind;
+}
+
+class FaultInjectorTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        disarmFaults();
+        g_hookCalls = 0;
+        g_hookSite.clear();
+        g_hookKind.clear();
+    }
+
+    void
+    TearDown() override
+    {
+        disarmFaults();
+        setFaultHook(nullptr);
+    }
+};
+
+TEST_F(FaultInjectorTest, ParsesFullSpec)
+{
+    const auto spec =
+        parseFaultSpec("evaluator.rescale:drop:3:42");
+    EXPECT_EQ(spec.site, "evaluator.rescale");
+    EXPECT_EQ(spec.kind, "drop");
+    EXPECT_EQ(spec.trigger, 3u);
+    EXPECT_EQ(spec.seed, 42u);
+}
+
+TEST_F(FaultInjectorTest, ParseDefaultsTriggerAndSeed)
+{
+    const auto spec = parseFaultSpec("plan.load:corrupt");
+    EXPECT_EQ(spec.site, "plan.load");
+    EXPECT_EQ(spec.kind, "corrupt");
+    EXPECT_EQ(spec.trigger, 1u);
+    EXPECT_EQ(spec.seed, 1u);
+}
+
+TEST_F(FaultInjectorTest, RejectsMalformedSpecs)
+{
+    EXPECT_THROW(parseFaultSpec(""), ConfigError);
+    EXPECT_THROW(parseFaultSpec("nocolon"), ConfigError);
+    EXPECT_THROW(parseFaultSpec("site:"), ConfigError);
+    EXPECT_THROW(parseFaultSpec(":kind"), ConfigError);
+    EXPECT_THROW(parseFaultSpec("a:b:c:d:e"), ConfigError);
+    EXPECT_THROW(parseFaultSpec("a:b:notanumber"), ConfigError);
+    EXPECT_THROW(parseFaultSpec("a:b:1:notanumber"), ConfigError);
+    EXPECT_THROW(parseFaultSpec("a:b:0"), ConfigError);
+}
+
+TEST_F(FaultInjectorTest, ArmRejectsUnknownSiteInEveryBuild)
+{
+    // Registry validation happens before the compiled-in check, so a
+    // typo in --fault reports the same error in both build configs.
+    EXPECT_THROW(armFault({"no.such.site", "bitflip", 1, 1}),
+                 ConfigError);
+    EXPECT_THROW(armFault({"plan.load", "no-such-kind", 1, 1}),
+                 ConfigError);
+    EXPECT_EQ(armedFaultCount(), 0u);
+}
+
+TEST_F(FaultInjectorTest, FiresExactlyOnTriggerHitSingleShot)
+{
+    if (!faultInjectCompiledIn())
+        GTEST_SKIP() << "fault injection compiled out";
+    setFaultHook(recordingHook);
+    armFault({"evaluator.rescale", "drop", 3, 7});
+    EXPECT_EQ(armedFaultCount(), 1u);
+
+    EXPECT_FALSE(fireFault("evaluator.rescale").has_value());
+    EXPECT_FALSE(fireFault("evaluator.rescale").has_value());
+    const auto fault = fireFault("evaluator.rescale");
+    ASSERT_TRUE(fault.has_value());
+    EXPECT_EQ(fault->kind, "drop");
+    EXPECT_EQ(fault->seed, 7u);
+
+    // Single shot: the site stays quiet afterwards.
+    EXPECT_FALSE(fireFault("evaluator.rescale").has_value());
+    EXPECT_EQ(armedFaultCount(), 0u);
+    EXPECT_EQ(faultFireCount(), 1u);
+    EXPECT_EQ(g_hookCalls, 1);
+    EXPECT_EQ(g_hookSite, "evaluator.rescale");
+    EXPECT_EQ(g_hookKind, "drop");
+}
+
+TEST_F(FaultInjectorTest, OtherSitesDoNotFire)
+{
+    if (!faultInjectCompiledIn())
+        GTEST_SKIP() << "fault injection compiled out";
+    armFault({"plan.load", "truncate", 1, 1});
+    EXPECT_FALSE(fireFault("evaluator.rescale").has_value());
+    EXPECT_FALSE(fireFault("ciphertext.limb").has_value());
+    EXPECT_EQ(faultFireCount(), 0u);
+    EXPECT_EQ(armedFaultCount(), 1u);
+}
+
+TEST_F(FaultInjectorTest, DisarmStopsFiring)
+{
+    if (!faultInjectCompiledIn())
+        GTEST_SKIP() << "fault injection compiled out";
+    armFault({"plan.load", "truncate", 1, 1});
+    disarmFaults();
+    EXPECT_FALSE(fireFault("plan.load").has_value());
+    EXPECT_EQ(faultFireCount(), 0u);
+}
+
+TEST_F(FaultInjectorTest, CompiledOutBuildIsInert)
+{
+    if (faultInjectCompiledIn())
+        GTEST_SKIP() << "fault injection compiled in";
+    // Arming a registered fault must fail loudly, not silently no-op,
+    // and the probes must stay dead.
+    EXPECT_THROW(armFault({"plan.load", "truncate", 1, 1}),
+                 ConfigError);
+    EXPECT_FALSE(fireFault("plan.load").has_value());
+    EXPECT_EQ(armedFaultCount(), 0u);
+}
+
+TEST_F(FaultInjectorTest, EveryRegistryRowIsArmable)
+{
+    for (const auto &info : faultRegistry()) {
+        const FaultSpec spec{info.site, info.kind, 1, 1};
+        if (faultInjectCompiledIn()) {
+            EXPECT_NO_THROW(armFault(spec)) << info.site;
+        } else {
+            EXPECT_THROW(armFault(spec), ConfigError) << info.site;
+        }
+        disarmFaults();
+    }
+}
+
+} // namespace
+} // namespace fxhenn::robustness

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/assert.hpp"
+#include "src/hecnn/compiler.hpp"
+#include "src/hecnn/verify.hpp"
+#include "src/nn/model_zoo.hpp"
+#include "src/robustness/guard.hpp"
+
+namespace fxhenn::hecnn {
+namespace {
+
+robustness::GuardOptions
+guardOpts(robustness::GuardPolicy policy, double messageBits = -2.0)
+{
+    robustness::GuardOptions g;
+    g.policy = policy;
+    g.messageBits = messageBits;
+    return g;
+}
+
+TEST(GuardPolicy, NamesRoundTrip)
+{
+    using robustness::GuardPolicy;
+    for (auto policy : {GuardPolicy::strict, GuardPolicy::warn,
+                        GuardPolicy::degrade}) {
+        EXPECT_EQ(robustness::parseGuardPolicy(
+                      robustness::guardPolicyName(policy)),
+                  policy);
+    }
+}
+
+TEST(GuardPolicy, ParseRejectsUnknownName)
+{
+    EXPECT_THROW(robustness::parseGuardPolicy("loose"), ConfigError);
+    EXPECT_THROW(robustness::parseGuardPolicy(""), ConfigError);
+}
+
+TEST(RuntimeGuard, HealthyRunPassesUnderDegrade)
+{
+    const auto net = nn::buildTestNetwork();
+    const auto params = ckks::testParams(2048, 7, 30);
+    const auto result = verifyAgainstPlaintext(
+        net, params, 1, 1,
+        guardOpts(robustness::GuardPolicy::degrade));
+
+    EXPECT_TRUE(result.passed());
+    EXPECT_FALSE(result.failure.has_value());
+    // One budget sample per compiled layer, all with positive headroom.
+    const auto plan = compile(net, params);
+    ASSERT_EQ(result.noiseBudget.size(), plan.layers.size());
+    for (const auto &sample : result.noiseBudget)
+        EXPECT_GT(sample.headroomBits, 0.0) << sample.layer;
+    EXPECT_GT(result.predictedHeadroomBits, 0.0);
+    EXPECT_GT(result.measuredHeadroomBits, 0.0);
+    // The diagnosis section renders the trajectory on healthy runs too.
+    const std::string diag = result.renderDiagnosis();
+    EXPECT_NE(diag.find("headroom"), std::string::npos) << diag;
+    EXPECT_NE(diag.find(plan.layers.front().name), std::string::npos)
+        << diag;
+}
+
+TEST(RuntimeGuard, StrictPolicyThrowsOnExhaustedBudget)
+{
+    // messageBits = 40 makes the predicted headroom of the final layer
+    // negative (59 - 30 - 40 bits) without touching the ciphertexts.
+    EXPECT_THROW(verifyAgainstPlaintext(
+                     nn::buildTestNetwork(),
+                     ckks::testParams(2048, 7, 30), 1, 1,
+                     guardOpts(robustness::GuardPolicy::strict, 40.0)),
+                 InternalError);
+}
+
+TEST(RuntimeGuard, DegradePolicyReturnsFailureReport)
+{
+    const auto result = verifyAgainstPlaintext(
+        nn::buildTestNetwork(), ckks::testParams(2048, 7, 30), 1, 1,
+        guardOpts(robustness::GuardPolicy::degrade, 40.0));
+
+    ASSERT_TRUE(result.failure.has_value());
+    EXPECT_FALSE(result.passed());
+    // Graceful degradation: the run aborts before decryption, so no
+    // garbage logits escape.
+    EXPECT_TRUE(result.encryptedLogits.empty());
+    EXPECT_NE(result.failure->reason.find("budget"),
+              std::string::npos)
+        << result.failure->reason;
+    ASSERT_FALSE(result.failure->trajectory.empty());
+    const std::string rendered = result.failure->render();
+    EXPECT_NE(rendered.find(result.failure->layer), std::string::npos)
+        << rendered;
+    EXPECT_NE(rendered.find("trajectory"), std::string::npos)
+        << rendered;
+}
+
+TEST(RuntimeGuard, WarnPolicyKeepsRunning)
+{
+    // Same exhausted predicted budget, but warn only logs: the run
+    // completes and — the message range assumption being wrong, not
+    // the ciphertexts — the logits still verify.
+    const auto result = verifyAgainstPlaintext(
+        nn::buildTestNetwork(), ckks::testParams(2048, 7, 30), 1, 1,
+        guardOpts(robustness::GuardPolicy::warn, 40.0));
+    EXPECT_FALSE(result.failure.has_value());
+    EXPECT_TRUE(result.passed());
+    EXPECT_FALSE(result.encryptedLogits.empty());
+    EXPECT_LT(result.predictedHeadroomBits, 0.0);
+}
+
+} // namespace
+} // namespace fxhenn::hecnn

@@ -7,17 +7,26 @@
  *   fxhenn design  --model mnist|cifar10 --device acu9eg|acu15eg
  *                  [--out DIR]
  *   fxhenn sweep   --model mnist|cifar10 [--min B] [--max B] [--step B]
- *   fxhenn verify  [--seed S]
+ *   fxhenn verify  [--seed S] [--guard strict|warn|degrade]
  *
  * `verify` runs a fast encrypted-vs-plaintext inference on the
  * test-scale network; `design` runs the full DSE and writes the HLS
  * artifacts.
+ *
+ * Exit codes:
+ *   0  success / verify PASS
+ *   1  verify FAIL (logits diverged)
+ *   2  usage error (no or unknown command)
+ *   3  configuration error (bad flag, bad value, corrupt input)
+ *   4  internal error (invariant violation, unexpected exception)
+ *   5  verify DEGRADED (guarded run aborted with a failure report)
  */
 #include <cmath>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <set>
 #include <string>
 
 #include "src/common/assert.hpp"
@@ -33,6 +42,8 @@
 #include "src/hecnn/stats.hpp"
 #include "src/hecnn/verify.hpp"
 #include "src/nn/model_zoo.hpp"
+#include "src/robustness/fault_injection.hpp"
+#include "src/robustness/guard.hpp"
 
 using namespace fxhenn;
 
@@ -51,19 +62,83 @@ struct Args
     }
 };
 
+/** Flags each command accepts; anything else is a ConfigError. */
+const std::map<std::string, std::set<std::string>> kCommandFlags = {
+    {"info", {"model"}},
+    {"plan", {"model", "save", "load", "layer"}},
+    {"design", {"model", "device", "out", "report"}},
+    {"sweep", {"model", "min", "max", "step"}},
+    {"verify", {"seed", "guard"}},
+};
+
+/** Flags accepted by every command. */
+const std::set<std::string> kGlobalFlags = {"telemetry-json", "fault"};
+
 Args
 parseArgs(int argc, char **argv)
 {
     Args args;
     if (argc >= 2)
         args.command = argv[1];
-    for (int i = 2; i + 1 < argc; i += 2) {
-        std::string key = argv[i];
-        if (key.rfind("--", 0) == 0)
-            key = key.substr(2);
-        args.options[key] = argv[i + 1];
+    for (int i = 2; i < argc; i += 2) {
+        const std::string flag = argv[i];
+        FXHENN_FATAL_IF(flag.rfind("--", 0) != 0,
+                        "malformed argument '" + flag +
+                            "' (expected --flag value)");
+        FXHENN_FATAL_IF(i + 1 >= argc,
+                        "flag '" + flag + "' is missing its value");
+        args.options[flag.substr(2)] = argv[i + 1];
+    }
+    const auto allowed = kCommandFlags.find(args.command);
+    if (allowed != kCommandFlags.end()) {
+        for (const auto &[key, value] : args.options) {
+            (void)value;
+            FXHENN_FATAL_IF(allowed->second.count(key) == 0 &&
+                                kGlobalFlags.count(key) == 0,
+                            "unknown flag '--" + key +
+                                "' for command '" + args.command + "'");
+        }
     }
     return args;
+}
+
+std::uint64_t
+parseU64(const std::string &flag, const std::string &text)
+{
+    std::uint64_t value = 0;
+    std::size_t pos = 0;
+    bool ok = !text.empty() && text[0] != '-';
+    if (ok) {
+        try {
+            value = std::stoull(text, &pos);
+        } catch (const std::exception &) {
+            ok = false;
+        }
+    }
+    FXHENN_FATAL_IF(!ok || pos != text.size(),
+                    "flag --" + flag +
+                        " expects an unsigned integer, got '" + text +
+                        "'");
+    return value;
+}
+
+double
+parseDouble(const std::string &flag, const std::string &text)
+{
+    double value = 0.0;
+    std::size_t pos = 0;
+    bool ok = !text.empty();
+    if (ok) {
+        try {
+            value = std::stod(text, &pos);
+        } catch (const std::exception &) {
+            ok = false;
+        }
+    }
+    FXHENN_FATAL_IF(!ok || pos != text.size(),
+                    "flag --" + flag + " expects a number, got '" +
+                        text + "'");
+    return value;
 }
 
 int
@@ -84,10 +159,17 @@ usage()
         "         [--min 350] [--max 1500] [--step 100]\n"
         "  verify [--seed 1]                     encrypted-vs-plain "
         "check\n"
+        "         [--guard strict|warn|degrade]  guard policy\n"
         "\n"
         "Global options (any command):\n"
         "  --telemetry-json FILE   record counters/timers while the\n"
-        "                          command runs and write them as JSON\n";
+        "                          command runs and write them as JSON\n"
+        "  --fault SITE:KIND[:TRIGGER[:SEED]]\n"
+        "                          arm a fault-injection site (only in\n"
+        "                          FXHENN_FAULTINJECT builds)\n"
+        "\n"
+        "Exit codes: 0 ok/PASS, 1 verify FAIL, 2 usage, 3 config\n"
+        "error, 4 internal error, 5 verify DEGRADED\n";
     return 2;
 }
 
@@ -168,9 +250,9 @@ cmdPlan(const Args &args)
     const std::string layer = args.get("layer", "");
     if (!layer.empty()) {
         std::cout << "\n";
-        hecnn::disassemble(plan,
-                           static_cast<std::size_t>(std::stoul(layer)),
-                           std::cout, 64);
+        hecnn::disassemble(
+            plan, static_cast<std::size_t>(parseU64("layer", layer)),
+            std::cout, 64);
     }
     const std::string save = args.get("save", "");
     if (!save.empty()) {
@@ -185,8 +267,10 @@ cmdPlan(const Args &args)
 int
 cmdDesign(const Args &args)
 {
-    auto model = pickModel(args.get("model", "mnist"));
+    // Resolve the device first: a bad --device should fail before the
+    // (much slower) model build + compile.
     const auto device = pickDevice(args.get("device", "acu9eg"));
+    auto model = pickModel(args.get("model", "mnist"));
     FxhennOptions opts;
     opts.elideValues = model.elide;
     const auto sol =
@@ -226,9 +310,12 @@ int
 cmdSweep(const Args &args)
 {
     auto model = pickModel(args.get("model", "mnist"));
-    const double lo = std::stod(args.get("min", "350"));
-    const double hi = std::stod(args.get("max", "1500"));
-    const double step = std::stod(args.get("step", "100"));
+    const double lo = parseDouble("min", args.get("min", "350"));
+    const double hi = parseDouble("max", args.get("max", "1500"));
+    const double step = parseDouble("step", args.get("step", "100"));
+    FXHENN_FATAL_IF(step <= 0.0,
+                    "flag --step must be positive (the sweep would "
+                    "never terminate)");
 
     hecnn::CompileOptions copts;
     copts.elideValues = model.elide;
@@ -239,6 +326,7 @@ cmdSweep(const Args &args)
     for (double budget = lo; budget <= hi; budget += step) {
         dse::ExploreOptions opts;
         opts.bramBudgetBlocks = budget;
+        opts.allowInfeasible = true; // infeasible budgets are data here
         const auto result = dse::explore(plan, device, opts);
         std::cout << budget << "," << result.evaluated << ",";
         if (result.best) {
@@ -254,11 +342,18 @@ cmdSweep(const Args &args)
 int
 cmdVerify(const Args &args)
 {
-    const auto seed =
-        static_cast<std::uint64_t>(std::stoull(args.get("seed", "1")));
+    const auto seed = parseU64("seed", args.get("seed", "1"));
+    robustness::GuardOptions guard;
+    guard.policy =
+        robustness::parseGuardPolicy(args.get("guard", "degrade"));
     const auto result = hecnn::verifyAgainstPlaintext(
         nn::buildTestNetwork(), ckks::testParams(2048, 7, 30), seed,
-        seed);
+        seed, guard);
+    if (result.failure) {
+        std::cout << "encrypted inference DEGRADED\n\n"
+                  << result.renderDiagnosis() << "\nDEGRADED\n";
+        return 5;
+    }
     std::cout << "encrypted-vs-plaintext max |err| = "
               << result.maxAbsError << " over "
               << result.encryptedLogits.size() << " logits, "
@@ -266,7 +361,8 @@ cmdVerify(const Args &args)
               << (result.argmaxMatches ? "argmax matches\n"
                                        : "argmax DIFFERS\n")
               << "\n"
-              << hecnn::renderMeasuredStats(result.layers);
+              << hecnn::renderMeasuredStats(result.layers) << "\n"
+              << result.renderDiagnosis();
     const bool pass = result.passed();
     std::cout << (pass ? "PASS" : "FAIL") << "\n";
     return pass ? 0 : 1;
@@ -279,6 +375,10 @@ main(int argc, char **argv)
 {
     try {
         const Args args = parseArgs(argc, argv);
+        const std::string faultSpec = args.get("fault", "");
+        if (!faultSpec.empty())
+            robustness::armFault(
+                robustness::parseFaultSpec(faultSpec));
         const std::string telemetryPath =
             args.get("telemetry-json", "");
         if (!telemetryPath.empty())
@@ -306,8 +406,11 @@ main(int argc, char **argv)
                       << "\n";
         }
         return rc;
+    } catch (const ConfigError &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 3;
     } catch (const std::exception &e) {
         std::cerr << "error: " << e.what() << "\n";
-        return 1;
+        return 4;
     }
 }
