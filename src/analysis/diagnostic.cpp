@@ -1,0 +1,181 @@
+#include "src/analysis/diagnostic.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace fxhenn::analysis {
+
+namespace {
+
+/** Minimal JSON string escaping (control chars, quote, backslash). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::note:
+        return "note";
+      case Severity::warning:
+        return "warning";
+      case Severity::error:
+        return "error";
+    }
+    return "?";
+}
+
+void
+AnalysisReport::add(Diagnostic diagnostic)
+{
+    diagnostics_.push_back(std::move(diagnostic));
+}
+
+void
+AnalysisReport::addNetwork(Severity severity, const std::string &pass,
+                           const std::string &message,
+                           const std::string &hint)
+{
+    Diagnostic d;
+    d.severity = severity;
+    d.pass = pass;
+    d.message = message;
+    d.hint = hint;
+    diagnostics_.push_back(std::move(d));
+}
+
+void
+AnalysisReport::addLayer(Severity severity, const std::string &pass,
+                         std::size_t layer,
+                         const std::string &layerName,
+                         const std::string &message,
+                         const std::string &hint)
+{
+    Diagnostic d;
+    d.severity = severity;
+    d.pass = pass;
+    d.layer = static_cast<std::int32_t>(layer);
+    d.layerName = layerName;
+    d.message = message;
+    d.hint = hint;
+    diagnostics_.push_back(std::move(d));
+}
+
+void
+AnalysisReport::addInstr(Severity severity, const std::string &pass,
+                         std::size_t layer,
+                         const std::string &layerName,
+                         std::size_t instr, const std::string &message,
+                         const std::string &hint)
+{
+    Diagnostic d;
+    d.severity = severity;
+    d.pass = pass;
+    d.layer = static_cast<std::int32_t>(layer);
+    d.instr = static_cast<std::int64_t>(instr);
+    d.layerName = layerName;
+    d.message = message;
+    d.hint = hint;
+    diagnostics_.push_back(std::move(d));
+}
+
+std::size_t
+AnalysisReport::count(Severity severity) const
+{
+    std::size_t n = 0;
+    for (const auto &d : diagnostics_)
+        n += d.severity == severity ? 1 : 0;
+    return n;
+}
+
+void
+AnalysisReport::renderText(std::ostream &os) const
+{
+    for (const auto &d : diagnostics_) {
+        os << severityName(d.severity) << ": [" << d.pass << "]";
+        if (d.layer >= 0) {
+            os << " layer " << d.layer;
+            if (!d.layerName.empty())
+                os << " (" << d.layerName << ")";
+            if (d.instr >= 0)
+                os << " instr " << d.instr;
+        }
+        os << ": " << d.message << "\n";
+        if (!d.hint.empty())
+            os << "  hint: " << d.hint << "\n";
+    }
+    os << errorCount() << " error(s), " << warningCount()
+       << " warning(s), " << count(Severity::note) << " note(s)\n";
+}
+
+std::string
+AnalysisReport::toText() const
+{
+    std::ostringstream oss;
+    renderText(oss);
+    return oss.str();
+}
+
+void
+AnalysisReport::renderJson(std::ostream &os) const
+{
+    os << "{\"schema\": \"fxhenn-lint-v1\", \"errors\": "
+       << errorCount() << ", \"warnings\": " << warningCount()
+       << ", \"notes\": " << count(Severity::note)
+       << ", \"diagnostics\": [";
+    bool first = true;
+    for (const auto &d : diagnostics_) {
+        if (!first)
+            os << ", ";
+        first = false;
+        os << "{\"severity\": \"" << severityName(d.severity)
+           << "\", \"pass\": \"" << jsonEscape(d.pass)
+           << "\", \"layer\": " << d.layer << ", \"instr\": " << d.instr
+           << ", \"layer_name\": \"" << jsonEscape(d.layerName)
+           << "\", \"message\": \"" << jsonEscape(d.message)
+           << "\", \"hint\": \"" << jsonEscape(d.hint) << "\"}";
+    }
+    os << "]}\n";
+}
+
+std::string
+AnalysisReport::toJson() const
+{
+    std::ostringstream oss;
+    renderJson(oss);
+    return oss.str();
+}
+
+} // namespace fxhenn::analysis

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Diagnostics for the plan static-analysis framework.
+ *
+ * Every verifier pass reports findings as Diagnostic records: a
+ * severity, a location inside the plan (layer index, instruction
+ * index — or network scope), the producing pass, a message and an
+ * optional fix-it hint. An AnalysisReport collects the findings of one
+ * verification run; its text rendering is deterministic, so two runs
+ * over structurally identical plans (e.g. pre/post serialization)
+ * produce byte-identical reports.
+ */
+#ifndef FXHENN_ANALYSIS_DIAGNOSTIC_HPP
+#define FXHENN_ANALYSIS_DIAGNOSTIC_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fxhenn::analysis {
+
+/** Finding severity, ordered from informational to fatal. */
+enum class Severity { note, warning, error };
+
+/** @return "note", "warning" or "error". */
+const char *severityName(Severity severity);
+
+/** One finding, anchored to a location inside the plan. */
+struct Diagnostic
+{
+    Severity severity = Severity::error;
+    std::string pass;        ///< producing pass name
+    std::int32_t layer = -1; ///< layer index, -1 = network scope
+    std::int64_t instr = -1; ///< instruction index in layer, -1 = none
+    std::string layerName;   ///< resolved layer name ("" for network)
+    std::string message;
+    std::string hint;        ///< optional fix-it hint ("" = none)
+};
+
+/** The findings of one verification run. */
+class AnalysisReport
+{
+  public:
+    void add(Diagnostic diagnostic);
+
+    /** Shorthand used by the passes. */
+    void addNetwork(Severity severity, const std::string &pass,
+                    const std::string &message,
+                    const std::string &hint = "");
+    void addLayer(Severity severity, const std::string &pass,
+                  std::size_t layer, const std::string &layerName,
+                  const std::string &message,
+                  const std::string &hint = "");
+    void addInstr(Severity severity, const std::string &pass,
+                  std::size_t layer, const std::string &layerName,
+                  std::size_t instr, const std::string &message,
+                  const std::string &hint = "");
+
+    const std::vector<Diagnostic> &diagnostics() const
+    {
+        return diagnostics_;
+    }
+
+    std::size_t count(Severity severity) const;
+    std::size_t errorCount() const { return count(Severity::error); }
+    std::size_t warningCount() const
+    {
+        return count(Severity::warning);
+    }
+    bool clean() const { return errorCount() == 0; }
+
+    /**
+     * Render as clang-style text, one finding per line (plus an
+     * indented hint line when present), followed by a summary line.
+     */
+    void renderText(std::ostream &os) const;
+    std::string toText() const;
+
+    /**
+     * Render as one JSON document:
+     * {"schema": "fxhenn-lint-v1", "errors": n, "warnings": n,
+     *  "notes": n, "diagnostics": [{severity, pass, layer, instr,
+     *  layer_name, message, hint}]}.
+     */
+    void renderJson(std::ostream &os) const;
+    std::string toJson() const;
+
+  private:
+    std::vector<Diagnostic> diagnostics_;
+};
+
+} // namespace fxhenn::analysis
+
+#endif // FXHENN_ANALYSIS_DIAGNOSTIC_HPP

@@ -1,0 +1,941 @@
+/**
+ * @file
+ * The standard verification passes over the HE-CNN plan IR.
+ *
+ * Each pass is a self-contained dataflow check; together they form the
+ * contract a well-formed HeNetworkPlan satisfies before the runtime,
+ * the statistics pass or the FPGA model may trust it (see
+ * docs/ARCHITECTURE.md section 8 for the taxonomy):
+ *
+ *   1. def-use        register def-before-use and output coverage
+ *   2. scale-level    abstract interpretation of (level, scale, parts)
+ *   3. liveness       dead results + per-layer peak live registers
+ *   4. rotation-keys  Galois key coverage of every rotate step
+ *   5. slot-layout    SlotLayout / inputGather / plaintext pool sanity
+ *   6. op-counts      cached kind counts vs a recount of the stream
+ *   7. layer-class    NKS/KS classification (Sec. V-A)
+ */
+#include "src/analysis/pass_manager.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "src/analysis/liveness.hpp"
+#include "src/modarith/primes.hpp"
+
+namespace fxhenn::analysis {
+
+using hecnn::HeInstr;
+using hecnn::HeLayerPlan;
+using hecnn::HeNetworkPlan;
+using hecnn::HeOpKind;
+
+PlanFacts
+makePlanFacts(const HeNetworkPlan &plan)
+{
+    PlanFacts facts{plan};
+    facts.slots = static_cast<std::size_t>(plan.params.n / 2);
+    facts.schemeScale = plan.params.scale;
+    try {
+        plan.params.validate();
+        const auto primes = generateNttPrimes(
+            plan.params.qBits, plan.params.n, plan.params.levels);
+        facts.primes.reserve(primes.size());
+        for (std::uint64_t q : primes)
+            facts.primes.push_back(static_cast<double>(q));
+        facts.paramsValid = true;
+    } catch (const std::exception &) {
+        // Diagnosed by the passes that need the prime chain.
+    }
+    return facts;
+}
+
+namespace {
+
+std::string
+regName(std::int32_t reg)
+{
+    return "r" + std::to_string(reg);
+}
+
+// --- pass 1: def-before-use ------------------------------------------------
+
+class DefUsePass final : public AnalysisPass
+{
+  public:
+    const char *name() const override { return "def-use"; }
+    const char *
+    description() const override
+    {
+        return "register def-before-use, operand ranges and output "
+               "coverage";
+    }
+
+    void
+    run(const PlanFacts &facts, AnalysisReport &report) const override
+    {
+        const HeNetworkPlan &plan = facts.plan;
+        if (plan.inputGather.size() >
+            static_cast<std::size_t>(std::max(plan.regCount, 0))) {
+            report.addNetwork(
+                Severity::error, name(),
+                "plan declares " +
+                    std::to_string(plan.inputGather.size()) +
+                    " input ciphertexts but only " +
+                    std::to_string(plan.regCount) + " registers",
+                "raise regCount to cover the input registers");
+        }
+        std::vector<char> written(
+            static_cast<std::size_t>(std::max(plan.regCount, 0)), 0);
+        for (std::size_t i = 0;
+             i < plan.inputGather.size() && i < written.size(); ++i)
+            written[i] = 1;
+
+        for (std::size_t li = 0; li < plan.layers.size(); ++li) {
+            const HeLayerPlan &layer = plan.layers[li];
+            for (std::size_t ii = 0; ii < layer.instrs.size(); ++ii) {
+                const HeInstr &instr = layer.instrs[ii];
+                if (!facts.regOk(instr.dst) || !facts.regOk(instr.src)) {
+                    report.addInstr(
+                        Severity::error, name(), li, layer.name, ii,
+                        std::string(opName(instr.kind)) +
+                            " references a register outside the file "
+                            "(dst " +
+                            regName(instr.dst) + ", src " +
+                            regName(instr.src) + ", regCount " +
+                            std::to_string(plan.regCount) + ")");
+                    continue;
+                }
+                auto require_written = [&](std::int32_t reg) {
+                    if (!written[static_cast<std::size_t>(reg)]) {
+                        report.addInstr(
+                            Severity::error, name(), li, layer.name,
+                            ii,
+                            std::string(opName(instr.kind)) +
+                                " reads " + regName(reg) +
+                                " before any instruction writes it",
+                            "reorder the stream or initialize the "
+                            "register");
+                    }
+                };
+                require_written(instr.src);
+                if (instr.kind == HeOpKind::ccAdd &&
+                    instr.dst != instr.src)
+                    require_written(instr.dst);
+                written[static_cast<std::size_t>(instr.dst)] = 1;
+            }
+        }
+
+        std::set<std::int32_t> reported;
+        for (const auto &[reg, slot] : plan.outputLayout.pos) {
+            (void)slot;
+            if (facts.regOk(reg) &&
+                !written[static_cast<std::size_t>(reg)] &&
+                reported.insert(reg).second) {
+                report.addNetwork(
+                    Severity::error, name(),
+                    "output register " + regName(reg) +
+                        " is never written by any layer",
+                    "the client would decrypt an empty ciphertext");
+            }
+        }
+    }
+};
+
+// --- pass 2: scale & level abstract interpretation -------------------------
+
+class ScaleLevelPass final : public AnalysisPass
+{
+  public:
+    const char *name() const override { return "scale-level"; }
+    const char *
+    description() const override
+    {
+        return "abstract interpretation of (level, scale, parts) per "
+               "register";
+    }
+
+    void
+    run(const PlanFacts &facts, AnalysisReport &report) const override
+    {
+        const HeNetworkPlan &plan = facts.plan;
+        if (!facts.paramsValid) {
+            report.addNetwork(Severity::error, name(),
+                              "CKKS parameters are invalid; cannot "
+                              "derive the prime chain",
+                              "fix plan.params before re-linting");
+            return;
+        }
+
+        // log2 of the modulus at each level (prefix products).
+        std::vector<double> log_q(plan.params.levels + 1, 0.0);
+        for (std::size_t l = 1; l <= plan.params.levels; ++l)
+            log_q[l] = log_q[l - 1] + std::log2(facts.primes[l - 1]);
+
+        struct RegState
+        {
+            bool written = false;
+            std::size_t level = 0;
+            double scale = 0.0;
+            std::size_t parts = 2;
+        };
+        std::vector<RegState> regs(
+            static_cast<std::size_t>(std::max(plan.regCount, 0)));
+        for (std::size_t i = 0;
+             i < plan.inputGather.size() && i < regs.size(); ++i) {
+            regs[i] = {true, plan.params.levels, facts.schemeScale, 2};
+        }
+
+        for (std::size_t li = 0; li < plan.layers.size(); ++li) {
+            const HeLayerPlan &layer = plan.layers[li];
+            checkLevelChain(facts, li, report);
+            for (std::size_t ii = 0; ii < layer.instrs.size(); ++ii) {
+                const HeInstr &instr = layer.instrs[ii];
+                if (!facts.regOk(instr.dst) || !facts.regOk(instr.src))
+                    continue; // def-use reports the range violation
+                RegState &src =
+                    regs[static_cast<std::size_t>(instr.src)];
+                RegState &dst =
+                    regs[static_cast<std::size_t>(instr.dst)];
+                if (!src.written)
+                    continue; // def-use reports the uninitialized read
+                checkInstr(facts, li, ii, instr, src, dst, log_q,
+                           report);
+                apply(facts, instr, src, dst);
+            }
+            checkLayerExit(facts, li, regs, report);
+        }
+    }
+
+  private:
+    template <typename RegState>
+    void
+    checkInstr(const PlanFacts &facts, std::size_t li, std::size_t ii,
+               const HeInstr &instr, const RegState &src,
+               const RegState &dst,
+               const std::vector<double> &log_q,
+               AnalysisReport &report) const
+    {
+        const HeNetworkPlan &plan = facts.plan;
+        const std::string &lname = plan.layers[li].name;
+        switch (instr.kind) {
+          case HeOpKind::pcMult: {
+            if (!facts.ptOk(instr.pt))
+                break; // slot-layout reports the pool violation
+            const auto &pt =
+                plan.plaintexts[static_cast<std::size_t>(instr.pt)];
+            if (pt.level != src.level) {
+                report.addInstr(
+                    Severity::error, name(), li, lname, ii,
+                    "pcMult plaintext " + std::to_string(instr.pt) +
+                        " is encoded at level " +
+                        std::to_string(pt.level) +
+                        " but operand " + regName(instr.src) +
+                        " is at level " + std::to_string(src.level),
+                    "re-encode the plaintext at level " +
+                        std::to_string(src.level));
+            }
+            checkScaleFits(li, ii, lname,
+                           src.scale * facts.schemeScale, src.level,
+                           log_q, report);
+            break;
+          }
+          case HeOpKind::pcAdd: {
+            if (!facts.ptOk(instr.pt))
+                break;
+            const auto &pt =
+                plan.plaintexts[static_cast<std::size_t>(instr.pt)];
+            if (pt.level != src.level) {
+                report.addInstr(
+                    Severity::warning, name(), li, lname, ii,
+                    "pcAdd plaintext " + std::to_string(instr.pt) +
+                        " carries stale level metadata (" +
+                        std::to_string(pt.level) + " vs operand " +
+                        std::to_string(src.level) + ")",
+                    "the runtime re-encodes bias adds at the "
+                    "ciphertext level; fix the pool level anyway");
+            }
+            break;
+          }
+          case HeOpKind::ccAdd: {
+            if (!dst.written)
+                break; // def-use reports it
+            if (dst.level != src.level) {
+                report.addInstr(
+                    Severity::error, name(), li, lname, ii,
+                    "ccAdd level mismatch: " + regName(instr.dst) +
+                        " at level " + std::to_string(dst.level) +
+                        ", " + regName(instr.src) + " at level " +
+                        std::to_string(src.level),
+                    "rescale or mod-switch the higher operand first");
+            } else if (dst.parts != src.parts) {
+                report.addInstr(
+                    Severity::error, name(), li, lname, ii,
+                    "ccAdd part-count mismatch: " +
+                        regName(instr.dst) + " has " +
+                        std::to_string(dst.parts) + " parts, " +
+                        regName(instr.src) + " has " +
+                        std::to_string(src.parts),
+                    "relinearize the 3-part operand first");
+            } else if (scaleMismatch(dst.scale, src.scale)) {
+                report.addInstr(
+                    Severity::error, name(), li, lname, ii,
+                    "ccAdd scale mismatch: " + regName(instr.dst) +
+                        " at 2^" + fmtBits(std::log2(dst.scale)) +
+                        ", " + regName(instr.src) + " at 2^" +
+                        fmtBits(std::log2(src.scale)),
+                    "the sum of mis-scaled operands decrypts to "
+                    "garbage; align the rescale chains");
+            }
+            break;
+          }
+          case HeOpKind::ccMult:
+            if (src.parts != 2) {
+                report.addInstr(Severity::error, name(), li, lname,
+                                ii,
+                                "ccMult expects a 2-part operand, " +
+                                    regName(instr.src) + " has " +
+                                    std::to_string(src.parts),
+                                "relinearize before multiplying");
+            }
+            checkScaleFits(li, ii, lname, src.scale * src.scale,
+                           src.level, log_q, report);
+            break;
+          case HeOpKind::relinearize:
+            if (src.parts != 3) {
+                report.addInstr(
+                    Severity::error, name(), li, lname, ii,
+                    "relinearize expects a 3-part operand, " +
+                        regName(instr.src) + " has " +
+                        std::to_string(src.parts));
+            }
+            break;
+          case HeOpKind::rescale:
+            if (src.level < 2) {
+                report.addInstr(
+                    Severity::error, name(), li, lname, ii,
+                    "level underflow: rescale at level " +
+                        std::to_string(src.level) +
+                        " has no prime left to drop",
+                    "deepen the parameter set or shorten the "
+                    "network");
+            } else if (src.scale <
+                       facts.schemeScale * 2.0) {
+                report.addInstr(
+                    Severity::error, name(), li, lname, ii,
+                    "double rescale: " + regName(instr.src) +
+                        " is already at scale 2^" +
+                        fmtBits(std::log2(src.scale)) +
+                        " (at or below the scheme scale)",
+                    "a rescale without a preceding multiply divides "
+                    "the message away");
+            }
+            break;
+          case HeOpKind::rotate:
+            if (src.parts != 2) {
+                report.addInstr(
+                    Severity::error, name(), li, lname, ii,
+                    "rotate expects a 2-part operand, " +
+                        regName(instr.src) + " has " +
+                        std::to_string(src.parts),
+                    "relinearize before rotating");
+            }
+            break;
+          case HeOpKind::copy:
+            break;
+        }
+    }
+
+    void
+    checkScaleFits(std::size_t li, std::size_t ii,
+                   const std::string &lname, double product_scale,
+                   std::size_t level, const std::vector<double> &log_q,
+                   AnalysisReport &report) const
+    {
+        if (level == 0 || level >= log_q.size())
+            return; // level chain errors are reported elsewhere
+        // The evaluator's checkScaleFits: +2 bits of drift allowance.
+        if (std::log2(product_scale) > log_q[level] + 2.0) {
+            report.addInstr(
+                Severity::error, name(), li, lname, ii,
+                "product scale 2^" +
+                    fmtBits(std::log2(product_scale)) +
+                    " exceeds the modulus at level " +
+                    std::to_string(level) + " (log Q = " +
+                    fmtBits(log_q[level]) + ")",
+                "rescale before multiplying again");
+        }
+    }
+
+    void
+    checkLevelChain(const PlanFacts &facts, std::size_t li,
+                    AnalysisReport &report) const
+    {
+        const HeNetworkPlan &plan = facts.plan;
+        const HeLayerPlan &layer = plan.layers[li];
+        if (layer.levelIn == 0 ||
+            layer.levelIn > plan.params.levels ||
+            layer.levelOut > layer.levelIn) {
+            report.addLayer(
+                Severity::error, name(), li, layer.name,
+                "corrupt layer levels: levelIn " +
+                    std::to_string(layer.levelIn) + ", levelOut " +
+                    std::to_string(layer.levelOut) + " (params have " +
+                    std::to_string(plan.params.levels) + " levels)");
+            return;
+        }
+        if (li == 0) {
+            if (layer.levelIn != plan.params.levels) {
+                report.addLayer(
+                    Severity::error, name(), li, layer.name,
+                    "first layer starts at level " +
+                        std::to_string(layer.levelIn) +
+                        " but fresh ciphertexts enter at level " +
+                        std::to_string(plan.params.levels));
+            }
+        } else if (layer.levelIn != plan.layers[li - 1].levelOut) {
+            report.addLayer(
+                Severity::error, name(), li, layer.name,
+                "level chain broken: levelIn " +
+                    std::to_string(layer.levelIn) +
+                    " does not match the previous layer's levelOut " +
+                    std::to_string(plan.layers[li - 1].levelOut));
+        }
+    }
+
+    template <typename RegStateVec>
+    void
+    checkLayerExit(const PlanFacts &facts, std::size_t li,
+                   const RegStateVec &regs,
+                   AnalysisReport &report) const
+    {
+        const HeLayerPlan &layer = facts.plan.layers[li];
+        for (std::int32_t reg : layer.outputLayout.regs) {
+            if (!facts.regOk(reg))
+                continue; // slot-layout reports it
+            const auto &state =
+                regs[static_cast<std::size_t>(reg)];
+            if (!state.written)
+                continue; // def-use reports it
+            if (state.level != layer.levelOut) {
+                report.addLayer(
+                    Severity::error, name(), li, layer.name,
+                    "levelOut metadata disagrees with the "
+                    "instruction stream: " +
+                        regName(reg) + " ends at level " +
+                        std::to_string(state.level) +
+                        " but the plan says " +
+                        std::to_string(layer.levelOut),
+                    "recompute levelIn/levelOut from the lowered "
+                    "stream");
+                return; // one metadata finding per layer is enough
+            }
+        }
+    }
+
+    template <typename RegState>
+    void
+    apply(const PlanFacts &facts, const HeInstr &instr,
+          const RegState &src_in, RegState &dst) const
+    {
+        const RegState src = src_in; // dst may alias src
+        switch (instr.kind) {
+          case HeOpKind::pcMult:
+            dst = src;
+            dst.scale = src.scale * facts.schemeScale;
+            break;
+          case HeOpKind::pcAdd:
+            dst = src;
+            break;
+          case HeOpKind::ccAdd:
+            break;
+          case HeOpKind::ccMult:
+            dst = src;
+            dst.scale = src.scale * src.scale;
+            dst.parts = 3;
+            break;
+          case HeOpKind::relinearize:
+            dst = src;
+            dst.parts = 2;
+            break;
+          case HeOpKind::rescale:
+            dst = src;
+            if (src.level >= 2) {
+                dst.scale =
+                    src.scale / facts.primes[src.level - 1];
+                dst.level = src.level - 1;
+            }
+            break;
+          case HeOpKind::rotate:
+          case HeOpKind::copy:
+            dst = src;
+            break;
+        }
+        dst.written = true;
+    }
+
+    static bool
+    scaleMismatch(double a, double b)
+    {
+        if (!(a > 0.0) || !(b > 0.0))
+            return true;
+        const double ratio = a / b;
+        return ratio < 0.99 || ratio > 1.01;
+    }
+
+    static std::string
+    fmtBits(double v)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.3g", v);
+        return buf;
+    }
+};
+
+// --- pass 3: liveness ------------------------------------------------------
+
+class LivenessPass final : public AnalysisPass
+{
+  public:
+    const char *name() const override { return "liveness"; }
+    const char *
+    description() const override
+    {
+        return "dead results and per-layer peak live registers";
+    }
+
+    void
+    run(const PlanFacts &facts, AnalysisReport &report) const override
+    {
+        const LivenessInfo info = computeLiveness(facts.plan);
+        for (const DeadInstr &dead : info.deadInstrs) {
+            const HeLayerPlan &layer = facts.plan.layers[dead.layer];
+            const HeInstr &instr = layer.instrs[dead.instr];
+            report.addInstr(
+                Severity::warning, name(), dead.layer, layer.name,
+                dead.instr,
+                std::string(opName(instr.kind)) + " result in " +
+                    regName(instr.dst) +
+                    " never reaches the network outputLayout",
+                "delete the instruction or extend the output "
+                "layout");
+        }
+        report.addNetwork(
+            Severity::note, name(),
+            "peak live registers: " +
+                std::to_string(info.peakLiveOverall) +
+                " (per-layer peaks drive the DSE buffer model)");
+    }
+};
+
+// --- pass 4: rotation-key coverage -----------------------------------------
+
+class RotationKeyPass final : public AnalysisPass
+{
+  public:
+    const char *name() const override { return "rotation-keys"; }
+    const char *
+    description() const override
+    {
+        return "Galois key coverage of every rotation step";
+    }
+
+    void
+    run(const PlanFacts &facts, AnalysisReport &report) const override
+    {
+        const HeNetworkPlan &plan = facts.plan;
+        const auto steps = plan.rotationSteps();
+        const auto slots = static_cast<std::int64_t>(facts.slots);
+        for (std::size_t li = 0; li < plan.layers.size(); ++li) {
+            const HeLayerPlan &layer = plan.layers[li];
+            for (std::size_t ii = 0; ii < layer.instrs.size(); ++ii) {
+                const HeInstr &instr = layer.instrs[ii];
+                if (instr.kind != HeOpKind::rotate)
+                    continue;
+                if (instr.step == 0) {
+                    report.addInstr(
+                        Severity::error, name(), li, layer.name, ii,
+                        "rotate by 0: rotationSteps() omits the "
+                        "identity step, so no Galois key is ever "
+                        "generated for it",
+                        "replace the no-op rotate with a copy");
+                } else if (std::abs(
+                               static_cast<std::int64_t>(instr.step)) >=
+                           slots) {
+                    report.addInstr(
+                        Severity::error, name(), li, layer.name, ii,
+                        "rotation step " + std::to_string(instr.step) +
+                            " is outside the slot ring (+-" +
+                            std::to_string(slots) + ")",
+                        "reduce the step modulo the slot count");
+                } else if (steps.count(instr.step) == 0) {
+                    // Unreachable through rotationSteps() itself; kept
+                    // so a future keyset source cannot silently drift.
+                    report.addInstr(
+                        Severity::error, name(), li, layer.name, ii,
+                        "rotation step " + std::to_string(instr.step) +
+                            " is not covered by the Galois key set");
+                }
+            }
+        }
+        if (steps.size() > 48) {
+            report.addNetwork(
+                Severity::warning, name(),
+                "plan uses " + std::to_string(steps.size()) +
+                    " distinct rotation steps; each Galois key is "
+                    "2L(L+1)N words of key material",
+                "enable CompileOptions::decomposeRotations to shrink "
+                "the key set to O(log slots)");
+        }
+    }
+};
+
+// --- pass 5: slot-layout consistency ---------------------------------------
+
+class LayoutPass final : public AnalysisPass
+{
+  public:
+    const char *name() const override { return "slot-layout"; }
+    const char *
+    description() const override
+    {
+        return "SlotLayout, inputGather and plaintext-pool sanity";
+    }
+
+    void
+    run(const PlanFacts &facts, AnalysisReport &report) const override
+    {
+        const HeNetworkPlan &plan = facts.plan;
+        for (std::size_t i = 0; i < plan.inputGather.size(); ++i) {
+            const auto &gather = plan.inputGather[i];
+            if (gather.size() != facts.slots) {
+                report.addNetwork(
+                    Severity::error, name(),
+                    "inputGather[" + std::to_string(i) + "] has " +
+                        std::to_string(gather.size()) +
+                        " entries but the ring has " +
+                        std::to_string(facts.slots) + " slots");
+                continue;
+            }
+            for (std::size_t s = 0; s < gather.size(); ++s) {
+                if (gather[s] < -1) {
+                    report.addNetwork(
+                        Severity::error, name(),
+                        "inputGather[" + std::to_string(i) + "][" +
+                            std::to_string(s) +
+                            "] = " + std::to_string(gather[s]) +
+                            " (entries are element indices or -1 "
+                            "for a zero slot)");
+                    break;
+                }
+            }
+        }
+
+        for (std::size_t li = 0; li < plan.layers.size(); ++li) {
+            checkLayout(facts, plan.layers[li].outputLayout,
+                        static_cast<std::int32_t>(li),
+                        plan.layers[li].name, report);
+            checkInstrPool(facts, li, report);
+        }
+        checkLayout(facts, plan.outputLayout, -1, "", report);
+
+        for (std::size_t p = 0; p < plan.plaintexts.size(); ++p) {
+            const auto &pt = plan.plaintexts[p];
+            if (pt.level == 0 || pt.level > plan.params.levels) {
+                report.addNetwork(
+                    Severity::error, name(),
+                    "plaintext " + std::to_string(p) +
+                        " is encoded at level " +
+                        std::to_string(pt.level) +
+                        " (valid levels are 1.." +
+                        std::to_string(plan.params.levels) + ")");
+            }
+            const bool empty_ok =
+                plan.valuesElided && pt.values.empty();
+            if (!empty_ok && pt.values.size() != facts.slots) {
+                report.addNetwork(
+                    Severity::error, name(),
+                    "plaintext " + std::to_string(p) + " has " +
+                        std::to_string(pt.values.size()) +
+                        " values but the ring has " +
+                        std::to_string(facts.slots) + " slots",
+                    plan.valuesElided
+                        ? "stats-only plans keep payloads empty"
+                        : "re-encode the payload at the ring size");
+            }
+        }
+    }
+
+  private:
+    void
+    checkLayout(const PlanFacts &facts,
+                const hecnn::SlotLayout &layout, std::int32_t li,
+                const std::string &lname,
+                AnalysisReport &report) const
+    {
+        auto add = [&](Severity sev, const std::string &msg,
+                       const std::string &hint = "") {
+            if (li >= 0)
+                report.addLayer(sev, name(),
+                                static_cast<std::size_t>(li), lname,
+                                msg, hint);
+            else
+                report.addNetwork(sev, name(),
+                                  "network outputLayout: " + msg,
+                                  hint);
+        };
+        std::set<std::int32_t> carriers;
+        for (std::int32_t reg : layout.regs) {
+            if (!facts.regOk(reg)) {
+                add(Severity::error,
+                    "layout register " + regName(reg) +
+                        " is outside the register file");
+                continue;
+            }
+            if (!carriers.insert(reg).second)
+                add(Severity::error, "layout lists register " +
+                                         regName(reg) + " twice");
+        }
+        bool pos_ok = true;
+        for (std::size_t e = 0; e < layout.pos.size() && pos_ok;
+             ++e) {
+            const auto &[reg, slot] = layout.pos[e];
+            if (!facts.regOk(reg)) {
+                add(Severity::error,
+                    "element " + std::to_string(e) +
+                        " lives in out-of-range register " +
+                        regName(reg));
+                pos_ok = false;
+            } else if (slot < 0 ||
+                       slot >= static_cast<std::int32_t>(
+                                   facts.slots)) {
+                add(Severity::error,
+                    "element " + std::to_string(e) +
+                        " lives at slot " + std::to_string(slot) +
+                        " outside [0, " +
+                        std::to_string(facts.slots) + ")");
+                pos_ok = false;
+            } else if (!carriers.empty() &&
+                       carriers.count(reg) == 0) {
+                add(Severity::error,
+                    "element " + std::to_string(e) +
+                        " lives in register " + regName(reg) +
+                        " which the layout's carrier list omits",
+                    "append the register to SlotLayout::regs");
+                pos_ok = false;
+            }
+        }
+        if (carriers.empty() && !layout.pos.empty()) {
+            add(Severity::warning,
+                "layout places " +
+                    std::to_string(layout.pos.size()) +
+                    " elements but lists no carrier registers",
+                "consumers that iterate SlotLayout::regs will see "
+                "an empty layout");
+        }
+    }
+
+    void
+    checkInstrPool(const PlanFacts &facts, std::size_t li,
+                   AnalysisReport &report) const
+    {
+        const HeLayerPlan &layer = facts.plan.layers[li];
+        for (std::size_t ii = 0; ii < layer.instrs.size(); ++ii) {
+            const HeInstr &instr = layer.instrs[ii];
+            const bool uses_pool = instr.kind == HeOpKind::pcMult ||
+                                   instr.kind == HeOpKind::pcAdd;
+            if (uses_pool && !facts.ptOk(instr.pt)) {
+                report.addInstr(
+                    Severity::error, name(), li, layer.name, ii,
+                    std::string(opName(instr.kind)) +
+                        " references plaintext " +
+                        std::to_string(instr.pt) +
+                        " outside the pool of " +
+                        std::to_string(facts.plan.plaintexts.size()));
+            } else if (!uses_pool && instr.pt != -1) {
+                report.addInstr(
+                    Severity::warning, name(), li, layer.name, ii,
+                    std::string(opName(instr.kind)) +
+                        " carries a stray plaintext operand (pt " +
+                        std::to_string(instr.pt) + ")",
+                    "set pt = -1 on non-plaintext opcodes");
+            }
+        }
+    }
+};
+
+// --- pass 6: cached op counts vs recount -----------------------------------
+
+class OpCountPass final : public AnalysisPass
+{
+  public:
+    const char *name() const override { return "op-counts"; }
+    const char *
+    description() const override
+    {
+        return "cached kindCounts/HeOpCounts vs a recount of the "
+               "stream";
+    }
+
+    void
+    run(const PlanFacts &facts, AnalysisReport &report) const override
+    {
+        for (std::size_t li = 0; li < facts.plan.layers.size(); ++li) {
+            const HeLayerPlan &layer = facts.plan.layers[li];
+            std::array<std::uint64_t, 8> recount{};
+            for (const HeInstr &instr : layer.instrs)
+                ++recount[static_cast<std::size_t>(instr.kind)];
+            for (std::size_t k = 0; k < recount.size(); ++k) {
+                const auto kind = static_cast<HeOpKind>(k);
+                if (layer.kindCount(kind) != recount[k]) {
+                    report.addLayer(
+                        Severity::error, name(), li, layer.name,
+                        "cached count for " +
+                            std::string(opName(kind)) + " is " +
+                            std::to_string(layer.kindCount(kind)) +
+                            " but the stream holds " +
+                            std::to_string(recount[k]),
+                        "call HeLayerPlan::classify() after editing "
+                        "the instruction stream");
+                    break; // one stale-cache finding per layer
+                }
+            }
+            // HeOpCounts cross-check: every instruction except copy
+            // maps onto exactly one paper operation class.
+            const std::uint64_t he_ops =
+                layer.instrs.size() -
+                recount[static_cast<std::size_t>(HeOpKind::copy)];
+            if (layer.counts().total() != he_ops) {
+                report.addLayer(
+                    Severity::error, name(), li, layer.name,
+                    "HeOpCounts total " +
+                        std::to_string(layer.counts().total()) +
+                        " does not match the " +
+                        std::to_string(he_ops) +
+                        " costed instructions in the stream",
+                    "call HeLayerPlan::classify() after editing the "
+                    "instruction stream");
+            }
+        }
+    }
+};
+
+// --- pass 7: NKS/KS classification -----------------------------------------
+
+class LayerClassPass final : public AnalysisPass
+{
+  public:
+    const char *name() const override { return "layer-class"; }
+    const char *
+    description() const override
+    {
+        return "NKS/KS layer classification (Sec. V-A)";
+    }
+
+    void
+    run(const PlanFacts &facts, AnalysisReport &report) const override
+    {
+        for (std::size_t li = 0; li < facts.plan.layers.size(); ++li) {
+            const HeLayerPlan &layer = facts.plan.layers[li];
+            bool has_ks = false;
+            for (const HeInstr &instr : layer.instrs)
+                has_ks = has_ks || isKeySwitch(instr.kind);
+            const auto expected = has_ks ? hecnn::LayerClass::ks
+                                         : hecnn::LayerClass::nks;
+            if (layer.cls != expected) {
+                report.addLayer(
+                    Severity::error, name(), li, layer.name,
+                    std::string("layer is tagged ") +
+                        (layer.cls == hecnn::LayerClass::ks ? "KS"
+                                                            : "NKS") +
+                        " but its stream " +
+                        (has_ks ? "contains" : "contains no") +
+                        " KeySwitch operations",
+                    "call HeLayerPlan::classify() to recompute the "
+                    "class");
+            }
+            if (layer.nIn == 0) {
+                report.addLayer(
+                    Severity::warning, name(), li, layer.name,
+                    "layer declares zero input ciphertexts (nIn)",
+                    "the FPGA pipeline model clamps nIn to 1; fix "
+                    "the metadata");
+            }
+        }
+    }
+};
+
+} // namespace
+
+// --- pass manager ----------------------------------------------------------
+
+void
+PassManager::add(std::unique_ptr<AnalysisPass> pass)
+{
+    passes_.push_back(std::move(pass));
+}
+
+AnalysisReport
+PassManager::run(const hecnn::HeNetworkPlan &plan) const
+{
+    const PlanFacts facts = makePlanFacts(plan);
+    AnalysisReport report;
+    for (const auto &pass : passes_)
+        pass->run(facts, report);
+    return report;
+}
+
+PassManager
+PassManager::standard()
+{
+    PassManager pm;
+    pm.add(makeDefUsePass());
+    pm.add(makeScaleLevelPass());
+    pm.add(makeLivenessPass());
+    pm.add(makeRotationKeyPass());
+    pm.add(makeLayoutPass());
+    pm.add(makeOpCountPass());
+    pm.add(makeLayerClassPass());
+    return pm;
+}
+
+std::unique_ptr<AnalysisPass>
+makeDefUsePass()
+{
+    return std::make_unique<DefUsePass>();
+}
+std::unique_ptr<AnalysisPass>
+makeScaleLevelPass()
+{
+    return std::make_unique<ScaleLevelPass>();
+}
+std::unique_ptr<AnalysisPass>
+makeLivenessPass()
+{
+    return std::make_unique<LivenessPass>();
+}
+std::unique_ptr<AnalysisPass>
+makeRotationKeyPass()
+{
+    return std::make_unique<RotationKeyPass>();
+}
+std::unique_ptr<AnalysisPass>
+makeLayoutPass()
+{
+    return std::make_unique<LayoutPass>();
+}
+std::unique_ptr<AnalysisPass>
+makeOpCountPass()
+{
+    return std::make_unique<OpCountPass>();
+}
+std::unique_ptr<AnalysisPass>
+makeLayerClassPass()
+{
+    return std::make_unique<LayerClassPass>();
+}
+
+} // namespace fxhenn::analysis

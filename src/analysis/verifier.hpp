@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Convenience entry points for the standard plan verification pipeline.
+ *
+ * Three call sites share this facade (docs/ARCHITECTURE.md Sec. 8):
+ *  - `fxhenn lint` renders the full report for the user;
+ *  - plan_io::loadPlan (behind --verify-plan) and the compiler's
+ *    debug-mode self-check call verifyPlanOrThrow() through the
+ *    hecnn::plan_check hook so fxhenn_hecnn never links this library.
+ */
+#ifndef FXHENN_ANALYSIS_VERIFIER_HPP
+#define FXHENN_ANALYSIS_VERIFIER_HPP
+
+#include <string>
+
+#include "src/analysis/diagnostic.hpp"
+#include "src/hecnn/plan.hpp"
+
+namespace fxhenn::analysis {
+
+/** Run the standard 7-pass pipeline over @p plan. */
+AnalysisReport verifyPlan(const hecnn::HeNetworkPlan &plan);
+
+/**
+ * Run the standard pipeline and throw ConfigError when it finds any
+ * error-severity diagnostic. @p origin names the caller ("compile",
+ * "plan-load", ...) and prefixes the exception message; the message
+ * body is the full text report, so the failure is actionable.
+ */
+void verifyPlanOrThrow(const hecnn::HeNetworkPlan &plan,
+                       const std::string &origin);
+
+/**
+ * Register verifyPlanOrThrow() as the process-wide plan verifier used
+ * by hecnn::runPlanVerifier() (compiler self-check, --verify-plan
+ * loads). Idempotent; returns true on first installation.
+ */
+bool installPlanVerifier();
+
+} // namespace fxhenn::analysis
+
+#endif // FXHENN_ANALYSIS_VERIFIER_HPP

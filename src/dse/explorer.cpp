@@ -5,6 +5,7 @@
 #include <limits>
 #include <sstream>
 
+#include "src/analysis/liveness.hpp"
 #include "src/common/assert.hpp"
 #include "src/robustness/fault_injection.hpp"
 #include "src/telemetry/telemetry.hpp"
@@ -61,6 +62,14 @@ explore(const hecnn::HeNetworkPlan &plan, const fpga::DeviceSpec &device,
         pairChoices(options.elementwiseIntra, options.elementwiseInter);
     const auto ntt_pairs = pairChoices(ntt_intra, ntt_inter);
 
+    // Per-layer peak live-register counts, solved once for the whole
+    // search (the bound is allocation-independent).
+    std::vector<unsigned> peak_live;
+    if (options.livenessBuffers)
+        peak_live = analysis::computeLiveness(plan).peakLive;
+    const std::vector<unsigned> *peaks =
+        options.livenessBuffers ? &peak_live : nullptr;
+
     // CCmult parallelism is pinned to 1: it runs once per activation
     // ciphertext and never bottlenecks (the paper's Fig. 10 note).
     const OpAllocation ccmult_alloc{2, 1, 1};
@@ -82,7 +91,8 @@ explore(const hecnn::HeNetworkPlan &plan, const fpga::DeviceSpec &device,
                     alloc[HeOpModule::keySwitch] = {nc, ks_a, ks_b};
 
                     const auto perf =
-                        fpga::evaluateNetworkShared(plan, alloc);
+                        fpga::evaluateNetworkShared(plan, alloc,
+                                                    peaks);
 
                     const double bram_cap =
                         options.bramBudgetBlocks

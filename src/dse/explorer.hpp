@@ -54,6 +54,15 @@ struct ExploreOptions
      * infeasible budget is a data point there, not a user error.
      */
     bool allowInfeasible = false;
+
+    /**
+     * Tighten each layer's BRAM demand with its register-liveness
+     * peak (analysis::computeLiveness): buffer replication beyond the
+     * number of simultaneously live ciphertexts is provably unused.
+     * The bound never grows, so the feasible set only expands and the
+     * best latency can only improve or stay put.
+     */
+    bool livenessBuffers = false;
 };
 
 /** Result of a search. */

@@ -51,7 +51,8 @@ layerModMuls(const hecnn::HeLayerPlan &layer, std::uint64_t n)
 
 LayerPerf
 evaluateLayer(const hecnn::HeLayerPlan &layer, std::uint64_t n,
-              const ModuleAllocation &alloc, double bramLimit)
+              const ModuleAllocation &alloc, double bramLimit,
+              unsigned peakLiveRegs)
 {
     const RingView ring{n, layer.levelIn};
     LayerPerf perf;
@@ -158,14 +159,24 @@ evaluateLayer(const hecnn::HeLayerPlan &layer, std::uint64_t n,
                  op == HeOpModule::pcMult || op == HeOpModule::ccMult;
     }
 
+    // Liveness-informed tightening: the stream buffers are replicated
+    // once per inter-parallel pipeline, but a pipeline copy only needs
+    // a resident ciphertext when a live value occupies it. Capping the
+    // replication by the layer's peak live-register count never
+    // increases the demand, so every design feasible under the plain
+    // bound stays feasible.
+    const unsigned buf_inter =
+        peakLiveRegs > 0 ? std::min(work_inter, peakLiveRegs)
+                         : work_inter;
+
     double stream_blocks = 0.0;
     double critical_blocks = 0.0;
     if (work_units > 0.0) {
         // Input ciphertext buffer (plain Bb partitioning).
-        stream_blocks += 2.0 * l * work_inter * limbBufferBlocks(n, 2);
+        stream_blocks += 2.0 * l * buf_inter * limbBufferBlocks(n, 2);
         // Shared working/output buffer.
         stream_blocks +=
-            work_units * work_inter * limbBufferBlocks(n, work_nc);
+            work_units * buf_inter * limbBufferBlocks(n, work_nc);
     }
     if (is_used(HeOpModule::rescale)) {
         const OpAllocation &oa = alloc[HeOpModule::rescale];
@@ -239,12 +250,19 @@ allocatedLut(const ModuleAllocation &alloc,
 
 NetworkPerf
 evaluateNetworkShared(const hecnn::HeNetworkPlan &plan,
-                      const ModuleAllocation &alloc)
+                      const ModuleAllocation &alloc,
+                      const std::vector<unsigned> *peakLive)
 {
+    FXHENN_FATAL_IF(peakLive != nullptr &&
+                        peakLive->size() != plan.layers.size(),
+                    "one peak-live count per layer required");
     NetworkPerf perf;
     std::array<bool, kOpModuleCount> any_used{};
-    for (const auto &layer : plan.layers) {
-        LayerPerf lp = evaluateLayer(layer, plan.params.n, alloc);
+    for (std::size_t i = 0; i < plan.layers.size(); ++i) {
+        const auto &layer = plan.layers[i];
+        const unsigned peak = peakLive ? (*peakLive)[i] : 0;
+        LayerPerf lp = evaluateLayer(layer, plan.params.n, alloc,
+                                     -1.0, peak);
         perf.totalCycles += lp.cycles;
         perf.dspAggregate += lp.dsp;
         perf.bramAggregate += lp.bramBlocks;

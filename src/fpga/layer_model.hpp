@@ -73,17 +73,32 @@ struct NetworkPerf
  *                  means unlimited; smaller than the demand means the
  *                  spilled fraction pays the off-chip penalty
  *                  (Table III: 0 models an all-DRAM layer)
+ * @param peakLiveRegs peak number of simultaneously live ciphertext
+ *                  registers inside this layer (from
+ *                  analysis::computeLiveness); 0 means unknown. When
+ *                  known, the Eq. 8-9 intra-layer ciphertext-buffer
+ *                  replication is capped by it — a layer that never
+ *                  holds more than k live ciphertexts cannot need
+ *                  more than k resident stream buffers — which only
+ *                  ever lowers the BRAM demand.
  */
 LayerPerf evaluateLayer(const hecnn::HeLayerPlan &layer, std::uint64_t n,
                         const ModuleAllocation &alloc,
-                        double bramLimit = -1.0);
+                        double bramLimit = -1.0,
+                        unsigned peakLiveRegs = 0);
 
 /**
  * Evaluate the whole network with a single shared module allocation
  * (FxHENN inter-layer module + buffer reuse).
+ *
+ * @param peakLive optional per-layer peak live-register counts (one
+ *                 entry per layer) used to tighten each layer's
+ *                 buffer demand; nullptr reproduces the plain Eq. 8-9
+ *                 bound.
  */
-NetworkPerf evaluateNetworkShared(const hecnn::HeNetworkPlan &plan,
-                                  const ModuleAllocation &alloc);
+NetworkPerf evaluateNetworkShared(
+    const hecnn::HeNetworkPlan &plan, const ModuleAllocation &alloc,
+    const std::vector<unsigned> *peakLive = nullptr);
 
 /**
  * Evaluate the network with dedicated per-layer allocations and no

@@ -21,6 +21,17 @@ namespace fxhenn {
 std::string renderDesignReport(const DesignSolution &solution,
                                const fpga::DeviceSpec &device);
 
+/**
+ * Render the before/after comparison of a DSE run without
+ * (@p baseline) and with (@p informed) liveness-informed buffer
+ * bounds (`fxhenn design --liveness 1`). The liveness bound never
+ * shrinks the feasible set, so the delta is improvement-or-equal by
+ * construction; the report prints it either way.
+ */
+std::string renderLivenessDelta(const DesignSolution &baseline,
+                                const DesignSolution &informed,
+                                const fpga::DeviceSpec &device);
+
 } // namespace fxhenn
 
 #endif // FXHENN_FXHENN_REPORT_HPP

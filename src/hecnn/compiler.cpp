@@ -4,6 +4,7 @@
 
 #include "src/common/assert.hpp"
 #include "src/common/math_util.hpp"
+#include "src/hecnn/plan_check.hpp"
 
 namespace fxhenn::hecnn {
 
@@ -637,7 +638,10 @@ compile(const nn::Network &net, const ckks::CkksParams &params,
                         "dense-first input exceeds one ciphertext");
     }
     PlanBuilder builder(net, params, options);
-    return builder.build();
+    HeNetworkPlan plan = builder.build();
+    if (options.selfCheck)
+        runPlanVerifier(plan, "compile");
+    return plan;
 }
 
 } // namespace fxhenn::hecnn

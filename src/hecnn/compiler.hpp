@@ -52,6 +52,19 @@ struct CompileOptions
      * substantially for wide dense layers.
      */
     bool decomposeRotations = false;
+
+    /**
+     * Run the plan verifier over the lowered plan before returning it
+     * (a miscompile becomes a ConfigError at the compiler's doorstep
+     * instead of garbage at decrypt time). Defaults to on in debug
+     * builds; a no-op when no verifier is linked in — see
+     * plan_check.hpp.
+     */
+#ifdef NDEBUG
+    bool selfCheck = false;
+#else
+    bool selfCheck = true;
+#endif
 };
 
 /** Lower @p net under CKKS parameters @p params. */

@@ -64,28 +64,38 @@ SlotLayout::isContiguousSingleReg() const
     return true;
 }
 
+std::uint64_t
+HeLayerPlan::kindCount(HeOpKind kind) const
+{
+    if (!counted_) {
+        // A plan built by hand (or mutated) without calling
+        // classify(): recount instead of reporting zeros. cls stays
+        // untouched on this path by design.
+        kindCounts_ = {};
+        for (const auto &instr : instrs)
+            ++kindCounts_[static_cast<std::size_t>(instr.kind)];
+        counted_ = true;
+    }
+    return kindCounts_[static_cast<std::size_t>(kind)];
+}
+
 HeOpCounts
 HeLayerPlan::counts() const
 {
-    auto at = [&](HeOpKind k) {
-        return kindCounts[static_cast<std::size_t>(k)];
-    };
     HeOpCounts c;
-    c.ccAdd = at(HeOpKind::ccAdd) + at(HeOpKind::pcAdd);
-    c.pcMult = at(HeOpKind::pcMult);
-    c.ccMult = at(HeOpKind::ccMult);
-    c.rescale = at(HeOpKind::rescale);
-    c.relin = at(HeOpKind::relinearize);
-    c.rotate = at(HeOpKind::rotate);
+    c.ccAdd = kindCount(HeOpKind::ccAdd) + kindCount(HeOpKind::pcAdd);
+    c.pcMult = kindCount(HeOpKind::pcMult);
+    c.ccMult = kindCount(HeOpKind::ccMult);
+    c.rescale = kindCount(HeOpKind::rescale);
+    c.relin = kindCount(HeOpKind::relinearize);
+    c.rotate = kindCount(HeOpKind::rotate);
     return c;
 }
 
 void
 HeLayerPlan::classify()
 {
-    kindCounts = {};
-    for (const auto &instr : instrs)
-        ++kindCounts[static_cast<std::size_t>(instr.kind)];
+    counted_ = false; // force a fresh count of the current stream
     cls = counts().keySwitch() > 0 ? LayerClass::ks : LayerClass::nks;
 }
 

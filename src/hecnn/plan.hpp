@@ -87,21 +87,27 @@ struct HeLayerPlan
     std::vector<HeInstr> instrs;
     SlotLayout outputLayout;
 
-    /** Per-opcode instruction counts, filled by classify(). */
-    std::array<std::uint64_t, 8> kindCounts{};
-
     /** Count instructions by paper operation class. */
     HeOpCounts counts() const;
 
-    /** Instructions of one opcode (O(1) after classify()). */
-    std::uint64_t
-    kindCount(HeOpKind kind) const
-    {
-        return kindCounts[static_cast<std::size_t>(kind)];
-    }
+    /**
+     * Instructions of one opcode. O(1) once cached; a plan whose
+     * cache was never populated recounts lazily on first use instead
+     * of silently returning zeros. The lazy path fills the counts
+     * only — it never touches cls, so a stale KS/NKS class is still
+     * observable (and diagnosed by the layer-class verifier pass).
+     */
+    std::uint64_t kindCount(HeOpKind kind) const;
 
     /** Cache the opcode counts and set the KS/NKS class (Sec. V-A). */
     void classify();
+
+  private:
+    /** Opcode-count cache; lazily filled, see kindCount(). Not
+     *  thread-safe to fault in concurrently — classify() first when
+     *  sharing a plan across threads. */
+    mutable std::array<std::uint64_t, 8> kindCounts_{};
+    mutable bool counted_ = false;
 };
 
 /** A full compiled network. */

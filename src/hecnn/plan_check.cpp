@@ -1,0 +1,64 @@
+#include "src/hecnn/plan_check.hpp"
+
+#include <utility>
+
+namespace fxhenn::hecnn {
+
+namespace {
+
+PlanVerifier &
+verifierSlot()
+{
+    static PlanVerifier verifier;
+    return verifier;
+}
+
+bool &
+loadVerificationSlot()
+{
+    static bool enabled = false;
+    return enabled;
+}
+
+} // namespace
+
+bool
+setPlanVerifier(PlanVerifier verifier)
+{
+    PlanVerifier &slot = verifierSlot();
+    if (!verifier) {
+        slot = nullptr; // uninstall (test seam)
+        return true;
+    }
+    if (slot)
+        return false; // first installation wins
+    slot = std::move(verifier);
+    return true;
+}
+
+bool
+planVerifierInstalled()
+{
+    return static_cast<bool>(verifierSlot());
+}
+
+void
+runPlanVerifier(const HeNetworkPlan &plan, const std::string &origin)
+{
+    if (const PlanVerifier &verifier = verifierSlot())
+        verifier(plan, origin);
+}
+
+void
+setLoadVerification(bool enabled)
+{
+    loadVerificationSlot() = enabled;
+}
+
+bool
+loadVerificationEnabled()
+{
+    return loadVerificationSlot();
+}
+
+} // namespace fxhenn::hecnn

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Process-wide plan-verifier hook.
+ *
+ * The static-analysis library (src/analysis) depends on fxhenn_hecnn
+ * for the plan IR, so fxhenn_hecnn cannot link it back. Instead the
+ * compiler self-check and plan_io's --verify-plan load call the
+ * verifier through this registry; analysis::installPlanVerifier()
+ * fills it in at program start (the CLI and the tests do this).
+ *
+ * When no verifier is installed, runPlanVerifier() is a no-op — cores
+ * that never link fxhenn_analysis keep working unchanged.
+ */
+#ifndef FXHENN_HECNN_PLAN_CHECK_HPP
+#define FXHENN_HECNN_PLAN_CHECK_HPP
+
+#include <functional>
+#include <string>
+
+namespace fxhenn::hecnn {
+
+struct HeNetworkPlan;
+
+/**
+ * A plan verifier: inspects @p plan and throws ConfigError (with the
+ * full diagnostic report as the message) when the plan is malformed.
+ * @p origin names the call site ("compile", "plan-load", ...).
+ */
+using PlanVerifier = std::function<void(const HeNetworkPlan &plan,
+                                        const std::string &origin)>;
+
+/**
+ * Install the process-wide verifier. The first installation wins;
+ * later calls with a non-empty verifier are ignored (returns false)
+ * so tests cannot silently displace the standard pipeline. Passing an
+ * empty function uninstalls (test seam).
+ */
+bool setPlanVerifier(PlanVerifier verifier);
+
+/** @return true when a verifier is currently installed. */
+bool planVerifierInstalled();
+
+/**
+ * Run the installed verifier over @p plan; no-op when none is
+ * installed. Propagates whatever the verifier throws.
+ */
+void runPlanVerifier(const HeNetworkPlan &plan,
+                     const std::string &origin);
+
+/**
+ * Toggle verification inside plan_io::loadPlan (--verify-plan).
+ * Enabling without an installed verifier is a configuration error at
+ * load time, not silently ignored.
+ */
+void setLoadVerification(bool enabled);
+
+/** @return true when loadPlan should verify every loaded plan. */
+bool loadVerificationEnabled();
+
+} // namespace fxhenn::hecnn
+
+#endif // FXHENN_HECNN_PLAN_CHECK_HPP

@@ -9,6 +9,7 @@
 
 #include "src/common/assert.hpp"
 #include "src/common/crc32.hpp"
+#include "src/hecnn/plan_check.hpp"
 #include "src/robustness/fault_injection.hpp"
 
 namespace fxhenn::hecnn {
@@ -301,6 +302,12 @@ loadPlan(std::istream &stream)
                                 plan.plaintexts.size()),
                 "instruction plaintext out of range");
         }
+    }
+    if (loadVerificationEnabled()) {
+        FXHENN_FATAL_IF(!planVerifierInstalled(),
+                        "--verify-plan requested but no plan verifier "
+                        "is linked into this binary");
+        runPlanVerifier(plan, "plan-load");
     }
     return plan;
 }

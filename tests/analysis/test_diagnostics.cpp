@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "src/analysis/diagnostic.hpp"
+
+namespace fxhenn::analysis {
+namespace {
+
+TEST(Diagnostics, SeverityNames)
+{
+    EXPECT_STREQ(severityName(Severity::note), "note");
+    EXPECT_STREQ(severityName(Severity::warning), "warning");
+    EXPECT_STREQ(severityName(Severity::error), "error");
+}
+
+TEST(Diagnostics, CountsBySeverity)
+{
+    AnalysisReport report;
+    EXPECT_TRUE(report.clean());
+    report.addNetwork(Severity::note, "p", "n1");
+    report.addNetwork(Severity::warning, "p", "w1");
+    report.addNetwork(Severity::warning, "p", "w2");
+    report.addLayer(Severity::error, "p", 0, "L0", "e1");
+    EXPECT_EQ(report.count(Severity::note), 1u);
+    EXPECT_EQ(report.warningCount(), 2u);
+    EXPECT_EQ(report.errorCount(), 1u);
+    EXPECT_FALSE(report.clean());
+    EXPECT_EQ(report.diagnostics().size(), 4u);
+}
+
+TEST(Diagnostics, TextRenderingAnchorsLocations)
+{
+    AnalysisReport report;
+    report.addInstr(Severity::error, "scale-level", 2, "Fc1", 17,
+                    "bad scale", "rescale first");
+    report.addNetwork(Severity::warning, "rotation-keys", "many keys");
+    const std::string text = report.toText();
+    EXPECT_NE(text.find("error: [scale-level] layer 2 (Fc1) instr 17: "
+                        "bad scale"),
+              std::string::npos);
+    EXPECT_NE(text.find("  hint: rescale first"), std::string::npos);
+    EXPECT_NE(text.find("warning: [rotation-keys]: many keys"),
+              std::string::npos);
+    EXPECT_NE(text.find("1 error(s), 1 warning(s), 0 note(s)"),
+              std::string::npos);
+}
+
+TEST(Diagnostics, JsonRenderingEscapesAndCounts)
+{
+    AnalysisReport report;
+    report.addNetwork(Severity::error, "def-use",
+                      "message with \"quotes\"\nand newline");
+    const std::string json = report.toJson();
+    EXPECT_NE(json.find("\"schema\": \"fxhenn-lint-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"errors\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\\\"quotes\\\"\\nand newline"),
+              std::string::npos);
+    // Network scope renders as layer/instr -1.
+    EXPECT_NE(json.find("\"layer\": -1"), std::string::npos);
+    EXPECT_NE(json.find("\"instr\": -1"), std::string::npos);
+}
+
+TEST(Diagnostics, RenderingIsDeterministic)
+{
+    AnalysisReport report;
+    report.addLayer(Severity::warning, "liveness", 1, "Act1", "dead");
+    EXPECT_EQ(report.toText(), report.toText());
+    EXPECT_EQ(report.toJson(), report.toJson());
+}
+
+} // namespace
+} // namespace fxhenn::analysis

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/analysis/verifier.hpp"
+#include "src/common/assert.hpp"
+#include "src/hecnn/compiler.hpp"
+#include "src/hecnn/plan_check.hpp"
+#include "src/hecnn/plan_io.hpp"
+#include "src/nn/model_zoo.hpp"
+#include "src/robustness/fault_injection.hpp"
+#include "tests/analysis/plan_fixtures.hpp"
+
+namespace fxhenn::analysis {
+namespace {
+
+using fixtures::tinyPlan;
+using hecnn::HeOpKind;
+
+/** Restores the hook/load-verification globals on scope exit. */
+struct HookGuard
+{
+    ~HookGuard()
+    {
+        hecnn::setLoadVerification(false);
+        hecnn::setPlanVerifier(nullptr);
+        installPlanVerifier();
+    }
+};
+
+hecnn::HeNetworkPlan
+brokenButLoadablePlan()
+{
+    // rotate-by-0 passes every loadPlan framing check but is an
+    // error-severity verifier finding.
+    auto plan = tinyPlan();
+    plan.layers[0].instrs.push_back({HeOpKind::rotate, 1, 1, -1, 0});
+    plan.layers[0].classify();
+    return plan;
+}
+
+TEST(Verifier, ModelZooPlansAreLintClean)
+{
+    {
+        const auto plan = hecnn::compile(nn::buildMnistNetwork(),
+                                         ckks::mnistParams());
+        const auto report = verifyPlan(plan);
+        EXPECT_EQ(report.errorCount(), 0u) << report.toText();
+        EXPECT_EQ(report.warningCount(), 0u) << report.toText();
+    }
+    {
+        hecnn::CompileOptions opts;
+        opts.elideValues = true;
+        const auto plan = hecnn::compile(nn::buildCifar10Network(),
+                                         ckks::cifar10Params(), opts);
+        const auto report = verifyPlan(plan);
+        EXPECT_EQ(report.errorCount(), 0u) << report.toText();
+        EXPECT_EQ(report.warningCount(), 0u) << report.toText();
+    }
+}
+
+TEST(Verifier, ReportIsIdenticalAcrossSaveLoadRoundTrip)
+{
+    const auto plan = hecnn::compile(nn::buildTestNetwork(),
+                                     ckks::testParams(2048, 7, 30));
+    const auto before = verifyPlan(plan);
+    EXPECT_EQ(before.errorCount(), 0u) << before.toText();
+
+    std::stringstream ss;
+    hecnn::savePlan(plan, ss);
+    const auto loaded = hecnn::loadPlan(ss);
+    const auto after = verifyPlan(loaded);
+
+    EXPECT_EQ(before.toText(), after.toText())
+        << "serialization must not change what the verifier sees";
+    EXPECT_EQ(before.toJson(), after.toJson());
+}
+
+TEST(Verifier, VerifyPlanOrThrowRejectsBrokenPlans)
+{
+    EXPECT_NO_THROW(verifyPlanOrThrow(tinyPlan(), "test"));
+    try {
+        verifyPlanOrThrow(brokenButLoadablePlan(), "test");
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find(
+                      "plan verification failed (test)"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("rotate by 0"),
+                  std::string::npos);
+    }
+}
+
+TEST(Verifier, HookRunsInstalledVerifier)
+{
+    HookGuard guard;
+    installPlanVerifier();
+    EXPECT_TRUE(hecnn::planVerifierInstalled());
+    EXPECT_NO_THROW(hecnn::runPlanVerifier(tinyPlan(), "hook"));
+    EXPECT_THROW(hecnn::runPlanVerifier(brokenButLoadablePlan(),
+                                        "hook"),
+                 ConfigError);
+}
+
+TEST(Verifier, FirstInstallationWins)
+{
+    HookGuard guard;
+    installPlanVerifier();
+    // A second (different) verifier must not displace the pipeline.
+    const bool displaced = hecnn::setPlanVerifier(
+        [](const hecnn::HeNetworkPlan &, const std::string &) {
+            throw ConfigError("impostor");
+        });
+    EXPECT_FALSE(displaced);
+    EXPECT_NO_THROW(hecnn::runPlanVerifier(tinyPlan(), "hook"));
+}
+
+TEST(Verifier, CompilerSelfCheckAcceptsItsOwnOutput)
+{
+    HookGuard guard;
+    installPlanVerifier();
+    hecnn::CompileOptions opts;
+    opts.selfCheck = true;
+    EXPECT_NO_THROW(hecnn::compile(nn::buildTestNetwork(),
+                                   ckks::testParams(2048, 7, 30),
+                                   opts));
+}
+
+TEST(Verifier, LoadVerificationRejectsBrokenPlanOnLoad)
+{
+    HookGuard guard;
+    installPlanVerifier();
+    hecnn::setLoadVerification(true);
+
+    std::stringstream good;
+    hecnn::savePlan(tinyPlan(), good);
+    EXPECT_NO_THROW(hecnn::loadPlan(good));
+
+    std::stringstream bad;
+    hecnn::savePlan(brokenButLoadablePlan(), bad);
+    try {
+        hecnn::loadPlan(bad);
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("plan-load"),
+                  std::string::npos);
+    }
+}
+
+TEST(Verifier, LoadVerificationWithoutVerifierIsAConfigError)
+{
+    HookGuard guard;
+    hecnn::setPlanVerifier(nullptr); // simulate a core-only binary
+    hecnn::setLoadVerification(true);
+    std::stringstream ss;
+    hecnn::savePlan(tinyPlan(), ss);
+    EXPECT_THROW(hecnn::loadPlan(ss), ConfigError);
+}
+
+TEST(Verifier, TruncationFaultIsDetectedBeforeVerification)
+{
+    if (!robustness::faultInjectCompiledIn())
+        GTEST_SKIP() << "fault injection compiled out";
+    HookGuard guard;
+    installPlanVerifier();
+    hecnn::setLoadVerification(true);
+    robustness::armFault(
+        robustness::parseFaultSpec("plan.load:truncate"));
+    std::stringstream ss;
+    hecnn::savePlan(tinyPlan(), ss);
+    EXPECT_THROW(hecnn::loadPlan(ss), ConfigError);
+    robustness::disarmFaults();
+}
+
+TEST(Verifier, CorruptionFaultIsDetectedBeforeVerification)
+{
+    if (!robustness::faultInjectCompiledIn())
+        GTEST_SKIP() << "fault injection compiled out";
+    HookGuard guard;
+    installPlanVerifier();
+    hecnn::setLoadVerification(true);
+    robustness::armFault(
+        robustness::parseFaultSpec("plan.load:corrupt"));
+    std::stringstream ss;
+    hecnn::savePlan(tinyPlan(), ss);
+    EXPECT_THROW(hecnn::loadPlan(ss), ConfigError);
+    robustness::disarmFaults();
+}
+
+} // namespace
+} // namespace fxhenn::analysis

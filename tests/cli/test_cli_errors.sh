@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # CLI error-path coverage: every misuse must exit with its documented
-# code (2 usage, 3 config error) and must never crash or abort.
+# code (2 usage, 3 config error, 4 lint error findings) and must never
+# crash or abort.
 # Usage: test_cli_errors.sh /path/to/fxhenn
 set -u
 
@@ -52,6 +53,19 @@ expect 3 "non-positive sweep step" sweep --model mnist --step 0
 expect 3 "malformed fault spec" info --model mnist --fault nocolon
 expect 3 "unknown fault site" info --model mnist --fault no.site:bitflip
 expect 3 "bad plan layer index" plan --model mnist --layer twelve
+
+# --- lint: exit 3 on misuse, exit 4 on error-severity findings -----------
+# A plan that cannot be loaded is itself an error-severity finding, so
+# lint reports it as a diagnostic and exits 4 (not 3): the lint verdict
+# on an unreadable artifact is "broken", not "you typed it wrong".
+garbage="$(mktemp)"
+printf 'this is not a serialized plan\n' > "$garbage"
+trap 'rm -f "$garbage"' EXIT
+
+expect 3 "lint: bad output format" lint --model mnist --format yaml
+expect 3 "lint: unknown flag" lint --model mnist --bogus 1
+expect 4 "lint: missing plan file" lint --load /nonexistent/plan.bin
+expect 4 "lint: corrupt plan file" lint --load "$garbage"
 
 echo
 if [ "$failures" -ne 0 ]; then

@@ -91,6 +91,21 @@ TEST_F(ExplorerTest, InfeasibleBudgetThrowsWithSuggestion)
     }
 }
 
+TEST_F(ExplorerTest, LivenessBuffersNeverHurt)
+{
+    // The liveness-informed intra-layer buffer term only ever shrinks
+    // BRAM demand, so the feasible set can only grow and the optimum
+    // can only improve (or stay put).
+    ExploreOptions plain, informed;
+    informed.livenessBuffers = true;
+    const auto r_plain = explore(plan_, device_, plain);
+    const auto r_informed = explore(plan_, device_, informed);
+    ASSERT_TRUE(r_plain.best && r_informed.best);
+    EXPECT_LE(r_informed.best->latencySeconds,
+              r_plain.best->latencySeconds + 1e-12);
+    EXPECT_GE(r_informed.evaluated, r_plain.evaluated);
+}
+
 TEST_F(ExplorerTest, LargerDeviceIsNoSlower)
 {
     const auto small = explore(plan_, fpga::acu9eg());

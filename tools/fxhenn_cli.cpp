@@ -5,20 +5,24 @@
  *   fxhenn info    --model mnist|cifar10
  *   fxhenn plan    --model mnist|cifar10 [--layer N]
  *   fxhenn design  --model mnist|cifar10 --device acu9eg|acu15eg
- *                  [--out DIR]
+ *                  [--out DIR] [--liveness 1]
  *   fxhenn sweep   --model mnist|cifar10 [--min B] [--max B] [--step B]
  *   fxhenn verify  [--seed S] [--guard strict|warn|degrade]
+ *   fxhenn lint    --model mnist|cifar10 | --load FILE
+ *                  [--format text|json] [--list-passes 1]
  *
  * `verify` runs a fast encrypted-vs-plaintext inference on the
  * test-scale network; `design` runs the full DSE and writes the HLS
- * artifacts.
+ * artifacts; `lint` runs the static plan verifier (src/analysis) and
+ * renders every diagnostic.
  *
  * Exit codes:
- *   0  success / verify PASS
+ *   0  success / verify PASS / lint clean
  *   1  verify FAIL (logits diverged)
  *   2  usage error (no or unknown command)
  *   3  configuration error (bad flag, bad value, corrupt input)
- *   4  internal error (invariant violation, unexpected exception)
+ *   4  internal error / lint found error-severity diagnostics (a plan
+ *      that fails to load is itself an error-severity finding)
  *   5  verify DEGRADED (guarded run aborted with a failure report)
  */
 #include <cmath>
@@ -29,6 +33,8 @@
 #include <set>
 #include <string>
 
+#include "src/analysis/pass_manager.hpp"
+#include "src/analysis/verifier.hpp"
 #include "src/common/assert.hpp"
 #include "src/dse/explorer.hpp"
 #include "src/telemetry/telemetry.hpp"
@@ -36,6 +42,7 @@
 #include "src/fxhenn/framework.hpp"
 #include "src/fxhenn/report.hpp"
 #include "src/hecnn/compiler.hpp"
+#include "src/hecnn/plan_check.hpp"
 #include "src/hecnn/plan_io.hpp"
 #include "src/hecnn/plan_printer.hpp"
 #include "src/hecnn/runtime.hpp"
@@ -66,13 +73,15 @@ struct Args
 const std::map<std::string, std::set<std::string>> kCommandFlags = {
     {"info", {"model"}},
     {"plan", {"model", "save", "load", "layer"}},
-    {"design", {"model", "device", "out", "report"}},
+    {"design", {"model", "device", "out", "report", "liveness"}},
     {"sweep", {"model", "min", "max", "step"}},
     {"verify", {"seed", "guard"}},
+    {"lint", {"model", "load", "format", "list-passes"}},
 };
 
 /** Flags accepted by every command. */
-const std::set<std::string> kGlobalFlags = {"telemetry-json", "fault"};
+const std::set<std::string> kGlobalFlags = {"telemetry-json", "fault",
+                                            "verify-plan"};
 
 Args
 parseArgs(int argc, char **argv)
@@ -155,11 +164,18 @@ usage()
         "  design --model mnist|cifar10          run DSE, emit HLS\n"
         "         --device acu9eg|acu15eg\n"
         "         [--out DIR] [--report 1]\n"
+        "         [--liveness 1]                 tighten the BRAM\n"
+        "                          bound with register liveness and\n"
+        "                          print the before/after delta\n"
         "  sweep  --model mnist|cifar10          Fig. 9 budget sweep\n"
         "         [--min 350] [--max 1500] [--step 100]\n"
         "  verify [--seed 1]                     encrypted-vs-plain "
         "check\n"
         "         [--guard strict|warn|degrade]  guard policy\n"
+        "  lint   --model mnist|cifar10          static plan verifier\n"
+        "         | --load FILE                  lint a saved plan\n"
+        "         [--format text|json]           report rendering\n"
+        "         [--list-passes 1]              show the pipeline\n"
         "\n"
         "Global options (any command):\n"
         "  --telemetry-json FILE   record counters/timers while the\n"
@@ -167,9 +183,13 @@ usage()
         "  --fault SITE:KIND[:TRIGGER[:SEED]]\n"
         "                          arm a fault-injection site (only in\n"
         "                          FXHENN_FAULTINJECT builds)\n"
+        "  --verify-plan 1         run the static verifier over every\n"
+        "                          plan loaded from disk (ConfigError\n"
+        "                          on error-severity findings)\n"
         "\n"
-        "Exit codes: 0 ok/PASS, 1 verify FAIL, 2 usage, 3 config\n"
-        "error, 4 internal error, 5 verify DEGRADED\n";
+        "Exit codes: 0 ok/PASS/lint clean, 1 verify FAIL, 2 usage,\n"
+        "3 config error, 4 internal error or lint errors, 5 verify\n"
+        "DEGRADED\n";
     return 2;
 }
 
@@ -271,8 +291,11 @@ cmdDesign(const Args &args)
     // (much slower) model build + compile.
     const auto device = pickDevice(args.get("device", "acu9eg"));
     auto model = pickModel(args.get("model", "mnist"));
+    const std::string liveness = args.get("liveness", "");
     FxhennOptions opts;
     opts.elideValues = model.elide;
+    opts.explore.livenessBuffers =
+        liveness == "1" || liveness == "true";
     const auto sol =
         Fxhenn::generate(model.net, model.params, device, opts);
 
@@ -303,7 +326,75 @@ cmdDesign(const Args &args)
         args.get("report", "") == "true") {
         std::cout << "\n" << renderDesignReport(sol, device);
     }
+    if (opts.explore.livenessBuffers) {
+        // Re-run with the plain Eq. 8-9 bound for the before/after
+        // comparison the flag promises.
+        FxhennOptions plain = opts;
+        plain.explore.livenessBuffers = false;
+        const auto base =
+            Fxhenn::generate(model.net, model.params, device, plain);
+        std::cout << "\n" << renderLivenessDelta(base, sol, device);
+    }
     return 0;
+}
+
+int
+cmdLint(const Args &args)
+{
+    const std::string format = args.get("format", "text");
+    FXHENN_FATAL_IF(format != "text" && format != "json",
+                    "flag --format expects text or json, got '" +
+                        format + "'");
+    const std::string list = args.get("list-passes", "");
+    if (list == "1" || list == "true") {
+        const auto pm = analysis::PassManager::standard();
+        for (const auto &pass : pm.passes()) {
+            std::cout << pass->name() << ": " << pass->description()
+                      << "\n";
+        }
+        return 0;
+    }
+
+    analysis::AnalysisReport report;
+    const std::string load = args.get("load", "");
+    if (!load.empty()) {
+        // A plan that cannot be loaded is itself an error-severity
+        // finding (exit 4), not a config error: lint's contract is to
+        // judge the plan, and an unreadable plan fails that judgment.
+        std::ifstream in(load, std::ios::binary);
+        if (!in) {
+            report.addNetwork(analysis::Severity::error, "plan-load",
+                              "cannot open plan file " + load,
+                              "check the path");
+        } else {
+            try {
+                const auto plan = hecnn::loadPlan(in);
+                report = analysis::verifyPlan(plan);
+            } catch (const std::exception &e) {
+                report.addNetwork(
+                    analysis::Severity::error, "plan-load",
+                    std::string("plan failed to load: ") + e.what(),
+                    "the stream is truncated, corrupt, or not an "
+                    "FxHENN plan");
+            }
+        }
+    } else {
+        auto model = pickModel(args.get("model", "mnist"));
+        hecnn::CompileOptions copts;
+        copts.elideValues = model.elide;
+        // Lint renders the full report itself; the compiler
+        // self-check would turn findings into a bare ConfigError.
+        copts.selfCheck = false;
+        const auto plan = hecnn::compile(model.net, model.params,
+                                         copts);
+        report = analysis::verifyPlan(plan);
+    }
+
+    if (format == "json")
+        std::cout << report.toJson();
+    else
+        std::cout << report.toText();
+    return report.errorCount() > 0 ? 4 : 0;
 }
 
 int
@@ -375,6 +466,13 @@ main(int argc, char **argv)
 {
     try {
         const Args args = parseArgs(argc, argv);
+        // The CLI always links the analysis library, so the compiler's
+        // debug-mode self-check and --verify-plan loads have a
+        // verifier to call.
+        analysis::installPlanVerifier();
+        const std::string verifyPlanFlag = args.get("verify-plan", "");
+        if (verifyPlanFlag == "1" || verifyPlanFlag == "true")
+            hecnn::setLoadVerification(true);
         const std::string faultSpec = args.get("fault", "");
         if (!faultSpec.empty())
             robustness::armFault(
@@ -395,6 +493,8 @@ main(int argc, char **argv)
             rc = cmdSweep(args);
         else if (args.command == "verify")
             rc = cmdVerify(args);
+        else if (args.command == "lint")
+            rc = cmdLint(args);
         else
             return usage();
 

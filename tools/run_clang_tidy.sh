@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Run clang-tidy (config: .clang-tidy at the repo root) over every
+# first-party translation unit in the compile database.
+#
+# Usage: tools/run_clang_tidy.sh [build-dir]
+#
+#   build-dir  directory containing compile_commands.json
+#              (default: build; generate one with `cmake --preset lint`)
+#
+# Exits 0 when clang-tidy is not installed (graceful skip so plain gcc
+# containers and the ctest `lint` label stay green), 1 on findings.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "run_clang_tidy: clang-tidy not installed; skipping lint" >&2
+    exit 0
+fi
+
+db="$build_dir/compile_commands.json"
+if [ ! -f "$db" ]; then
+    echo "run_clang_tidy: no compile database at $db" >&2
+    echo "run_clang_tidy: configure with 'cmake --preset lint' first" >&2
+    exit 1
+fi
+
+# First-party TUs only: third-party and generated code are not ours to
+# lint. run-clang-tidy parallelises when available; otherwise loop.
+mapfile -t files < <(cd "$repo_root" &&
+    find src tools bench -name '*.cpp' 2>/dev/null | sort)
+if [ "${#files[@]}" -eq 0 ]; then
+    echo "run_clang_tidy: no sources found under $repo_root" >&2
+    exit 1
+fi
+
+echo "run_clang_tidy: checking ${#files[@]} translation units"
+status=0
+if command -v run-clang-tidy >/dev/null 2>&1; then
+    (cd "$repo_root" &&
+        run-clang-tidy -quiet -p "$build_dir" "${files[@]}") || status=1
+else
+    for f in "${files[@]}"; do
+        (cd "$repo_root" &&
+            clang-tidy -quiet -p "$build_dir" "$f") || status=1
+    done
+fi
+
+if [ "$status" -ne 0 ]; then
+    echo "run_clang_tidy: findings detected (see above)" >&2
+fi
+exit "$status"
