@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Serving throughput of engine::InferenceEngine versus worker count.
+ *
+ * Runs the same batch of encrypted test-network inferences on 1, 2, 4
+ * and 8 workers, prints the scaling table and writes the measured
+ * numbers to BENCH_throughput.json (or argv[1]) so the repo can commit
+ * a baseline. The JSON records the machine's hardware thread count:
+ * request-level scaling can only materialize when the host has cores
+ * to scale onto, so the baseline is interpreted relative to it.
+ */
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "src/engine/inference_engine.hpp"
+#include "src/hecnn/compiler.hpp"
+#include "src/nn/model_zoo.hpp"
+
+using namespace fxhenn;
+
+namespace {
+
+struct ConfigResult
+{
+    unsigned workers = 0;
+    double wallSeconds = 0.0;
+    double requestsPerSecond = 0.0;
+    double perWorker = 0.0;
+    double meanLatencySeconds = 0.0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("Inference engine throughput vs worker count",
+                  "Sec. I MLaaS serving model");
+
+    const std::string outPath =
+        argc > 1 ? argv[1] : "BENCH_throughput.json";
+    constexpr std::size_t kRequests = 8;
+    constexpr std::uint64_t kSeed = 1;
+    const unsigned hardwareThreads = std::thread::hardware_concurrency();
+
+    const auto net = nn::buildTestNetwork();
+    const auto params = ckks::testParams(2048, 7, 30);
+    const auto plan = hecnn::compile(net, params);
+    ckks::CkksContext ctx(params);
+
+    std::vector<nn::Tensor> batch;
+    batch.reserve(kRequests);
+    for (std::size_t r = 0; r < kRequests; ++r)
+        batch.push_back(nn::syntheticInput(net, kSeed + r));
+
+    TablePrinter table({"Workers", "Wall s", "Req/s", "Req/s/worker",
+                        "Mean lat s"});
+    std::vector<ConfigResult> results;
+    for (unsigned workers : {1u, 2u, 4u, 8u}) {
+        engine::EngineOptions opts;
+        opts.workers = workers;
+        opts.keySeed = kSeed;
+        engine::InferenceEngine eng(plan, ctx, opts);
+        eng.runBatch(batch); // warm-up: first touch of pool/keys/pages
+        eng.runBatch(batch);
+        const auto stats = eng.stats();
+
+        ConfigResult r;
+        r.workers = workers;
+        r.wallSeconds = stats.lastBatchSeconds;
+        r.requestsPerSecond = stats.lastBatchRequestsPerSecond;
+        r.perWorker = r.requestsPerSecond / double(workers);
+        r.meanLatencySeconds = stats.meanLatencySeconds;
+        results.push_back(r);
+        table.addRow({std::to_string(workers), fmtF(r.wallSeconds, 3),
+                      fmtF(r.requestsPerSecond, 3),
+                      fmtF(r.perWorker, 3),
+                      fmtF(r.meanLatencySeconds, 3)});
+    }
+    table.print(std::cout);
+
+    const double scaling1to4 =
+        results[2].requestsPerSecond / results[0].requestsPerSecond;
+    std::cout << "hardware threads: " << hardwareThreads << "\n"
+              << "throughput scaling 1 -> 4 workers: "
+              << fmtF(scaling1to4, 3) << "x\n";
+
+    std::ofstream out(outPath);
+    if (!out) {
+        std::cerr << "cannot write " << outPath << "\n";
+        return 1;
+    }
+    out << "{\n"
+        << "  \"bench\": \"engine_throughput\",\n"
+        << "  \"network\": \"" << net.name() << "\",\n"
+        << "  \"requests_per_config\": " << kRequests << ",\n"
+        << "  \"hardware_threads\": " << hardwareThreads << ",\n"
+        << "  \"scaling_1_to_4_workers\": " << fmtF(scaling1to4, 4)
+        << ",\n"
+        << "  \"configs\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        out << "    { \"workers\": " << r.workers
+            << ", \"wall_seconds\": " << fmtF(r.wallSeconds, 4)
+            << ", \"requests_per_second\": "
+            << fmtF(r.requestsPerSecond, 4)
+            << ", \"requests_per_second_per_worker\": "
+            << fmtF(r.perWorker, 4)
+            << ", \"mean_latency_seconds\": "
+            << fmtF(r.meanLatencySeconds, 4) << " }"
+            << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "wrote " << outPath << "\n";
+    return 0;
+}

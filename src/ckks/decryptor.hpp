@@ -12,7 +12,12 @@
 
 namespace fxhenn::ckks {
 
-/** Decrypts ciphertexts: m = sum_k parts[k] * s^k. */
+/**
+ * Decrypts ciphertexts: m = sum_k parts[k] * s^k.
+ *
+ * Thread-safety: immutable after construction; decrypt() is const and
+ * re-entrant, so one Decryptor serves concurrent requests.
+ */
 class Decryptor
 {
   public:

@@ -19,7 +19,13 @@
 
 namespace fxhenn::ckks {
 
-/** Encode real/complex slot vectors into plaintext polynomials. */
+/**
+ * Encode real/complex slot vectors into plaintext polynomials.
+ *
+ * Thread-safety: immutable after construction (holds only the context
+ * reference); every method is const and re-entrant, so one Encoder can
+ * be shared by concurrent requests.
+ */
 class Encoder
 {
   public:

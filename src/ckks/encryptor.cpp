@@ -12,19 +12,25 @@ Encryptor::Encryptor(const CkksContext &context, PublicKey publicKey,
 Ciphertext
 Encryptor::encrypt(const Plaintext &plain)
 {
+    return encrypt(plain, rng_);
+}
+
+Ciphertext
+Encryptor::encrypt(const Plaintext &plain, Rng &rng) const
+{
     const RnsBasis &basis = context_.basis();
     const std::size_t level = plain.level();
     const std::size_t max_level = context_.maxLevel();
 
     RnsPoly u(basis, max_level, false, PolyDomain::coeff);
-    u.sampleTernary(rng_);
+    u.sampleTernary(rng);
     u.toNtt();
 
     RnsPoly e0(basis, max_level, false, PolyDomain::coeff);
-    e0.sampleGaussian(rng_, context_.params().sigma);
+    e0.sampleGaussian(rng, context_.params().sigma);
     e0.toNtt();
     RnsPoly e1(basis, max_level, false, PolyDomain::coeff);
-    e1.sampleGaussian(rng_, context_.params().sigma);
+    e1.sampleGaussian(rng, context_.params().sigma);
     e1.toNtt();
 
     RnsPoly c0 = publicKey_.pk0;

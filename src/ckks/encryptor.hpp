@@ -13,7 +13,17 @@
 
 namespace fxhenn::ckks {
 
-/** Encrypts plaintexts under a public key. */
+/**
+ * Encrypts plaintexts under a public key.
+ *
+ * Thread-safety: the object itself (context reference + public key) is
+ * immutable after construction. The single-argument encrypt() draws
+ * noise from the Rng bound at construction and therefore must not be
+ * called concurrently; the two-argument overload is const and safe to
+ * call from many threads as long as each caller brings its own Rng —
+ * the pattern the inference engine uses to give every request an
+ * independent, deterministic noise stream.
+ */
 class Encryptor
 {
   public:
@@ -24,6 +34,9 @@ class Encryptor
      * and Gaussian e0, e1. The ciphertext inherits plain's level/scale.
      */
     Ciphertext encrypt(const Plaintext &plain);
+
+    /** Like encrypt(), but drawing randomness from @p rng. */
+    Ciphertext encrypt(const Plaintext &plain, Rng &rng) const;
 
   private:
     const CkksContext &context_;

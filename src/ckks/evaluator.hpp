@@ -52,7 +52,17 @@ struct OpCounts
     }
 };
 
-/** Stateless homomorphic operation engine (counters aside). */
+/**
+ * Stateless homomorphic operation engine (counters aside).
+ *
+ * Thread-safety: the only mutable state is the OpCounts member, which
+ * is plain (non-atomic) on purpose — an Evaluator is meant to be
+ * per-request/per-thread, so counter updates never contend and the hot
+ * path stays branch-free. Construction is cheap (one context
+ * reference), so concurrent executors each create their own instead of
+ * sharing one. The CkksContext, key structs and Plaintext operands are
+ * read-only here and safe to share across any number of Evaluators.
+ */
 class Evaluator
 {
   public:

@@ -7,6 +7,11 @@
  * down by p (ModDown). A KswKey holds one (k0_i, k1_i) pair per data
  * prime — the per-prime decomposition the paper's KeySwitch FPGA module
  * streams over (one pipeline round per ciphertext level L, Fig. 3).
+ *
+ * Thread-safety: all key structs are plain data, written once by the
+ * KeyGenerator and read-only afterwards. The evaluation keys (RelinKey,
+ * GaloisKeys) are shared by reference across every concurrent executor;
+ * nothing in the evaluator mutates them.
  */
 #ifndef FXHENN_CKKS_KEYS_HPP
 #define FXHENN_CKKS_KEYS_HPP

@@ -43,12 +43,13 @@ class Pool
     }
 
     void
-    run(std::size_t count, const std::function<void(std::size_t)> &fn)
+    run(std::size_t count, const std::function<void(std::size_t)> &fn,
+        unsigned workerOverride = 0)
     {
         if (count == 0)
             return;
-        unsigned workers;
-        {
+        unsigned workers = workerOverride;
+        if (workers == 0) {
             std::unique_lock lock(mutex_);
             workers = desired_;
         }
@@ -155,6 +156,19 @@ parallelFor(std::size_t count,
             const std::function<void(std::size_t)> &fn)
 {
     Pool::instance().run(count, fn);
+}
+
+void
+parallelForWorkers(unsigned workers, std::size_t count,
+                   const std::function<void(std::size_t)> &fn)
+{
+    Pool::instance().run(count, fn, workers);
+}
+
+void
+markPoolWorker(bool inWorker)
+{
+    t_inWorker = inWorker;
 }
 
 } // namespace fxhenn

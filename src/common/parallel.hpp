@@ -34,6 +34,27 @@ unsigned threadCount();
 void parallelFor(std::size_t count,
                  const std::function<void(std::size_t)> &fn);
 
+/**
+ * parallelFor() with an explicit worker count for this one call
+ * (0 = use the global setThreadCount() setting). Iterations started
+ * from inside the workers still run their own nested parallelFor()
+ * calls inline, so a caller that uses this for coarse-grained work
+ * (e.g. one encrypted inference per index) does not multiply threads
+ * with the fine-grained RNS-limb loops underneath.
+ */
+void parallelForWorkers(unsigned workers, std::size_t count,
+                        const std::function<void(std::size_t)> &fn);
+
+/**
+ * Mark (or unmark) the calling thread as a pool worker. A marked
+ * thread runs every parallelFor() it issues inline, exactly like a
+ * thread spawned by the pool itself. Long-lived worker threads that
+ * live outside this pool (e.g. the inference engine's request workers)
+ * mark themselves so the fine-grained RNS-limb loops underneath do not
+ * multiply threads against the request-level parallelism.
+ */
+void markPoolWorker(bool inWorker);
+
 } // namespace fxhenn
 
 #endif // FXHENN_COMMON_PARALLEL_HPP

@@ -1,0 +1,193 @@
+#include "src/engine/inference_engine.hpp"
+
+#include <algorithm>
+
+#include "src/common/assert.hpp"
+#include "src/common/parallel.hpp"
+#include "src/common/timer.hpp"
+#include "src/telemetry/telemetry.hpp"
+
+namespace fxhenn::engine {
+
+InferenceEngine::InferenceEngine(const hecnn::HeNetworkPlan &plan,
+                                 const ckks::CkksContext &context,
+                                 EngineOptions options)
+    : options_(options), session_(plan, context, options.keySeed),
+      pool_(plan, context),
+      executor_(plan, context, session_.relinKey(),
+                session_.galoisKeys(), pool_, options.guard),
+      queue_(options.queueCapacity == 0 ? 1 : options.queueCapacity)
+{
+    FXHENN_FATAL_IF(options.workers == 0,
+                    "engine needs at least one worker");
+}
+
+InferenceEngine::~InferenceEngine()
+{
+    shutdown();
+}
+
+hecnn::InferOutcome
+InferenceEngine::runRequest(const nn::Tensor &input,
+                            std::uint64_t index)
+{
+    FXHENN_TELEM_COUNT("engine.requests", 1);
+    hecnn::InferOutcome out;
+    try {
+        auto result =
+            executor_.execute(session_.encryptInput(input, index));
+        out.budget = std::move(result.budget);
+        if (result.failure) {
+            out.failure = std::move(result.failure);
+            return out;
+        }
+        out.logits = session_.decryptLogits(result.regs);
+    } catch (const ConfigError &e) {
+        // Request-level isolation: a malformed request (wrong tensor
+        // shape, corrupt state) fails alone instead of taking down the
+        // engine and its neighbors.
+        robustness::FailureReport report;
+        report.layer = "request";
+        report.op = "exception";
+        report.reason = e.what();
+        out.failure = std::move(report);
+        out.logits.clear();
+    } catch (const InternalError &e) {
+        robustness::FailureReport report;
+        report.layer = "request";
+        report.op = "exception";
+        report.reason = e.what();
+        out.failure = std::move(report);
+        out.logits.clear();
+    }
+    return out;
+}
+
+void
+InferenceEngine::recordOutcome(const hecnn::InferOutcome &outcome,
+                               double seconds)
+{
+    if (outcome.degraded())
+        FXHENN_TELEM_COUNT("engine.degraded", 1);
+    if (telemetry::enabled()) {
+        telemetry::histogram("engine.request.ns")
+            .record(static_cast<std::uint64_t>(seconds * 1e9));
+    }
+    std::scoped_lock lock(statsMutex_);
+    stats_.completed += 1;
+    if (outcome.degraded())
+        stats_.degraded += 1;
+    latencySumSeconds_ += seconds;
+    stats_.meanLatencySeconds =
+        latencySumSeconds_ / double(stats_.completed);
+    if (stats_.completed == 1) {
+        stats_.minLatencySeconds = seconds;
+        stats_.maxLatencySeconds = seconds;
+    } else {
+        stats_.minLatencySeconds =
+            std::min(stats_.minLatencySeconds, seconds);
+        stats_.maxLatencySeconds =
+            std::max(stats_.maxLatencySeconds, seconds);
+    }
+}
+
+std::vector<hecnn::InferOutcome>
+InferenceEngine::runBatch(const std::vector<nn::Tensor> &inputs)
+{
+    std::uint64_t base = 0;
+    {
+        std::scoped_lock lock(statsMutex_);
+        base = stats_.submitted;
+        stats_.submitted += inputs.size();
+    }
+    std::vector<hecnn::InferOutcome> outcomes(inputs.size());
+    Timer wall;
+    parallelForWorkers(
+        options_.workers, inputs.size(), [&](std::size_t i) {
+            Timer latency;
+            outcomes[i] = runRequest(inputs[i], base + i);
+            recordOutcome(outcomes[i], latency.elapsedSeconds());
+        });
+    const double seconds = wall.elapsedSeconds();
+    {
+        std::scoped_lock lock(statsMutex_);
+        stats_.lastBatchSeconds = seconds;
+        stats_.lastBatchRequestsPerSecond =
+            seconds > 0.0 ? double(inputs.size()) / seconds : 0.0;
+    }
+    return outcomes;
+}
+
+std::future<hecnn::InferOutcome>
+InferenceEngine::submit(nn::Tensor input)
+{
+    startWorkers();
+    Job job;
+    job.input = std::move(input);
+    {
+        std::scoped_lock lock(statsMutex_);
+        job.index = stats_.submitted;
+        stats_.submitted += 1;
+    }
+    auto future = job.promise.get_future();
+    const bool accepted = queue_.push(std::move(job));
+    FXHENN_FATAL_IF(!accepted,
+                    "inference engine is shut down and no longer "
+                    "accepts requests");
+    return future;
+}
+
+void
+InferenceEngine::startWorkers()
+{
+    std::scoped_lock lock(lifecycleMutex_);
+    FXHENN_FATAL_IF(stopped_, "inference engine is shut down");
+    if (started_)
+        return;
+    started_ = true;
+    workers_.reserve(options_.workers);
+    for (unsigned w = 0; w < options_.workers; ++w)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+void
+InferenceEngine::workerLoop()
+{
+    // Request-level parallelism owns the threads here; the RNS-limb
+    // loops inside the kernels run inline on this thread.
+    markPoolWorker(true);
+    Job job;
+    while (queue_.pop(job)) {
+        Timer latency;
+        hecnn::InferOutcome outcome = runRequest(job.input, job.index);
+        recordOutcome(outcome, latency.elapsedSeconds());
+        job.promise.set_value(std::move(outcome));
+    }
+    markPoolWorker(false);
+}
+
+void
+InferenceEngine::shutdown()
+{
+    {
+        std::scoped_lock lock(lifecycleMutex_);
+        stopped_ = true;
+    }
+    queue_.close();
+    std::vector<std::thread> workers;
+    {
+        std::scoped_lock lock(lifecycleMutex_);
+        workers.swap(workers_);
+    }
+    for (auto &worker : workers)
+        worker.join();
+}
+
+EngineStats
+InferenceEngine::stats() const
+{
+    std::scoped_lock lock(statsMutex_);
+    return stats_;
+}
+
+} // namespace fxhenn::engine

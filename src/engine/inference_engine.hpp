@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Concurrent batched encrypted inference over one compiled HE-CNN.
+ *
+ * The engine composes the layered split (hecnn::ClientSession for key
+ * material and the encrypt/decrypt codec, hecnn::PlanExecutor for the
+ * stateless plan interpreter, hecnn::PlaintextPool for the shared
+ * weight encodings) and adds the serving concerns on top:
+ *
+ *  - a worker pool (common/parallel) running N requests concurrently
+ *    over shared read-only keys, plan and plaintext pool;
+ *  - a bounded request queue with blocking backpressure for the
+ *    streaming submit() path;
+ *  - per-request InferOutcomes — a request that degrades or throws is
+ *    isolated into its own FailureReport and never takes down the
+ *    engine or its neighbors;
+ *  - aggregate throughput/latency statistics plus telemetry counters
+ *    ("engine.requests", "engine.degraded", "engine.request.ns").
+ *
+ * Determinism: request r (in submission order) encrypts with a noise
+ * stream derived from (keySeed, r), so a batch produces bitwise
+ * identical logits whether it runs on 1 worker or 8 — and identical to
+ * r+1 serial Runtime::infer() calls with the same key seed.
+ */
+#ifndef FXHENN_ENGINE_INFERENCE_ENGINE_HPP
+#define FXHENN_ENGINE_INFERENCE_ENGINE_HPP
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/engine/request_queue.hpp"
+#include "src/hecnn/client_session.hpp"
+#include "src/hecnn/plan_executor.hpp"
+#include "src/hecnn/plaintext_pool.hpp"
+#include "src/hecnn/runtime.hpp"
+#include "src/nn/tensor.hpp"
+
+namespace fxhenn::engine {
+
+/** Serving knobs of one InferenceEngine. */
+struct EngineOptions
+{
+    /** Concurrent requests in flight (>= 1). */
+    unsigned workers = 4;
+    /** Bounded admission queue depth for submit() backpressure. */
+    std::size_t queueCapacity = 64;
+    /** Seed of the session key material and the noise streams. */
+    std::uint64_t keySeed = 1;
+    robustness::GuardOptions guard{};
+};
+
+/** Aggregate counters over the engine's lifetime (a snapshot). */
+struct EngineStats
+{
+    std::uint64_t submitted = 0; ///< requests accepted
+    std::uint64_t completed = 0; ///< outcomes produced (ok or degraded)
+    std::uint64_t degraded = 0;  ///< outcomes carrying a FailureReport
+    double minLatencySeconds = 0.0;
+    double maxLatencySeconds = 0.0;
+    double meanLatencySeconds = 0.0;
+    /** Wall time and throughput of the most recent runBatch(). */
+    double lastBatchSeconds = 0.0;
+    double lastBatchRequestsPerSecond = 0.0;
+};
+
+/** Multi-request inference server for one (plan, context) pair. */
+class InferenceEngine
+{
+  public:
+    /**
+     * Generate the session keys and build the shared plaintext pool.
+     * @p plan and @p context must outlive the engine.
+     */
+    InferenceEngine(const hecnn::HeNetworkPlan &plan,
+                    const ckks::CkksContext &context,
+                    EngineOptions options = {});
+
+    /** Joins the streaming workers (pending requests are drained). */
+    ~InferenceEngine();
+
+    InferenceEngine(const InferenceEngine &) = delete;
+    InferenceEngine &operator=(const InferenceEngine &) = delete;
+
+    /**
+     * Run @p inputs as one batch over the worker pool and return the
+     * outcomes in input order. Deterministic for a fixed key seed and
+     * submission history, independent of the worker count. A request
+     * that throws ConfigError/InternalError mid-flight yields a
+     * degraded outcome instead of propagating.
+     */
+    std::vector<hecnn::InferOutcome> runBatch(
+        const std::vector<nn::Tensor> &inputs);
+
+    /**
+     * Streaming admission: enqueue one request and return a future for
+     * its outcome. Blocks while the bounded queue is full
+     * (backpressure); the worker threads start lazily on first call.
+     * Throws ConfigError after shutdown().
+     */
+    std::future<hecnn::InferOutcome> submit(nn::Tensor input);
+
+    /**
+     * Stop accepting requests, drain the queue and join the workers.
+     * Futures already handed out all complete. Idempotent.
+     */
+    void shutdown();
+
+    /** Lifetime aggregate statistics (thread-safe snapshot). */
+    EngineStats stats() const;
+
+    const EngineOptions &options() const { return options_; }
+    const hecnn::ClientSession &session() const { return session_; }
+    const hecnn::PlaintextPool &plaintextPool() const { return pool_; }
+    const hecnn::PlanExecutor &executor() const { return executor_; }
+
+  private:
+    /** One queued streaming request. */
+    struct Job
+    {
+        nn::Tensor input;
+        std::uint64_t index = 0;
+        std::promise<hecnn::InferOutcome> promise;
+    };
+
+    /** encrypt -> execute -> decrypt, with request-level isolation. */
+    hecnn::InferOutcome runRequest(const nn::Tensor &input,
+                                   std::uint64_t index);
+    void recordOutcome(const hecnn::InferOutcome &outcome,
+                       double seconds);
+    void startWorkers();
+    void workerLoop();
+
+    EngineOptions options_;
+    hecnn::ClientSession session_;
+    hecnn::PlaintextPool pool_;
+    hecnn::PlanExecutor executor_;
+
+    mutable std::mutex statsMutex_;
+    EngineStats stats_;
+    double latencySumSeconds_ = 0.0;
+
+    std::mutex lifecycleMutex_;
+    bool started_ = false;
+    bool stopped_ = false;
+    RequestQueue<Job> queue_;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace fxhenn::engine
+
+#endif // FXHENN_ENGINE_INFERENCE_ENGINE_HPP

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Bounded MPMC queue with blocking backpressure.
+ *
+ * The inference engine's admission path: producers (request submitters)
+ * block in push() once `capacity` requests are in flight, which caps
+ * the engine's memory footprint (each queued request pins an input
+ * tensor; each in-flight one pins a whole ciphertext register file).
+ * close() wakes everyone: pending pushes fail, pops drain what is left
+ * and then fail, so shutdown never loses an accepted request.
+ */
+#ifndef FXHENN_ENGINE_REQUEST_QUEUE_HPP
+#define FXHENN_ENGINE_REQUEST_QUEUE_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "src/common/assert.hpp"
+
+namespace fxhenn::engine {
+
+/** Bounded blocking queue; all methods are thread-safe. */
+template <typename T>
+class RequestQueue
+{
+  public:
+    explicit RequestQueue(std::size_t capacity) : capacity_(capacity)
+    {
+        FXHENN_FATAL_IF(capacity == 0,
+                        "request queue capacity must be positive");
+    }
+
+    /**
+     * Block until there is room (backpressure), then enqueue.
+     * @return false when the queue was closed (item not enqueued).
+     */
+    bool
+    push(T item)
+    {
+        std::unique_lock lock(mutex_);
+        notFull_.wait(lock, [&] {
+            return closed_ || items_.size() < capacity_;
+        });
+        if (closed_)
+            return false;
+        items_.push_back(std::move(item));
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /** Enqueue only if there is room right now; never blocks. */
+    bool
+    tryPush(T item)
+    {
+        std::unique_lock lock(mutex_);
+        if (closed_ || items_.size() >= capacity_)
+            return false;
+        items_.push_back(std::move(item));
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Block until an item is available or the queue is closed and
+     * drained. @return false only when closed and empty.
+     */
+    bool
+    pop(T &out)
+    {
+        std::unique_lock lock(mutex_);
+        notEmpty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+        if (items_.empty())
+            return false;
+        out = std::move(items_.front());
+        items_.pop_front();
+        notFull_.notify_one();
+        return true;
+    }
+
+    /** Reject future pushes; pops drain the remaining items. */
+    void
+    close()
+    {
+        std::unique_lock lock(mutex_);
+        closed_ = true;
+        notFull_.notify_all();
+        notEmpty_.notify_all();
+    }
+
+    bool
+    closed() const
+    {
+        std::unique_lock lock(mutex_);
+        return closed_;
+    }
+
+    std::size_t
+    size() const
+    {
+        std::unique_lock lock(mutex_);
+        return items_.size();
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable notFull_;
+    std::condition_variable notEmpty_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+} // namespace fxhenn::engine
+
+#endif // FXHENN_ENGINE_REQUEST_QUEUE_HPP

@@ -1,0 +1,121 @@
+#include "src/hecnn/client_session.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "src/ckks/noise.hpp"
+#include "src/common/assert.hpp"
+#include "src/telemetry/telemetry.hpp"
+
+namespace fxhenn::hecnn {
+
+namespace {
+
+/** splitmix64-style mix of (seed, requestIndex) into one 64-bit seed. */
+std::uint64_t
+mixRequestSeed(std::uint64_t seed, std::uint64_t request)
+{
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (request + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+ClientSession::ClientSession(const HeNetworkPlan &plan,
+                             const ckks::CkksContext &context,
+                             std::uint64_t seed)
+    : plan_(plan), context_(context), seed_(seed), rng_(seed),
+      keygen_(context, rng_), encoder_(context),
+      encryptor_(context, keygen_.makePublicKey(), rng_),
+      decryptor_(context, keygen_.secretKey()),
+      relin_(keygen_.makeRelinKey())
+{
+    FXHENN_FATAL_IF(plan.valuesElided,
+                    "plan was compiled with elideValues=true and "
+                    "cannot be executed");
+    for (std::int32_t step : plan.rotationSteps())
+        keygen_.addGaloisKey(galois_, step);
+    for (const auto &gather : plan.inputGather) {
+        for (const std::int32_t idx : gather) {
+            if (idx >= 0)
+                minInputElements_ = std::max(
+                    minInputElements_,
+                    static_cast<std::size_t>(idx) + 1);
+        }
+    }
+}
+
+std::vector<ckks::Ciphertext>
+ClientSession::encryptInput(const nn::Tensor &input,
+                            std::uint64_t requestIndex) const
+{
+    FXHENN_FATAL_IF(input.size() < minInputElements_,
+                    "input tensor has " + std::to_string(input.size()) +
+                        " elements but the plan gathers up to index " +
+                        std::to_string(minInputElements_ - 1));
+    FXHENN_TELEM_SCOPED_TIMER("hecnn.client.encrypt.ns");
+    Rng rng(mixRequestSeed(seed_, requestIndex));
+    const std::size_t slots = context_.slots();
+    std::vector<ckks::Ciphertext> cts;
+    cts.reserve(plan_.inputGather.size());
+    for (const auto &gather : plan_.inputGather) {
+        std::vector<double> v(slots, 0.0);
+        for (std::size_t s = 0; s < slots; ++s) {
+            if (gather[s] >= 0)
+                v[s] = input.data()[static_cast<std::size_t>(gather[s])];
+        }
+        const auto plain =
+            encoder_.encode(std::span<const double>(v),
+                            context_.params().scale,
+                            context_.maxLevel());
+        cts.push_back(encryptor_.encrypt(plain, rng));
+    }
+    return cts;
+}
+
+std::vector<double>
+ClientSession::decryptLogits(
+    std::span<const std::optional<ckks::Ciphertext>> regs) const
+{
+    FXHENN_TELEM_SCOPED_TIMER("hecnn.client.decrypt.ns");
+    std::map<std::int32_t, std::vector<double>> decoded;
+    std::vector<double> logits(plan_.outputLayout.elements(), 0.0);
+    for (std::size_t e = 0; e < logits.size(); ++e) {
+        const auto [reg_id, slot] = plan_.outputLayout.pos[e];
+        auto it = decoded.find(reg_id);
+        if (it == decoded.end()) {
+            const auto &ct = regs[static_cast<std::size_t>(reg_id)];
+            FXHENN_ASSERT(ct.has_value(), "output register unwritten");
+            it = decoded
+                     .emplace(reg_id, encoder_.decodeReal(
+                                          decryptor_.decrypt(*ct)))
+                     .first;
+        }
+        logits[e] = it->second[static_cast<std::size_t>(slot)];
+    }
+    return logits;
+}
+
+double
+ClientSession::outputHeadroomBits(
+    std::span<const std::optional<ckks::Ciphertext>> regs) const
+{
+    double headroom = std::numeric_limits<double>::infinity();
+    std::set<std::int32_t> seen;
+    for (const auto &pos : plan_.outputLayout.pos) {
+        const std::int32_t reg_id = pos.first;
+        if (!seen.insert(reg_id).second)
+            continue;
+        const auto &ct = regs[static_cast<std::size_t>(reg_id)];
+        FXHENN_ASSERT(ct.has_value(), "output register unwritten");
+        headroom = std::min(
+            headroom, ckks::headroomBits(*ct, context_, decryptor_));
+    }
+    return headroom;
+}
+
+} // namespace fxhenn::hecnn

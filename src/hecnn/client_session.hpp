@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The client role of the MLaaS split (Sec. I): key generation, input
+ * packing + encryption, output decryption + logit extraction.
+ *
+ * A ClientSession owns everything derived from the secret key for one
+ * (plan, context) pair: the secret/public keys, the relinearization
+ * key and the Galois keys for every rotation step the plan uses. The
+ * evaluation keys are exposed by const reference so any number of
+ * PlanExecutors (server role) can borrow them concurrently; the secret
+ * key never leaves the session.
+ *
+ * Thread-safety: immutable after construction. encryptInput() derives
+ * an independent noise stream per requestIndex, so concurrent requests
+ * encrypt deterministically — request r of a batch produces bitwise
+ * the same ciphertexts whether it runs serially or on a worker pool.
+ */
+#ifndef FXHENN_HECNN_CLIENT_SESSION_HPP
+#define FXHENN_HECNN_CLIENT_SESSION_HPP
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/ckks/decryptor.hpp"
+#include "src/ckks/encoder.hpp"
+#include "src/ckks/encryptor.hpp"
+#include "src/ckks/keygen.hpp"
+#include "src/hecnn/plan.hpp"
+#include "src/nn/tensor.hpp"
+
+namespace fxhenn::hecnn {
+
+/** Client-side key material + codec for one compiled HE-CNN. */
+class ClientSession
+{
+  public:
+    /**
+     * Generate all key material for @p plan (public, relinearization,
+     * and the Galois keys for every rotation step the plan uses) from
+     * @p seed. Throws ConfigError for a values-elided plan.
+     */
+    ClientSession(const HeNetworkPlan &plan,
+                  const ckks::CkksContext &context,
+                  std::uint64_t seed = 1);
+
+    const HeNetworkPlan &plan() const { return plan_; }
+    const ckks::CkksContext &context() const { return context_; }
+
+    /** Evaluation keys, shared read-only with the server role. */
+    const ckks::RelinKey &relinKey() const { return relin_; }
+    const ckks::GaloisKeys &galoisKeys() const { return galois_; }
+
+    /** Number of Galois keys generated (rotation key footprint). */
+    std::size_t galoisKeyCount() const { return galois_.keys.size(); }
+
+    /**
+     * Pack @p input per the plan's gather spec, encode and encrypt it
+     * into the plan's input registers. @p requestIndex selects the
+     * deterministic per-request noise stream; distinct indices give
+     * statistically independent encryption randomness. Throws
+     * ConfigError when the tensor's element count does not match the
+     * plan's input.
+     */
+    std::vector<ckks::Ciphertext> encryptInput(
+        const nn::Tensor &input, std::uint64_t requestIndex = 0) const;
+
+    /**
+     * Decrypt the output registers (each at most once) and extract the
+     * logits per the plan's output layout.
+     */
+    std::vector<double> decryptLogits(
+        std::span<const std::optional<ckks::Ciphertext>> regs) const;
+
+    /**
+     * Measured headroom over the output registers of @p regs: min of
+     * ckks::headroomBits(). Negative means the logits are garbage.
+     */
+    double outputHeadroomBits(
+        std::span<const std::optional<ckks::Ciphertext>> regs) const;
+
+  private:
+    const HeNetworkPlan &plan_;
+    const ckks::CkksContext &context_;
+    std::uint64_t seed_;
+    std::size_t minInputElements_ = 0; ///< from the gather spec
+    Rng rng_; ///< key-generation stream only
+    ckks::KeyGenerator keygen_;
+    ckks::Encoder encoder_;
+    ckks::Encryptor encryptor_;
+    ckks::Decryptor decryptor_;
+    ckks::RelinKey relin_;
+    ckks::GaloisKeys galois_;
+};
+
+} // namespace fxhenn::hecnn
+
+#endif // FXHENN_HECNN_CLIENT_SESSION_HPP

@@ -1,0 +1,70 @@
+#include "src/hecnn/plaintext_pool.hpp"
+
+#include "src/ckks/encoder.hpp"
+#include "src/common/assert.hpp"
+#include "src/common/parallel.hpp"
+#include "src/telemetry/telemetry.hpp"
+
+namespace fxhenn::hecnn {
+
+PlaintextPool::PlaintextPool(const HeNetworkPlan &plan,
+                             const ckks::CkksContext &context)
+{
+    FXHENN_TELEM_SCOPED_TIMER("hecnn.plaintext_pool.build.ns");
+    pool_.resize(plan.plaintexts.size());
+
+    // Collect the distinct pt_ids pcMult references (pcAdd encodings
+    // depend on the run-time ciphertext scale and stay per-request).
+    std::vector<std::int32_t> wanted;
+    std::vector<bool> seen(plan.plaintexts.size(), false);
+    for (const auto &layer : plan.layers) {
+        for (const auto &instr : layer.instrs) {
+            if (instr.kind != HeOpKind::pcMult)
+                continue;
+            const auto id = static_cast<std::size_t>(instr.pt);
+            FXHENN_ASSERT(id < plan.plaintexts.size(),
+                          "pcMult references an out-of-range pt_id");
+            if (!seen[id]) {
+                seen[id] = true;
+                wanted.push_back(instr.pt);
+            }
+        }
+    }
+
+    const ckks::Encoder encoder(context);
+    const double scale = context.params().scale;
+    parallelFor(wanted.size(), [&](std::size_t w) {
+        const auto id = static_cast<std::size_t>(wanted[w]);
+        const PlanPlaintext &pt = plan.plaintexts[id];
+        FXHENN_ASSERT(pt.atSchemeScale,
+                      "only scheme-scale plaintexts are poolable");
+        pool_[id] = encoder.encode(std::span<const double>(pt.values),
+                                   scale, pt.level);
+    });
+
+    count_ = wanted.size();
+    for (const auto &slot : pool_) {
+        if (slot.has_value())
+            bytes_ += slot->poly.limbCount() * slot->poly.n() *
+                      sizeof(std::uint64_t);
+    }
+    FXHENN_TELEM_COUNT("hecnn.plaintext_pool.entries", count_);
+}
+
+const ckks::Plaintext &
+PlaintextPool::at(std::int32_t pt_id) const
+{
+    const auto id = static_cast<std::size_t>(pt_id);
+    FXHENN_ASSERT(id < pool_.size() && pool_[id].has_value(),
+                  "plaintext pool lookup of an unpooled pt_id");
+    return *pool_[id];
+}
+
+bool
+PlaintextPool::contains(std::int32_t pt_id) const
+{
+    return pt_id >= 0 && static_cast<std::size_t>(pt_id) < pool_.size() &&
+           pool_[static_cast<std::size_t>(pt_id)].has_value();
+}
+
+} // namespace fxhenn::hecnn

@@ -67,16 +67,18 @@ SlotLayout::isContiguousSingleReg() const
 std::uint64_t
 HeLayerPlan::kindCount(HeOpKind kind) const
 {
-    if (!counted_) {
-        // A plan built by hand (or mutated) without calling
-        // classify(): recount instead of reporting zeros. cls stays
-        // untouched on this path by design.
-        kindCounts_ = {};
-        for (const auto &instr : instrs)
-            ++kindCounts_[static_cast<std::size_t>(instr.kind)];
-        counted_ = true;
+    if (counted_)
+        return kindCounts_[static_cast<std::size_t>(kind)];
+    // A plan built by hand (or mutated) without calling classify():
+    // recount instead of reporting zeros, but into a local — writing
+    // the member here would data-race once two executors share the
+    // plan. cls stays untouched on this path by design.
+    std::uint64_t n = 0;
+    for (const auto &instr : instrs) {
+        if (instr.kind == kind)
+            ++n;
     }
-    return kindCounts_[static_cast<std::size_t>(kind)];
+    return n;
 }
 
 HeOpCounts
@@ -95,7 +97,10 @@ HeLayerPlan::counts() const
 void
 HeLayerPlan::classify()
 {
-    counted_ = false; // force a fresh count of the current stream
+    kindCounts_ = {};
+    for (const auto &instr : instrs)
+        ++kindCounts_[static_cast<std::size_t>(instr.kind)];
+    counted_ = true;
     cls = counts().keySwitch() > 0 ? LayerClass::ks : LayerClass::nks;
 }
 

@@ -91,11 +91,13 @@ struct HeLayerPlan
     HeOpCounts counts() const;
 
     /**
-     * Instructions of one opcode. O(1) once cached; a plan whose
-     * cache was never populated recounts lazily on first use instead
-     * of silently returning zeros. The lazy path fills the counts
-     * only — it never touches cls, so a stale KS/NKS class is still
-     * observable (and diagnosed by the layer-class verifier pass).
+     * Instructions of one opcode. O(1) once classify() (called by the
+     * compiler and the plan loader) has populated the cache; a plan
+     * built by hand without classify() recounts on every call instead
+     * of silently returning zeros. Neither path mutates the layer, so
+     * concurrent readers sharing one plan are safe; the uncached path
+     * never touches cls, so a stale KS/NKS class is still observable
+     * (and diagnosed by the layer-class verifier pass).
      */
     std::uint64_t kindCount(HeOpKind kind) const;
 
@@ -103,11 +105,11 @@ struct HeLayerPlan
     void classify();
 
   private:
-    /** Opcode-count cache; lazily filled, see kindCount(). Not
-     *  thread-safe to fault in concurrently — classify() first when
-     *  sharing a plan across threads. */
-    mutable std::array<std::uint64_t, 8> kindCounts_{};
-    mutable bool counted_ = false;
+    /** Opcode-count cache, populated only by classify() so that
+     *  kindCount() stays const in the strict sense — executors share
+     *  plans read-only across threads. */
+    std::array<std::uint64_t, 8> kindCounts_{};
+    bool counted_ = false;
 };
 
 /** A full compiled network. */

@@ -1,0 +1,229 @@
+#include "src/hecnn/plan_executor.hpp"
+
+#include <iostream>
+
+#include "src/common/assert.hpp"
+#include "src/common/timer.hpp"
+#include "src/robustness/fault_injection.hpp"
+#include "src/telemetry/telemetry.hpp"
+
+namespace fxhenn::hecnn {
+
+namespace {
+
+/**
+ * Internal control-flow signal for GuardPolicy::degrade: thrown by
+ * guardViolation(), caught in execute(), never escapes.
+ */
+struct DegradeSignal
+{
+    robustness::FailureReport report;
+};
+
+} // namespace
+
+PlanExecutor::PlanExecutor(const HeNetworkPlan &plan,
+                           const ckks::CkksContext &context,
+                           const ckks::RelinKey &relin,
+                           const ckks::GaloisKeys &galois,
+                           const PlaintextPool &pool,
+                           robustness::GuardOptions guard)
+    : plan_(plan), context_(context), relin_(relin), galois_(galois),
+      pool_(pool), encoder_(context), guardOptions_(guard)
+{
+    FXHENN_FATAL_IF(plan.valuesElided,
+                    "plan was compiled with elideValues=true and "
+                    "cannot be executed");
+}
+
+void
+PlanExecutor::guardViolation(Run &run, const std::string &layer,
+                             const char *op,
+                             const std::string &reason) const
+{
+    FXHENN_TELEM_COUNT("robustness.guard.violations", 1);
+    switch (guardOptions_.policy) {
+      case robustness::GuardPolicy::strict:
+        FXHENN_PANIC_IF(true, "guard: " + reason + " (layer " + layer +
+                                  ", op " + std::string(op) + ")");
+        break;
+      case robustness::GuardPolicy::warn: {
+        // One formatted write: concurrent requests each emit a whole
+        // line instead of interleaving operator<< fragments.
+        FXHENN_TELEM_COUNT("robustness.guard.warnings", 1);
+        std::string line = "fxhenn guard warning: " + reason +
+                           " (layer " + layer + ", op " + op + ")\n";
+        std::cerr << line;
+        break;
+      }
+      case robustness::GuardPolicy::degrade: {
+        robustness::FailureReport report;
+        report.layer = layer;
+        report.op = op;
+        report.reason = reason;
+        report.trajectory = run.guard.trajectory();
+        throw DegradeSignal{std::move(report)};
+      }
+    }
+}
+
+void
+PlanExecutor::executeLayer(Run &run, const HeLayerPlan &layer) const
+{
+    auto &regs = run.regs;
+    auto reg = [&](std::int32_t id) -> ckks::Ciphertext & {
+        auto &slot = regs[static_cast<std::size_t>(id)];
+        FXHENN_ASSERT(slot.has_value(), "read of unwritten register");
+        return *slot;
+    };
+
+    for (const auto &instr : layer.instrs) {
+        if (auto reason = run.guard.preCheck(instr))
+            guardViolation(run, layer.name, opName(instr.kind),
+                           *reason);
+        switch (instr.kind) {
+          case HeOpKind::pcMult: {
+            const auto &pt = pool_.at(instr.pt);
+            regs[static_cast<std::size_t>(instr.dst)] =
+                run.evaluator.mulPlain(reg(instr.src), pt);
+            break;
+          }
+          case HeOpKind::pcAdd: {
+            // Bias adds encode at the ciphertext's current scale.
+            const PlanPlaintext &pool =
+                plan_.plaintexts[static_cast<std::size_t>(instr.pt)];
+            ckks::Ciphertext &target = reg(instr.src);
+            const auto encoded = encoder_.encode(
+                std::span<const double>(pool.values), target.scale,
+                target.level());
+            regs[static_cast<std::size_t>(instr.dst)] =
+                run.evaluator.addPlain(target, encoded);
+            break;
+          }
+          case HeOpKind::ccAdd:
+            run.evaluator.addInplace(reg(instr.dst), reg(instr.src));
+            break;
+          case HeOpKind::ccMult: {
+            const ckks::Ciphertext &src = reg(instr.src);
+            regs[static_cast<std::size_t>(instr.dst)] =
+                run.evaluator.mulNoRelin(src, src);
+            break;
+          }
+          case HeOpKind::relinearize:
+            regs[static_cast<std::size_t>(instr.dst)] =
+                run.evaluator.relinearize(reg(instr.src), relin_);
+            break;
+          case HeOpKind::rescale:
+            if (instr.dst == instr.src) {
+                run.evaluator.rescaleInplace(reg(instr.dst));
+            } else {
+                regs[static_cast<std::size_t>(instr.dst)] =
+                    run.evaluator.rescale(reg(instr.src));
+            }
+            break;
+          case HeOpKind::rotate:
+            regs[static_cast<std::size_t>(instr.dst)] =
+                run.evaluator.rotate(reg(instr.src), instr.step,
+                                     galois_);
+            break;
+          case HeOpKind::copy:
+            regs[static_cast<std::size_t>(instr.dst)] = reg(instr.src);
+            break;
+        }
+        run.guard.apply(instr);
+    }
+}
+
+ExecutionResult
+PlanExecutor::execute(std::vector<ckks::Ciphertext> inputs) const
+{
+    FXHENN_FATAL_IF(inputs.size() != plan_.inputCiphertexts(),
+                    "plan expects " +
+                        std::to_string(plan_.inputCiphertexts()) +
+                        " input ciphertexts, got " +
+                        std::to_string(inputs.size()));
+    FXHENN_TELEM_SCOPED_TIMER("hecnn.infer.ns");
+    FXHENN_TELEM_COUNT("hecnn.inferences", 1);
+
+    Run run{ckks::Evaluator(context_),
+            RuntimeGuard(plan_, context_, guardOptions_),
+            {},
+            {}};
+    run.regs.resize(static_cast<std::size_t>(plan_.regCount));
+    run.layerStats.reserve(plan_.layers.size());
+    run.guard.beginInfer();
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+        run.regs[i] = std::move(inputs[i]);
+
+    ExecutionResult out;
+    const bool degrade =
+        guardOptions_.policy == robustness::GuardPolicy::degrade;
+    for (const auto &layer : plan_.layers) {
+        try {
+            if (auto fault = robustness::fireFault("ciphertext.limb")) {
+                for (auto &slot : run.regs) {
+                    if (slot.has_value() && !slot->parts.empty()) {
+                        robustness::corruptResidues(slot->parts[0],
+                                                    fault->seed);
+                        break;
+                    }
+                }
+            }
+            const ckks::OpCounts before = run.evaluator.counts();
+            Timer timer;
+            executeLayer(run, layer);
+            MeasuredLayerStats row;
+            row.name = layer.name;
+            row.seconds = timer.elapsedSeconds();
+            const ckks::OpCounts &after = run.evaluator.counts();
+            row.executed.ccAdd = after.ccAdd - before.ccAdd;
+            row.executed.pcAdd = after.pcAdd - before.pcAdd;
+            row.executed.pcMult = after.pcMult - before.pcMult;
+            row.executed.ccMult = after.ccMult - before.ccMult;
+            row.executed.rescale = after.rescale - before.rescale;
+            row.executed.relinearize =
+                after.relinearize - before.relinearize;
+            row.executed.rotate = after.rotate - before.rotate;
+            if (telemetry::enabled()) {
+                telemetry::histogram("hecnn.layer." + layer.name +
+                                     ".ns")
+                    .record(static_cast<std::uint64_t>(row.seconds *
+                                                       1e9));
+            }
+            run.layerStats.push_back(std::move(row));
+            if (auto reason = run.guard.checkLayerEnd(layer, run.regs))
+                guardViolation(run, layer.name, "layer-end", *reason);
+        } catch (DegradeSignal &sig) {
+            out.failure = std::move(sig.report);
+        } catch (const ConfigError &e) {
+            if (!degrade)
+                throw;
+            robustness::FailureReport report;
+            report.layer = layer.name;
+            report.op = "exception";
+            report.reason = e.what();
+            report.trajectory = run.guard.trajectory();
+            out.failure = std::move(report);
+        } catch (const InternalError &e) {
+            if (!degrade)
+                throw;
+            robustness::FailureReport report;
+            report.layer = layer.name;
+            report.op = "exception";
+            report.reason = e.what();
+            report.trajectory = run.guard.trajectory();
+            out.failure = std::move(report);
+        }
+        if (out.failure)
+            break;
+    }
+    out.budget = run.guard.trajectory();
+    out.executed = run.evaluator.counts();
+    out.layerStats = std::move(run.layerStats);
+    out.regs = std::move(run.regs);
+    if (out.failure)
+        FXHENN_TELEM_COUNT("robustness.guard.degraded_runs", 1);
+    return out;
+}
+
+} // namespace fxhenn::hecnn

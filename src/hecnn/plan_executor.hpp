@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The server role of the MLaaS split: a plan interpreter over the
+ * register file, with no key generation and no secret-key access.
+ *
+ * A PlanExecutor borrows everything it needs by const reference — the
+ * compiled plan, the CKKS context, the relinearization/Galois keys and
+ * the precomputed PlaintextPool — and keeps no per-request state in
+ * the object: every execute() call builds its own evaluator, guard and
+ * register file on the stack. One executor therefore serves any number
+ * of concurrent requests (the InferenceEngine's worker pool), and the
+ * FxHENN verification loop (Sec. VII) gets the plan-interpreter half
+ * without dragging in the client role.
+ */
+#ifndef FXHENN_HECNN_PLAN_EXECUTOR_HPP
+#define FXHENN_HECNN_PLAN_EXECUTOR_HPP
+
+#include <optional>
+#include <vector>
+
+#include "src/ckks/encoder.hpp"
+#include "src/ckks/evaluator.hpp"
+#include "src/ckks/keys.hpp"
+#include "src/hecnn/guard.hpp"
+#include "src/hecnn/plaintext_pool.hpp"
+#include "src/hecnn/plan.hpp"
+#include "src/hecnn/stats.hpp"
+#include "src/robustness/guard.hpp"
+
+namespace fxhenn::hecnn {
+
+/** Everything one encrypted run produced, scoped to that request. */
+struct ExecutionResult
+{
+    /** Final register file (the output registers hold the logits). */
+    std::vector<std::optional<ckks::Ciphertext>> regs;
+    /** Wall time + executed-op breakdown per layer. */
+    std::vector<MeasuredLayerStats> layerStats;
+    /** Evaluator counters accumulated over the run. */
+    ckks::OpCounts executed;
+    /** Set when the run degraded (GuardPolicy::degrade). */
+    std::optional<robustness::FailureReport> failure;
+    /** Predicted per-layer noise-budget trajectory. */
+    std::vector<robustness::BudgetSample> budget;
+
+    bool degraded() const { return failure.has_value(); }
+};
+
+/** Stateless-per-request interpreter of one compiled HE-CNN plan. */
+class PlanExecutor
+{
+  public:
+    /**
+     * Borrow @p plan, @p context, the evaluation keys and @p pool.
+     * All five must outlive the executor and stay unmodified; the pool
+     * must have been built from the same plan/context.
+     */
+    PlanExecutor(const HeNetworkPlan &plan,
+                 const ckks::CkksContext &context,
+                 const ckks::RelinKey &relin,
+                 const ckks::GaloisKeys &galois,
+                 const PlaintextPool &pool,
+                 robustness::GuardOptions guard = {});
+
+    /**
+     * Run every layer of the plan over @p inputs (the client's
+     * encrypted input registers, in plan order). Under
+     * GuardPolicy::degrade a violation or mid-layer
+     * ConfigError/InternalError aborts the run with a FailureReport in
+     * the result instead of propagating. Safe to call concurrently.
+     */
+    ExecutionResult execute(std::vector<ckks::Ciphertext> inputs) const;
+
+    const HeNetworkPlan &plan() const { return plan_; }
+    const robustness::GuardOptions &guardOptions() const
+    {
+        return guardOptions_;
+    }
+
+  private:
+    /** Mutable state of one in-flight request, stack-allocated. */
+    struct Run
+    {
+        ckks::Evaluator evaluator;
+        RuntimeGuard guard;
+        std::vector<std::optional<ckks::Ciphertext>> regs;
+        std::vector<MeasuredLayerStats> layerStats;
+    };
+
+    void executeLayer(Run &run, const HeLayerPlan &layer) const;
+    void guardViolation(Run &run, const std::string &layer,
+                        const char *op, const std::string &reason) const;
+
+    const HeNetworkPlan &plan_;
+    const ckks::CkksContext &context_;
+    const ckks::RelinKey &relin_;
+    const ckks::GaloisKeys &galois_;
+    const PlaintextPool &pool_;
+    ckks::Encoder encoder_; ///< re-entrant (bias encodes at run scale)
+    robustness::GuardOptions guardOptions_;
+};
+
+} // namespace fxhenn::hecnn
+
+#endif // FXHENN_HECNN_PLAN_EXECUTOR_HPP

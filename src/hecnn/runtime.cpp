@@ -1,279 +1,33 @@
 #include "src/hecnn/runtime.hpp"
 
-#include <iostream>
-#include <limits>
-#include <set>
-
-#include "src/ckks/noise.hpp"
 #include "src/common/assert.hpp"
-#include "src/common/timer.hpp"
-#include "src/robustness/fault_injection.hpp"
-#include "src/telemetry/telemetry.hpp"
 
 namespace fxhenn::hecnn {
-
-namespace {
-
-/**
- * Internal control-flow signal for GuardPolicy::degrade: thrown by
- * guardViolation(), caught in inferGuarded(), never escapes.
- */
-struct DegradeSignal
-{
-    robustness::FailureReport report;
-};
-
-} // namespace
 
 Runtime::Runtime(const HeNetworkPlan &plan,
                  const ckks::CkksContext &context, std::uint64_t seed,
                  robustness::GuardOptions guard)
-    : plan_(plan), context_(context), rng_(seed), keygen_(context, rng_),
-      encoder_(context), encryptor_(context, keygen_.makePublicKey(),
-                                    rng_),
-      decryptor_(context, keygen_.secretKey()), evaluator_(context),
-      relin_(keygen_.makeRelinKey()), guard_(plan, context, guard)
-{
-    FXHENN_FATAL_IF(plan.valuesElided,
-                    "plan was compiled with elideValues=true and "
-                    "cannot be executed");
-    for (std::int32_t step : plan.rotationSteps())
-        keygen_.addGaloisKey(galois_, step);
-    regs_.resize(static_cast<std::size_t>(plan.regCount));
-}
-
-std::vector<std::vector<double>>
-Runtime::packInput(const nn::Tensor &input) const
-{
-    const std::size_t slots = context_.slots();
-    std::vector<std::vector<double>> packed;
-    packed.reserve(plan_.inputGather.size());
-    for (const auto &gather : plan_.inputGather) {
-        std::vector<double> v(slots, 0.0);
-        for (std::size_t s = 0; s < slots; ++s) {
-            if (gather[s] >= 0)
-                v[s] = input.data()[static_cast<std::size_t>(gather[s])];
-        }
-        packed.push_back(std::move(v));
-    }
-    return packed;
-}
-
-const ckks::Plaintext &
-Runtime::encodePooled(std::int32_t pt_id)
-{
-    auto it = plaintextCache_.find(pt_id);
-    if (it != plaintextCache_.end())
-        return it->second;
-    const PlanPlaintext &pt =
-        plan_.plaintexts[static_cast<std::size_t>(pt_id)];
-    FXHENN_ASSERT(pt.atSchemeScale,
-                  "only scheme-scale plaintexts are cacheable");
-    auto encoded = encoder_.encode(std::span<const double>(pt.values),
-                                   context_.params().scale, pt.level);
-    return plaintextCache_.emplace(pt_id, std::move(encoded))
-        .first->second;
-}
-
-void
-Runtime::guardViolation(const std::string &layer, const char *op,
-                        const std::string &reason)
-{
-    FXHENN_TELEM_COUNT("robustness.guard.violations", 1);
-    switch (guard_.options().policy) {
-      case robustness::GuardPolicy::strict:
-        FXHENN_PANIC_IF(true, "guard: " + reason + " (layer " + layer +
-                                  ", op " + std::string(op) + ")");
-        break;
-      case robustness::GuardPolicy::warn:
-        std::cerr << "fxhenn guard warning: " << reason << " (layer "
-                  << layer << ", op " << op << ")\n";
-        break;
-      case robustness::GuardPolicy::degrade: {
-        robustness::FailureReport report;
-        report.layer = layer;
-        report.op = op;
-        report.reason = reason;
-        report.trajectory = guard_.trajectory();
-        throw DegradeSignal{std::move(report)};
-      }
-    }
-}
-
-void
-Runtime::execute(const HeLayerPlan &layer)
-{
-    auto reg = [&](std::int32_t id) -> ckks::Ciphertext & {
-        auto &slot = regs_[static_cast<std::size_t>(id)];
-        FXHENN_ASSERT(slot.has_value(), "read of unwritten register");
-        return *slot;
-    };
-
-    for (const auto &instr : layer.instrs) {
-        if (auto reason = guard_.preCheck(instr))
-            guardViolation(layer.name, opName(instr.kind), *reason);
-        switch (instr.kind) {
-          case HeOpKind::pcMult: {
-            const auto &pt = encodePooled(instr.pt);
-            regs_[static_cast<std::size_t>(instr.dst)] =
-                evaluator_.mulPlain(reg(instr.src), pt);
-            break;
-          }
-          case HeOpKind::pcAdd: {
-            // Bias adds encode at the ciphertext's current scale.
-            const PlanPlaintext &pool =
-                plan_.plaintexts[static_cast<std::size_t>(instr.pt)];
-            ckks::Ciphertext &target = reg(instr.src);
-            const auto encoded = encoder_.encode(
-                std::span<const double>(pool.values), target.scale,
-                target.level());
-            regs_[static_cast<std::size_t>(instr.dst)] =
-                evaluator_.addPlain(target, encoded);
-            break;
-          }
-          case HeOpKind::ccAdd:
-            evaluator_.addInplace(reg(instr.dst), reg(instr.src));
-            break;
-          case HeOpKind::ccMult: {
-            const ckks::Ciphertext &src = reg(instr.src);
-            regs_[static_cast<std::size_t>(instr.dst)] =
-                evaluator_.mulNoRelin(src, src);
-            break;
-          }
-          case HeOpKind::relinearize:
-            regs_[static_cast<std::size_t>(instr.dst)] =
-                evaluator_.relinearize(reg(instr.src), relin_);
-            break;
-          case HeOpKind::rescale:
-            if (instr.dst == instr.src) {
-                evaluator_.rescaleInplace(reg(instr.dst));
-            } else {
-                regs_[static_cast<std::size_t>(instr.dst)] =
-                    evaluator_.rescale(reg(instr.src));
-            }
-            break;
-          case HeOpKind::rotate:
-            regs_[static_cast<std::size_t>(instr.dst)] =
-                evaluator_.rotate(reg(instr.src), instr.step, galois_);
-            break;
-          case HeOpKind::copy:
-            regs_[static_cast<std::size_t>(instr.dst)] = reg(instr.src);
-            break;
-        }
-        guard_.apply(instr);
-    }
-}
+    : session_(plan, context, seed), pool_(plan, context),
+      executor_(plan, context, session_.relinKey(),
+                session_.galoisKeys(), pool_, guard)
+{}
 
 InferOutcome
 Runtime::inferGuarded(const nn::Tensor &input)
 {
-    evaluator_.resetCounts();
-    layerStats_.clear();
-    layerStats_.reserve(plan_.layers.size());
-    FXHENN_TELEM_SCOPED_TIMER("hecnn.infer.ns");
-    FXHENN_TELEM_COUNT("hecnn.inferences", 1);
-    guard_.beginInfer();
+    auto result =
+        executor_.execute(session_.encryptInput(input, nextRequest_++));
+    lastCounts_ = result.executed;
+    lastLayerStats_ = std::move(result.layerStats);
+    lastRegs_ = std::move(result.regs);
+
     InferOutcome out;
-
-    // Client: pack, encode, encrypt into the input registers.
-    const auto packed = packInput(input);
-    for (std::size_t i = 0; i < packed.size(); ++i) {
-        const auto plain =
-            encoder_.encode(std::span<const double>(packed[i]),
-                            context_.params().scale,
-                            context_.maxLevel());
-        regs_[i] = encryptor_.encrypt(plain);
-    }
-
-    // Server: run every layer, recording wall time and the delta of
-    // the evaluator's op counters across each layer. Under
-    // GuardPolicy::degrade any violation (or a mid-layer
-    // ConfigError/InternalError) aborts the run with a report instead
-    // of propagating or producing garbage.
-    const bool degrade = guard_.options().policy ==
-                         robustness::GuardPolicy::degrade;
-    for (const auto &layer : plan_.layers) {
-        try {
-            if (auto fault = robustness::fireFault("ciphertext.limb")) {
-                for (auto &slot : regs_) {
-                    if (slot.has_value() && !slot->parts.empty()) {
-                        robustness::corruptResidues(slot->parts[0],
-                                                    fault->seed);
-                        break;
-                    }
-                }
-            }
-            const ckks::OpCounts before = evaluator_.counts();
-            Timer timer;
-            execute(layer);
-            MeasuredLayerStats row;
-            row.name = layer.name;
-            row.seconds = timer.elapsedSeconds();
-            const ckks::OpCounts &after = evaluator_.counts();
-            row.executed.ccAdd = after.ccAdd - before.ccAdd;
-            row.executed.pcAdd = after.pcAdd - before.pcAdd;
-            row.executed.pcMult = after.pcMult - before.pcMult;
-            row.executed.ccMult = after.ccMult - before.ccMult;
-            row.executed.rescale = after.rescale - before.rescale;
-            row.executed.relinearize =
-                after.relinearize - before.relinearize;
-            row.executed.rotate = after.rotate - before.rotate;
-            if (telemetry::enabled()) {
-                telemetry::histogram("hecnn.layer." + layer.name +
-                                     ".ns")
-                    .record(static_cast<std::uint64_t>(row.seconds *
-                                                       1e9));
-            }
-            layerStats_.push_back(std::move(row));
-            if (auto reason = guard_.checkLayerEnd(layer, regs_))
-                guardViolation(layer.name, "layer-end", *reason);
-        } catch (DegradeSignal &sig) {
-            out.failure = std::move(sig.report);
-        } catch (const ConfigError &e) {
-            if (!degrade)
-                throw;
-            robustness::FailureReport report;
-            report.layer = layer.name;
-            report.op = "exception";
-            report.reason = e.what();
-            report.trajectory = guard_.trajectory();
-            out.failure = std::move(report);
-        } catch (const InternalError &e) {
-            if (!degrade)
-                throw;
-            robustness::FailureReport report;
-            report.layer = layer.name;
-            report.op = "exception";
-            report.reason = e.what();
-            report.trajectory = guard_.trajectory();
-            out.failure = std::move(report);
-        }
-        if (out.failure)
-            break;
-    }
-    out.budget = guard_.trajectory();
-    if (out.failure) {
-        FXHENN_TELEM_COUNT("robustness.guard.degraded_runs", 1);
+    out.budget = std::move(result.budget);
+    if (result.failure) {
+        out.failure = std::move(result.failure);
         return out; // degraded: no decryption, no garbage logits
     }
-
-    // Client: decrypt the output registers once each, extract logits.
-    std::map<std::int32_t, std::vector<double>> decoded;
-    std::vector<double> logits(plan_.outputLayout.elements(), 0.0);
-    for (std::size_t e = 0; e < logits.size(); ++e) {
-        const auto [reg_id, slot] = plan_.outputLayout.pos[e];
-        auto it = decoded.find(reg_id);
-        if (it == decoded.end()) {
-            auto &ct = regs_[static_cast<std::size_t>(reg_id)];
-            FXHENN_ASSERT(ct.has_value(), "output register unwritten");
-            it = decoded
-                     .emplace(reg_id, encoder_.decodeReal(
-                                          decryptor_.decrypt(*ct)))
-                     .first;
-        }
-        logits[e] = it->second[static_cast<std::size_t>(slot)];
-    }
-    out.logits = std::move(logits);
+    out.logits = session_.decryptLogits(lastRegs_);
     return out;
 }
 
@@ -291,24 +45,7 @@ Runtime::infer(const nn::Tensor &input)
 double
 Runtime::outputHeadroomBits() const
 {
-    double headroom = std::numeric_limits<double>::infinity();
-    std::set<std::int32_t> seen;
-    for (const auto &pos : plan_.outputLayout.pos) {
-        const std::int32_t reg_id = pos.first;
-        if (!seen.insert(reg_id).second)
-            continue;
-        const auto &ct = regs_[static_cast<std::size_t>(reg_id)];
-        FXHENN_ASSERT(ct.has_value(), "output register unwritten");
-        headroom = std::min(
-            headroom, ckks::headroomBits(*ct, context_, decryptor_));
-    }
-    return headroom;
-}
-
-const ckks::OpCounts &
-Runtime::executedCounts() const
-{
-    return evaluator_.counts();
+    return session_.outputHeadroomBits(lastRegs_);
 }
 
 } // namespace fxhenn::hecnn

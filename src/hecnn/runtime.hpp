@@ -1,28 +1,30 @@
 /**
  * @file
- * Executes a compiled HeNetworkPlan on real CKKS ciphertexts.
+ * Single-tenant façade over the layered inference engine.
  *
- * This is the functional-verification half of FxHENN: the same plan the
- * FPGA model analyses is run through the software evaluator so
- * encrypted inference can be compared slot-for-slot against plaintext
- * inference. It also plays the client role (packing + encryption of the
- * input, decryption + logit extraction of the output).
+ * Historically Runtime fused the client role (keygen, packing,
+ * encrypt/decrypt) and the server role (plan interpretation) into one
+ * monolith. Those now live in ClientSession and PlanExecutor; Runtime
+ * composes them behind the original API so the verification loop, the
+ * guard simulation, the examples and the tests keep working unchanged.
+ * Concurrent batched inference over the same split lives in
+ * engine::InferenceEngine (src/engine).
+ *
+ * Each infer() call consumes the next per-request noise stream
+ * (request index 0, 1, 2, ...), so N serial infer() calls produce
+ * bitwise the same logits as the engine running the same N inputs on
+ * any number of workers with the same key seed.
  */
 #ifndef FXHENN_HECNN_RUNTIME_HPP
 #define FXHENN_HECNN_RUNTIME_HPP
 
-#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
 
-#include "src/ckks/decryptor.hpp"
-#include "src/ckks/encoder.hpp"
-#include "src/ckks/encryptor.hpp"
-#include "src/ckks/evaluator.hpp"
-#include "src/ckks/keygen.hpp"
-#include "src/hecnn/guard.hpp"
-#include "src/hecnn/plan.hpp"
+#include "src/hecnn/client_session.hpp"
+#include "src/hecnn/plan_executor.hpp"
+#include "src/hecnn/plaintext_pool.hpp"
 #include "src/hecnn/stats.hpp"
 #include "src/nn/tensor.hpp"
 #include "src/robustness/guard.hpp"
@@ -50,9 +52,10 @@ class Runtime
   public:
     /**
      * Generate all key material (public, relinearization, and the
-     * Galois keys for every rotation step the plan uses). @p guard
-     * selects what happens when a runtime invariant breaks; the
-     * default (warn) preserves the historical behavior.
+     * Galois keys for every rotation step the plan uses) and build the
+     * shared plaintext pool. @p guard selects what happens when a
+     * runtime invariant breaks; the default (warn) preserves the
+     * historical behavior.
      */
     Runtime(const HeNetworkPlan &plan, const ckks::CkksContext &context,
             std::uint64_t seed = 1,
@@ -84,7 +87,7 @@ class Runtime
     double outputHeadroomBits() const;
 
     /** Executed-operation counters from the last inference. */
-    const ckks::OpCounts &executedCounts() const;
+    const ckks::OpCounts &executedCounts() const { return lastCounts_; }
 
     /**
      * Measured per-layer statistics of the last infer(): wall time and
@@ -94,41 +97,29 @@ class Runtime
      */
     const std::vector<MeasuredLayerStats> &lastLayerStats() const
     {
-        return layerStats_;
+        return lastLayerStats_;
     }
 
     /** Number of Galois keys generated (rotation key footprint). */
-    std::size_t galoisKeyCount() const { return galois_.keys.size(); }
+    std::size_t galoisKeyCount() const
+    {
+        return session_.galoisKeyCount();
+    }
+
+    /** The client half (key material, packing, encrypt/decrypt). */
+    const ClientSession &session() const { return session_; }
+
+    /** The server half (stateless plan interpreter). */
+    const PlanExecutor &executor() const { return executor_; }
 
   private:
-    /** Pack the input tensor into per-register slot vectors. */
-    std::vector<std::vector<double>> packInput(
-        const nn::Tensor &input) const;
-
-    /** Encode (with caching for scheme-scale plaintexts). */
-    const ckks::Plaintext &encodePooled(std::int32_t pt_id);
-
-    void execute(const HeLayerPlan &layer);
-
-    /** Dispatch a guard violation according to the active policy. */
-    void guardViolation(const std::string &layer, const char *op,
-                        const std::string &reason);
-
-    const HeNetworkPlan &plan_;
-    const ckks::CkksContext &context_;
-    Rng rng_;
-    ckks::KeyGenerator keygen_;
-    ckks::Encoder encoder_;
-    ckks::Encryptor encryptor_;
-    ckks::Decryptor decryptor_;
-    ckks::Evaluator evaluator_;
-    ckks::RelinKey relin_;
-    ckks::GaloisKeys galois_;
-
-    std::vector<std::optional<ckks::Ciphertext>> regs_;
-    std::map<std::int32_t, ckks::Plaintext> plaintextCache_;
-    std::vector<MeasuredLayerStats> layerStats_;
-    RuntimeGuard guard_;
+    ClientSession session_;
+    PlaintextPool pool_;
+    PlanExecutor executor_;
+    std::uint64_t nextRequest_ = 0;
+    ckks::OpCounts lastCounts_;
+    std::vector<MeasuredLayerStats> lastLayerStats_;
+    std::vector<std::optional<ckks::Ciphertext>> lastRegs_;
 };
 
 } // namespace fxhenn::hecnn

@@ -54,6 +54,16 @@ expect 3 "malformed fault spec" info --model mnist --fault nocolon
 expect 3 "unknown fault site" info --model mnist --fault no.site:bitflip
 expect 3 "bad plan layer index" plan --model mnist --layer twelve
 
+# --- batch (concurrent inference engine) misuse: exit 3 ------------------
+expect 3 "batch: zero requests" batch --model test --requests 0
+expect 3 "batch: zero workers" batch --model test --workers 0
+expect 3 "batch: non-numeric workers" batch --model test --workers many
+expect 3 "batch: bad check mode" batch --model test --check twice
+expect 3 "batch: values-elided model" batch --model cifar10
+expect 3 "batch: unknown model" batch --model lenet300
+expect 3 "batch: unknown flag" batch --model test --depth 4
+expect 3 "batch: bad guard policy" batch --model test --guard lenient
+
 # --- lint: exit 3 on misuse, exit 4 on error-severity findings -----------
 # A plan that cannot be loaded is itself an error-severity finding, so
 # lint reports it as a diagnostic and exits 4 (not 3): the lint verdict

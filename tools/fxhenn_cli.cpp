@@ -8,13 +8,18 @@
  *                  [--out DIR] [--liveness 1]
  *   fxhenn sweep   --model mnist|cifar10 [--min B] [--max B] [--step B]
  *   fxhenn verify  [--seed S] [--guard strict|warn|degrade]
+ *   fxhenn batch   --model mnist|test [--requests N] [--workers W]
+ *                  [--queue C] [--seed S] [--guard P] [--check M]
  *   fxhenn lint    --model mnist|cifar10 | --load FILE
  *                  [--format text|json] [--list-passes 1]
  *
  * `verify` runs a fast encrypted-vs-plaintext inference on the
- * test-scale network; `design` runs the full DSE and writes the HLS
- * artifacts; `lint` runs the static plan verifier (src/analysis) and
- * renders every diagnostic.
+ * test-scale network; `batch` serves N encrypted inferences
+ * concurrently through engine::InferenceEngine and (by default)
+ * cross-checks the logits bitwise against serial Runtime::infer()
+ * calls; `design` runs the full DSE and writes the HLS artifacts;
+ * `lint` runs the static plan verifier (src/analysis) and renders
+ * every diagnostic.
  *
  * Exit codes:
  *   0  success / verify PASS / lint clean
@@ -37,6 +42,7 @@
 #include "src/analysis/verifier.hpp"
 #include "src/common/assert.hpp"
 #include "src/dse/explorer.hpp"
+#include "src/engine/inference_engine.hpp"
 #include "src/telemetry/telemetry.hpp"
 #include "src/fxhenn/codegen.hpp"
 #include "src/fxhenn/framework.hpp"
@@ -76,6 +82,9 @@ const std::map<std::string, std::set<std::string>> kCommandFlags = {
     {"design", {"model", "device", "out", "report", "liveness"}},
     {"sweep", {"model", "min", "max", "step"}},
     {"verify", {"seed", "guard"}},
+    {"batch",
+     {"model", "requests", "workers", "queue", "seed", "guard",
+      "check"}},
     {"lint", {"model", "load", "format", "list-passes"}},
 };
 
@@ -172,6 +181,12 @@ usage()
         "  verify [--seed 1]                     encrypted-vs-plain "
         "check\n"
         "         [--guard strict|warn|degrade]  guard policy\n"
+        "  batch  --model mnist|test             concurrent batched\n"
+        "         [--requests 8] [--workers 4]   encrypted inference\n"
+        "         [--queue 2*workers] [--seed 1]\n"
+        "         [--guard strict|warn|degrade]\n"
+        "         [--check serial|none]          bitwise cross-check\n"
+        "                          against serial Runtime::infer()\n"
         "  lint   --model mnist|cifar10          static plan verifier\n"
         "         | --load FILE                  lint a saved plan\n"
         "         [--format text|json]           report rendering\n"
@@ -459,6 +474,111 @@ cmdVerify(const Args &args)
     return pass ? 0 : 1;
 }
 
+int
+cmdBatch(const Args &args)
+{
+    const std::string modelName = args.get("model", "test");
+    auto [net, params] =
+        [&]() -> std::pair<nn::Network, ckks::CkksParams> {
+        if (modelName == "test")
+            return {nn::buildTestNetwork(),
+                    ckks::testParams(2048, 7, 30)};
+        auto model = pickModel(modelName);
+        FXHENN_FATAL_IF(model.elide,
+                        "model '" + modelName +
+                            "' compiles values-elided (stats only) "
+                            "and cannot be executed; use mnist or "
+                            "test");
+        return {std::move(model.net), model.params};
+    }();
+
+    const auto requests = parseU64("requests", args.get("requests", "8"));
+    FXHENN_FATAL_IF(requests == 0, "flag --requests must be positive");
+    const auto workers = parseU64("workers", args.get("workers", "4"));
+    FXHENN_FATAL_IF(workers == 0, "flag --workers must be positive");
+    const auto seed = parseU64("seed", args.get("seed", "1"));
+    const std::string check = args.get("check", "serial");
+    FXHENN_FATAL_IF(check != "serial" && check != "none",
+                    "flag --check expects serial or none, got '" +
+                        check + "'");
+
+    engine::EngineOptions opts;
+    opts.workers = static_cast<unsigned>(workers);
+    opts.queueCapacity = parseU64(
+        "queue", args.get("queue", std::to_string(2 * workers)));
+    opts.keySeed = seed;
+    opts.guard.policy =
+        robustness::parseGuardPolicy(args.get("guard", "degrade"));
+
+    const auto plan = hecnn::compile(net, params);
+    ckks::CkksContext ctx(params);
+    engine::InferenceEngine engine(plan, ctx, opts);
+
+    std::vector<nn::Tensor> inputs;
+    inputs.reserve(requests);
+    for (std::uint64_t r = 0; r < requests; ++r)
+        inputs.push_back(nn::syntheticInput(net, seed + r));
+
+    std::cout << "Serving " << requests << " encrypted inferences of "
+              << net.name() << " on " << workers << " workers (queue "
+              << opts.queueCapacity << ", guard "
+              << robustness::guardPolicyName(opts.guard.policy)
+              << ")\n";
+    const auto outcomes = engine.runBatch(inputs);
+    const auto stats = engine.stats();
+
+    std::size_t degraded = 0;
+    for (const auto &outcome : outcomes)
+        degraded += outcome.degraded() ? 1 : 0;
+    std::cout << "  wall time   " << stats.lastBatchSeconds << " s\n"
+              << "  throughput  " << stats.lastBatchRequestsPerSecond
+              << " requests/s\n"
+              << "  latency     mean " << stats.meanLatencySeconds
+              << " s, min " << stats.minLatencySeconds << " s, max "
+              << stats.maxLatencySeconds << " s\n"
+              << "  degraded    " << degraded << " of " << requests
+              << "\n"
+              << "  pool        " << engine.plaintextPool().size()
+              << " plaintexts, "
+              << double(engine.plaintextPool().bytes()) / (1 << 20)
+              << " MiB shared\n";
+    if (degraded > 0) {
+        for (const auto &outcome : outcomes) {
+            if (outcome.failure) {
+                std::cout << "\n" << outcome.failure->render();
+                break;
+            }
+        }
+        std::cout << "DEGRADED\n";
+        return 5;
+    }
+
+    if (check == "serial") {
+        // The engine's determinism contract: request r must produce
+        // bitwise the same logits as the r-th serial infer() on a
+        // fresh Runtime with the same key seed.
+        hecnn::Runtime runtime(plan, ctx, seed, opts.guard);
+        bool identical = true;
+        for (std::uint64_t r = 0; r < requests && identical; ++r) {
+            const auto serial = runtime.infer(inputs[r]);
+            identical = serial.size() == outcomes[r].logits.size();
+            for (std::size_t i = 0; identical && i < serial.size();
+                 ++i)
+                identical = serial[i] == outcomes[r].logits[i];
+            if (!identical)
+                std::cout << "request " << r
+                          << ": batched logits DIVERGE from serial\n";
+        }
+        std::cout << (identical
+                          ? "batched logits identical to serial "
+                            "inference\nPASS\n"
+                          : "FAIL\n");
+        return identical ? 0 : 1;
+    }
+    std::cout << "OK\n";
+    return 0;
+}
+
 } // namespace
 
 int
@@ -493,6 +613,8 @@ main(int argc, char **argv)
             rc = cmdSweep(args);
         else if (args.command == "verify")
             rc = cmdVerify(args);
+        else if (args.command == "batch")
+            rc = cmdBatch(args);
         else if (args.command == "lint")
             rc = cmdLint(args);
         else
