@@ -9,6 +9,14 @@
  * (BENCH_kernels.json by default, --telemetry-json=FILE to override),
  * so one invocation yields both throughput numbers and the per-op /
  * per-layer profile.
+ *
+ * The keyswitch-touching benchmarks pin their iteration counts: with
+ * google-benchmark's adaptive iteration counts, a faster machine (or a
+ * faster kernel) runs more heavyweight 4096-ring iterations and shifts
+ * the sample mix of the ckks.time.*.ns histograms, which would make
+ * the committed BENCH_kernels.json means incomparable across PRs. The
+ * eager-mode reference columns additionally mute telemetry so the
+ * deliberately-slow path never pollutes the baseline.
  */
 #include <benchmark/benchmark.h>
 
@@ -147,7 +155,41 @@ BM_Relinearize(benchmark::State &state)
         benchmark::DoNotOptimize(out);
     }
 }
-BENCHMARK(BM_Relinearize);
+BENCHMARK(BM_Relinearize)->Iterations(6);
+
+void
+BM_KeyswitchEager(benchmark::State &state)
+{
+    // Reference column: per-digit Barrett reductions inside the
+    // keyswitch inner product (KswMode::eager). Telemetry is muted so
+    // the deliberately-slow reference samples stay out of the
+    // BENCH_kernels.json keyswitch baseline.
+    auto &f = fixture();
+    ckks::Evaluator eager(f.ctx, ckks::KswMode::eager);
+    auto prod = eager.mulNoRelin(f.ct, f.ct);
+    telemetry::setEnabled(false);
+    for (auto _ : state) {
+        auto out = eager.relinearize(prod, f.relin);
+        benchmark::DoNotOptimize(out);
+    }
+    telemetry::setEnabled(true);
+}
+BENCHMARK(BM_KeyswitchEager)->Iterations(6);
+
+void
+BM_KeyswitchLazy(benchmark::State &state)
+{
+    // The optimized column: 128-bit lazy accumulation, one reduction
+    // per limb (KswMode::lazy, the default) — bitwise identical output.
+    auto &f = fixture();
+    ckks::Evaluator lazy(f.ctx, ckks::KswMode::lazy);
+    auto prod = lazy.mulNoRelin(f.ct, f.ct);
+    for (auto _ : state) {
+        auto out = lazy.relinearize(prod, f.relin);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_KeyswitchLazy)->Iterations(6);
 
 void
 BM_Rotate(benchmark::State &state)
@@ -158,7 +200,22 @@ BM_Rotate(benchmark::State &state)
         benchmark::DoNotOptimize(out);
     }
 }
-BENCHMARK(BM_Rotate);
+BENCHMARK(BM_Rotate)->Iterations(6);
+
+void
+BM_RotateEager(benchmark::State &state)
+{
+    // Reference column, telemetry muted like BM_KeyswitchEager.
+    auto &f = fixture();
+    ckks::Evaluator eager(f.ctx, ckks::KswMode::eager);
+    telemetry::setEnabled(false);
+    for (auto _ : state) {
+        auto out = eager.rotate(f.ct, 1, f.galois);
+        benchmark::DoNotOptimize(out);
+    }
+    telemetry::setEnabled(true);
+}
+BENCHMARK(BM_RotateEager)->Iterations(6);
 
 void
 BM_RotateFourSequential(benchmark::State &state)
@@ -172,7 +229,7 @@ BM_RotateFourSequential(benchmark::State &state)
         }
     }
 }
-BENCHMARK(BM_RotateFourSequential);
+BENCHMARK(BM_RotateFourSequential)->Iterations(2);
 
 void
 BM_RotateFourHoisted(benchmark::State &state)
@@ -186,7 +243,7 @@ BM_RotateFourHoisted(benchmark::State &state)
         benchmark::DoNotOptimize(outs);
     }
 }
-BENCHMARK(BM_RotateFourHoisted);
+BENCHMARK(BM_RotateFourHoisted)->Iterations(2);
 
 void
 BM_Encode(benchmark::State &state)
@@ -219,7 +276,7 @@ BM_EncryptedInference(benchmark::State &state)
         benchmark::DoNotOptimize(logits);
     }
 }
-BENCHMARK(BM_EncryptedInference)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EncryptedInference)->Iterations(3)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

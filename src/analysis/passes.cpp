@@ -24,6 +24,7 @@
 #include <string>
 
 #include "src/analysis/liveness.hpp"
+#include "src/hecnn/rotation_groups.hpp"
 #include "src/modarith/primes.hpp"
 
 namespace fxhenn::analysis {
@@ -818,6 +819,27 @@ class OpCountPass final : public AnalysisPass
                         " costed instructions in the stream",
                     "call HeLayerPlan::classify() after editing the "
                     "instruction stream");
+            }
+            // Keyswitch-decomposition model: rotation groups must
+            // tile the rotates exactly (a hoisted group of k rotates
+            // costs one digit decomposition at runtime; the telemetry
+            // counter ckks.keyswitch.decompositions is predicted from
+            // the same grouping).
+            const auto groups =
+                hecnn::findRotationGroups(layer.instrs);
+            std::uint64_t grouped = 0;
+            for (const auto &g : groups)
+                grouped += g.count;
+            if (grouped !=
+                recount[static_cast<std::size_t>(HeOpKind::rotate)]) {
+                report.addLayer(
+                    Severity::error, name(), li, layer.name,
+                    "rotation groups cover " + std::to_string(grouped) +
+                        " rotates but the stream holds " +
+                        std::to_string(recount[static_cast<std::size_t>(
+                            HeOpKind::rotate)]),
+                    "rotation-group detection and the instruction "
+                    "stream disagree; this is an internal lint bug");
             }
         }
     }

@@ -4,6 +4,7 @@
 #include <numbers>
 
 #include "src/common/assert.hpp"
+#include "src/common/math_util.hpp"
 #include "src/modarith/primes.hpp"
 
 namespace fxhenn::ckks {
@@ -75,6 +76,33 @@ CkksContext::galoisElt(int steps) const
     for (std::size_t i = 0; i < k; ++i)
         elt = elt * 5 % m;
     return elt;
+}
+
+const std::vector<std::uint32_t> &
+CkksContext::galoisNttTable(std::uint64_t elt) const
+{
+    FXHENN_ASSERT(elt % 2 == 1, "galois element must be odd");
+    std::lock_guard<std::mutex> lock(galoisNttMutex_);
+    auto it = galoisNtt_.find(elt);
+    if (it != galoisNtt_.end())
+        return it->second;
+
+    // The forward NTT leaves position t holding the evaluation at
+    // psi^(2*brv(t)+1). X -> X^elt sends that evaluation to the one at
+    // exponent e = elt*(2*brv(t)+1) mod 2N (still odd), which the NTT
+    // stores at position brv((e-1)/2). std::map nodes are stable, so
+    // the reference survives later insertions.
+    const std::uint64_t n = params_.n;
+    const std::uint64_t m = 2 * n;
+    const unsigned log2n = floorLog2(n);
+    std::vector<std::uint32_t> table(n);
+    for (std::uint64_t t = 0; t < n; ++t) {
+        const std::uint64_t src_exp = 2 * reverseBits(t, log2n) + 1;
+        const std::uint64_t dst_exp = (elt * src_exp) % m;
+        table[t] = static_cast<std::uint32_t>(
+            reverseBits((dst_exp - 1) / 2, log2n));
+    }
+    return galoisNtt_.emplace(elt, std::move(table)).first->second;
 }
 
 } // namespace fxhenn::ckks

@@ -11,7 +11,10 @@
 #define FXHENN_CKKS_CONTEXT_HPP
 
 #include <complex>
+#include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "src/ckks/params.hpp"
@@ -57,12 +60,29 @@ class CkksContext
     /** Galois element of complex conjugation (2N - 1). */
     std::uint64_t conjugateElt() const { return 2 * params_.n - 1; }
 
+    /**
+     * Permutation realizing the Galois automorphism X -> X^elt
+     * directly on NTT-domain (bit-reversed evaluation order) limbs:
+     * ntt(galois(x)).limb[t] == ntt(x).limb[table[t]]. The
+     * automorphism maps evaluation points among the odd 2N-th roots,
+     * so in evaluation form it is a pure gather — no negations, no
+     * INTT/NTT round trip. Tables are computed once per element and
+     * cached (thread-safe); the returned reference lives as long as
+     * the context.
+     */
+    const std::vector<std::uint32_t> &
+    galoisNttTable(std::uint64_t elt) const;
+
   private:
     CkksParams params_;
     std::unique_ptr<RnsBasis> basis_;
     std::vector<std::unique_ptr<CrtReconstructor>> crt_;
     std::vector<std::complex<double>> roots_;
     std::vector<std::uint64_t> rotGroup_;
+    /** elt -> NTT permutation table, built lazily under the mutex. */
+    mutable std::map<std::uint64_t, std::vector<std::uint32_t>>
+        galoisNtt_;
+    mutable std::mutex galoisNttMutex_;
 };
 
 } // namespace fxhenn::ckks

@@ -1,16 +1,19 @@
 #include "src/ckks/evaluator.hpp"
 
+#include <array>
 #include <cmath>
 
 #include "src/common/assert.hpp"
 #include "src/common/parallel.hpp"
+#include "src/rns/lazy_accumulator.hpp"
 #include "src/robustness/fault_injection.hpp"
 #include "src/telemetry/telemetry.hpp"
 
 namespace fxhenn::ckks {
 
-Evaluator::Evaluator(const CkksContext &context)
-    : context_(context)
+Evaluator::Evaluator(const CkksContext &context, KswMode kswMode)
+    : context_(context),
+      kswMode_(kswMode)
 {}
 
 void
@@ -210,70 +213,144 @@ Evaluator::square(const Ciphertext &a, const RelinKey &rk)
     return mul(a, a, rk);
 }
 
-std::pair<RnsPoly, RnsPoly>
-Evaluator::applyKsw(RnsPoly d, const KswKey &key)
+std::vector<RnsPoly>
+Evaluator::decomposeKsw(const RnsPoly &d)
 {
     const RnsBasis &basis = context_.basis();
     const std::size_t level = d.level();
-    FXHENN_TELEM_SCOPED_TIMER("ckks.time.keyswitch.ns");
-    FXHENN_TELEM_COUNT("ckks.op.keyswitch_core", 1);
-    FXHENN_TELEM_COUNT("ckks.limbs", level * (level + 1));
+    FXHENN_ASSERT(d.domain() == PolyDomain::coeff,
+                  "decomposition input must be in coefficient form");
     FXHENN_ASSERT(!d.hasSpecial(), "input must not carry the special limb");
-    FXHENN_ASSERT(key.pairs.size() >= level, "key too short for level");
+    FXHENN_TELEM_COUNT("ckks.keyswitch.decompositions", 1);
 
-    if (d.domain() == PolyDomain::ntt)
-        d.fromNtt();
+    std::vector<RnsPoly> digits;
+    digits.reserve(level);
+    for (std::size_t i = 0; i < level; ++i)
+        digits.emplace_back(basis, level, /*withSpecial=*/true,
+                            PolyDomain::coeff);
 
-    RnsPoly u0(basis, level, /*withSpecial=*/true, PolyDomain::ntt);
-    RnsPoly u1(basis, level, /*withSpecial=*/true, PolyDomain::ntt);
-
-    // Every target limb j of the accumulators is independent: for each
-    // j we extend every decomposed limb i into modulus j, NTT it there
-    // and multiply-accumulate with the key. Parallelizing over j keeps
-    // all writes disjoint (the software mirror of P_intra).
-    parallelFor(level + 1, [&](std::size_t j) {
+    // One flat batch over every (digit, target limb) pair: extend limb
+    // i of d into modulus j, then forward-NTT it there. All writes are
+    // disjoint, so the whole ModUp is a single parallelFor (the
+    // software mirror of P_intra) instead of L serial NTT sweeps.
+    parallelFor(level * (level + 1), [&](std::size_t job) {
+        const std::size_t i = job / (level + 1);
+        const std::size_t j = job % (level + 1);
         const Modulus &qj =
             (j < level) ? basis.q(j) : basis.specialPrime();
         const NttTables &ntt_j =
             (j < level) ? basis.ntt(j) : basis.nttSpecial();
-        std::vector<std::uint64_t> ext(d.n());
+        const auto src = d.limb(i);
+        auto dst = digits[i].limb(j);
+        if (j == i || basis.q(i).value() < qj.value()) {
+            // Same modulus, or q_i < q_j: the [0, q_i) representative
+            // is already canonical mod q_j.
+            std::copy(src.begin(), src.end(), dst.begin());
+        } else {
+            // Fast (approximate) base extension: take the
+            // representative in [0, q_i) and reduce (Barrett — data
+            // primes share a width, so src[k] < 2^(2*bits) holds).
+            // The induced error is < q_i and is scaled away by the
+            // final division by p.
+            for (std::size_t k = 0; k < dst.size(); ++k)
+                dst[k] = qj.reduce(src[k]);
+        }
+        ntt_j.forward(dst);
+    });
+    for (auto &digit : digits)
+        digit.setDomain(PolyDomain::ntt);
+    return digits;
+}
+
+std::pair<RnsPoly, RnsPoly>
+Evaluator::keyswitchCore(const std::vector<RnsPoly> &digits,
+                         const KswKey &key,
+                         std::span<const std::uint32_t> perm)
+{
+    const RnsBasis &basis = context_.basis();
+    const std::size_t level = digits.size();
+    FXHENN_ASSERT(level > 0, "keyswitch needs >= 1 digit");
+    FXHENN_ASSERT(key.pairs.size() >= level, "key too short for level");
+    const std::size_t n = digits.front().n();
+    FXHENN_TELEM_COUNT("ckks.op.keyswitch_core", 1);
+    FXHENN_TELEM_COUNT("ckks.limbs", level * (level + 1));
+    if (kswMode_ == KswMode::lazy && level > 1) {
+        // Eager reduces every FMA (level Barrett reductions per
+        // coefficient per accumulator); lazy reduces once.
+        FXHENN_TELEM_COUNT("ckks.keyswitch.lazy_reductions_saved",
+                           2 * (level + 1) * n * (level - 1));
+    }
+
+    RnsPoly u0(basis, level, /*withSpecial=*/true, PolyDomain::ntt);
+    RnsPoly u1(basis, level, /*withSpecial=*/true, PolyDomain::ntt);
+
+    // Every target limb j of the accumulators is independent; all
+    // writes stay disjoint. When perm is given, the Galois
+    // automorphism is a pure gather on NTT-domain digits, fused into
+    // the inner product (the hoisted-rotation path).
+    parallelFor(level + 1, [&](std::size_t j) {
+        const Modulus &qj =
+            (j < level) ? basis.q(j) : basis.specialPrime();
         auto a0 = u0.limb(j);
         auto a1 = u1.limb(j);
-        for (std::size_t i = 0; i < level; ++i) {
-            // Fast (approximate) base extension of limb i into
-            // modulus j: take the representative in [0, q_i) and
-            // reduce. The induced error is < q_i and is scaled away
-            // by the final division by p.
-            const auto src = d.limb(i);
-            if (j == i) {
-                std::copy(src.begin(), src.end(), ext.begin());
-            } else {
-                for (std::size_t k = 0; k < ext.size(); ++k)
-                    ext[k] = src[k] % qj.value();
+        if (kswMode_ == KswMode::lazy) {
+            rns::LazyLimbAccumulator acc0(n);
+            rns::LazyLimbAccumulator acc1(n);
+            for (std::size_t i = 0; i < level; ++i) {
+                // Key limbs span all L data primes plus the special.
+                const RnsPoly &k0 = key.pairs[i].first;
+                const RnsPoly &k1 = key.pairs[i].second;
+                const std::size_t kj = (j < level) ? j : k0.level();
+                if (perm.empty()) {
+                    digits[i].fmaLazyInto(acc0, j, k0.limb(kj));
+                    digits[i].fmaLazyInto(acc1, j, k1.limb(kj));
+                } else {
+                    acc0.fmaGather(digits[i].limb(j), perm, k0.limb(kj));
+                    acc1.fmaGather(digits[i].limb(j), perm, k1.limb(kj));
+                }
             }
-            ntt_j.forward(ext);
-
-            // Key limbs span all L data primes plus the special one.
-            const RnsPoly &k0 = key.pairs[i].first;
-            const RnsPoly &k1 = key.pairs[i].second;
-            const std::size_t kj = (j < level) ? j : k0.level();
-            auto s0 = k0.limb(kj);
-            auto s1 = k1.limb(kj);
-            for (std::size_t k = 0; k < ext.size(); ++k) {
-                a0[k] = qj.add(a0[k], qj.mul(ext[k], s0[k]));
-                a1[k] = qj.add(a1[k], qj.mul(ext[k], s1[k]));
+            acc0.reduceInto(a0, qj);
+            acc1.reduceInto(a1, qj);
+        } else {
+            for (std::size_t i = 0; i < level; ++i) {
+                const RnsPoly &k0 = key.pairs[i].first;
+                const RnsPoly &k1 = key.pairs[i].second;
+                const std::size_t kj = (j < level) ? j : k0.level();
+                auto e = digits[i].limb(j);
+                auto s0 = k0.limb(kj);
+                auto s1 = k1.limb(kj);
+                if (perm.empty()) {
+                    for (std::size_t k = 0; k < n; ++k) {
+                        a0[k] = qj.add(a0[k], qj.mul(e[k], s0[k]));
+                        a1[k] = qj.add(a1[k], qj.mul(e[k], s1[k]));
+                    }
+                } else {
+                    for (std::size_t k = 0; k < n; ++k) {
+                        a0[k] = qj.add(a0[k], qj.mul(e[perm[k]], s0[k]));
+                        a1[k] = qj.add(a1[k], qj.mul(e[perm[k]], s1[k]));
+                    }
+                }
             }
         }
     });
 
-    // Exact scale-down by p (ModDown), back to NTT domain.
-    u0.fromNtt();
-    u1.fromNtt();
+    // Exact scale-down by p (ModDown), back to NTT domain; the INTT
+    // and NTT sweeps of both accumulators run as one batch each.
+    std::array<RnsPoly *, 2> batch{&u0, &u1};
+    batchFromNtt(batch);
     u0.modDownSpecial();
     u1.modDownSpecial();
-    u0.toNtt();
-    u1.toNtt();
+    batchToNtt(batch);
     return {std::move(u0), std::move(u1)};
+}
+
+std::pair<RnsPoly, RnsPoly>
+Evaluator::applyKsw(RnsPoly d, const KswKey &key)
+{
+    FXHENN_TELEM_SCOPED_TIMER("ckks.time.keyswitch.ns");
+    if (d.domain() == PolyDomain::ntt)
+        d.fromNtt();
+    return keyswitchCore(decomposeKsw(d), key, {});
 }
 
 Ciphertext
@@ -343,6 +420,29 @@ Evaluator::modSwitchToLevel(const Ciphertext &a, std::size_t level)
 }
 
 Ciphertext
+Evaluator::rotateFromDigits(const Ciphertext &a,
+                            const std::vector<RnsPoly> &digits,
+                            std::uint64_t elt, const KswKey &key)
+{
+    const auto &perm = context_.galoisNttTable(elt);
+    std::pair<RnsPoly, RnsPoly> u = [&] {
+        FXHENN_TELEM_SCOPED_TIMER("ckks.time.keyswitch.ns");
+        return keyswitchCore(digits, key, perm);
+    }();
+
+    // c0 never leaves the NTT domain: the automorphism is the same
+    // gather the keyswitch fused into its inner product.
+    u.first.addInplace(a.parts[0].permuteNtt(perm));
+
+    Ciphertext out;
+    out.scale = a.scale;
+    out.parts.push_back(std::move(u.first));
+    out.parts.push_back(std::move(u.second));
+    ++counts_.rotate;
+    return out;
+}
+
+Ciphertext
 Evaluator::rotate(const Ciphertext &a, int steps, const GaloisKeys &gk)
 {
     FXHENN_FATAL_IF(a.size() != 2, "rotate expects a 2-part ciphertext");
@@ -354,24 +454,9 @@ Evaluator::rotate(const Ciphertext &a, int steps, const GaloisKeys &gk)
     FXHENN_FATAL_IF(!gk.has(elt),
                     "missing Galois key for requested rotation");
 
-    RnsPoly c0 = a.parts[0];
     RnsPoly c1 = a.parts[1];
-    c0.fromNtt();
     c1.fromNtt();
-    RnsPoly c0r = c0.galois(elt);
-    RnsPoly c1r = c1.galois(elt);
-
-    auto [u0, u1] = applyKsw(std::move(c1r), gk.keys.at(elt));
-
-    c0r.toNtt();
-    u0.addInplace(c0r);
-
-    Ciphertext out;
-    out.scale = a.scale;
-    out.parts.push_back(std::move(u0));
-    out.parts.push_back(std::move(u1));
-    ++counts_.rotate;
-    return out;
+    return rotateFromDigits(a, decomposeKsw(c1), elt, gk.keys.at(elt));
 }
 
 std::vector<Ciphertext>
@@ -382,35 +467,18 @@ Evaluator::rotateHoisted(const Ciphertext &a,
     FXHENN_FATAL_IF(a.size() != 2,
                     "rotateHoisted expects a 2-part ciphertext");
     FXHENN_TELEM_SCOPED_TIMER("ckks.time.rotate_hoisted.ns");
-    const RnsBasis &basis = context_.basis();
-    const std::size_t level = a.level();
+#if FXHENN_TELEMETRY_ENABLED
+    if (telemetry::enabled())
+        telemetry::histogram("ckks.rotate.hoist_group_size")
+            .record(steps.size());
+#endif
 
-    RnsPoly c0 = a.parts[0];
+    // Hoisted part (Halevi-Shoup): decompose + base-extend + NTT c1
+    // once; every rotation of the group reuses the digits through its
+    // own Galois gather.
     RnsPoly c1 = a.parts[1];
-    c0.fromNtt();
     c1.fromNtt();
-
-    // Hoisted part: decompose + base-extend c1 once. The Galois
-    // automorphism commutes with the per-prime decomposition (it only
-    // permutes/negates coefficients), so each rotation reuses these.
-    std::vector<RnsPoly> ext;
-    ext.reserve(level);
-    for (std::size_t i = 0; i < level; ++i) {
-        RnsPoly e(basis, level, /*withSpecial=*/true, PolyDomain::coeff);
-        const auto src = c1.limb(i);
-        for (std::size_t j = 0; j < level + 1; ++j) {
-            const Modulus &qj =
-                (j < level) ? basis.q(j) : basis.specialPrime();
-            auto dst = e.limb(j);
-            if (j == i) {
-                std::copy(src.begin(), src.end(), dst.begin());
-            } else {
-                for (std::size_t k = 0; k < dst.size(); ++k)
-                    dst[k] = src[k] % qj.value();
-            }
-        }
-        ext.push_back(std::move(e));
-    }
+    const std::vector<RnsPoly> digits = decomposeKsw(c1);
 
     std::vector<Ciphertext> out;
     out.reserve(steps.size());
@@ -419,54 +487,12 @@ Evaluator::rotateHoisted(const Ciphertext &a,
             out.push_back(a);
             continue;
         }
+        FXHENN_TELEM_SCOPED_TIMER("ckks.time.rotate.ns");
+        FXHENN_TELEM_COUNT("ckks.op.rotate", 1);
         const std::uint64_t elt = context_.galoisElt(step);
         FXHENN_FATAL_IF(!gk.has(elt),
                         "missing Galois key for hoisted rotation");
-        const KswKey &key = gk.keys.at(elt);
-        FXHENN_ASSERT(key.pairs.size() >= level,
-                      "Galois key too short for level");
-
-        RnsPoly u0(basis, level, true, PolyDomain::ntt);
-        RnsPoly u1(basis, level, true, PolyDomain::ntt);
-        for (std::size_t i = 0; i < level; ++i) {
-            RnsPoly rot_ext = ext[i].galois(elt);
-            rot_ext.toNtt();
-            const RnsPoly &k0 = key.pairs[i].first;
-            const RnsPoly &k1 = key.pairs[i].second;
-            const std::size_t key_special = k0.level();
-            for (std::size_t j = 0; j < level + 1; ++j) {
-                const Modulus &qj =
-                    (j < level) ? basis.q(j) : basis.specialPrime();
-                const std::size_t kj = (j < level) ? j : key_special;
-                auto e = rot_ext.limb(j);
-                auto a0 = u0.limb(j);
-                auto a1 = u1.limb(j);
-                auto s0 = k0.limb(kj);
-                auto s1 = k1.limb(kj);
-                for (std::size_t k = 0; k < e.size(); ++k) {
-                    a0[k] = qj.add(a0[k], qj.mul(e[k], s0[k]));
-                    a1[k] = qj.add(a1[k], qj.mul(e[k], s1[k]));
-                }
-            }
-        }
-        u0.fromNtt();
-        u1.fromNtt();
-        u0.modDownSpecial();
-        u1.modDownSpecial();
-        u0.toNtt();
-        u1.toNtt();
-
-        RnsPoly c0r = c0.galois(elt);
-        c0r.toNtt();
-        u0.addInplace(c0r);
-
-        Ciphertext ct;
-        ct.scale = a.scale;
-        ct.parts.push_back(std::move(u0));
-        ct.parts.push_back(std::move(u1));
-        out.push_back(std::move(ct));
-        FXHENN_TELEM_COUNT("ckks.op.rotate", 1);
-        ++counts_.rotate;
+        out.push_back(rotateFromDigits(a, digits, elt, gk.keys.at(elt)));
     }
     return out;
 }
@@ -476,28 +502,14 @@ Evaluator::conjugate(const Ciphertext &a, const GaloisKeys &gk)
 {
     FXHENN_FATAL_IF(a.size() != 2,
                     "conjugate expects a 2-part ciphertext");
+    FXHENN_TELEM_SCOPED_TIMER("ckks.time.rotate.ns");
+    FXHENN_TELEM_COUNT("ckks.op.rotate", 1);
     const std::uint64_t elt = context_.conjugateElt();
     FXHENN_FATAL_IF(!gk.has(elt), "missing conjugation key");
 
-    RnsPoly c0 = a.parts[0];
     RnsPoly c1 = a.parts[1];
-    c0.fromNtt();
     c1.fromNtt();
-    RnsPoly c0r = c0.galois(elt);
-    RnsPoly c1r = c1.galois(elt);
-
-    auto [u0, u1] = applyKsw(std::move(c1r), gk.keys.at(elt));
-
-    c0r.toNtt();
-    u0.addInplace(c0r);
-
-    Ciphertext out;
-    out.scale = a.scale;
-    out.parts.push_back(std::move(u0));
-    out.parts.push_back(std::move(u1));
-    FXHENN_TELEM_COUNT("ckks.op.rotate", 1);
-    ++counts_.rotate;
-    return out;
+    return rotateFromDigits(a, decomposeKsw(c1), elt, gk.keys.at(elt));
 }
 
 } // namespace fxhenn::ckks

@@ -53,6 +53,21 @@ struct OpCounts
 };
 
 /**
+ * Keyswitch inner-product reduction strategy.
+ *
+ * lazy (the default) accumulates the digit inner product in 128-bit
+ * lanes and Barrett-reduces once per limb (Modulus::reduceWide);
+ * eager reduces every FMA like the original implementation. Both land
+ * on the canonical representative in [0, q) for every coefficient, so
+ * the two modes are bitwise identical — eager exists as the reference
+ * side of that differential.
+ */
+enum class KswMode {
+    eager, ///< reduce every FMA (reference path)
+    lazy,  ///< 128-bit deferred reduction, once per limb
+};
+
+/**
  * Stateless homomorphic operation engine (counters aside).
  *
  * Thread-safety: the only mutable state is the OpCounts member, which
@@ -66,7 +81,8 @@ struct OpCounts
 class Evaluator
 {
   public:
-    explicit Evaluator(const CkksContext &context);
+    explicit Evaluator(const CkksContext &context,
+                       KswMode kswMode = KswMode::lazy);
 
     // --- additive ops ----------------------------------------------------
 
@@ -157,14 +173,39 @@ class Evaluator
 
     const OpCounts &counts() const { return counts_; }
     void resetCounts() { counts_.reset(); }
+    KswMode kswMode() const { return kswMode_; }
 
   private:
     /**
-     * Hybrid key switch: given coefficient-domain poly @p d decrypting
-     * under s', produce NTT-domain (u0, u1) decrypting the same value
-     * under s (up to ModDown noise).
+     * ModUp half of the hybrid key switch: decompose coefficient-domain
+     * @p d (level L, no special limb) into L digits, each base-extended
+     * to Q*p and NTT'd — one parallelFor over all L*(L+1) (digit, limb)
+     * jobs. A rotation group shares one decomposition across all its
+     * members (Halevi-Shoup hoisting).
+     */
+    std::vector<RnsPoly> decomposeKsw(const RnsPoly &d);
+
+    /**
+     * Digit inner product with the key plus ModDown. @p perm, when
+     * non-empty, applies a Galois automorphism to every digit in NTT
+     * form as a gather fused into the FMA (the hoisted-rotation path).
+     * Reduction strategy follows kswMode().
+     */
+    std::pair<RnsPoly, RnsPoly>
+    keyswitchCore(const std::vector<RnsPoly> &digits, const KswKey &key,
+                  std::span<const std::uint32_t> perm);
+
+    /**
+     * Hybrid key switch: given poly @p d decrypting under s', produce
+     * NTT-domain (u0, u1) decrypting the same value under s (up to
+     * ModDown noise).
      */
     std::pair<RnsPoly, RnsPoly> applyKsw(RnsPoly d, const KswKey &key);
+
+    /** One rotation of @p a from an already-hoisted decomposition. */
+    Ciphertext rotateFromDigits(const Ciphertext &a,
+                                const std::vector<RnsPoly> &digits,
+                                std::uint64_t elt, const KswKey &key);
 
     void checkSameShape(const Ciphertext &a, const Ciphertext &b) const;
     void checkScaleClose(double a, double b) const;
@@ -173,6 +214,7 @@ class Evaluator
 
     const CkksContext &context_;
     OpCounts counts_;
+    KswMode kswMode_;
 };
 
 } // namespace fxhenn::ckks

@@ -4,6 +4,7 @@
 
 #include "src/common/assert.hpp"
 #include "src/common/timer.hpp"
+#include "src/hecnn/rotation_groups.hpp"
 #include "src/robustness/fault_injection.hpp"
 #include "src/telemetry/telemetry.hpp"
 
@@ -27,9 +28,11 @@ PlanExecutor::PlanExecutor(const HeNetworkPlan &plan,
                            const ckks::RelinKey &relin,
                            const ckks::GaloisKeys &galois,
                            const PlaintextPool &pool,
-                           robustness::GuardOptions guard)
+                           robustness::GuardOptions guard,
+                           ExecOptions exec)
     : plan_(plan), context_(context), relin_(relin), galois_(galois),
-      pool_(pool), encoder_(context), guardOptions_(guard)
+      pool_(pool), encoder_(context), guardOptions_(guard),
+      execOptions_(exec)
 {
     FXHENN_FATAL_IF(plan.valuesElided,
                     "plan was compiled with elideValues=true and "
@@ -77,7 +80,49 @@ PlanExecutor::executeLayer(Run &run, const HeLayerPlan &layer) const
         return *slot;
     };
 
-    for (const auto &instr : layer.instrs) {
+    // Consecutive same-source rotations dispatch as one hoisted group
+    // (shared digit decomposition). The groups are recomputed per call
+    // from the immutable plan, so the executor stays stateless.
+    std::vector<RotationGroup> groups;
+    std::size_t next_group = 0;
+    if (execOptions_.hoistRotations)
+        groups = findRotationGroups(layer.instrs);
+
+    for (std::size_t idx = 0; idx < layer.instrs.size(); ++idx) {
+        const auto &instr = layer.instrs[idx];
+        while (next_group < groups.size() &&
+               groups[next_group].begin < idx)
+            ++next_group;
+        if (next_group < groups.size() &&
+            groups[next_group].begin == idx &&
+            groups[next_group].hoistable()) {
+            // Guard bookkeeping runs per member up front; a rotate's
+            // apply() only forwards the source's predicted state to
+            // the destination, and no member (except a trailing
+            // dst == src) writes the shared source, so this ordering
+            // is equivalent to the serial interleaving.
+            const RotationGroup &group = groups[next_group];
+            std::vector<int> steps;
+            std::vector<std::int32_t> dsts;
+            steps.reserve(group.count);
+            dsts.reserve(group.count);
+            for (std::size_t m = 0; m < group.count; ++m) {
+                const auto &member = layer.instrs[group.begin + m];
+                if (auto reason = run.guard.preCheck(member))
+                    guardViolation(run, layer.name,
+                                   opName(member.kind), *reason);
+                steps.push_back(member.step);
+                dsts.push_back(member.dst);
+                run.guard.apply(member);
+            }
+            auto rotated = run.evaluator.rotateHoisted(
+                reg(instr.src), steps, galois_);
+            for (std::size_t m = 0; m < group.count; ++m)
+                regs[static_cast<std::size_t>(dsts[m])] =
+                    std::move(rotated[m]);
+            idx = group.begin + group.count - 1;
+            continue;
+        }
         if (auto reason = run.guard.preCheck(instr))
             guardViolation(run, layer.name, opName(instr.kind),
                            *reason);
@@ -145,7 +190,7 @@ PlanExecutor::execute(std::vector<ckks::Ciphertext> inputs) const
     FXHENN_TELEM_SCOPED_TIMER("hecnn.infer.ns");
     FXHENN_TELEM_COUNT("hecnn.inferences", 1);
 
-    Run run{ckks::Evaluator(context_),
+    Run run{ckks::Evaluator(context_, execOptions_.kswMode),
             RuntimeGuard(plan_, context_, guardOptions_),
             {},
             {}};

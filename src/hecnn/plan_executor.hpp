@@ -29,6 +29,20 @@
 
 namespace fxhenn::hecnn {
 
+/** Execution strategy knobs of one PlanExecutor. */
+struct ExecOptions
+{
+    /**
+     * Dispatch consecutive same-source rotations as one hoisted group
+     * (one shared digit decomposition) instead of serial rotates.
+     * Results are bitwise identical either way — the serial and
+     * hoisted paths share the same decompose-then-permute core.
+     */
+    bool hoistRotations = true;
+    /** Keyswitch reduction strategy for the per-run evaluators. */
+    ckks::KswMode kswMode = ckks::KswMode::lazy;
+};
+
 /** Everything one encrypted run produced, scoped to that request. */
 struct ExecutionResult
 {
@@ -60,7 +74,8 @@ class PlanExecutor
                  const ckks::RelinKey &relin,
                  const ckks::GaloisKeys &galois,
                  const PlaintextPool &pool,
-                 robustness::GuardOptions guard = {});
+                 robustness::GuardOptions guard = {},
+                 ExecOptions exec = {});
 
     /**
      * Run every layer of the plan over @p inputs (the client's
@@ -76,6 +91,7 @@ class PlanExecutor
     {
         return guardOptions_;
     }
+    const ExecOptions &execOptions() const { return execOptions_; }
 
   private:
     /** Mutable state of one in-flight request, stack-allocated. */
@@ -98,6 +114,7 @@ class PlanExecutor
     const PlaintextPool &pool_;
     ckks::Encoder encoder_; ///< re-entrant (bias encodes at run scale)
     robustness::GuardOptions guardOptions_;
+    ExecOptions execOptions_;
 };
 
 } // namespace fxhenn::hecnn

@@ -1,0 +1,41 @@
+#include "src/hecnn/rotation_groups.hpp"
+
+namespace fxhenn::hecnn {
+
+std::vector<RotationGroup>
+findRotationGroups(std::span<const HeInstr> instrs)
+{
+    std::vector<RotationGroup> groups;
+    std::size_t i = 0;
+    while (i < instrs.size()) {
+        if (instrs[i].kind != HeOpKind::rotate) {
+            ++i;
+            continue;
+        }
+        const std::int32_t src = instrs[i].src;
+        RotationGroup group{i, 0};
+        while (i < instrs.size() &&
+               instrs[i].kind == HeOpKind::rotate &&
+               instrs[i].src == src) {
+            ++group.count;
+            const bool clobbers_src = instrs[i].dst == src;
+            ++i;
+            if (clobbers_src)
+                break; // the shared source just changed value
+        }
+        groups.push_back(group);
+    }
+    return groups;
+}
+
+std::size_t
+countHoistedDecompositions(std::span<const HeInstr> instrs)
+{
+    std::size_t n = findRotationGroups(instrs).size();
+    for (const auto &instr : instrs)
+        if (instr.kind == HeOpKind::relinearize)
+            ++n;
+    return n;
+}
+
+} // namespace fxhenn::hecnn

@@ -15,6 +15,14 @@ Modulus::Modulus(std::uint64_t value)
     const unsigned __int128 numerator =
         static_cast<unsigned __int128>(1) << (2 * bits_);
     mu_ = static_cast<std::uint64_t>(numerator / value_);
+    // mu128 = floor(2^128 / q) for reduceWide(). 2^128 itself does not
+    // fit in 128 bits, but q never divides 2^128 (q is odd and > 1 in
+    // every NTT-compatible chain), so floor((2^128 - 1) / q) equals it.
+    FXHENN_FATAL_IF(value % 2 == 0, "modulus must be odd");
+    const unsigned __int128 mu128 =
+        ~static_cast<unsigned __int128>(0) / value_;
+    mu128Hi_ = static_cast<std::uint64_t>(mu128 >> 64);
+    mu128Lo_ = static_cast<std::uint64_t>(mu128);
 }
 
 std::uint64_t

@@ -29,7 +29,7 @@ class Modulus
     /** @return the bit width of q. */
     unsigned bits() const { return bits_; }
 
-    /** Barrett reduction of a 128-bit value into [0, q). */
+    /** Barrett reduction of @p x < 2^(2*bits()) into [0, q). */
     std::uint64_t
     reduce(unsigned __int128 x) const
     {
@@ -37,7 +37,6 @@ class Modulus
         // split into two 64-bit halves is overkill for our operand sizes:
         // all products we reduce are < q^2 <= 2^120. We use the classic
         // floor(x / 2^s * mu / 2^t) approximation with one correction.
-        const std::uint64_t xhi = static_cast<std::uint64_t>(x >> 64);
         const std::uint64_t xlo = static_cast<std::uint64_t>(x);
 
         // q1 = floor(x / 2^(bits-1)), fits in ~bits+2 bits beyond 64 only
@@ -50,12 +49,90 @@ class Modulus
 
         std::uint64_t r =
             xlo - q3 * value_; // low 64 bits suffice: r < 2q < 2^61
-        (void)xhi;
         if (r >= value_)
             r -= value_;
         if (r >= value_)
             r -= value_;
         return r;
+    }
+
+    /**
+     * Barrett reduction of an arbitrary 128-bit value into [0, q).
+     *
+     * Unlike reduce(), which requires x < 2^(2*bits()), this uses the
+     * full-range constant mu128 = floor(2^128 / q) and the exact high
+     * half of the 128x128 product, so it is valid for every x — the
+     * reduction step behind the lazy-accumulation keyswitch path, where
+     * up to maxLazyDepth() unreduced q^2-sized products pile up.
+     */
+    std::uint64_t
+    reduceWide(unsigned __int128 x) const
+    {
+        const std::uint64_t xh = static_cast<std::uint64_t>(x >> 64);
+        const std::uint64_t xl = static_cast<std::uint64_t>(x);
+
+        // t = floor(x * mu128 / 2^128) via the exact upper half of the
+        // 256-bit product (schoolbook over 64-bit halves with carry).
+        const unsigned __int128 ll =
+            static_cast<unsigned __int128>(xl) * mu128Lo_;
+        const unsigned __int128 lh =
+            static_cast<unsigned __int128>(xl) * mu128Hi_;
+        const unsigned __int128 hl =
+            static_cast<unsigned __int128>(xh) * mu128Lo_;
+        const unsigned __int128 hh =
+            static_cast<unsigned __int128>(xh) * mu128Hi_;
+        const unsigned __int128 mid =
+            (ll >> 64) + static_cast<std::uint64_t>(lh) +
+            static_cast<std::uint64_t>(hl);
+        const unsigned __int128 t =
+            hh + (lh >> 64) + (hl >> 64) + (mid >> 64);
+
+        // t >= floor(x/q) - 1, so r = x - t*q < 2q < 2^61: the low
+        // 64 bits of both operands suffice (wrapping arithmetic).
+        std::uint64_t r = xl - static_cast<std::uint64_t>(t) * value_;
+        if (r >= value_)
+            r -= value_;
+        return r;
+    }
+
+    /**
+     * Shoup modular multiplication (a * b) mod q with the precomputed
+     * constant @p bShoup = shoupConstant(b). Requires a < q and
+     * b < q < 2^63. One high-half product and one wrapping multiply
+     * instead of a full Barrett reduction — the same per-twiddle trick
+     * the NTT butterflies use, exposed for callers outside ntt.hpp.
+     */
+    std::uint64_t
+    mulShoup(std::uint64_t a, std::uint64_t b,
+             std::uint64_t bShoup) const
+    {
+        const std::uint64_t hi = static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(a) * bShoup) >> 64);
+        std::uint64_t r = a * b - hi * value_; // wrapping arithmetic
+        if (r >= value_)
+            r -= value_;
+        return r;
+    }
+
+    /** Precompute floor(b * 2^64 / q) for mulShoup(); requires b < q. */
+    std::uint64_t
+    shoupConstant(std::uint64_t b) const
+    {
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(b) << 64) / value_);
+    }
+
+    /**
+     * How many unreduced products a * b (a, b < q) a 128-bit
+     * accumulator can absorb before reduceWide() would overflow:
+     * 2^(128 - 2*bits()), capped at 2^63. Even 60-bit primes allow 256
+     * terms — far above any keyswitch digit count.
+     */
+    std::uint64_t
+    maxLazyDepth() const
+    {
+        const unsigned headroom = 128 - 2 * bits_;
+        return headroom >= 63 ? (1ull << 63) : (1ull << headroom);
     }
 
     /** @return (a + b) mod q for a, b in [0, q). */
@@ -119,6 +196,8 @@ class Modulus
   private:
     std::uint64_t value_ = 0;
     std::uint64_t mu_ = 0; ///< floor(2^(2*bits) / q) Barrett constant
+    std::uint64_t mu128Hi_ = 0; ///< floor(2^128 / q), upper 64 bits
+    std::uint64_t mu128Lo_ = 0; ///< floor(2^128 / q), lower 64 bits
     unsigned bits_ = 0;
 };
 

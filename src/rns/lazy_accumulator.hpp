@@ -1,0 +1,109 @@
+/**
+ * @file
+ * 128-bit lazy (deferred-reduction) accumulator for keyswitch inner
+ * products.
+ *
+ * The hybrid keyswitch digit inner product sums L products of residues
+ * below q^2 per coefficient. The eager path Barrett-reduces every
+ * product; this accumulator instead piles the unreduced 128-bit
+ * products up and reduces ONCE per coefficient with
+ * Modulus::reduceWide() — the software analogue of the wide
+ * carry-save accumulators HE accelerators place behind their modular
+ * multiplier arrays. Overflow budget: depth * (q-1)^2 < 2^128, i.e.
+ * depth <= Modulus::maxLazyDepth() (>= 256 even for 60-bit primes,
+ * far above any ciphertext level).
+ *
+ * Because (sum of products) mod q is reduced exactly, the result is
+ * bitwise identical to the eager chain add(mul(a, b)) — both land on
+ * the canonical representative in [0, q).
+ */
+#ifndef FXHENN_RNS_LAZY_ACCUMULATOR_HPP
+#define FXHENN_RNS_LAZY_ACCUMULATOR_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/assert.hpp"
+#include "src/modarith/modulus.hpp"
+#include "src/rns/workspace_pool.hpp"
+
+namespace fxhenn::rns {
+
+/** One row of n unreduced 128-bit sums, leased from the WorkspacePool. */
+class LazyLimbAccumulator
+{
+  public:
+    /** Lease a zeroed n-slot accumulator row. */
+    explicit LazyLimbAccumulator(std::size_t n)
+        : acc_(WorkspacePool::leaseU128(n))
+    {
+        std::fill(acc_.begin(), acc_.end(), 0);
+    }
+
+    LazyLimbAccumulator(const LazyLimbAccumulator &) = delete;
+    LazyLimbAccumulator &operator=(const LazyLimbAccumulator &) = delete;
+
+    ~LazyLimbAccumulator() { WorkspacePool::release(std::move(acc_)); }
+
+    std::size_t size() const { return acc_.size(); }
+    std::uint64_t depth() const { return depth_; }
+
+    /** acc[k] += a[k] * b[k], unreduced (one lazy FMA pass). */
+    void
+    fma(std::span<const std::uint64_t> a,
+        std::span<const std::uint64_t> b)
+    {
+        FXHENN_ASSERT(a.size() == acc_.size() && b.size() == acc_.size(),
+                      "lazy FMA operand size mismatch");
+        for (std::size_t k = 0; k < acc_.size(); ++k)
+            acc_[k] += static_cast<unsigned __int128>(a[k]) * b[k];
+        ++depth_;
+    }
+
+    /**
+     * acc[k] += a[perm[k]] * b[k], unreduced. Folds an NTT-domain
+     * Galois permutation of @p a into the FMA pass, so hoisted
+     * rotations pay O(n) gathers instead of extra NTT round trips.
+     */
+    void
+    fmaGather(std::span<const std::uint64_t> a,
+              std::span<const std::uint32_t> perm,
+              std::span<const std::uint64_t> b)
+    {
+        FXHENN_ASSERT(a.size() == acc_.size() &&
+                          b.size() == acc_.size() &&
+                          perm.size() == acc_.size(),
+                      "lazy gather-FMA operand size mismatch");
+        for (std::size_t k = 0; k < acc_.size(); ++k)
+            acc_[k] +=
+                static_cast<unsigned __int128>(a[perm[k]]) * b[k];
+        ++depth_;
+    }
+
+    /**
+     * dst[k] = acc[k] mod q — the single deferred Barrett reduction.
+     * Checks the overflow budget: the accumulated depth must not
+     * exceed q's maxLazyDepth().
+     */
+    void
+    reduceInto(std::span<std::uint64_t> dst, const Modulus &q) const
+    {
+        FXHENN_ASSERT(dst.size() == acc_.size(),
+                      "lazy reduce destination size mismatch");
+        FXHENN_ASSERT(depth_ <= q.maxLazyDepth(),
+                      "lazy accumulation depth exceeds the 128-bit "
+                      "overflow budget for this modulus");
+        for (std::size_t k = 0; k < acc_.size(); ++k)
+            dst[k] = q.reduceWide(acc_[k]);
+    }
+
+  private:
+    std::vector<unsigned __int128> acc_;
+    std::uint64_t depth_ = 0;
+};
+
+} // namespace fxhenn::rns
+
+#endif // FXHENN_RNS_LAZY_ACCUMULATOR_HPP

@@ -12,8 +12,10 @@ RnsPoly::RnsPoly(const RnsBasis &basis, std::size_t level, bool withSpecial,
 {
     FXHENN_FATAL_IF(level == 0 || level > basis.levels(),
                     "invalid polynomial level");
-    limbs_.assign(level + (withSpecial ? 1 : 0),
-                  std::vector<std::uint64_t>(basis.n(), 0));
+    const std::size_t count = level + (withSpecial ? 1 : 0);
+    limbs_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        limbs_.emplace_back(basis.n());
 }
 
 std::span<std::uint64_t>
@@ -171,21 +173,26 @@ RnsPoly::rescaleLastPrime()
     const std::uint64_t half = q_last.value() / 2;
     const auto &tail = limbs_[last];
 
-    for (std::size_t j = 0; j < last; ++j) {
+    // Remaining limbs are written disjointly (all read only the tail).
+    parallelFor(last, [&](std::size_t j) {
         const Modulus &q = basis_->q(j);
         const std::uint64_t inv = basis_->invLastPrime(level_, j);
+        const std::uint64_t invShoup = q.shoupConstant(inv);
+        const std::uint64_t qlast_mod = q_last.value() % q.value();
+        // tail[k] < q_last, so Barrett reduce() applies whenever the
+        // dropped prime fits its x < 2^(2*bits()) contract.
+        const bool barrett = q_last.bits() < 2 * q.bits();
         auto &dst = limbs_[j];
         for (std::size_t k = 0; k < dst.size(); ++k) {
             // Centered representative of the tail residue, so the
             // division rounds instead of truncating.
+            const std::uint64_t res =
+                barrett ? q.reduce(tail[k]) : tail[k] % q.value();
             const std::uint64_t centered =
-                tail[k] > half
-                    ? q.sub(tail[k] % q.value(),
-                            q_last.value() % q.value())
-                    : tail[k] % q.value();
-            dst[k] = q.mul(q.sub(dst[k], centered), inv);
+                tail[k] > half ? q.sub(res, qlast_mod) : res;
+            dst[k] = q.mulShoup(q.sub(dst[k], centered), inv, invShoup);
         }
-    }
+    });
     limbs_.pop_back();
     --level_;
 }
@@ -201,18 +208,26 @@ RnsPoly::modDownSpecial()
     const std::uint64_t half = p.value() / 2;
     const auto &tail = limbs_.back();
 
-    for (std::size_t j = 0; j < level_; ++j) {
+    // Data limbs are written disjointly (all read only the special
+    // limb), so ModDown parallelizes across limbs like the NTTs.
+    parallelFor(level_, [&](std::size_t j) {
         const Modulus &q = basis_->q(j);
         const std::uint64_t inv = basis_->invSpecial(j);
+        const std::uint64_t invShoup = q.shoupConstant(inv);
+        const std::uint64_t p_mod = p.value() % q.value();
+        // tail[k] < p, so Barrett reduce() applies whenever the special
+        // prime fits its x < 2^(2*bits()) contract (always true for the
+        // preset chains: specialBits <= qBits + 10 < 2*qBits).
+        const bool barrett = p.bits() < 2 * q.bits();
         auto &dst = limbs_[j];
         for (std::size_t k = 0; k < dst.size(); ++k) {
+            const std::uint64_t res =
+                barrett ? q.reduce(tail[k]) : tail[k] % q.value();
             const std::uint64_t centered =
-                tail[k] > half
-                    ? q.sub(tail[k] % q.value(), p.value() % q.value())
-                    : tail[k] % q.value();
-            dst[k] = q.mul(q.sub(dst[k], centered), inv);
+                tail[k] > half ? q.sub(res, p_mod) : res;
+            dst[k] = q.mulShoup(q.sub(dst[k], centered), inv, invShoup);
         }
-    }
+    });
     limbs_.pop_back();
     hasSpecial_ = false;
 }
@@ -294,12 +309,78 @@ RnsPoly::galois(std::uint64_t galoisElt) const
     return out;
 }
 
+RnsPoly
+RnsPoly::permuteNtt(std::span<const std::uint32_t> perm) const
+{
+    FXHENN_ASSERT(domain_ == PolyDomain::ntt,
+                  "permuteNtt requires NTT domain");
+    FXHENN_ASSERT(perm.size() == basis_->n(),
+                  "permutation table size mismatch");
+    RnsPoly out(*basis_, level_, hasSpecial_, PolyDomain::ntt);
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        const auto &src = limbs_[i];
+        auto dst = out.limb(i);
+        for (std::size_t t = 0; t < dst.size(); ++t)
+            dst[t] = src[perm[t]];
+    }
+    return out;
+}
+
 bool
 RnsPoly::operator==(const RnsPoly &other) const
 {
     return basis_ == other.basis_ && level_ == other.level_ &&
            hasSpecial_ == other.hasSpecial_ && domain_ == other.domain_ &&
            limbs_ == other.limbs_;
+}
+
+namespace {
+
+/** Flatten (poly, limb) pairs so one parallelFor spans all of them. */
+std::vector<std::pair<RnsPoly *, std::size_t>>
+limbJobs(std::span<RnsPoly *const> polys)
+{
+    std::vector<std::pair<RnsPoly *, std::size_t>> jobs;
+    std::size_t total = 0;
+    for (RnsPoly *p : polys)
+        total += p->limbCount();
+    jobs.reserve(total);
+    for (RnsPoly *p : polys)
+        for (std::size_t i = 0; i < p->limbCount(); ++i)
+            jobs.emplace_back(p, i);
+    return jobs;
+}
+
+} // namespace
+
+void
+batchFromNtt(std::span<RnsPoly *const> polys)
+{
+    for (RnsPoly *p : polys)
+        FXHENN_ASSERT(p->domain() == PolyDomain::ntt,
+                      "batchFromNtt operand already in coeff domain");
+    const auto jobs = limbJobs(polys);
+    parallelFor(jobs.size(), [&jobs](std::size_t j) {
+        auto [p, i] = jobs[j];
+        p->limbNtt(i).inverse(p->limb(i));
+    });
+    for (RnsPoly *p : polys)
+        p->setDomain(PolyDomain::coeff);
+}
+
+void
+batchToNtt(std::span<RnsPoly *const> polys)
+{
+    for (RnsPoly *p : polys)
+        FXHENN_ASSERT(p->domain() == PolyDomain::coeff,
+                      "batchToNtt operand already in NTT domain");
+    const auto jobs = limbJobs(polys);
+    parallelFor(jobs.size(), [&jobs](std::size_t j) {
+        auto [p, i] = jobs[j];
+        p->limbNtt(i).forward(p->limb(i));
+    });
+    for (RnsPoly *p : polys)
+        p->setDomain(PolyDomain::ntt);
 }
 
 } // namespace fxhenn

@@ -17,7 +17,9 @@
 #include <vector>
 
 #include "src/common/rng.hpp"
+#include "src/rns/lazy_accumulator.hpp"
 #include "src/rns/rns_basis.hpp"
+#include "src/rns/workspace_pool.hpp"
 
 namespace fxhenn {
 
@@ -119,6 +121,29 @@ class RnsPoly
      */
     RnsPoly galois(std::uint64_t galoisElt) const;
 
+    /**
+     * Apply a Galois automorphism to an NTT-domain polynomial as a
+     * pure permutation of every limb: out.limb(i)[t] =
+     * limb(i)[perm[t]]. The table comes from the context's Galois
+     * cache (the automorphism permutes the odd 2N-th roots, so in
+     * evaluation form it is a gather with no negations and no domain
+     * round trip).
+     */
+    RnsPoly permuteNtt(std::span<const std::uint32_t> perm) const;
+
+    /**
+     * Lazy (unreduced) FMA of one limb into a 128-bit accumulator:
+     * acc[k] += limb(i)[k] * key[k]. The caller reduces once via
+     * LazyLimbAccumulator::reduceInto() — the keyswitch digit inner
+     * product path.
+     */
+    void
+    fmaLazyInto(rns::LazyLimbAccumulator &acc, std::size_t i,
+                std::span<const std::uint64_t> key) const
+    {
+        acc.fma(limb(i), key);
+    }
+
     bool operator==(const RnsPoly &other) const;
 
   private:
@@ -128,8 +153,20 @@ class RnsPoly
     std::size_t level_ = 0;
     bool hasSpecial_ = false;
     PolyDomain domain_ = PolyDomain::ntt;
-    std::vector<std::vector<std::uint64_t>> limbs_;
+    /** Pooled storage: limb buffers recycle through the WorkspacePool. */
+    std::vector<rns::PooledBuffer> limbs_;
 };
+
+/**
+ * Convert several polynomials NTT -> coefficient domain with ONE
+ * parallelFor over every (polynomial, limb) job — the batched form the
+ * keyswitch core uses so limb-level parallelism spans all its
+ * polynomials instead of synchronizing per polynomial.
+ */
+void batchFromNtt(std::span<RnsPoly *const> polys);
+
+/** Batched counterpart of toNtt() (coefficient -> NTT domain). */
+void batchToNtt(std::span<RnsPoly *const> polys);
 
 } // namespace fxhenn
 

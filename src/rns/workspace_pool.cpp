@@ -1,0 +1,137 @@
+#include "src/rns/workspace_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/telemetry/telemetry.hpp"
+
+namespace fxhenn::rns {
+
+namespace {
+
+/** The per-thread state: one freelist per element type + counters. */
+struct ThreadPool
+{
+    std::vector<std::vector<std::uint64_t>> freeU64;
+    std::vector<std::vector<unsigned __int128>> freeU128;
+    WorkspaceStats stats;
+};
+
+ThreadPool &
+threadPool()
+{
+    static thread_local ThreadPool pool;
+    return pool;
+}
+
+template <typename T>
+std::vector<T>
+leaseFrom(std::vector<std::vector<T>> &freelist, std::size_t n,
+          WorkspaceStats &stats)
+{
+    if (!freelist.empty()) {
+        std::vector<T> buf = std::move(freelist.back());
+        freelist.pop_back();
+        buf.resize(n); // contents unspecified by contract
+        ++stats.hits;
+        FXHENN_TELEM_COUNT("rns.workspace.hits", 1);
+        return buf;
+    }
+    ++stats.misses;
+    FXHENN_TELEM_COUNT("rns.workspace.misses", 1);
+    return std::vector<T>(n);
+}
+
+template <typename T>
+void
+releaseTo(std::vector<std::vector<T>> &freelist, std::vector<T> &&buf)
+{
+    if (buf.capacity() == 0 || freelist.size() >= WorkspacePool::kMaxFree)
+        return; // moved-from husks and surplus buffers just deallocate
+    freelist.push_back(std::move(buf));
+}
+
+} // namespace
+
+std::vector<std::uint64_t>
+WorkspacePool::leaseU64(std::size_t n)
+{
+    ThreadPool &pool = threadPool();
+    return leaseFrom(pool.freeU64, n, pool.stats);
+}
+
+void
+WorkspacePool::release(std::vector<std::uint64_t> &&buf)
+{
+    releaseTo(threadPool().freeU64, std::move(buf));
+}
+
+std::vector<unsigned __int128>
+WorkspacePool::leaseU128(std::size_t n)
+{
+    ThreadPool &pool = threadPool();
+    return leaseFrom(pool.freeU128, n, pool.stats);
+}
+
+void
+WorkspacePool::release(std::vector<unsigned __int128> &&buf)
+{
+    releaseTo(threadPool().freeU128, std::move(buf));
+}
+
+WorkspaceStats
+WorkspacePool::threadStats()
+{
+    return threadPool().stats;
+}
+
+void
+WorkspacePool::resetThreadStats()
+{
+    threadPool().stats = WorkspaceStats{};
+}
+
+void
+WorkspacePool::trimThread()
+{
+    ThreadPool &pool = threadPool();
+    pool.freeU64.clear();
+    pool.freeU128.clear();
+}
+
+PooledBuffer::PooledBuffer(std::size_t n)
+    : buf_(WorkspacePool::leaseU64(n))
+{
+    std::fill(buf_.begin(), buf_.end(), 0);
+}
+
+PooledBuffer::PooledBuffer(const PooledBuffer &other)
+    : buf_(WorkspacePool::leaseU64(other.buf_.size()))
+{
+    std::copy(other.buf_.begin(), other.buf_.end(), buf_.begin());
+}
+
+PooledBuffer &
+PooledBuffer::operator=(const PooledBuffer &other)
+{
+    if (this != &other)
+        buf_.assign(other.buf_.begin(), other.buf_.end());
+    return *this;
+}
+
+PooledBuffer &
+PooledBuffer::operator=(PooledBuffer &&other) noexcept
+{
+    if (this != &other) {
+        WorkspacePool::release(std::move(buf_));
+        buf_ = std::move(other.buf_);
+    }
+    return *this;
+}
+
+PooledBuffer::~PooledBuffer()
+{
+    WorkspacePool::release(std::move(buf_));
+}
+
+} // namespace fxhenn::rns

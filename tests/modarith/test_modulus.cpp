@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "src/common/assert.hpp"
 #include "src/common/rng.hpp"
 #include "src/modarith/modulus.hpp"
@@ -42,6 +44,73 @@ TEST(Modulus, BarrettMatchesNaiveOnRandomInputs)
             EXPECT_EQ(q.mul(a, b),
                       static_cast<std::uint64_t>(wide % prime));
         }
+    }
+}
+
+TEST(Modulus, ReduceWideMatchesNaiveOnFullRange)
+{
+    Rng rng(321);
+    for (std::uint64_t prime :
+         {17ull, 1073741789ull /* 30-bit */, 68719476389ull /* 36-bit */,
+          1125899906842597ull /* 50-bit */,
+          1152921504606830593ull /* 60-bit */}) {
+        ASSERT_TRUE(isPrime(prime));
+        const Modulus q(prime);
+        // Boundary values first: reduceWide must be exact on all of
+        // [0, 2^128), not just below q^2 like reduce().
+        const unsigned __int128 all_ones =
+            ~static_cast<unsigned __int128>(0);
+        EXPECT_EQ(q.reduceWide(0), 0u);
+        EXPECT_EQ(q.reduceWide(prime), 0u);
+        EXPECT_EQ(q.reduceWide(all_ones),
+                  static_cast<std::uint64_t>(all_ones % prime));
+        for (int i = 0; i < 2000; ++i) {
+            const unsigned __int128 x =
+                (static_cast<unsigned __int128>(rng.next()) << 64) |
+                rng.next();
+            EXPECT_EQ(q.reduceWide(x),
+                      static_cast<std::uint64_t>(x % prime));
+        }
+    }
+}
+
+TEST(Modulus, MulShoupMatchesMul)
+{
+    Rng rng(555);
+    for (std::uint64_t prime :
+         {1073741789ull, 68719476389ull, 1125899906842597ull}) {
+        const Modulus q(prime);
+        for (int i = 0; i < 500; ++i) {
+            const std::uint64_t a = rng.uniform(prime);
+            const std::uint64_t b = rng.uniform(prime);
+            const std::uint64_t bShoup = q.shoupConstant(b);
+            EXPECT_EQ(q.mulShoup(a, b, bShoup), q.mul(a, b));
+        }
+        // Edge operands.
+        EXPECT_EQ(q.mulShoup(0, prime - 1, q.shoupConstant(prime - 1)),
+                  0u);
+        EXPECT_EQ(q.mulShoup(prime - 1, prime - 1,
+                             q.shoupConstant(prime - 1)),
+                  q.mul(prime - 1, prime - 1));
+    }
+}
+
+TEST(Modulus, MaxLazyDepthBoundsAccumulation)
+{
+    // depth * (q-1)^2 must stay below 2^128 for depth = maxLazyDepth().
+    for (std::uint64_t prime :
+         {17ull, 1073741789ull, 1152921504606830593ull /* 60-bit */}) {
+        const Modulus q(prime);
+        const std::uint64_t depth = q.maxLazyDepth();
+        EXPECT_GE(depth, 256u); // worst case: 60-bit primes
+        if (2 * q.bits() + 64 <= 128)
+            continue; // depth capped at 2^63, product trivially fits
+        const long double bound =
+            std::pow(2.0L, 128.0L) -
+            static_cast<long double>(depth) *
+                static_cast<long double>(prime - 1) *
+                static_cast<long double>(prime - 1);
+        EXPECT_GT(bound, 0.0L) << "prime " << prime;
     }
 }
 

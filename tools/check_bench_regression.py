@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Keyswitch performance regression gate.
+
+Runs the bench_kernels suite several times (median-of-N to shrug off
+scheduler noise), reads the "ckks.time.keyswitch.ns" histogram mean
+from the telemetry JSON each run emits, and fails when the median mean
+regresses more than --threshold (default 25%) over the committed
+BENCH_kernels.json baseline.
+
+Registered as the `perf`-labeled ctest entry when the build is
+configured with -DFXHENN_PERF_TESTS=ON; excluded from the default
+presets because wall-clock assertions are only meaningful on a quiet
+machine.
+
+Usage:
+    tools/check_bench_regression.py --bench build/bench/bench_kernels \
+        [--baseline BENCH_kernels.json] [--threshold 0.25] [--runs 3]
+"""
+
+import argparse
+import json
+import statistics
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+METRIC = "ckks.time.keyswitch.ns"
+
+
+def histogram_mean(telemetry_path: Path, metric: str) -> float:
+    with open(telemetry_path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    try:
+        hist = doc["histograms"][metric]
+    except KeyError:
+        raise SystemExit(
+            f"error: {telemetry_path} has no '{metric}' histogram — "
+            "was the bench built with telemetry enabled?"
+        )
+    if hist["count"] == 0:
+        raise SystemExit(f"error: '{metric}' recorded zero samples")
+    return float(hist["mean"])
+
+
+def run_bench(bench: Path, bench_filter: str, out_json: Path) -> None:
+    # Invoke exactly the way the committed baseline is produced: warmup
+    # iterations are avoided because telemetry records them too, which
+    # would skew the histogram sample mix toward the heavyweight pinned
+    # benchmarks.
+    cmd = [
+        str(bench),
+        f"--telemetry-json={out_json}",
+        "--benchmark_min_time=0.1",
+    ]
+    if bench_filter:
+        cmd.append(f"--benchmark_filter={bench_filter}")
+    proc = subprocess.run(
+        cmd, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True
+    )
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(f"error: {bench} exited with {proc.returncode}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", required=True, type=Path,
+                        help="path to the bench_kernels binary")
+    parser.add_argument("--baseline", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_kernels.json",
+                        help="committed telemetry baseline JSON")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max allowed fractional regression")
+    parser.add_argument("--runs", type=int, default=3,
+                        help="bench repetitions (median is compared)")
+    parser.add_argument("--filter", default="",
+                        help="optional --benchmark_filter regex; the "
+                        "default runs the full suite, matching how the "
+                        "baseline was produced")
+    args = parser.parse_args()
+
+    if not args.bench.exists():
+        raise SystemExit(f"error: bench binary {args.bench} not found")
+    baseline_mean = histogram_mean(args.baseline, METRIC)
+
+    means = []
+    with tempfile.TemporaryDirectory(prefix="fxhenn-bench-") as tmp:
+        for i in range(args.runs):
+            out = Path(tmp) / f"run{i}.json"
+            run_bench(args.bench, args.filter, out)
+            mean = histogram_mean(out, METRIC)
+            means.append(mean)
+            print(f"run {i + 1}/{args.runs}: {METRIC} mean "
+                  f"{mean / 1e6:.3f} ms")
+
+    median = statistics.median(means)
+    ratio = median / baseline_mean
+    limit = 1.0 + args.threshold
+    print(f"baseline mean {baseline_mean / 1e6:.3f} ms, "
+          f"median-of-{args.runs} {median / 1e6:.3f} ms "
+          f"({ratio:.2f}x, limit {limit:.2f}x)")
+    if ratio > limit:
+        print(f"FAIL: keyswitch mean regressed {100 * (ratio - 1):.1f}% "
+              f"(> {100 * args.threshold:.0f}% threshold)")
+        return 1
+    print("OK: within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
