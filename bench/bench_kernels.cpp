@@ -34,6 +34,7 @@
 #include "src/hecnn/runtime.hpp"
 #include "src/modarith/ntt.hpp"
 #include "src/modarith/primes.hpp"
+#include "src/modarith/simd_dispatch.hpp"
 #include "src/nn/model_zoo.hpp"
 #include "src/telemetry/telemetry.hpp"
 
@@ -74,6 +75,35 @@ BM_NttForward(benchmark::State &state)
                                 ntt.butterflyCount()));
 }
 BENCHMARK(BM_NttForward)->Arg(1024)->Arg(4096)->Arg(8192)->Arg(16384);
+
+void
+BM_NttForwardScalar(benchmark::State &state)
+{
+    // Scalar-reference column: dispatch pinned to the scalar kernels
+    // (simd::ScopedLevel) with a fixed iteration count and telemetry
+    // muted, so the row reads the same whatever SIMD level the machine
+    // auto-selects and its samples never shift the committed
+    // baseline's histogram mix. Compare against BM_NttForward at the
+    // same ring size for the dispatch speedup.
+    const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+    const Modulus q(generateNttPrimes(30, n, 1)[0]);
+    const NttTables ntt(n, q);
+    Rng rng(2);
+    std::vector<std::uint64_t> a(n);
+    for (auto &x : a)
+        x = rng.uniform(q.value());
+    simd::ScopedLevel pin(simd::Level::scalar);
+    telemetry::setEnabled(false);
+    for (auto _ : state) {
+        ntt.forward(a);
+        benchmark::ClobberMemory();
+    }
+    telemetry::setEnabled(true);
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(
+                                ntt.butterflyCount()));
+}
+BENCHMARK(BM_NttForwardScalar)->Arg(4096)->Iterations(200);
 
 /** Shared CKKS fixture state for the op-level benchmarks. */
 struct CkksBench
@@ -190,6 +220,27 @@ BM_KeyswitchLazy(benchmark::State &state)
     }
 }
 BENCHMARK(BM_KeyswitchLazy)->Iterations(6);
+
+void
+BM_KeyswitchLazyScalar(benchmark::State &state)
+{
+    // Scalar-reference column for the dispatched lazy keyswitch:
+    // same KswMode::lazy algorithm, kernels pinned to scalar,
+    // telemetry muted like the eager reference rows so the
+    // machine-dependent SIMD speedup never leaks into the
+    // BENCH_kernels.json keyswitch baseline.
+    auto &f = fixture();
+    ckks::Evaluator lazy(f.ctx, ckks::KswMode::lazy);
+    auto prod = lazy.mulNoRelin(f.ct, f.ct);
+    simd::ScopedLevel pin(simd::Level::scalar);
+    telemetry::setEnabled(false);
+    for (auto _ : state) {
+        auto out = lazy.relinearize(prod, f.relin);
+        benchmark::DoNotOptimize(out);
+    }
+    telemetry::setEnabled(true);
+}
+BENCHMARK(BM_KeyswitchLazyScalar)->Iterations(6);
 
 void
 BM_Rotate(benchmark::State &state)

@@ -5,6 +5,7 @@
 
 #include "src/common/assert.hpp"
 #include "src/common/parallel.hpp"
+#include "src/modarith/simd_dispatch.hpp"
 #include "src/rns/lazy_accumulator.hpp"
 #include "src/robustness/fault_injection.hpp"
 #include "src/telemetry/telemetry.hpp"
@@ -252,8 +253,9 @@ Evaluator::decomposeKsw(const RnsPoly &d)
             // primes share a width, so src[k] < 2^(2*bits) holds).
             // The induced error is < q_i and is scaled away by the
             // final division by p.
-            for (std::size_t k = 0; k < dst.size(); ++k)
-                dst[k] = qj.reduce(src[k]);
+            FXHENN_TELEM_COUNT("modarith.simd.dispatches", 1);
+            simd::kernels().reduceArray(dst.data(), src.data(),
+                                        dst.size(), qj);
         }
         ntt_j.forward(dst);
     });

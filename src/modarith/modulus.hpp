@@ -193,6 +193,18 @@ class Modulus
         return value_ == other.value_;
     }
 
+    // --- raw Barrett constants for the SIMD kernel translation units
+    // (src/modarith/simd_kernels_*.cpp), which re-derive reduce(),
+    // reduceWide() and mulShoup() lane-wise from the same constants so
+    // the vector paths stay bitwise identical to the methods above.
+
+    /** floor(2^(2*bits) / q), the reduce() Barrett constant. */
+    std::uint64_t barrettMu() const { return mu_; }
+    /** Upper 64 bits of floor(2^128 / q) (reduceWide() constant). */
+    std::uint64_t wideMuHi() const { return mu128Hi_; }
+    /** Lower 64 bits of floor(2^128 / q) (reduceWide() constant). */
+    std::uint64_t wideMuLo() const { return mu128Lo_; }
+
   private:
     std::uint64_t value_ = 0;
     std::uint64_t mu_ = 0; ///< floor(2^(2*bits) / q) Barrett constant

@@ -3,6 +3,7 @@
 #include "src/common/assert.hpp"
 #include "src/common/math_util.hpp"
 #include "src/modarith/primes.hpp"
+#include "src/modarith/simd_dispatch.hpp"
 #include "src/telemetry/telemetry.hpp"
 
 namespace fxhenn {
@@ -49,27 +50,12 @@ NttTables::forward(std::span<std::uint64_t> a) const
     FXHENN_ASSERT(a.size() == n_, "NTT operand has wrong length");
     FXHENN_TELEM_COUNT("modarith.ntt.forward", 1);
     FXHENN_TELEM_COUNT("modarith.ntt.butterflies", butterflyCount());
-    const std::uint64_t q = q_.value();
+    FXHENN_TELEM_COUNT("modarith.simd.dispatches", 1);
 
-    // Cooley-Tukey DIT with merged negacyclic twist, Shoup butterflies.
-    std::uint64_t t = n_;
-    for (std::uint64_t m = 1; m < n_; m <<= 1) {
-        t >>= 1;
-        for (std::uint64_t i = 0; i < m; ++i) {
-            const std::uint64_t w = rootPowers_[m + i];
-            const std::uint64_t ws = rootShoup_[m + i];
-            const std::uint64_t j1 = 2 * i * t;
-            for (std::uint64_t j = j1; j < j1 + t; ++j) {
-                const std::uint64_t u = a[j];
-                const std::uint64_t v = shoupMul(a[j + t], w, ws, q);
-                std::uint64_t s = u + v;
-                if (s >= q)
-                    s -= q;
-                a[j] = s;
-                a[j + t] = u >= v ? u - v : u + q - v;
-            }
-        }
-    }
+    // The butterfly loops live in the dispatched kernel TUs
+    // (simd_kernels_scalar.cpp is the reference formulation).
+    simd::kernels().nttForward(a.data(), n_, rootPowers_.data(),
+                               rootShoup_.data(), q_.value());
 }
 
 void
@@ -78,31 +64,11 @@ NttTables::inverse(std::span<std::uint64_t> a) const
     FXHENN_ASSERT(a.size() == n_, "NTT operand has wrong length");
     FXHENN_TELEM_COUNT("modarith.ntt.inverse", 1);
     FXHENN_TELEM_COUNT("modarith.ntt.butterflies", butterflyCount());
-    const std::uint64_t q = q_.value();
+    FXHENN_TELEM_COUNT("modarith.simd.dispatches", 1);
 
-    // Gentleman-Sande DIF with merged inverse twist, Shoup butterflies.
-    std::uint64_t t = 1;
-    for (std::uint64_t m = n_; m > 1; m >>= 1) {
-        const std::uint64_t h = m >> 1;
-        for (std::uint64_t i = 0; i < h; ++i) {
-            const std::uint64_t w = invRootPowers_[h + i];
-            const std::uint64_t ws = invRootShoup_[h + i];
-            const std::uint64_t j1 = 2 * i * t;
-            for (std::uint64_t j = j1; j < j1 + t; ++j) {
-                const std::uint64_t u = a[j];
-                const std::uint64_t v = a[j + t];
-                std::uint64_t s = u + v;
-                if (s >= q)
-                    s -= q;
-                a[j] = s;
-                a[j + t] =
-                    shoupMul(u >= v ? u - v : u + q - v, w, ws, q);
-            }
-        }
-        t <<= 1;
-    }
-    for (auto &x : a)
-        x = shoupMul(x, invN_, invNShoup_, q);
+    simd::kernels().nttInverse(a.data(), n_, invRootPowers_.data(),
+                               invRootShoup_.data(), q_.value(), invN_,
+                               invNShoup_);
 }
 
 } // namespace fxhenn

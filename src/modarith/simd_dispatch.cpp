@@ -1,0 +1,232 @@
+#include "src/modarith/simd_dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "src/common/assert.hpp"
+#include "src/modarith/simd_kernels_internal.hpp"
+#include "src/telemetry/telemetry.hpp"
+
+namespace fxhenn::simd {
+
+const char *
+levelName(Level level)
+{
+    switch (level) {
+    case Level::scalar:
+        return "scalar";
+    case Level::avx2:
+        return "avx2";
+    case Level::avx512:
+        return "avx512";
+    }
+    return "unknown";
+}
+
+unsigned
+laneWidth(Level level)
+{
+    switch (level) {
+    case Level::avx512:
+        return 8;
+    case Level::avx2:
+        return 4;
+    case Level::scalar:
+        break;
+    }
+    return 1;
+}
+
+std::optional<Level>
+parseLevel(std::string_view text)
+{
+    if (text.empty() || text == "auto")
+        return std::nullopt;
+    if (text == "scalar")
+        return Level::scalar;
+    if (text == "avx2")
+        return Level::avx2;
+    if (text == "avx512")
+        return Level::avx512;
+    throw ConfigError("FXHENN_SIMD: unknown value '" + std::string(text) +
+                      "' (expected scalar, avx2, avx512 or auto)");
+}
+
+bool
+compiledIn(Level level)
+{
+    switch (level) {
+    case Level::scalar:
+        return true;
+    case Level::avx2:
+#if FXHENN_HAVE_AVX2_TU
+        return true;
+#else
+        return false;
+#endif
+    case Level::avx512:
+#if FXHENN_HAVE_AVX512_TU
+        return true;
+#else
+        return false;
+#endif
+    }
+    return false;
+}
+
+bool
+hostSupports(Level level)
+{
+    if (level == Level::scalar)
+        return true;
+#if defined(__x86_64__) || defined(__i386__)
+    if (level == Level::avx2)
+        return __builtin_cpu_supports("avx2") != 0;
+    // The avx512 NTT kernels lean on vpmadd52 (IFMA) plus the
+    // foundation/doubleword subsets; all or nothing.
+    return __builtin_cpu_supports("avx2") != 0 &&
+           __builtin_cpu_supports("avx512f") != 0 &&
+           __builtin_cpu_supports("avx512dq") != 0 &&
+           __builtin_cpu_supports("avx512ifma") != 0;
+#else
+    return false;
+#endif
+}
+
+bool
+available(Level level)
+{
+    return compiledIn(level) && hostSupports(level);
+}
+
+Level
+resolveLevel(std::optional<Level> requested, Level widestAvailable)
+{
+    if (requested.has_value()) {
+        // Explicit but unavailable requests degrade to scalar: asking
+        // for avx512 on a machine (or build) without it must still
+        // run. Availability is monotone, so "above the ladder top"
+        // is exactly "unavailable".
+        if (static_cast<int>(*requested) >
+            static_cast<int>(widestAvailable))
+            return Level::scalar;
+        return *requested;
+    }
+    return widestAvailable;
+}
+
+namespace {
+
+Level
+widestAvailableLevel()
+{
+    if (available(Level::avx512))
+        return Level::avx512;
+    if (available(Level::avx2))
+        return Level::avx2;
+    return Level::scalar;
+}
+
+} // namespace
+
+namespace {
+
+/** Resolved level + a "resolved yet" flag packed into one atomic:
+ * -1 = unresolved, otherwise the Level value. */
+std::atomic<int> g_active{-1};
+
+void
+publishWidth(Level level)
+{
+    if constexpr (telemetry::compiledIn()) {
+        auto &width = telemetry::counter("modarith.simd.width");
+        width.reset();
+        width.add(laneWidth(level));
+    }
+}
+
+Level
+resolveFromEnv()
+{
+    const char *env = std::getenv("FXHENN_SIMD");
+    const auto requested = parseLevel(env ? env : "");
+    return resolveLevel(requested, widestAvailableLevel());
+}
+
+} // namespace
+
+Level
+activeLevel()
+{
+    int current = g_active.load(std::memory_order_acquire);
+    if (current >= 0)
+        return static_cast<Level>(current);
+    const Level resolved = resolveFromEnv();
+    int expected = -1;
+    if (g_active.compare_exchange_strong(expected,
+                                         static_cast<int>(resolved),
+                                         std::memory_order_acq_rel)) {
+        publishWidth(resolved);
+        return resolved;
+    }
+    // Another thread resolved first; its choice (same env, same CPU)
+    // wins.
+    return static_cast<Level>(expected);
+}
+
+void
+forceLevel(Level level)
+{
+    FXHENN_FATAL_IF(!available(level),
+                    std::string("cannot force SIMD level '") +
+                        levelName(level) +
+                        "': not compiled in or not supported by this "
+                        "host");
+    g_active.store(static_cast<int>(level), std::memory_order_release);
+    publishWidth(level);
+}
+
+void
+resetForTest()
+{
+    g_active.store(-1, std::memory_order_release);
+}
+
+const Kernels &
+kernelsFor(Level level)
+{
+    if (level != Level::scalar)
+        FXHENN_FATAL_IF(!available(level),
+                        std::string("SIMD level '") + levelName(level) +
+                            "' is not compiled into this binary or not "
+                            "supported by this host");
+#if FXHENN_HAVE_AVX512_TU
+    if (level == Level::avx512)
+        return detail::avx512Kernels();
+#endif
+#if FXHENN_HAVE_AVX2_TU
+    if (level == Level::avx2)
+        return detail::avx2Kernels();
+#endif
+    return detail::scalarKernels();
+}
+
+const Kernels &
+kernels()
+{
+    return kernelsFor(activeLevel());
+}
+
+ScopedLevel::ScopedLevel(Level level)
+    : previous_(activeLevel())
+{
+    forceLevel(level);
+}
+
+ScopedLevel::~ScopedLevel()
+{
+    forceLevel(previous_);
+}
+
+} // namespace fxhenn::simd

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Internal linkage between the dispatcher and the per-ISA kernel
+ * translation units. Each TU defines its table accessor; a definition
+ * exists only when CMake compiled that TU (FXHENN_HAVE_AVX2_TU /
+ * FXHENN_HAVE_AVX512_TU), so callers must guard uses with those
+ * macros. The avx512 TU also reuses avx2 kernels for the entries it
+ * does not re-implement, and delegates wide-modulus NTT calls
+ * (q >= 2^50, outside the 52-bit IFMA datapath) to the avx2 table.
+ */
+#ifndef FXHENN_MODARITH_SIMD_KERNELS_INTERNAL_HPP
+#define FXHENN_MODARITH_SIMD_KERNELS_INTERNAL_HPP
+
+#include "src/modarith/simd_dispatch.hpp"
+
+namespace fxhenn::simd::detail {
+
+const Kernels &scalarKernels();
+const Kernels &avx2Kernels();   // defined iff FXHENN_HAVE_AVX2_TU
+const Kernels &avx512Kernels(); // defined iff FXHENN_HAVE_AVX512_TU
+
+} // namespace fxhenn::simd::detail
+
+#endif // FXHENN_MODARITH_SIMD_KERNELS_INTERNAL_HPP

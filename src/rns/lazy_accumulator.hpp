@@ -27,7 +27,9 @@
 
 #include "src/common/assert.hpp"
 #include "src/modarith/modulus.hpp"
+#include "src/modarith/simd_dispatch.hpp"
 #include "src/rns/workspace_pool.hpp"
+#include "src/telemetry/telemetry.hpp"
 
 namespace fxhenn::rns {
 
@@ -57,8 +59,9 @@ class LazyLimbAccumulator
     {
         FXHENN_ASSERT(a.size() == acc_.size() && b.size() == acc_.size(),
                       "lazy FMA operand size mismatch");
-        for (std::size_t k = 0; k < acc_.size(); ++k)
-            acc_[k] += static_cast<unsigned __int128>(a[k]) * b[k];
+        FXHENN_TELEM_COUNT("modarith.simd.dispatches", 1);
+        simd::kernels().fmaLazy(acc_.data(), a.data(), b.data(),
+                                acc_.size());
         ++depth_;
     }
 
@@ -76,9 +79,9 @@ class LazyLimbAccumulator
                           b.size() == acc_.size() &&
                           perm.size() == acc_.size(),
                       "lazy gather-FMA operand size mismatch");
-        for (std::size_t k = 0; k < acc_.size(); ++k)
-            acc_[k] +=
-                static_cast<unsigned __int128>(a[perm[k]]) * b[k];
+        FXHENN_TELEM_COUNT("modarith.simd.dispatches", 1);
+        simd::kernels().fmaLazyGather(acc_.data(), a.data(), perm.data(),
+                                      b.data(), acc_.size());
         ++depth_;
     }
 
@@ -95,8 +98,9 @@ class LazyLimbAccumulator
         FXHENN_ASSERT(depth_ <= q.maxLazyDepth(),
                       "lazy accumulation depth exceeds the 128-bit "
                       "overflow budget for this modulus");
-        for (std::size_t k = 0; k < acc_.size(); ++k)
-            dst[k] = q.reduceWide(acc_[k]);
+        FXHENN_TELEM_COUNT("modarith.simd.dispatches", 1);
+        simd::kernels().reduceWideArray(dst.data(), acc_.data(),
+                                        acc_.size(), q);
     }
 
   private:

@@ -2,6 +2,8 @@
 
 #include "src/common/assert.hpp"
 #include "src/common/parallel.hpp"
+#include "src/modarith/simd_dispatch.hpp"
+#include "src/telemetry/telemetry.hpp"
 
 namespace fxhenn {
 
@@ -60,12 +62,12 @@ void
 RnsPoly::addInplace(const RnsPoly &other)
 {
     checkCompatible(other);
+    const auto &kern = simd::kernels();
     for (std::size_t i = 0; i < limbs_.size(); ++i) {
-        const Modulus &q = limbModulus(i);
+        FXHENN_TELEM_COUNT("modarith.simd.dispatches", 1);
         auto &dst = limbs_[i];
-        const auto &src = other.limbs_[i];
-        for (std::size_t j = 0; j < dst.size(); ++j)
-            dst[j] = q.add(dst[j], src[j]);
+        kern.addArray(dst.data(), dst.data(), other.limbs_[i].data(),
+                      dst.size(), limbModulus(i));
     }
 }
 
@@ -73,12 +75,12 @@ void
 RnsPoly::subInplace(const RnsPoly &other)
 {
     checkCompatible(other);
+    const auto &kern = simd::kernels();
     for (std::size_t i = 0; i < limbs_.size(); ++i) {
-        const Modulus &q = limbModulus(i);
+        FXHENN_TELEM_COUNT("modarith.simd.dispatches", 1);
         auto &dst = limbs_[i];
-        const auto &src = other.limbs_[i];
-        for (std::size_t j = 0; j < dst.size(); ++j)
-            dst[j] = q.sub(dst[j], src[j]);
+        kern.subArray(dst.data(), dst.data(), other.limbs_[i].data(),
+                      dst.size(), limbModulus(i));
     }
 }
 
@@ -98,12 +100,12 @@ RnsPoly::mulInplace(const RnsPoly &other)
     checkCompatible(other);
     FXHENN_ASSERT(domain_ == PolyDomain::ntt,
                   "element-wise multiply requires NTT domain");
+    const auto &kern = simd::kernels();
     for (std::size_t i = 0; i < limbs_.size(); ++i) {
-        const Modulus &q = limbModulus(i);
+        FXHENN_TELEM_COUNT("modarith.simd.dispatches", 1);
         auto &dst = limbs_[i];
-        const auto &src = other.limbs_[i];
-        for (std::size_t j = 0; j < dst.size(); ++j)
-            dst[j] = q.mul(dst[j], src[j]);
+        kern.mulArray(dst.data(), dst.data(), other.limbs_[i].data(),
+                      dst.size(), limbModulus(i));
     }
 }
 
@@ -114,13 +116,12 @@ RnsPoly::addProduct(const RnsPoly &a, const RnsPoly &b)
     checkCompatible(b);
     FXHENN_ASSERT(domain_ == PolyDomain::ntt,
                   "addProduct requires NTT domain");
+    const auto &kern = simd::kernels();
     for (std::size_t i = 0; i < limbs_.size(); ++i) {
-        const Modulus &q = limbModulus(i);
+        FXHENN_TELEM_COUNT("modarith.simd.dispatches", 1);
         auto &dst = limbs_[i];
-        const auto &pa = a.limbs_[i];
-        const auto &pb = b.limbs_[i];
-        for (std::size_t j = 0; j < dst.size(); ++j)
-            dst[j] = q.add(dst[j], q.mul(pa[j], pb[j]));
+        kern.fmaModArray(dst.data(), a.limbs_[i].data(),
+                         b.limbs_[i].data(), dst.size(), limbModulus(i));
     }
 }
 

@@ -35,6 +35,34 @@ expect() {
     echo "ok   [$case_no] $desc (exit $got)"
 }
 
+# Like expect, but with FXHENN_SIMD set for the child only.
+expect_simd() {
+    local simd="$1"
+    local want="$2"
+    local desc="$3"
+    shift 3
+    case_no=$((case_no + 1))
+    local out
+    out="$(FXHENN_SIMD="$simd" "$CLI" "$@" 2>&1)"
+    local got=$?
+    if [ "$got" -ne "$want" ]; then
+        echo "FAIL [$case_no] $desc: expected exit $want, got $got"
+        echo "     cmd: FXHENN_SIMD=$simd fxhenn $*"
+        echo "$out" | sed 's/^/     | /'
+        failures=$((failures + 1))
+        return
+    fi
+    case "$out" in
+    *"terminate called"* | *Aborted* | *Segmentation*)
+        echo "FAIL [$case_no] $desc: exit $got but crashed:"
+        echo "$out" | sed 's/^/     | /'
+        failures=$((failures + 1))
+        return
+        ;;
+    esac
+    echo "ok   [$case_no] $desc (exit $got)"
+}
+
 # --- usage errors: exit 2 ------------------------------------------------
 expect 2 "no command"
 expect 2 "unknown subcommand" frobnicate
@@ -53,6 +81,16 @@ expect 3 "non-positive sweep step" sweep --model mnist --step 0
 expect 3 "malformed fault spec" info --model mnist --fault nocolon
 expect 3 "unknown fault site" info --model mnist --fault no.site:bitflip
 expect 3 "bad plan layer index" plan --model mnist --layer twelve
+
+# --- FXHENN_SIMD env contract: bad value exit 3, valid values run --------
+expect_simd "sse9" 3 "FXHENN_SIMD: unknown value" info --model mnist
+expect_simd "AVX2" 3 "FXHENN_SIMD: case-sensitive" info --model mnist
+expect_simd "scalar" 0 "FXHENN_SIMD=scalar still works" info --model mnist
+expect_simd "auto" 0 "FXHENN_SIMD=auto still works" info --model mnist
+# Explicit-but-unavailable must degrade to scalar, never crash; avx512
+# is the level most likely to be missing, so it doubles as the
+# graceful-fallback case on hosts without it.
+expect_simd "avx512" 0 "FXHENN_SIMD=avx512 runs or degrades" info --model mnist
 
 # --- batch (concurrent inference engine) misuse: exit 3 ------------------
 expect 3 "batch: zero requests" batch --model test --requests 0

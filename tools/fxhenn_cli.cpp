@@ -54,6 +54,7 @@
 #include "src/hecnn/runtime.hpp"
 #include "src/hecnn/stats.hpp"
 #include "src/hecnn/verify.hpp"
+#include "src/modarith/simd_dispatch.hpp"
 #include "src/nn/model_zoo.hpp"
 #include "src/robustness/fault_injection.hpp"
 #include "src/robustness/guard.hpp"
@@ -586,6 +587,10 @@ main(int argc, char **argv)
 {
     try {
         const Args args = parseArgs(argc, argv);
+        // Resolve the SIMD dispatch level up front so a bad
+        // FXHENN_SIMD value is a ConfigError (exit 3) before any work
+        // runs, not a surprise deep inside the first kernel call.
+        simd::activeLevel();
         // The CLI always links the analysis library, so the compiler's
         // debug-mode self-check and --verify-plan loads have a
         // verifier to call.
