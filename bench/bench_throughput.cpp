@@ -31,6 +31,9 @@ struct ConfigResult
     double requestsPerSecond = 0.0;
     double perWorker = 0.0;
     double meanLatencySeconds = 0.0;
+    double p50LatencySeconds = 0.0;
+    double p95LatencySeconds = 0.0;
+    double p99LatencySeconds = 0.0;
 };
 
 } // namespace
@@ -57,13 +60,18 @@ main(int argc, char **argv)
     for (std::size_t r = 0; r < kRequests; ++r)
         batch.push_back(nn::syntheticInput(net, kSeed + r));
 
+    // The serving knobs under measurement, recorded in the JSON next
+    // to hardware_threads so the baseline states the admission regime
+    // it was taken under (no deadline, no shedding, no retries).
+    engine::EngineOptions knobs;
+    knobs.keySeed = kSeed;
+
     TablePrinter table({"Workers", "Wall s", "Req/s", "Req/s/worker",
-                        "Mean lat s"});
+                        "Mean lat s", "p50 s", "p95 s", "p99 s"});
     std::vector<ConfigResult> results;
     for (unsigned workers : {1u, 2u, 4u, 8u}) {
-        engine::EngineOptions opts;
+        engine::EngineOptions opts = knobs;
         opts.workers = workers;
-        opts.keySeed = kSeed;
         engine::InferenceEngine eng(plan, ctx, opts);
         eng.runBatch(batch); // warm-up: first touch of pool/keys/pages
         eng.runBatch(batch);
@@ -75,11 +83,17 @@ main(int argc, char **argv)
         r.requestsPerSecond = stats.lastBatchRequestsPerSecond;
         r.perWorker = r.requestsPerSecond / double(workers);
         r.meanLatencySeconds = stats.meanLatencySeconds;
+        r.p50LatencySeconds = stats.p50LatencySeconds;
+        r.p95LatencySeconds = stats.p95LatencySeconds;
+        r.p99LatencySeconds = stats.p99LatencySeconds;
         results.push_back(r);
         table.addRow({std::to_string(workers), fmtF(r.wallSeconds, 3),
                       fmtF(r.requestsPerSecond, 3),
                       fmtF(r.perWorker, 3),
-                      fmtF(r.meanLatencySeconds, 3)});
+                      fmtF(r.meanLatencySeconds, 3),
+                      fmtF(r.p50LatencySeconds, 3),
+                      fmtF(r.p95LatencySeconds, 3),
+                      fmtF(r.p99LatencySeconds, 3)});
     }
     table.print(std::cout);
 
@@ -99,6 +113,11 @@ main(int argc, char **argv)
         << "  \"network\": \"" << net.name() << "\",\n"
         << "  \"requests_per_config\": " << kRequests << ",\n"
         << "  \"hardware_threads\": " << hardwareThreads << ",\n"
+        << "  \"admission\": \""
+        << engine::admissionPolicyName(knobs.admission) << "\",\n"
+        << "  \"deadline_seconds\": " << fmtF(knobs.deadlineSeconds, 4)
+        << ",\n"
+        << "  \"max_retries\": " << knobs.retry.maxRetries << ",\n"
         << "  \"scaling_1_to_4_workers\": " << fmtF(scaling1to4, 4)
         << ",\n"
         << "  \"configs\": [\n";
@@ -111,7 +130,13 @@ main(int argc, char **argv)
             << ", \"requests_per_second_per_worker\": "
             << fmtF(r.perWorker, 4)
             << ", \"mean_latency_seconds\": "
-            << fmtF(r.meanLatencySeconds, 4) << " }"
+            << fmtF(r.meanLatencySeconds, 4)
+            << ", \"p50_latency_seconds\": "
+            << fmtF(r.p50LatencySeconds, 4)
+            << ", \"p95_latency_seconds\": "
+            << fmtF(r.p95LatencySeconds, 4)
+            << ", \"p99_latency_seconds\": "
+            << fmtF(r.p99LatencySeconds, 4) << " }"
             << (i + 1 < results.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";

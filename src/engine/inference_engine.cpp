@@ -1,13 +1,41 @@
 #include "src/engine/inference_engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/common/assert.hpp"
 #include "src/common/parallel.hpp"
 #include "src/common/timer.hpp"
+#include "src/robustness/fault_injection.hpp"
 #include "src/telemetry/telemetry.hpp"
 
 namespace fxhenn::engine {
+
+namespace {
+
+/** Nearest-rank percentile of an unsorted sample copy. */
+double
+percentile(std::vector<double> &sample, double q)
+{
+    if (sample.empty())
+        return 0.0;
+    std::sort(sample.begin(), sample.end());
+    const double rank = std::ceil(q * double(sample.size()));
+    const std::size_t idx = rank < 1.0 ? 0
+                                       : std::min(sample.size() - 1,
+                                                  std::size_t(rank) - 1);
+    return sample[idx];
+}
+
+std::chrono::steady_clock::duration
+secondsToDuration(double seconds)
+{
+    return std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(seconds));
+}
+
+} // namespace
 
 InferenceEngine::InferenceEngine(const hecnn::HeNetworkPlan &plan,
                                  const ckks::CkksContext &context,
@@ -16,10 +44,12 @@ InferenceEngine::InferenceEngine(const hecnn::HeNetworkPlan &plan,
       pool_(plan, context),
       executor_(plan, context, session_.relinKey(),
                 session_.galoisKeys(), pool_, options.guard),
+      estimator_(options.serviceEwmaAlpha), breaker_(options.breaker),
       queue_(options.queueCapacity == 0 ? 1 : options.queueCapacity)
 {
     FXHENN_FATAL_IF(options.workers == 0,
                     "engine needs at least one worker");
+    latencyReservoir_.reserve(kLatencyReservoir);
 }
 
 InferenceEngine::~InferenceEngine()
@@ -27,15 +57,55 @@ InferenceEngine::~InferenceEngine()
     shutdown();
 }
 
+std::optional<InferenceEngine::Clock::time_point>
+InferenceEngine::resolveDeadline(const RequestOptions &req,
+                                 Clock::time_point now) const
+{
+    const double seconds = req.deadlineSeconds > 0.0
+                               ? req.deadlineSeconds
+                               : options_.deadlineSeconds;
+    if (seconds <= 0.0)
+        return std::nullopt;
+    return now + secondsToDuration(seconds);
+}
+
 hecnn::InferOutcome
-InferenceEngine::runRequest(const nn::Tensor &input,
-                            std::uint64_t index)
+InferenceEngine::rejectOutcome(const char *op,
+                               const std::string &reason)
+{
+    robustness::FailureReport report;
+    report.layer = "admission";
+    report.op = op;
+    report.reason = reason;
+    hecnn::InferOutcome out;
+    out.failure = std::move(report);
+    return out;
+}
+
+hecnn::InferOutcome
+InferenceEngine::runRequest(
+    const nn::Tensor &input, std::uint64_t index,
+    const std::optional<Clock::time_point> &deadline)
 {
     FXHENN_TELEM_COUNT("engine.requests", 1);
     hecnn::InferOutcome out;
+    // Injected transient infrastructure failure (a stand-in for a
+    // flaky interconnect, a preempted accelerator, ...): classified
+    // transient by transientFailure(), so the retry loop re-runs it.
+    if (auto fault = robustness::fireFault("engine.request")) {
+        robustness::FailureReport report;
+        report.layer = "request";
+        report.op = "transient";
+        report.reason = "injected transient request fault (kind " +
+                        fault->kind + ")";
+        out.failure = std::move(report);
+        return out;
+    }
     try {
-        auto result =
-            executor_.execute(session_.encryptInput(input, index));
+        hecnn::RunControl control;
+        control.deadline = deadline;
+        auto result = executor_.execute(
+            session_.encryptInput(input, index), control);
         out.budget = std::move(result.budget);
         if (result.failure) {
             out.failure = std::move(result.failure);
@@ -63,24 +133,84 @@ InferenceEngine::runRequest(const nn::Tensor &input,
     return out;
 }
 
-void
-InferenceEngine::recordOutcome(const hecnn::InferOutcome &outcome,
-                               double seconds)
+hecnn::InferOutcome
+InferenceEngine::runRequestWithRetry(
+    const nn::Tensor &input, std::uint64_t index,
+    const std::optional<Clock::time_point> &deadline)
 {
+    std::uint32_t attempt = 0;
+    for (;;) {
+        // Every attempt reuses (keySeed, index): the noise stream is a
+        // pure function of the pair, so a successful retry is bitwise
+        // identical to a first-try success and to the serial
+        // reference — retries are invisible in the logits.
+        hecnn::InferOutcome out = runRequest(input, index, deadline);
+        if (!out.degraded()) {
+            breaker_.onSuccess();
+            return out;
+        }
+        const bool retryable =
+            transientFailure(*out.failure) &&
+            attempt < options_.retry.maxRetries;
+        if (!retryable) {
+            breaker_.onFailure();
+            return out;
+        }
+        ++attempt;
+        const double backoff =
+            retryBackoffSeconds(options_.retry, attempt);
+        if (deadline &&
+            Clock::now() + secondsToDuration(backoff) > *deadline) {
+            // No budget left for another attempt: hand back the
+            // transient failure rather than blowing the deadline.
+            breaker_.onFailure();
+            return out;
+        }
+        {
+            std::scoped_lock lock(statsMutex_);
+            stats_.retries += 1;
+        }
+        FXHENN_TELEM_COUNT("engine.retries", 1);
+        if (backoff > 0.0)
+            std::this_thread::sleep_for(secondsToDuration(backoff));
+    }
+}
+
+void
+InferenceEngine::recordExecuted(const hecnn::InferOutcome &outcome,
+                                double queueWaitSeconds,
+                                double serviceSeconds)
+{
+    const double seconds = queueWaitSeconds + serviceSeconds;
+    const bool deadlineAbort =
+        outcome.degraded() && outcome.failure->op == "deadline";
     if (outcome.degraded())
         FXHENN_TELEM_COUNT("engine.degraded", 1);
+    if (deadlineAbort)
+        FXHENN_TELEM_COUNT("engine.deadline_expired", 1);
+    estimator_.record(serviceSeconds);
     if (telemetry::enabled()) {
         telemetry::histogram("engine.request.ns")
             .record(static_cast<std::uint64_t>(seconds * 1e9));
+        telemetry::histogram("engine.queue_wait.ns")
+            .record(
+                static_cast<std::uint64_t>(queueWaitSeconds * 1e9));
+        telemetry::histogram("engine.service.ns")
+            .record(static_cast<std::uint64_t>(serviceSeconds * 1e9));
     }
     std::scoped_lock lock(statsMutex_);
     stats_.completed += 1;
     if (outcome.degraded())
         stats_.degraded += 1;
+    if (deadlineAbort)
+        stats_.deadlineExpired += 1;
+    executedCount_ += 1;
     latencySumSeconds_ += seconds;
+    queueWaitSumSeconds_ += queueWaitSeconds;
+    serviceSumSeconds_ += serviceSeconds;
     stats_.meanLatencySeconds =
-        latencySumSeconds_ / double(stats_.completed);
-    if (stats_.completed == 1) {
+        latencySumSeconds_ / double(executedCount_);
+    if (executedCount_ == 1) {
         stats_.minLatencySeconds = seconds;
         stats_.maxLatencySeconds = seconds;
     } else {
@@ -89,24 +219,76 @@ InferenceEngine::recordOutcome(const hecnn::InferOutcome &outcome,
         stats_.maxLatencySeconds =
             std::max(stats_.maxLatencySeconds, seconds);
     }
+    if (latencyReservoir_.size() < kLatencyReservoir) {
+        latencyReservoir_.push_back(seconds);
+    } else {
+        latencyReservoir_[latencyNext_] = seconds;
+        latencyNext_ = (latencyNext_ + 1) % kLatencyReservoir;
+    }
+}
+
+void
+InferenceEngine::recordRejected(const hecnn::InferOutcome &outcome)
+{
+    const bool expired =
+        outcome.failure && outcome.failure->op == "deadline";
+    if (expired)
+        FXHENN_TELEM_COUNT("engine.deadline_expired", 1);
+    else
+        FXHENN_TELEM_COUNT("engine.shed", 1);
+    std::scoped_lock lock(statsMutex_);
+    stats_.completed += 1;
+    if (expired)
+        stats_.deadlineExpired += 1;
+    else
+        stats_.shed += 1;
 }
 
 std::vector<hecnn::InferOutcome>
-InferenceEngine::runBatch(const std::vector<nn::Tensor> &inputs)
+InferenceEngine::runBatch(const std::vector<nn::Tensor> &inputs,
+                          RequestOptions req)
 {
+    {
+        // Same contract as submit(): a shut-down engine rejects new
+        // work loudly instead of silently racing the worker teardown.
+        std::scoped_lock lock(lifecycleMutex_);
+        FXHENN_FATAL_IF(stopped_,
+                        "inference engine is shut down and no longer "
+                        "accepts requests");
+    }
     std::uint64_t base = 0;
     {
         std::scoped_lock lock(statsMutex_);
         base = stats_.submitted;
         stats_.submitted += inputs.size();
     }
+    const auto deadline = resolveDeadline(req, Clock::now());
     std::vector<hecnn::InferOutcome> outcomes(inputs.size());
     Timer wall;
     parallelForWorkers(
         options_.workers, inputs.size(), [&](std::size_t i) {
+            const auto start = Clock::now();
+            if (!breaker_.admitAt(start)) {
+                outcomes[i] = rejectOutcome(
+                    "breaker",
+                    "circuit breaker open: request shed before "
+                    "execution");
+                recordRejected(outcomes[i]);
+                return;
+            }
+            if (deadline && start > *deadline) {
+                outcomes[i] = rejectOutcome(
+                    "deadline",
+                    "request deadline expired before execution "
+                    "started (never executed)");
+                recordRejected(outcomes[i]);
+                return;
+            }
             Timer latency;
-            outcomes[i] = runRequest(inputs[i], base + i);
-            recordOutcome(outcomes[i], latency.elapsedSeconds());
+            outcomes[i] =
+                runRequestWithRetry(inputs[i], base + i, deadline);
+            recordExecuted(outcomes[i], 0.0,
+                           latency.elapsedSeconds());
         });
     const double seconds = wall.elapsedSeconds();
     {
@@ -119,17 +301,98 @@ InferenceEngine::runBatch(const std::vector<nn::Tensor> &inputs)
 }
 
 std::future<hecnn::InferOutcome>
-InferenceEngine::submit(nn::Tensor input)
+InferenceEngine::submit(nn::Tensor input, RequestOptions req)
 {
     startWorkers();
+    const auto now = Clock::now();
     Job job;
     job.input = std::move(input);
+    job.deadline = resolveDeadline(req, now);
+    job.enqueued = now;
     {
         std::scoped_lock lock(statsMutex_);
         job.index = stats_.submitted;
         stats_.submitted += 1;
     }
     auto future = job.promise.get_future();
+
+    // Breaker short-circuit: while open, the engine does not queue
+    // work that is overwhelmingly likely to fail — the future resolves
+    // immediately with a structured rejection.
+    if (!breaker_.admitAt(now)) {
+        auto out = rejectOutcome("breaker",
+                                 "circuit breaker open: request shed "
+                                 "at admission");
+        recordRejected(out);
+        job.promise.set_value(std::move(out));
+        return future;
+    }
+
+    if (options_.admission == AdmissionPolicy::shed) {
+        if (job.deadline && now > *job.deadline) {
+            auto out = rejectOutcome(
+                "deadline",
+                "request deadline already expired at admission");
+            recordRejected(out);
+            job.promise.set_value(std::move(out));
+            return future;
+        }
+        // SLO-aware fast-fail: with an online service-time estimate,
+        // a request predicted to finish after its deadline is shed now
+        // instead of wasting queue time and worker cycles. The
+        // predicted completion is queue drain (depth ahead of us, over
+        // `workers` servers) plus our own service time.
+        const double est = estimator_.estimateSeconds();
+        if (job.deadline && est > 0.0) {
+            const double depth = double(queue_.size());
+            const double predicted =
+                (depth / double(options_.workers)) * est + est;
+            if (now + secondsToDuration(predicted) > *job.deadline) {
+                auto out = rejectOutcome(
+                    "shed",
+                    "predicted completion exceeds deadline "
+                    "(EWMA service estimate " +
+                        std::to_string(est) + " s, queue depth " +
+                        std::to_string(std::size_t(depth)) + ")");
+                recordRejected(out);
+                job.promise.set_value(std::move(out));
+                return future;
+            }
+        }
+        if (!queue_.tryPush(std::move(job))) {
+            FXHENN_FATAL_IF(queue_.closed(),
+                            "inference engine is shut down and no "
+                            "longer accepts requests");
+            auto out = rejectOutcome(
+                "shed", "admission queue full (capacity " +
+                            std::to_string(queue_.capacity()) + ")");
+            recordRejected(out);
+            job.promise.set_value(std::move(out));
+            return future;
+        }
+        return future;
+    }
+
+    // block / degrade: backpressure admission. With a deadline the
+    // wait is bounded by it — a producer parked past its own SLO is
+    // told so and the request is shed, never silently enqueued late.
+    if (job.deadline) {
+        const auto deadline = *job.deadline;
+        const PushResult result = queue_.pushFor(std::move(job),
+                                                 deadline);
+        if (result == PushResult::accepted)
+            return future;
+        FXHENN_FATAL_IF(result == PushResult::closed,
+                        "inference engine is shut down and no longer "
+                        "accepts requests");
+        auto out = rejectOutcome(
+            "deadline",
+            "request deadline expired while waiting for queue room "
+            "(never executed)");
+        recordRejected(out);
+        job.promise.set_value(std::move(out));
+        return future;
+    }
     const bool accepted = queue_.push(std::move(job));
     FXHENN_FATAL_IF(!accepted,
                     "inference engine is shut down and no longer "
@@ -158,9 +421,36 @@ InferenceEngine::workerLoop()
     markPoolWorker(true);
     Job job;
     while (queue_.pop(job)) {
-        Timer latency;
-        hecnn::InferOutcome outcome = runRequest(job.input, job.index);
-        recordOutcome(outcome, latency.elapsedSeconds());
+        // Injected queue delay (a stalled upstream, a slow scheduler
+        // tick): the deadline check below runs after it, so the fault
+        // deterministically expires short-deadline requests.
+        if (auto fault = robustness::fireFault("engine.queue")) {
+            const std::uint64_t ms =
+                20 * std::max<std::uint64_t>(1, fault->seed);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(ms));
+        }
+        const auto picked = Clock::now();
+        const double queueWait =
+            std::chrono::duration<double>(picked - job.enqueued)
+                .count();
+        if (job.deadline && picked > *job.deadline) {
+            // Expired in queue: shed with a structured report, never
+            // executed — burning a worker on it would only push the
+            // requests behind it past their deadlines too.
+            auto out = rejectOutcome(
+                "deadline",
+                "request deadline expired after " +
+                    std::to_string(queueWait) +
+                    " s in queue (never executed)");
+            recordRejected(out);
+            job.promise.set_value(std::move(out));
+            continue;
+        }
+        Timer service;
+        hecnn::InferOutcome outcome =
+            runRequestWithRetry(job.input, job.index, job.deadline);
+        recordExecuted(outcome, queueWait, service.elapsedSeconds());
         job.promise.set_value(std::move(outcome));
     }
     markPoolWorker(false);
@@ -186,8 +476,25 @@ InferenceEngine::shutdown()
 EngineStats
 InferenceEngine::stats() const
 {
-    std::scoped_lock lock(statsMutex_);
-    return stats_;
+    EngineStats snapshot;
+    std::vector<double> sample;
+    {
+        std::scoped_lock lock(statsMutex_);
+        snapshot = stats_;
+        sample = latencyReservoir_;
+        if (executedCount_ > 0) {
+            snapshot.meanQueueWaitSeconds =
+                queueWaitSumSeconds_ / double(executedCount_);
+            snapshot.meanServiceSeconds =
+                serviceSumSeconds_ / double(executedCount_);
+        }
+    }
+    snapshot.p50LatencySeconds = percentile(sample, 0.50);
+    snapshot.p95LatencySeconds = percentile(sample, 0.95);
+    snapshot.p99LatencySeconds = percentile(sample, 0.99);
+    snapshot.breakerState = breaker_.state();
+    snapshot.breakerOpens = breaker_.opens();
+    return snapshot;
 }
 
 } // namespace fxhenn::engine

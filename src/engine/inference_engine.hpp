@@ -9,29 +9,45 @@
  *
  *  - a worker pool (common/parallel) running N requests concurrently
  *    over shared read-only keys, plan and plaintext pool;
- *  - a bounded request queue with blocking backpressure for the
- *    streaming submit() path;
- *  - per-request InferOutcomes — a request that degrades or throws is
- *    isolated into its own FailureReport and never takes down the
- *    engine or its neighbors;
- *  - aggregate throughput/latency statistics plus telemetry counters
- *    ("engine.requests", "engine.degraded", "engine.request.ns").
+ *  - a bounded request queue for the streaming submit() path, with an
+ *    AdmissionPolicy (block | shed | degrade) deciding what happens
+ *    when it fills or a request cannot meet its deadline;
+ *  - per-request deadlines: expired-in-queue requests are shed with a
+ *    structured FailureReport (never executed); in-flight requests
+ *    degrade at the executor's between-layer checkpoints;
+ *  - deterministic retry of transient failures — every attempt of
+ *    request r reuses the (keySeed, r) noise stream, so a retry that
+ *    succeeds is bitwise identical to a first-try success;
+ *  - a consecutive-failure circuit breaker with half-open probes;
+ *  - per-request InferOutcomes — a request that degrades, throws, is
+ *    shed or expires is isolated into its own FailureReport and never
+ *    takes down the engine or its neighbors, and every future handed
+ *    out completes;
+ *  - aggregate statistics (queue-wait vs service split, p50/p95/p99
+ *    latency) plus telemetry ("engine.requests", "engine.degraded",
+ *    "engine.shed", "engine.deadline_expired", "engine.retries",
+ *    "engine.breaker.*", "engine.queue_wait.ns", "engine.service.ns").
  *
  * Determinism: request r (in submission order) encrypts with a noise
  * stream derived from (keySeed, r), so a batch produces bitwise
  * identical logits whether it runs on 1 worker or 8 — and identical to
- * r+1 serial Runtime::infer() calls with the same key seed.
+ * r+1 serial Runtime::infer() calls with the same key seed. Admission
+ * decisions never shift indices: a shed request still consumed its
+ * index, so the survivors stay aligned with the serial reference.
  */
 #ifndef FXHENN_ENGINE_INFERENCE_ENGINE_HPP
 #define FXHENN_ENGINE_INFERENCE_ENGINE_HPP
 
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
+#include "src/engine/admission.hpp"
 #include "src/engine/request_queue.hpp"
 #include "src/hecnn/client_session.hpp"
 #include "src/hecnn/plan_executor.hpp"
@@ -51,17 +67,65 @@ struct EngineOptions
     /** Seed of the session key material and the noise streams. */
     std::uint64_t keySeed = 1;
     robustness::GuardOptions guard{};
+    /** Overload behavior: block (backpressure), shed, or degrade. */
+    AdmissionPolicy admission = AdmissionPolicy::block;
+    /**
+     * Default per-request latency SLO in seconds, measured from
+     * admission; <= 0 means no deadline. RequestOptions can override
+     * it per request.
+     */
+    double deadlineSeconds = 0.0;
+    RetryOptions retry{};
+    BreakerOptions breaker{};
+    /** EWMA weight of the online service-time estimate. */
+    double serviceEwmaAlpha = 0.2;
+};
+
+/** Per-request serving overrides for submit()/runBatch(). */
+struct RequestOptions
+{
+    /**
+     * Latency SLO of this request in seconds, from the moment of
+     * admission; <= 0 inherits EngineOptions::deadlineSeconds (whose
+     * own 0 means "no deadline").
+     */
+    double deadlineSeconds = 0.0;
 };
 
 /** Aggregate counters over the engine's lifetime (a snapshot). */
 struct EngineStats
 {
-    std::uint64_t submitted = 0; ///< requests accepted
-    std::uint64_t completed = 0; ///< outcomes produced (ok or degraded)
-    std::uint64_t degraded = 0;  ///< outcomes carrying a FailureReport
+    std::uint64_t submitted = 0; ///< requests presented (incl. shed)
+    /** Outcomes delivered: ok + degraded + shed + expired. Every
+     *  accepted future resolves, so after a drain this equals
+     *  `submitted` — the no-lost-futures invariant. */
+    std::uint64_t completed = 0;
+    /** Executed runs that ended with a FailureReport (guard violation,
+     *  exception, or a mid-run deadline abort). Shed and queue-expired
+     *  requests never executed and are counted separately below. */
+    std::uint64_t degraded = 0;
+    /** Never-executed rejections: admission fast-fails (queue full,
+     *  predicted SLO miss) and breaker short-circuits. */
+    std::uint64_t shed = 0;
+    /** Deadline casualties: expired in queue (never executed) plus
+     *  mid-run cooperative aborts (also counted in `degraded`). */
+    std::uint64_t deadlineExpired = 0;
+    /** Transient-failure re-runs (attempts beyond the first). */
+    std::uint64_t retries = 0;
+    std::uint64_t breakerOpens = 0;
+    BreakerState breakerState = BreakerState::closed;
+
+    /** Latency of executed requests (queue wait + service). */
     double minLatencySeconds = 0.0;
     double maxLatencySeconds = 0.0;
     double meanLatencySeconds = 0.0;
+    double p50LatencySeconds = 0.0;
+    double p95LatencySeconds = 0.0;
+    double p99LatencySeconds = 0.0;
+    /** Queue-wait vs service-time split (streaming submit() path;
+     *  runBatch() requests have no queue and count as pure service). */
+    double meanQueueWaitSeconds = 0.0;
+    double meanServiceSeconds = 0.0;
     /** Wall time and throughput of the most recent runBatch(). */
     double lastBatchSeconds = 0.0;
     double lastBatchRequestsPerSecond = 0.0;
@@ -90,18 +154,24 @@ class InferenceEngine
      * outcomes in input order. Deterministic for a fixed key seed and
      * submission history, independent of the worker count. A request
      * that throws ConfigError/InternalError mid-flight yields a
-     * degraded outcome instead of propagating.
+     * degraded outcome instead of propagating; one whose deadline is
+     * already blown when a worker picks it up is shed without
+     * executing. Throws ConfigError after shutdown().
      */
     std::vector<hecnn::InferOutcome> runBatch(
-        const std::vector<nn::Tensor> &inputs);
+        const std::vector<nn::Tensor> &inputs, RequestOptions req = {});
 
     /**
      * Streaming admission: enqueue one request and return a future for
-     * its outcome. Blocks while the bounded queue is full
-     * (backpressure); the worker threads start lazily on first call.
-     * Throws ConfigError after shutdown().
+     * its outcome. Under AdmissionPolicy::block this blocks while the
+     * bounded queue is full (backpressure, bounded by the request
+     * deadline when one is set); under shed it fast-fails instead —
+     * the returned future resolves immediately with a shed
+     * FailureReport outcome. The worker threads start lazily on first
+     * call. Throws ConfigError after shutdown().
      */
-    std::future<hecnn::InferOutcome> submit(nn::Tensor input);
+    std::future<hecnn::InferOutcome> submit(nn::Tensor input,
+                                            RequestOptions req = {});
 
     /**
      * Stop accepting requests, drain the queue and join the workers.
@@ -118,19 +188,42 @@ class InferenceEngine
     const hecnn::PlanExecutor &executor() const { return executor_; }
 
   private:
+    using Clock = std::chrono::steady_clock;
+
     /** One queued streaming request. */
     struct Job
     {
         nn::Tensor input;
         std::uint64_t index = 0;
+        std::optional<Clock::time_point> deadline;
+        Clock::time_point enqueued{};
         std::promise<hecnn::InferOutcome> promise;
     };
 
+    /** Kept under statsMutex_; stats() derives the percentile view. */
+    static constexpr std::size_t kLatencyReservoir = 4096;
+
+    std::optional<Clock::time_point>
+    resolveDeadline(const RequestOptions &req, Clock::time_point now)
+        const;
+
     /** encrypt -> execute -> decrypt, with request-level isolation. */
-    hecnn::InferOutcome runRequest(const nn::Tensor &input,
-                                   std::uint64_t index);
-    void recordOutcome(const hecnn::InferOutcome &outcome,
-                       double seconds);
+    hecnn::InferOutcome runRequest(
+        const nn::Tensor &input, std::uint64_t index,
+        const std::optional<Clock::time_point> &deadline);
+
+    /** runRequest() plus the transient-retry loop and breaker hooks. */
+    hecnn::InferOutcome runRequestWithRetry(
+        const nn::Tensor &input, std::uint64_t index,
+        const std::optional<Clock::time_point> &deadline);
+
+    /** Structured never-executed outcome (shed / expired / breaker). */
+    static hecnn::InferOutcome rejectOutcome(const char *op,
+                                             const std::string &reason);
+
+    void recordExecuted(const hecnn::InferOutcome &outcome,
+                        double queueWaitSeconds, double serviceSeconds);
+    void recordRejected(const hecnn::InferOutcome &outcome);
     void startWorkers();
     void workerLoop();
 
@@ -138,10 +231,17 @@ class InferenceEngine
     hecnn::ClientSession session_;
     hecnn::PlaintextPool pool_;
     hecnn::PlanExecutor executor_;
+    ServiceTimeEstimator estimator_;
+    CircuitBreaker breaker_;
 
     mutable std::mutex statsMutex_;
     EngineStats stats_;
     double latencySumSeconds_ = 0.0;
+    double queueWaitSumSeconds_ = 0.0;
+    double serviceSumSeconds_ = 0.0;
+    std::uint64_t executedCount_ = 0;
+    std::vector<double> latencyReservoir_;
+    std::size_t latencyNext_ = 0;
 
     std::mutex lifecycleMutex_;
     bool started_ = false;

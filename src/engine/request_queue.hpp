@@ -8,10 +8,16 @@
  * tensor; each in-flight one pins a whole ciphertext register file).
  * close() wakes everyone: pending pushes fail, pops drain what is left
  * and then fail, so shutdown never loses an accepted request.
+ *
+ * pushFor() is the deadline-aware variant: a producer with a request
+ * SLO waits for room only as long as the request could still make its
+ * deadline, and learns distinctly whether the item was accepted, the
+ * deadline passed (shed it), or the queue closed (engine shut down).
  */
 #ifndef FXHENN_ENGINE_REQUEST_QUEUE_HPP
 #define FXHENN_ENGINE_REQUEST_QUEUE_HPP
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -21,6 +27,9 @@
 #include "src/common/assert.hpp"
 
 namespace fxhenn::engine {
+
+/** Outcome of a deadline-bounded pushFor(). */
+enum class PushResult { accepted, timedOut, closed };
 
 /** Bounded blocking queue; all methods are thread-safe. */
 template <typename T>
@@ -51,9 +60,40 @@ class RequestQueue
         return true;
     }
 
-    /** Enqueue only if there is room right now; never blocks. */
+    /**
+     * Deadline-aware admission: block until there is room, but only
+     * until @p deadline. A deadline already in the past degenerates to
+     * a tryPush-shaped fast path — when the queue is full the caller
+     * gets PushResult::timedOut immediately, without ever parking
+     * (the engine relies on this to shed expired requests cheaply).
+     * Room available wins over an expired deadline: the item is
+     * enqueued and the caller's own deadline checks decide its fate.
+     * @p item is moved from only on PushResult::accepted; on any other
+     * outcome the caller keeps it (so a rejected request's promise can
+     * still be resolved).
+     */
+    PushResult
+    pushFor(T &&item, std::chrono::steady_clock::time_point deadline)
+    {
+        std::unique_lock lock(mutex_);
+        const bool admitted = notFull_.wait_until(lock, deadline, [&] {
+            return closed_ || items_.size() < capacity_;
+        });
+        if (!admitted)
+            return PushResult::timedOut;
+        if (closed_)
+            return PushResult::closed;
+        items_.push_back(std::move(item));
+        notEmpty_.notify_one();
+        return PushResult::accepted;
+    }
+
+    /**
+     * Enqueue only if there is room right now; never blocks. @p item
+     * is moved from only on success — a refused caller keeps it.
+     */
     bool
-    tryPush(T item)
+    tryPush(T &&item)
     {
         std::unique_lock lock(mutex_);
         if (closed_ || items_.size() >= capacity_)

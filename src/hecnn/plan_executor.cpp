@@ -182,6 +182,13 @@ PlanExecutor::executeLayer(Run &run, const HeLayerPlan &layer) const
 ExecutionResult
 PlanExecutor::execute(std::vector<ckks::Ciphertext> inputs) const
 {
+    return execute(std::move(inputs), RunControl{});
+}
+
+ExecutionResult
+PlanExecutor::execute(std::vector<ckks::Ciphertext> inputs,
+                      const RunControl &control) const
+{
     FXHENN_FATAL_IF(inputs.size() != plan_.inputCiphertexts(),
                     "plan expects " +
                         std::to_string(plan_.inputCiphertexts()) +
@@ -204,6 +211,22 @@ PlanExecutor::execute(std::vector<ckks::Ciphertext> inputs) const
     const bool degrade =
         guardOptions_.policy == robustness::GuardPolicy::degrade;
     for (const auto &layer : plan_.layers) {
+        // Cooperative between-layer deadline checkpoint: a request
+        // that blew its latency budget degrades here instead of
+        // burning worker time on layers nobody will wait for. This is
+        // independent of the guard policy — lateness is not an
+        // invariant violation.
+        if (execOptions_.deadlineCheckpoints && control.deadline &&
+            std::chrono::steady_clock::now() > *control.deadline) {
+            robustness::FailureReport report;
+            report.layer = layer.name;
+            report.op = "deadline";
+            report.reason = "request deadline exceeded before layer '" +
+                            layer.name + "' (cooperative abort)";
+            report.trajectory = run.guard.trajectory();
+            out.failure = std::move(report);
+            break;
+        }
         try {
             if (auto fault = robustness::fireFault("ciphertext.limb")) {
                 for (auto &slot : run.regs) {

@@ -15,6 +15,7 @@
 #ifndef FXHENN_HECNN_PLAN_EXECUTOR_HPP
 #define FXHENN_HECNN_PLAN_EXECUTOR_HPP
 
+#include <chrono>
 #include <optional>
 #include <vector>
 
@@ -41,6 +42,29 @@ struct ExecOptions
     bool hoistRotations = true;
     /** Keyswitch reduction strategy for the per-run evaluators. */
     ckks::KswMode kswMode = ckks::KswMode::lazy;
+    /**
+     * Honor RunControl::deadline at layer boundaries: an in-flight
+     * request whose budget is blown aborts cooperatively with a
+     * FailureReport (op "deadline") instead of running to completion.
+     * Off means deadlines are checked only at admission.
+     */
+    bool deadlineCheckpoints = true;
+};
+
+/**
+ * Per-call serving controls of one execute(). Unlike ExecOptions
+ * (fixed per executor) these vary request by request, so the engine
+ * passes them per call; the executor stays stateless.
+ */
+struct RunControl
+{
+    /**
+     * Cooperative abort-by time. Checked between layers (the
+     * checkpoint granularity of the interpreter); a blown deadline
+     * degrades the run with a FailureReport regardless of the guard
+     * policy — lateness is a serving concern, not a broken invariant.
+     */
+    std::optional<std::chrono::steady_clock::time_point> deadline;
 };
 
 /** Everything one encrypted run produced, scoped to that request. */
@@ -85,6 +109,16 @@ class PlanExecutor
      * the result instead of propagating. Safe to call concurrently.
      */
     ExecutionResult execute(std::vector<ckks::Ciphertext> inputs) const;
+
+    /**
+     * execute() with per-request serving controls: when
+     * ExecOptions::deadlineCheckpoints is on and @p control carries a
+     * deadline, the run checks it at every layer boundary and aborts
+     * with a FailureReport (op "deadline") once it is past — the
+     * partial trajectory up to the abort is preserved.
+     */
+    ExecutionResult execute(std::vector<ckks::Ciphertext> inputs,
+                            const RunControl &control) const;
 
     const HeNetworkPlan &plan() const { return plan_; }
     const robustness::GuardOptions &guardOptions() const

@@ -25,6 +25,8 @@ constexpr FaultSiteInfo kRegistry[] = {
     {"evaluator.scale", "perturb", "FailureReport"},
     {"ciphertext.limb", "bitflip", "FailureReport"},
     {"dse.device", "infeasible", "ConfigError"},
+    {"engine.queue", "delay", "FailureReport"},
+    {"engine.request", "transient", "FailureReport"},
 };
 
 struct ArmedFault

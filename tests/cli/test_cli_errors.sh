@@ -101,6 +101,19 @@ expect 3 "batch: values-elided model" batch --model cifar10
 expect 3 "batch: unknown model" batch --model lenet300
 expect 3 "batch: unknown flag" batch --model test --depth 4
 expect 3 "batch: bad guard policy" batch --model test --guard lenient
+expect 3 "batch: zero deadline" batch --model test --deadline-ms 0
+expect 3 "batch: non-numeric deadline" batch --model test --deadline-ms soon
+expect 3 "batch: bad admission policy" batch --model test --admission drop
+expect 3 "batch: retries over cap" batch --model test --retries 17
+expect 3 "batch: non-numeric retries" batch --model test --retries many
+
+# --- batch SLO collapse: exit 6 ------------------------------------------
+# One worker, a 1 ms deadline and a ~60 ms model: request 0 blows its
+# deadline mid-run and every request behind it expires before starting,
+# so the run is shed-dominated and must report SHED, not a crypto
+# failure.
+expect 6 "batch: shed-dominated run" batch --model test --requests 4 \
+    --workers 1 --deadline-ms 1 --admission shed --check none
 
 # --- lint: exit 3 on misuse, exit 4 on error-severity findings -----------
 # A plan that cannot be loaded is itself an error-severity finding, so

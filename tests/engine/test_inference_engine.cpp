@@ -228,6 +228,145 @@ TEST_F(InferenceEngineTest, SubmitBeyondQueueCapacityCompletes)
     EXPECT_EQ(engine.stats().completed, kRequests);
 }
 
+TEST_F(InferenceEngineTest, SubmitAndRunBatchAfterShutdownThrow)
+{
+    EngineOptions opts;
+    opts.workers = 1;
+    InferenceEngine engine(plan_, ctx_, opts);
+    const auto batch = inputs(1, 40);
+    EXPECT_FALSE(engine.runBatch(batch)[0].degraded());
+    engine.shutdown();
+
+    // Both entry points share the contract: a shut-down engine rejects
+    // new work with ConfigError instead of hanging or crashing.
+    EXPECT_THROW(engine.submit(batch[0]), ConfigError);
+    EXPECT_THROW(engine.runBatch(batch), ConfigError);
+}
+
+TEST_F(InferenceEngineTest, ExpiredDeadlineShedsWithoutExecuting)
+{
+    EngineOptions opts;
+    opts.workers = 1;
+    opts.admission = AdmissionPolicy::shed;
+    InferenceEngine engine(plan_, ctx_, opts);
+
+    // A deadline that is already hopeless at admission: the future
+    // resolves immediately with a structured report, never executes.
+    RequestOptions req;
+    req.deadlineSeconds = 1e-9;
+    auto future = engine.submit(nn::syntheticInput(net_, 50), req);
+    const auto outcome = future.get();
+    ASSERT_TRUE(outcome.degraded());
+    EXPECT_EQ(outcome.failure->layer, "admission");
+    EXPECT_EQ(outcome.failure->op, "deadline");
+    EXPECT_TRUE(outcome.logits.empty());
+
+    const auto stats = engine.stats();
+    EXPECT_EQ(stats.submitted, 1u);
+    EXPECT_EQ(stats.completed, 1u);
+    EXPECT_EQ(stats.deadlineExpired, 1u);
+    EXPECT_EQ(stats.degraded, 0u)
+        << "a never-executed request is not an executed-and-degraded "
+        << "one";
+}
+
+TEST_F(InferenceEngineTest, ShedRequestDoesNotShiftSurvivorIndices)
+{
+    constexpr std::uint64_t kSeed = 77;
+    const auto batch = inputs(3, 800);
+
+    EngineOptions opts;
+    opts.workers = 1;
+    opts.keySeed = kSeed;
+    opts.admission = AdmissionPolicy::shed;
+    InferenceEngine engine(plan_, ctx_, opts);
+
+    // Request 0 runs, request 1 is shed at admission (hopeless
+    // deadline), request 2 runs. The shed request must still consume
+    // noise-stream index 1, so request 2 stays bitwise aligned with
+    // the third serial infer().
+    RequestOptions hopeless;
+    hopeless.deadlineSeconds = 1e-9;
+    auto f0 = engine.submit(batch[0]);
+    auto f1 = engine.submit(batch[1], hopeless);
+    auto f2 = engine.submit(batch[2]);
+    const auto o0 = f0.get();
+    const auto o1 = f1.get();
+    const auto o2 = f2.get();
+    ASSERT_FALSE(o0.degraded());
+    ASSERT_TRUE(o1.degraded());
+    ASSERT_FALSE(o2.degraded());
+
+    hecnn::Runtime serial(plan_, ctx_, kSeed);
+    EXPECT_EQ(o0.logits, serial.infer(batch[0]));
+    serial.infer(batch[1]); // the shed request's consumed index
+    EXPECT_EQ(o2.logits, serial.infer(batch[2]));
+}
+
+TEST_F(InferenceEngineTest, BreakerTripsOnConsecutiveFailures)
+{
+    EngineOptions opts;
+    opts.workers = 1;
+    opts.guard.policy = robustness::GuardPolicy::degrade;
+    opts.breaker.tripAfterConsecutiveFailures = 2;
+    opts.breaker.openSeconds = 60.0; // stays open for the whole test
+    InferenceEngine engine(plan_, ctx_, opts);
+
+    const nn::Tensor bad({3, 1, 1});
+    ASSERT_TRUE(engine.submit(bad).get().degraded());
+    ASSERT_TRUE(engine.submit(bad).get().degraded());
+
+    // Two consecutive executed failures tripped the breaker: the next
+    // request is shed at admission without executing.
+    const auto shedOutcome =
+        engine.submit(nn::syntheticInput(net_, 60)).get();
+    ASSERT_TRUE(shedOutcome.degraded());
+    EXPECT_EQ(shedOutcome.failure->layer, "admission");
+    EXPECT_EQ(shedOutcome.failure->op, "breaker");
+
+    const auto stats = engine.stats();
+    EXPECT_EQ(stats.breakerState, BreakerState::open);
+    EXPECT_EQ(stats.breakerOpens, 1u);
+    EXPECT_EQ(stats.shed, 1u);
+    EXPECT_EQ(stats.degraded, 2u);
+}
+
+TEST_F(InferenceEngineTest, PermanentFailuresAreNeverRetried)
+{
+    EngineOptions opts;
+    opts.workers = 1;
+    opts.guard.policy = robustness::GuardPolicy::degrade;
+    opts.retry.maxRetries = 3;
+    InferenceEngine engine(plan_, ctx_, opts);
+
+    // A malformed request fails with op "exception" — permanent, so
+    // retries stay at zero no matter the budget.
+    const nn::Tensor bad({4, 1, 1});
+    ASSERT_TRUE(engine.submit(bad).get().degraded());
+    EXPECT_EQ(engine.stats().retries, 0u);
+}
+
+TEST_F(InferenceEngineTest, QueueWaitAndServiceSplitIsRecorded)
+{
+    EngineOptions opts;
+    opts.workers = 2;
+    InferenceEngine engine(plan_, ctx_, opts);
+    for (const auto &outcome : engine.runBatch(inputs(4, 90)))
+        ASSERT_FALSE(outcome.degraded());
+
+    const auto stats = engine.stats();
+    EXPECT_GT(stats.meanServiceSeconds, 0.0);
+    EXPECT_GT(stats.p50LatencySeconds, 0.0);
+    EXPECT_LE(stats.p50LatencySeconds, stats.p95LatencySeconds);
+    EXPECT_LE(stats.p95LatencySeconds, stats.p99LatencySeconds);
+    EXPECT_LE(stats.p99LatencySeconds, stats.maxLatencySeconds);
+    EXPECT_DOUBLE_EQ(stats.meanQueueWaitSeconds, 0.0)
+        << "runBatch() requests never sit in the admission queue";
+    EXPECT_DOUBLE_EQ(stats.meanLatencySeconds,
+                     stats.meanServiceSeconds)
+        << "with zero queue wait, latency is pure service time";
+}
+
 TEST_F(InferenceEngineTest, PlaintextPoolSharedAcrossRequests)
 {
     EngineOptions opts;

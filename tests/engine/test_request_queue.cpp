@@ -109,6 +109,69 @@ TEST(RequestQueue, CloseWakesBlockedProducerAndConsumer)
     EXPECT_LE(rejectedPushes.load(), 1);
 }
 
+TEST(RequestQueue, PushForTimesOutWhenNoRoomAppears)
+{
+    RequestQueue<int> queue(1);
+    ASSERT_TRUE(queue.push(1));
+
+    const auto start = std::chrono::steady_clock::now();
+    const auto deadline = start + std::chrono::milliseconds(30);
+    EXPECT_EQ(queue.pushFor(2, deadline), PushResult::timedOut);
+    EXPECT_GE(std::chrono::steady_clock::now(), deadline)
+        << "timedOut must only be reported once the deadline passed";
+    EXPECT_EQ(queue.size(), 1u) << "timed-out item must not be queued";
+
+    int out = 0;
+    ASSERT_TRUE(queue.pop(out));
+    EXPECT_EQ(out, 1) << "the timed-out push must not have enqueued";
+}
+
+TEST(RequestQueue, PushForExpiredDeadlineIsAnImmediateFastPath)
+{
+    RequestQueue<int> queue(1);
+    ASSERT_TRUE(queue.push(1));
+
+    // Full queue + deadline already in the past: the caller learns
+    // timedOut without parking (the engine's cheap shed path).
+    const auto past =
+        std::chrono::steady_clock::now() - std::chrono::seconds(1);
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_EQ(queue.pushFor(2, past), PushResult::timedOut);
+    const auto waited = std::chrono::steady_clock::now() - start;
+    EXPECT_LT(waited, std::chrono::milliseconds(100))
+        << "expired-deadline pushFor must not park";
+
+    // Room available wins over an expired deadline: the item goes in
+    // and the caller's own deadline checks decide its fate later.
+    int out = 0;
+    ASSERT_TRUE(queue.pop(out));
+    EXPECT_EQ(queue.pushFor(3, past), PushResult::accepted);
+    ASSERT_TRUE(queue.pop(out));
+    EXPECT_EQ(out, 3);
+}
+
+TEST(RequestQueue, PushForSeesCloseWhileWaiting)
+{
+    RequestQueue<int> queue(1);
+    ASSERT_TRUE(queue.push(1));
+
+    std::atomic<bool> done{false};
+    PushResult result = PushResult::accepted;
+    std::thread producer([&] {
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::seconds(30);
+        result = queue.pushFor(2, deadline);
+        done.store(true);
+    });
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(done.load()) << "pushFor must park while full";
+    queue.close();
+    producer.join();
+    EXPECT_EQ(result, PushResult::closed)
+        << "close while waiting must be distinct from a timeout";
+}
+
 TEST(RequestQueue, BackpressureBoundsOccupancyUnderStress)
 {
     constexpr std::size_t kCapacity = 3;

@@ -12,6 +12,7 @@
 
 #include "src/common/assert.hpp"
 #include "src/dse/explorer.hpp"
+#include "src/engine/inference_engine.hpp"
 #include "src/hecnn/compiler.hpp"
 #include "src/hecnn/plan_io.hpp"
 #include "src/hecnn/verify.hpp"
@@ -76,6 +77,33 @@ runVerifyScenario()
     return detectionName(false, result.failure.has_value());
 }
 
+/**
+ * Streaming engine request with the armed serving-tier fault.
+ * engine.queue:delay stalls the worker's queue pop past a short
+ * request deadline (the fault seed scales the stall), so the request
+ * is shed with a FailureReport instead of executing; for
+ * engine.request:transient the probe in runRequest() degrades the
+ * attempt directly (retries stay disabled here so the failure
+ * surfaces instead of being cleared).
+ */
+const char *
+runEngineScenario(bool withDeadline)
+{
+    const auto plan = hecnn::compile(nn::buildTestNetwork(),
+                                     ckks::testParams(2048, 7, 30));
+    const ckks::CkksContext ctx(ckks::testParams(2048, 7, 30));
+    engine::EngineOptions opts;
+    opts.workers = 1;
+    engine::InferenceEngine eng(plan, ctx, opts);
+    engine::RequestOptions req;
+    if (withDeadline)
+        req.deadlineSeconds = 0.005;
+    auto future = eng.submit(
+        nn::syntheticInput(nn::buildTestNetwork(), 1), req);
+    const auto outcome = future.get();
+    return detectionName(false, outcome.degraded());
+}
+
 /** DSE run with the armed device fault. */
 const char *
 runDseScenario()
@@ -108,6 +136,14 @@ TEST_F(FaultMatrixTest, EveryRegisteredFaultIsDetectedAndClassified)
             got = runVerifyScenario();
         } else if (site == "dse.device") {
             got = runDseScenario();
+        } else if (site == "engine.queue") {
+            // Seed 5 -> a 100 ms injected stall, far past the 5 ms
+            // deadline: the pop-side check sheds deterministically.
+            robustness::disarmFaults();
+            robustness::armFault({info.site, info.kind, 1, 5});
+            got = runEngineScenario(/*withDeadline=*/true);
+        } else if (site == "engine.request") {
+            got = runEngineScenario(/*withDeadline=*/false);
         } else {
             ADD_FAILURE()
                 << "fault site '" << site << "' has no scenario in "

@@ -10,6 +10,8 @@
  *   fxhenn verify  [--seed S] [--guard strict|warn|degrade]
  *   fxhenn batch   --model mnist|test [--requests N] [--workers W]
  *                  [--queue C] [--seed S] [--guard P] [--check M]
+ *                  [--deadline-ms D] [--admission block|shed|degrade]
+ *                  [--retries R]
  *   fxhenn lint    --model mnist|cifar10 | --load FILE
  *                  [--format text|json] [--list-passes 1]
  *
@@ -29,6 +31,8 @@
  *   4  internal error / lint found error-severity diagnostics (a plan
  *      that fails to load is itself an error-severity finding)
  *   5  verify DEGRADED (guarded run aborted with a failure report)
+ *   6  batch SHED (most requests were rejected at admission or expired
+ *      before execution — the SLO, not the crypto, failed)
  */
 #include <cmath>
 #include <cstring>
@@ -85,7 +89,7 @@ const std::map<std::string, std::set<std::string>> kCommandFlags = {
     {"verify", {"seed", "guard"}},
     {"batch",
      {"model", "requests", "workers", "queue", "seed", "guard",
-      "check"}},
+      "check", "deadline-ms", "admission", "retries"}},
     {"lint", {"model", "load", "format", "list-passes"}},
 };
 
@@ -188,6 +192,11 @@ usage()
         "         [--guard strict|warn|degrade]\n"
         "         [--check serial|none]          bitwise cross-check\n"
         "                          against serial Runtime::infer()\n"
+        "         [--deadline-ms D]              per-request SLO; late\n"
+        "                          requests are shed, never executed\n"
+        "         [--admission block|shed|degrade]\n"
+        "         [--retries R]                  deterministic re-runs\n"
+        "                          of transient failures (max 16)\n"
         "  lint   --model mnist|cifar10          static plan verifier\n"
         "         | --load FILE                  lint a saved plan\n"
         "         [--format text|json]           report rendering\n"
@@ -205,7 +214,7 @@ usage()
         "\n"
         "Exit codes: 0 ok/PASS/lint clean, 1 verify FAIL, 2 usage,\n"
         "3 config error, 4 internal error or lint errors, 5 verify\n"
-        "DEGRADED\n";
+        "DEGRADED, 6 batch SHED (most requests missed their SLO)\n";
     return 2;
 }
 
@@ -502,6 +511,16 @@ cmdBatch(const Args &args)
     FXHENN_FATAL_IF(check != "serial" && check != "none",
                     "flag --check expects serial or none, got '" +
                         check + "'");
+    const auto deadlineMs =
+        parseU64("deadline-ms", args.get("deadline-ms", "0"));
+    FXHENN_FATAL_IF(args.options.count("deadline-ms") != 0 &&
+                        deadlineMs == 0,
+                    "flag --deadline-ms must be >= 1 (omit the flag "
+                    "to serve without a deadline)");
+    const auto retries = parseU64("retries", args.get("retries", "0"));
+    FXHENN_FATAL_IF(retries > 16,
+                    "flag --retries must be <= 16, got " +
+                        std::to_string(retries));
 
     engine::EngineOptions opts;
     opts.workers = static_cast<unsigned>(workers);
@@ -510,6 +529,10 @@ cmdBatch(const Args &args)
     opts.keySeed = seed;
     opts.guard.policy =
         robustness::parseGuardPolicy(args.get("guard", "degrade"));
+    opts.admission =
+        engine::parseAdmissionPolicy(args.get("admission", "block"));
+    opts.deadlineSeconds = double(deadlineMs) / 1000.0;
+    opts.retry.maxRetries = static_cast<std::uint32_t>(retries);
 
     const auto plan = hecnn::compile(net, params);
     ckks::CkksContext ctx(params);
@@ -524,28 +547,63 @@ cmdBatch(const Args &args)
               << net.name() << " on " << workers << " workers (queue "
               << opts.queueCapacity << ", guard "
               << robustness::guardPolicyName(opts.guard.policy)
-              << ")\n";
+              << ", admission "
+              << engine::admissionPolicyName(opts.admission);
+    if (deadlineMs > 0)
+        std::cout << ", deadline " << deadlineMs << " ms";
+    if (retries > 0)
+        std::cout << ", retries " << retries;
+    std::cout << ")\n";
     const auto outcomes = engine.runBatch(inputs);
     const auto stats = engine.stats();
 
+    // Never-executed rejections (admission sheds, queue/entry deadline
+    // expiries) versus runs that executed and degraded: the exit code
+    // distinguishes an SLO collapse (6) from a crypto failure (5).
+    std::size_t shed = 0;
     std::size_t degraded = 0;
-    for (const auto &outcome : outcomes)
-        degraded += outcome.degraded() ? 1 : 0;
+    for (const auto &outcome : outcomes) {
+        if (!outcome.failure)
+            continue;
+        if (outcome.failure->layer == "admission")
+            ++shed;
+        else
+            ++degraded;
+    }
     std::cout << "  wall time   " << stats.lastBatchSeconds << " s\n"
               << "  throughput  " << stats.lastBatchRequestsPerSecond
               << " requests/s\n"
               << "  latency     mean " << stats.meanLatencySeconds
               << " s, min " << stats.minLatencySeconds << " s, max "
               << stats.maxLatencySeconds << " s\n"
+              << "  percentiles p50 " << stats.p50LatencySeconds
+              << " s, p95 " << stats.p95LatencySeconds << " s, p99 "
+              << stats.p99LatencySeconds << " s\n"
               << "  degraded    " << degraded << " of " << requests
               << "\n"
+              << "  shed        " << shed << " of " << requests
+              << " (deadline expired: " << stats.deadlineExpired
+              << ", retries: " << stats.retries << ", breaker "
+              << engine::breakerStateName(stats.breakerState) << ")\n"
               << "  pool        " << engine.plaintextPool().size()
               << " plaintexts, "
               << double(engine.plaintextPool().bytes()) / (1 << 20)
               << " MiB shared\n";
+    if (2 * shed > requests) {
+        for (const auto &outcome : outcomes) {
+            if (outcome.failure &&
+                outcome.failure->layer == "admission") {
+                std::cout << "\n" << outcome.failure->render();
+                break;
+            }
+        }
+        std::cout << "SHED\n";
+        return 6;
+    }
     if (degraded > 0) {
         for (const auto &outcome : outcomes) {
-            if (outcome.failure) {
+            if (outcome.failure &&
+                outcome.failure->layer != "admission") {
                 std::cout << "\n" << outcome.failure->render();
                 break;
             }
@@ -557,11 +615,15 @@ cmdBatch(const Args &args)
     if (check == "serial") {
         // The engine's determinism contract: request r must produce
         // bitwise the same logits as the r-th serial infer() on a
-        // fresh Runtime with the same key seed.
+        // fresh Runtime with the same key seed. Shed requests consumed
+        // their index without encrypting, so the serial runtime still
+        // runs every index and only the survivors are compared.
         hecnn::Runtime runtime(plan, ctx, seed, opts.guard);
         bool identical = true;
         for (std::uint64_t r = 0; r < requests && identical; ++r) {
             const auto serial = runtime.infer(inputs[r]);
+            if (outcomes[r].failure)
+                continue;
             identical = serial.size() == outcomes[r].logits.size();
             for (std::size_t i = 0; identical && i < serial.size();
                  ++i)
