@@ -111,6 +111,15 @@ AnalysisReport::addInstr(Severity severity, const std::string &pass,
     diagnostics_.push_back(std::move(d));
 }
 
+void
+AnalysisReport::setArtifact(const std::string &path,
+                            std::uint32_t crc32)
+{
+    hasArtifact_ = true;
+    artifactPath_ = path;
+    artifactCrc32_ = crc32;
+}
+
 std::size_t
 AnalysisReport::count(Severity severity) const
 {
@@ -123,6 +132,9 @@ AnalysisReport::count(Severity severity) const
 void
 AnalysisReport::renderText(std::ostream &os) const
 {
+    if (hasArtifact_)
+        os << "plan file: " << artifactPath_ << " (crc32 "
+           << artifactCrc32_ << ")\n";
     for (const auto &d : diagnostics_) {
         os << severityName(d.severity) << ": [" << d.pass << "]";
         if (d.layer >= 0) {
@@ -151,8 +163,12 @@ AnalysisReport::toText() const
 void
 AnalysisReport::renderJson(std::ostream &os) const
 {
-    os << "{\"schema\": \"fxhenn-lint-v1\", \"errors\": "
-       << errorCount() << ", \"warnings\": " << warningCount()
+    os << "{\"schema\": \"fxhenn-lint-v1\", ";
+    if (hasArtifact_)
+        os << "\"plan_file\": \"" << jsonEscape(artifactPath_)
+           << "\", \"plan_crc32\": " << artifactCrc32_ << ", ";
+    os << "\"errors\": " << errorCount()
+       << ", \"warnings\": " << warningCount()
        << ", \"notes\": " << count(Severity::note)
        << ", \"diagnostics\": [";
     bool first = true;

@@ -62,6 +62,18 @@ class AnalysisReport
         return diagnostics_;
     }
 
+    /**
+     * Record which on-disk plan artifact this report describes. Both
+     * renderings then carry the path and the CRC-32 of the raw bytes,
+     * so an archived report can be matched to the exact plan file it
+     * was produced from. In-memory verification runs (compiler
+     * self-check, plan-load hook) leave this unset.
+     */
+    void setArtifact(const std::string &path, std::uint32_t crc32);
+    bool hasArtifact() const { return hasArtifact_; }
+    const std::string &artifactPath() const { return artifactPath_; }
+    std::uint32_t artifactCrc32() const { return artifactCrc32_; }
+
     std::size_t count(Severity severity) const;
     std::size_t errorCount() const { return count(Severity::error); }
     std::size_t warningCount() const
@@ -88,6 +100,9 @@ class AnalysisReport
 
   private:
     std::vector<Diagnostic> diagnostics_;
+    bool hasArtifact_ = false;
+    std::string artifactPath_;
+    std::uint32_t artifactCrc32_ = 0;
 };
 
 } // namespace fxhenn::analysis

@@ -7,13 +7,15 @@
  * the statistics pass or the FPGA model may trust it (see
  * docs/ARCHITECTURE.md section 8 for the taxonomy):
  *
- *   1. def-use        register def-before-use and output coverage
- *   2. scale-level    abstract interpretation of (level, scale, parts)
- *   3. liveness       dead results + per-layer peak live registers
- *   4. rotation-keys  Galois key coverage of every rotate step
- *   5. slot-layout    SlotLayout / inputGather / plaintext pool sanity
- *   6. op-counts      cached kind counts vs a recount of the stream
- *   7. layer-class    NKS/KS classification (Sec. V-A)
+ *   1. def-use            register def-before-use and output coverage
+ *   2. scale-level        abstract interpretation of (level, scale, parts)
+ *   3. liveness           dead results + per-layer peak live registers
+ *   4. rotation-keys      Galois key coverage of every rotate step
+ *   5. slot-layout        SlotLayout / inputGather / plaintext pool sanity
+ *   6. op-counts          cached kind counts vs a recount of the stream
+ *   7. layer-class        NKS/KS classification (Sec. V-A)
+ *   8. noise-budget       static noise certification (docs sec. 13)
+ *   9. rescale-placement  redundant / deferrable / missing rescales
  */
 #include "src/analysis/pass_manager.hpp"
 
@@ -24,6 +26,7 @@
 #include <string>
 
 #include "src/analysis/liveness.hpp"
+#include "src/hecnn/noise_cert.hpp"
 #include "src/hecnn/rotation_groups.hpp"
 #include "src/modarith/primes.hpp"
 
@@ -890,6 +893,269 @@ class LayerClassPass final : public AnalysisPass
     }
 };
 
+// --- pass 8: static noise-budget certification -----------------------------
+
+class NoiseBudgetPass final : public AnalysisPass
+{
+  public:
+    const char *name() const override { return "noise-budget"; }
+    const char *
+    description() const override
+    {
+        return "static noise-budget certification (abstract noise "
+               "interpretation over the instruction stream)";
+    }
+
+    void
+    run(const PlanFacts &facts, AnalysisReport &report) const override
+    {
+        const hecnn::NoiseCertificate cert =
+            hecnn::certifyPlan(facts.plan);
+        if (!cert.valid) {
+            report.addNetwork(
+                Severity::warning, name(),
+                "plan could not be noise-certified: " +
+                    cert.invalidReason,
+                "fix the structural findings first; the certifier "
+                "needs a well-formed plan");
+            return;
+        }
+        // Locate the pinch point (the layer with the least headroom).
+        std::size_t pinch = 0;
+        for (std::size_t i = 1; i < cert.layers.size(); ++i) {
+            if (cert.layers[i].headroomBits <
+                cert.layers[pinch].headroomBits)
+                pinch = i;
+        }
+        const std::string where =
+            cert.layers.empty() ? std::string("(no layers)")
+                                : cert.layers[pinch].layer;
+        if (cert.certified()) {
+            report.addNetwork(
+                Severity::note, name(),
+                "certified minimum noise headroom " +
+                    fmtSigned(cert.minHeadroomBits) +
+                    " bits at layer '" + where + "' (message <= 2^" +
+                    fmtBits(cert.messageBits) + ", " +
+                    std::to_string(cert.levels) + "-prime chain)");
+        } else {
+            report.addLayer(
+                Severity::error, name(), pinch, where,
+                "certified noise headroom is negative: " +
+                    fmtSigned(cert.minHeadroomBits) +
+                    " bits (decryption of this layer's output would "
+                    "be garbage)",
+                "deepen the prime chain, lower the scale, or tighten "
+                "the message-magnitude assumption");
+        }
+    }
+
+  private:
+    static std::string
+    fmtBits(double v)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.3g", v);
+        return buf;
+    }
+
+    static std::string
+    fmtSigned(double v)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%+.3f", v);
+        return buf;
+    }
+};
+
+// --- pass 9: rescale placement ---------------------------------------------
+
+class RescalePlacementPass final : public AnalysisPass
+{
+  public:
+    const char *name() const override { return "rescale-placement"; }
+    const char *
+    description() const override
+    {
+        return "redundant rescales, deferrable rescales (waterline) "
+               "and missing-rescale scale blowups";
+    }
+
+    void
+    run(const PlanFacts &facts, AnalysisReport &report) const override
+    {
+        const HeNetworkPlan &plan = facts.plan;
+        if (!facts.paramsValid)
+            return; // scale-level reports the broken prime chain
+
+        struct St
+        {
+            bool written = false;
+            std::size_t level = 0;
+            double scale = 0.0;
+            HeOpKind lastWriter = HeOpKind::copy;
+            std::size_t lastWriterInstr = 0;
+            bool readSinceWrite = false;
+        };
+        std::vector<St> regs(
+            static_cast<std::size_t>(std::max(plan.regCount, 0)));
+        for (std::size_t i = 0;
+             i < plan.inputGather.size() && i < regs.size(); ++i)
+            regs[i] = {true, plan.params.levels, facts.schemeScale,
+                       HeOpKind::copy, 0, false};
+
+        for (std::size_t li = 0; li < plan.layers.size(); ++li) {
+            const HeLayerPlan &layer = plan.layers[li];
+            std::size_t deferrable = 0;
+            for (std::size_t ii = 0; ii < layer.instrs.size(); ++ii) {
+                const HeInstr &instr = layer.instrs[ii];
+                if (!facts.regOk(instr.dst) ||
+                    !facts.regOk(instr.src))
+                    continue; // def-use reports it
+                St &src = regs[static_cast<std::size_t>(instr.src)];
+                St &dst = regs[static_cast<std::size_t>(instr.dst)];
+                if (!src.written)
+                    continue; // def-use reports it
+
+                // Missing rescale: an operand still carrying a full
+                // multiply's scale growth is about to be multiplied
+                // again — the product overshoots the waterline by a
+                // whole scale factor.
+                if ((instr.kind == HeOpKind::pcMult ||
+                     instr.kind == HeOpKind::ccMult) &&
+                    src.scale >=
+                        facts.schemeScale * facts.schemeScale * 0.5) {
+                    report.addInstr(
+                        Severity::warning, name(), li, layer.name, ii,
+                        "missing rescale: operand " +
+                            regName(instr.src) + " at scale 2^" +
+                            fmtBits(std::log2(src.scale)) +
+                            " has not been rescaled since its last "
+                            "multiply",
+                        "insert a rescale before multiplying again to "
+                        "stay at the scale waterline");
+                }
+
+                // Deferrable rescale: both operands of an aligned add
+                // were produced directly by rescales — sinking the
+                // rescale below the add saves one NTT-heavy op.
+                if (instr.kind == HeOpKind::ccAdd && dst.written &&
+                    dst.lastWriter == HeOpKind::rescale &&
+                    src.lastWriter == HeOpKind::rescale &&
+                    dst.level == src.level &&
+                    scalesClose(dst.scale, src.scale))
+                    ++deferrable;
+
+                // Redundant rescale: the value a pure overwrite
+                // clobbers was produced by a rescale nobody read.
+                const bool pure_overwrite =
+                    instr.kind != HeOpKind::ccAdd &&
+                    instr.dst != instr.src;
+                if (pure_overwrite && dst.written &&
+                    dst.lastWriter == HeOpKind::rescale &&
+                    !dst.readSinceWrite) {
+                    report.addInstr(
+                        Severity::warning, name(), li, layer.name,
+                        dst.lastWriterInstr,
+                        "redundant rescale: the result in " +
+                            regName(instr.dst) +
+                            " is overwritten before any use",
+                        "delete the rescale or consume its result");
+                }
+
+                src.readSinceWrite = true;
+                if (instr.kind == HeOpKind::ccAdd)
+                    dst.readSinceWrite = true;
+                apply(facts, instr, src, dst, ii);
+            }
+            if (deferrable > 0) {
+                report.addLayer(
+                    Severity::note, name(), li, layer.name,
+                    std::to_string(deferrable) +
+                        " addition(s) consume freshly rescaled "
+                        "operands; deferring those rescales past the "
+                        "adds would eliminate up to " +
+                        std::to_string(deferrable) + " rescale op(s)",
+                    "enable CompileOptions::rescaleWaterline for the "
+                    "certified rewrite");
+            }
+        }
+
+        // Wasted levels: a chain deeper than the network consumes.
+        if (!plan.layers.empty()) {
+            const std::size_t final_level =
+                plan.layers.back().levelOut;
+            if (final_level > 1) {
+                report.addNetwork(
+                    Severity::note, name(),
+                    "plan finishes at level " +
+                        std::to_string(final_level) + "; " +
+                        std::to_string(final_level - 1) +
+                        " data prime(s) are never consumed",
+                    "a shallower prime chain shrinks every ciphertext "
+                    "and keyswitch");
+            }
+        }
+    }
+
+  private:
+    template <typename St>
+    void
+    apply(const PlanFacts &facts, const HeInstr &instr,
+          const St &src_in, St &dst, std::size_t ii) const
+    {
+        const St src = src_in; // dst may alias src
+        switch (instr.kind) {
+          case HeOpKind::pcMult:
+            dst = src;
+            dst.scale = src.scale * facts.schemeScale;
+            break;
+          case HeOpKind::pcAdd:
+            dst = src;
+            break;
+          case HeOpKind::ccAdd:
+            break; // dst shape unchanged
+          case HeOpKind::ccMult:
+            dst = src;
+            dst.scale = src.scale * src.scale;
+            break;
+          case HeOpKind::relinearize:
+          case HeOpKind::rotate:
+          case HeOpKind::copy:
+            dst = src;
+            break;
+          case HeOpKind::rescale:
+            dst = src;
+            if (src.level >= 2) {
+                dst.scale = src.scale / facts.primes[src.level - 1];
+                dst.level = src.level - 1;
+            }
+            break;
+        }
+        dst.written = true;
+        dst.lastWriter = instr.kind;
+        dst.lastWriterInstr = ii;
+        dst.readSinceWrite = false;
+    }
+
+    static bool
+    scalesClose(double a, double b)
+    {
+        if (!(a > 0.0) || !(b > 0.0))
+            return false;
+        const double ratio = a / b;
+        return ratio > 0.99 && ratio < 1.01;
+    }
+
+    static std::string
+    fmtBits(double v)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.3g", v);
+        return buf;
+    }
+};
+
 } // namespace
 
 // --- pass manager ----------------------------------------------------------
@@ -921,6 +1187,8 @@ PassManager::standard()
     pm.add(makeLayoutPass());
     pm.add(makeOpCountPass());
     pm.add(makeLayerClassPass());
+    pm.add(makeNoiseBudgetPass());
+    pm.add(makeRescalePlacementPass());
     return pm;
 }
 
@@ -958,6 +1226,16 @@ std::unique_ptr<AnalysisPass>
 makeLayerClassPass()
 {
     return std::make_unique<LayerClassPass>();
+}
+std::unique_ptr<AnalysisPass>
+makeNoiseBudgetPass()
+{
+    return std::make_unique<NoiseBudgetPass>();
+}
+std::unique_ptr<AnalysisPass>
+makeRescalePlacementPass()
+{
+    return std::make_unique<RescalePlacementPass>();
 }
 
 } // namespace fxhenn::analysis

@@ -82,4 +82,151 @@ freshNoiseEstimate(const CkksParams &params)
     return coeff_noise / params.scale;
 }
 
+NoiseModel::NoiseModel(const CkksParams &params,
+                       std::span<const std::uint64_t> primes)
+    : params_(params),
+      logN_(std::log2(static_cast<double>(params.n)))
+{
+    FXHENN_FATAL_IF(primes.size() != params.levels,
+                    "NoiseModel: prime count does not match levels");
+    logPrimes_.reserve(primes.size());
+    for (const std::uint64_t q : primes)
+        logPrimes_.push_back(std::log2(static_cast<double>(q)));
+}
+
+double
+NoiseModel::logAdd(double a, double b)
+{
+    const double hi = std::max(a, b);
+    const double lo = std::min(a, b);
+    // Below ~64 bits apart the smaller term vanishes in a double
+    // anyway; short-circuit to keep exp2 in range.
+    if (hi - lo > 64.0)
+        return hi;
+    return hi + std::log2(1.0 + std::exp2(lo - hi));
+}
+
+double
+NoiseModel::logAddRss(double a, double b)
+{
+    return 0.5 * logAdd(2.0 * a, 2.0 * b);
+}
+
+double
+NoiseModel::tailBits()
+{
+    return 2.585; // log2(6): the usual 6-sigma high-probability tail
+}
+
+double
+NoiseModel::freshNoiseBits() const
+{
+    // e_pk*u + e1*s dominate; each factor embeds to per-slot deviation
+    // sqrt(N * var): sigma*sqrt(N) times sqrt(2N/3) for a ternary ring
+    // element, RSS over the two terms (x sqrt(2)).
+    return std::log2(params_.sigma) + logN_ +
+           0.5 * std::log2(2.0 / 3.0) + 0.5;
+}
+
+double
+NoiseModel::encodingRoundBits() const
+{
+    // iid uniform(+-1/2) coefficients: per-slot deviation
+    // sqrt(N * 1/12).
+    return 0.5 * (logN_ - std::log2(12.0));
+}
+
+double
+NoiseModel::ringRoundBits() const
+{
+    // r0 + r1*s: the r1*s product dominates with per-slot deviation
+    // sqrt(N/12) * sqrt(2N/3) = N / sqrt(18).
+    return logN_ - 0.5 * std::log2(18.0);
+}
+
+double
+NoiseModel::pcAddNoiseBits(double noiseBits) const
+{
+    return logAddRss(noiseBits, encodingRoundBits());
+}
+
+double
+NoiseModel::ccAddNoiseBits(double aBits, double bBits) const
+{
+    return logAddRss(aBits, bBits);
+}
+
+double
+NoiseModel::pcMultNoiseBits(double noiseBits, double ptSlotBits,
+                            double msgSlotBits) const
+{
+    // Slot-wise product: e * pt scales the noise by at most the
+    // largest plaintext slot; the message times the plaintext's
+    // encoding rounding is the second term.
+    return logAddRss(noiseBits + ptSlotBits,
+                     msgSlotBits + encodingRoundBits());
+}
+
+double
+NoiseModel::ccMultNoiseBits(double noiseBits,
+                            double msgSlotBits) const
+{
+    // (m + e)^2 - m^2 = 2*m*e + e^2, slot-wise.
+    const double cross = msgSlotBits + noiseBits + 1.0;
+    const double square = 2.0 * noiseBits;
+    return logAddRss(cross, square);
+}
+
+double
+NoiseModel::keySwitchNoiseBits(std::size_t level) const
+{
+    // Hybrid keyswitch: sum over `level` digits of d_i * e_ksk_i
+    // (d_i uniform mod q_i: per-slot deviation q*sqrt(N/12); ksk error
+    // sigma*sqrt(N)), divided by the special prime P, plus the ModDown
+    // rounding.
+    const double ks =
+        0.5 * std::log2(static_cast<double>(std::max<std::size_t>(
+                  level, 1))) +
+        static_cast<double>(params_.qBits) + std::log2(params_.sigma) +
+        logN_ - 0.5 * std::log2(12.0) -
+        static_cast<double>(params_.specialBits);
+    return logAdd(ks, ringRoundBits());
+}
+
+double
+NoiseModel::keySwitchedNoiseBits(double noiseBits,
+                                 std::size_t level) const
+{
+    return logAddRss(noiseBits, keySwitchNoiseBits(level));
+}
+
+double
+NoiseModel::rescaleNoiseBits(double noiseBits, std::size_t level) const
+{
+    FXHENN_FATAL_IF(level < 2 || level > logPrimes_.size(),
+                    "rescaleNoiseBits: level out of range");
+    const double scaled = noiseBits - logPrimes_[level - 1];
+    return logAddRss(scaled, ringRoundBits());
+}
+
+double
+NoiseModel::headroomBits(double msgSlotBits, double noiseBits,
+                         std::size_t level) const
+{
+    const double total =
+        logAdd(msgSlotBits, noiseBits + tailBits());
+    return (logQ(level) - 1.0) - total;
+}
+
+double
+NoiseModel::logQ(std::size_t level) const
+{
+    FXHENN_FATAL_IF(level > logPrimes_.size(),
+                    "logQ: level out of range");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < level; ++i)
+        sum += logPrimes_[i];
+    return sum;
+}
+
 } // namespace fxhenn::ckks

@@ -11,6 +11,8 @@
 #ifndef FXHENN_CKKS_NOISE_HPP
 #define FXHENN_CKKS_NOISE_HPP
 
+#include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -62,6 +64,136 @@ double headroomBits(const Ciphertext &ct, const CkksContext &ctx,
  * check measured noise (heuristic, not a security statement).
  */
 double freshNoiseEstimate(const CkksParams &params);
+
+/**
+ * Noise growth rules for the static noise-budget certifier.
+ *
+ * The abstract domain is a single number per ciphertext register: the
+ * log2 of the estimated standard deviation of the crypto noise per
+ * canonical-embedding slot (everything in the decryption m*Delta + e
+ * that is not the scaled message). Tracking the canonical embedding is
+ * what makes the bound usable at depth: multiplication acts slot-wise
+ * there, so pcMult scales the noise by exactly max|v|*Delta with no
+ * sqrt(N) convolution factor, and independent error terms compose
+ * root-sum-square. The coefficient norm is bounded by the canonical
+ * infinity norm, so a slot-domain headroom statement implies the
+ * modulus-overflow one the scheme needs.
+ *
+ * The rules are HEAAN / EVA-style high-probability heuristics over the
+ * exact NTT prime chain, not adversarial worst cases: a single tail
+ * factor (tailBits, ~6 sigma) converts the tracked deviation into the
+ * certified bound at evaluation points. The static-vs-measured
+ * differential tests over the model zoo are the empirical soundness
+ * check that the certified bound dominates measured noise at every
+ * layer. All inputs and outputs are log2 values ("bits").
+ */
+class NoiseModel
+{
+  public:
+    /**
+     * @param params CKKS parameter choice the plan was compiled for
+     * @param primes the exact data primes q_0..q_{L-1} (q_0 first);
+     *               must have params.levels entries
+     */
+    NoiseModel(const CkksParams &params,
+               std::span<const std::uint64_t> primes);
+
+    /** log2(2^a + 2^b), overflow-safe: max + log2(1 + 2^(min-max)). */
+    static double logAdd(double a, double b);
+
+    /** Root-sum-square in log2: log2(sqrt(2^2a + 2^2b)). */
+    static double logAddRss(double a, double b);
+
+    /**
+     * log2 of the high-probability tail factor applied when the
+     * tracked deviation is turned into a certified bound (6 sigma).
+     */
+    static double tailBits();
+
+    /**
+     * log2 slot deviation of fresh public-key encryption noise:
+     * e_pk*u + e0 + e1*s, each product of two independent ring
+     * elements with per-slot deviation ~ sigma * N.
+     */
+    double freshNoiseBits() const;
+
+    /**
+     * log2 slot deviation of the rounding noise of encoding reals:
+     * iid uniform(+-1/2) coefficients embed to ~ sqrt(N/12) per slot.
+     */
+    double encodingRoundBits() const;
+
+    /**
+     * log2 slot deviation of a ring rounding step that also touches
+     * the secret-key component (Rescale, key-switch ModDown):
+     * r0 + r1*s with r* ~ uniform(+-1/2) per coefficient.
+     */
+    double ringRoundBits() const;
+
+    /** Noise after adding an encoded plaintext (pcAdd). */
+    double pcAddNoiseBits(double noiseBits) const;
+
+    /** Noise after adding two ciphertexts (ccAdd), RSS-composed. */
+    double ccAddNoiseBits(double aBits, double bBits) const;
+
+    /**
+     * Noise after multiplying by an encoded plaintext (pcMult): the
+     * noise scales by the plaintext's largest slot value and the
+     * message picks up the plaintext's encoding rounding.
+     *
+     * @param ptSlotBits  log2(encoding scale * max|values|)
+     * @param msgSlotBits log2 bound on the scaled message slots
+     */
+    double pcMultNoiseBits(double noiseBits, double ptSlotBits,
+                           double msgSlotBits) const;
+
+    /**
+     * Noise after a ciphertext-ciphertext square (ccMult dst == src):
+     * the 2*m*e cross term dominates, plus the e^2 term.
+     *
+     * @param msgSlotBits log2 bound on the scaled message slots
+     */
+    double ccMultNoiseBits(double noiseBits, double msgSlotBits) const;
+
+    /**
+     * log2 slot deviation added by one hybrid key switch (relinearize
+     * or rotate) at @p level data primes: P^-1 * sum(d_i * e_ksk_i)
+     * plus the ModDown rounding.
+     */
+    double keySwitchNoiseBits(std::size_t level) const;
+
+    /** Noise folded in by one key switch at @p level. */
+    double keySwitchedNoiseBits(double noiseBits,
+                                std::size_t level) const;
+
+    /**
+     * Noise after Rescale at @p level (drops prime q_{level-1}): the
+     * existing noise divides by the dropped prime and the ring
+     * rounding term is added.
+     */
+    double rescaleNoiseBits(double noiseBits, std::size_t level) const;
+
+    /**
+     * Certified headroom of a register: logQ(level) - 1 minus the
+     * bound on the largest total slot value, message bound plus the
+     * tail-factored noise deviation.
+     */
+    double headroomBits(double msgSlotBits, double noiseBits,
+                        std::size_t level) const;
+
+    /** log2 of data prime q_i. */
+    double logPrime(std::size_t i) const { return logPrimes_[i]; }
+
+    /** log2(Q) over the first @p level data primes. */
+    double logQ(std::size_t level) const;
+
+    const CkksParams &params() const { return params_; }
+
+  private:
+    CkksParams params_;
+    std::vector<double> logPrimes_; ///< log2(q_i)
+    double logN_;                   ///< log2(N)
+};
 
 } // namespace fxhenn::ckks
 

@@ -7,6 +7,7 @@
 
 #include "src/analysis/liveness.hpp"
 #include "src/common/assert.hpp"
+#include "src/hecnn/noise_cert.hpp"
 #include "src/robustness/fault_injection.hpp"
 #include "src/telemetry/telemetry.hpp"
 
@@ -41,6 +42,52 @@ explore(const hecnn::HeNetworkPlan &plan, const fpga::DeviceSpec &device,
     FXHENN_TELEM_SCOPED_TIMER("dse.explore.ns");
     FXHENN_TELEM_COUNT("dse.explorations", 1);
     ExploreResult result;
+
+    if (options.certifyNoise) {
+        const auto cert = hecnn::certifyPlan(plan);
+        FXHENN_FATAL_IF(!cert.valid && !options.allowInfeasible,
+                        "cannot noise-certify plan '" + plan.name +
+                            "' before exploration: " +
+                            cert.invalidReason);
+        if (cert.valid) {
+            result.certifiedLevels = plan.params.levels;
+            result.minFeasibleLevels = plan.params.levels;
+            result.certifiedMinHeadroomBits = cert.minHeadroomBits;
+            if (!cert.certified()) {
+                std::ostringstream oss;
+                oss << "plan '" << plan.name
+                    << "' is not noise-safe: certified minimum "
+                       "headroom "
+                    << cert.minHeadroomBits
+                    << " bits is negative — no hardware allocation "
+                       "can fix a plan that decrypts to garbage";
+                FXHENN_FATAL_IF(!options.allowInfeasible, oss.str());
+            } else {
+                // Shrink the chain until the certificate breaks: the
+                // deepest shift that still certifies bounds the prime
+                // count actually needed. Shifting below the plan's
+                // final level is structurally impossible (the last
+                // rescale would have no prime to drop into).
+                const std::size_t max_shift =
+                    plan.layers.back().levelOut > 0
+                        ? plan.layers.back().levelOut - 1
+                        : 0;
+                for (std::size_t k = 1; k <= max_shift; ++k) {
+                    hecnn::CertifyOptions copts;
+                    copts.levelShift = k;
+                    const auto shifted =
+                        hecnn::certifyPlan(plan, copts);
+                    if (!shifted.valid || !shifted.certified())
+                        break;
+                    result.minFeasibleLevels = plan.params.levels - k;
+                }
+                result.levelChoicesPruned =
+                    result.certifiedLevels - result.minFeasibleLevels;
+                FXHENN_TELEM_COUNT("dse.level_choices_pruned",
+                                   result.levelChoicesPruned);
+            }
+        }
+    }
 
     fpga::DeviceSpec spec = device;
     if (auto fault = robustness::fireFault("dse.device")) {

@@ -63,6 +63,18 @@ struct ExploreOptions
      * best latency can only improve or stay put.
      */
     bool livenessBuffers = false;
+
+    /**
+     * Gate the search on the static noise certificate and prune the
+     * prime-chain dimension with it: a plan whose certified minimum
+     * headroom is negative produces garbage on ANY hardware, so
+     * exploring it is a ConfigError (unless allowInfeasible). The
+     * certifier is then re-run at shrinking chain depths (levelShift)
+     * to report the minimum prime count that still certifies — every
+     * level above it is a pruned design choice (smaller ciphertexts,
+     * cheaper keyswitch) the compiler could claim by recompiling.
+     */
+    bool certifyNoise = false;
 };
 
 /** Result of a search. */
@@ -72,6 +84,16 @@ struct ExploreResult
     std::vector<DesignPoint> all; ///< filled when collectAll is set
     std::size_t evaluated = 0;    ///< feasible design points seen
     std::size_t pruned = 0;       ///< points rejected by constraints
+
+    // Filled when ExploreOptions::certifyNoise is set.
+    /** Prime-chain depth the plan was compiled for. */
+    std::size_t certifiedLevels = 0;
+    /** Smallest chain depth whose certificate still shows headroom. */
+    std::size_t minFeasibleLevels = 0;
+    /** Certified minimum headroom at the compiled depth (bits). */
+    double certifiedMinHeadroomBits = 0.0;
+    /** Prime-count choices the certificate proved removable. */
+    std::size_t levelChoicesPruned = 0;
 };
 
 /** Run the exhaustive DSE for @p plan on @p device. */

@@ -39,6 +39,7 @@
 #include <mutex>
 #include <string>
 
+#include "src/common/thread_annotations.hpp"
 #include "src/robustness/guard.hpp"
 
 namespace fxhenn::engine {
@@ -70,8 +71,8 @@ class ServiceTimeEstimator
   private:
     const double alpha_;
     mutable std::mutex mutex_;
-    double ewma_ = 0.0;
-    std::uint64_t samples_ = 0;
+    double ewma_ FXHENN_GUARDED_BY(mutex_) = 0.0;
+    std::uint64_t samples_ FXHENN_GUARDED_BY(mutex_) = 0;
 };
 
 /**
@@ -177,11 +178,12 @@ class CircuitBreaker
   private:
     const BreakerOptions options_;
     mutable std::mutex mutex_;
-    BreakerState state_ = BreakerState::closed;
-    std::uint32_t consecutiveFailures_ = 0;
-    bool probeInFlight_ = false;
-    std::uint64_t opens_ = 0;
-    TimePoint reopenAt_{};
+    BreakerState state_ FXHENN_GUARDED_BY(mutex_) =
+        BreakerState::closed;
+    std::uint32_t consecutiveFailures_ FXHENN_GUARDED_BY(mutex_) = 0;
+    bool probeInFlight_ FXHENN_GUARDED_BY(mutex_) = false;
+    std::uint64_t opens_ FXHENN_GUARDED_BY(mutex_) = 0;
+    TimePoint reopenAt_ FXHENN_GUARDED_BY(mutex_){};
 };
 
 } // namespace fxhenn::engine

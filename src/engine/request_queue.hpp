@@ -25,6 +25,7 @@
 #include <utility>
 
 #include "src/common/assert.hpp"
+#include "src/common/thread_annotations.hpp"
 
 namespace fxhenn::engine {
 
@@ -151,8 +152,8 @@ class RequestQueue
     mutable std::mutex mutex_;
     std::condition_variable notFull_;
     std::condition_variable notEmpty_;
-    std::deque<T> items_;
-    bool closed_ = false;
+    std::deque<T> items_ FXHENN_GUARDED_BY(mutex_);
+    bool closed_ FXHENN_GUARDED_BY(mutex_) = false;
 };
 
 } // namespace fxhenn::engine

@@ -26,6 +26,11 @@ Fxhenn::generate(const nn::Network &net, const ckks::CkksParams &params,
     solution.design = *result.best;
     solution.dsePointsEvaluated = result.evaluated;
     solution.dsePointsPruned = result.pruned;
+    solution.certifiedLevels = result.certifiedLevels;
+    solution.minFeasibleLevels = result.minFeasibleLevels;
+    solution.levelChoicesPruned = result.levelChoicesPruned;
+    solution.certifiedMinHeadroomBits =
+        result.certifiedMinHeadroomBits;
     return solution;
 }
 

@@ -33,6 +33,12 @@ struct DesignSolution
     std::size_t dsePointsEvaluated = 0;
     std::size_t dsePointsPruned = 0;
 
+    // Copied from ExploreResult when ExploreOptions::certifyNoise ran.
+    std::size_t certifiedLevels = 0;
+    std::size_t minFeasibleLevels = 0;
+    std::size_t levelChoicesPruned = 0;
+    double certifiedMinHeadroomBits = 0.0;
+
     /** End-to-end inference latency predicted by the model (seconds). */
     double latencySeconds() const { return design.latencySeconds; }
 

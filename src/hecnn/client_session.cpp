@@ -118,4 +118,10 @@ ClientSession::outputHeadroomBits(
     return headroom;
 }
 
+double
+ClientSession::headroomBits(const ckks::Ciphertext &ct) const
+{
+    return ckks::headroomBits(ct, context_, decryptor_);
+}
+
 } // namespace fxhenn::hecnn

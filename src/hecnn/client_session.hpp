@@ -80,6 +80,14 @@ class ClientSession
     double outputHeadroomBits(
         std::span<const std::optional<ckks::Ciphertext>> regs) const;
 
+    /**
+     * Measured headroom of one ciphertext (ckks::headroomBits with
+     * this session's secret key). The noise differential tests probe
+     * intermediate layers with it; production servers never see this
+     * side of the split.
+     */
+    double headroomBits(const ckks::Ciphertext &ct) const;
+
   private:
     const HeNetworkPlan &plan_;
     const ckks::CkksContext &context_;

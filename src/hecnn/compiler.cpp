@@ -4,7 +4,9 @@
 
 #include "src/common/assert.hpp"
 #include "src/common/math_util.hpp"
+#include "src/hecnn/noise_cert.hpp"
 #include "src/hecnn/plan_check.hpp"
+#include "src/hecnn/rescale_rewriter.hpp"
 
 namespace fxhenn::hecnn {
 
@@ -85,6 +87,8 @@ class PlanBuilder
         PlanPlaintext pt;
         pt.level = level;
         pt.atSchemeScale = atSchemeScale;
+        for (const double v : values)
+            pt.maxAbs = std::max(pt.maxAbs, std::abs(v));
         if (!options_.elideValues)
             pt.values = std::move(values);
         plan_.plaintexts.push_back(std::move(pt));
@@ -429,14 +433,14 @@ class PlanBuilder
             const std::size_t rows_here =
                 std::min(copies, out_rows - g * copies);
 
+            // Filled even for elided plans: the slot vector is
+            // transient there, but its maxAbs feeds the certifier.
             std::vector<double> w(slots_, 0.0);
-            if (!options_.elideValues) {
-                for (std::size_t k = 0; k < rows_here; ++k) {
-                    rows(g * copies + k,
-                         [&](std::size_t e, double weight) {
-                             w[k * vpad + e] += weight;
-                         });
-                }
+            for (std::size_t k = 0; k < rows_here; ++k) {
+                rows(g * copies + k,
+                     [&](std::size_t e, double weight) {
+                         w[k * vpad + e] += weight;
+                     });
             }
             const std::int32_t w_pt =
                 addPlaintext(std::move(w), level_, true);
@@ -639,8 +643,23 @@ compile(const nn::Network &net, const ckks::CkksParams &params,
     }
     PlanBuilder builder(net, params, options);
     HeNetworkPlan plan = builder.build();
+    if (options.rescaleWaterline)
+        rewriteRescales(plan); // certified: no-op unless provably safe
     if (options.selfCheck)
         runPlanVerifier(plan, "compile");
+    if (options.certifyNoise) {
+        const NoiseCertificate cert = certifyPlan(plan);
+        FXHENN_FATAL_IF(!cert.valid,
+                        "compile: noise certification failed for '" +
+                            plan.name + "': " + cert.invalidReason);
+        FXHENN_FATAL_IF(
+            !cert.certified(),
+            "compile: plan '" + plan.name +
+                "' is not noise-safe: certified minimum headroom " +
+                std::to_string(cert.minHeadroomBits) +
+                " bits is negative (the message can overflow the "
+                "modulus; use more levels or wider primes)");
+    }
     return plan;
 }
 

@@ -24,7 +24,11 @@ RuntimeGuard::RuntimeGuard(const HeNetworkPlan &plan,
                            const ckks::CkksContext &context,
                            robustness::GuardOptions options)
     : plan_(plan), context_(context), options_(options)
-{}
+{
+    CertifyOptions copts;
+    copts.messageBits = options_.messageBits;
+    cert_ = certifyPlan(plan_, copts);
+}
 
 void
 RuntimeGuard::beginInfer()
@@ -253,8 +257,19 @@ RuntimeGuard::checkLayerEnd(
     sample.layer = layer.name;
     sample.level = layer.levelOut;
     sample.scaleBits = max_scale > 0.0 ? std::log2(max_scale) : 0.0;
-    sample.headroomBits = (context_.basis().logQ(layer.levelOut) - 1.0) -
-                          sample.scaleBits - options_.messageBits;
+    // Prefer the statically certified per-layer bound (which accounts
+    // for accumulated crypto noise, not just the message magnitude);
+    // an invalid certificate falls back to the noise-free formula.
+    const std::size_t idx = trajectory_.size();
+    if (cert_.valid && idx < cert_.layers.size() &&
+        cert_.layers[idx].layer == layer.name) {
+        sample.noiseBits = cert_.layers[idx].noiseBits;
+        sample.headroomBits = cert_.layers[idx].headroomBits;
+    } else {
+        sample.headroomBits =
+            (context_.basis().logQ(layer.levelOut) - 1.0) -
+            sample.scaleBits - options_.messageBits;
+    }
     trajectory_.push_back(sample);
 
     if (divergence)
@@ -263,7 +278,7 @@ RuntimeGuard::checkLayerEnd(
         return metadata;
     if (sample.headroomBits < 0.0)
         return "predicted noise budget exhausted after layer " +
-               layer.name + ": headroom " +
+               layer.name + ": certified headroom " +
                fmtBits(sample.headroomBits) +
                " bits (the message no longer fits the modulus and "
                "decryption would be garbage)";

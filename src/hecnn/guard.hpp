@@ -19,6 +19,7 @@
 
 #include "src/ckks/ciphertext.hpp"
 #include "src/ckks/context.hpp"
+#include "src/hecnn/noise_cert.hpp"
 #include "src/hecnn/plan.hpp"
 #include "src/robustness/guard.hpp"
 
@@ -28,11 +29,22 @@ namespace fxhenn::hecnn {
 class RuntimeGuard
 {
   public:
+    /**
+     * Construction certifies the plan once with the static noise
+     * certifier (at GuardOptions::messageBits); checkLayerEnd then
+     * consumes the per-layer certified bounds instead of re-deriving
+     * an ad-hoc worst-case headroom. An invalid certificate (e.g. a
+     * malformed plan that still executes) degrades gracefully to the
+     * noise-free headroom formula.
+     */
     RuntimeGuard(const HeNetworkPlan &plan,
                  const ckks::CkksContext &context,
                  robustness::GuardOptions options);
 
     const robustness::GuardOptions &options() const { return options_; }
+
+    /** The static certificate computed at construction. */
+    const NoiseCertificate &certificate() const { return cert_; }
 
     /** Reset predicted state to "inputs freshly encrypted". */
     void beginInfer();
@@ -75,6 +87,7 @@ class RuntimeGuard
     const HeNetworkPlan &plan_;
     const ckks::CkksContext &context_;
     robustness::GuardOptions options_;
+    NoiseCertificate cert_;
     std::vector<RegState> regs_;
     std::vector<robustness::BudgetSample> trajectory_;
 };

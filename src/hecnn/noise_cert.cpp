@@ -1,0 +1,355 @@
+#include "src/hecnn/noise_cert.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <optional>
+#include <sstream>
+
+#include "src/ckks/noise.hpp"
+#include "src/common/assert.hpp"
+#include "src/modarith/primes.hpp"
+
+namespace fxhenn::hecnn {
+
+namespace {
+
+/** Abstract state of one ciphertext register. */
+struct AbsReg
+{
+    bool written = false;
+    std::size_t level = 0;  ///< effective level (after levelShift)
+    double scale = 0.0;     ///< exact replay of the evaluator's double
+    double noiseBits = 0.0; ///< log2 worst-case coefficient noise
+};
+
+std::string
+fmtBits(double v)
+{
+    std::ostringstream oss;
+    oss.precision(3);
+    oss << v;
+    return oss.str();
+}
+
+void
+jsonEscapeInto(std::ostringstream &oss, const std::string &s)
+{
+    for (const char c : s) {
+        switch (c) {
+          case '"': oss << "\\\""; break;
+          case '\\': oss << "\\\\"; break;
+          case '\n': oss << "\\n"; break;
+          case '\t': oss << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                oss << buf;
+            } else {
+                oss << c;
+            }
+        }
+    }
+}
+
+/** log2 bound on a plaintext's scaled slot values. */
+double
+ptSlotBits(const PlanPlaintext &pt, double ciphertextScale,
+           double schemeScale)
+{
+    // The compiler records maxAbs even for elided plans (v3 streams);
+    // a plan without it (legacy v2 elided stream) falls back to the
+    // |v| <= 1.0 bound the zoo's normalized weights satisfy.
+    double max_abs = pt.maxAbs;
+    if (max_abs == 0.0) {
+        if (!pt.values.empty())
+            return -1074.0; // genuinely all-zero plaintext
+        max_abs = 1.0;
+    }
+    const double enc_scale = pt.atSchemeScale ? schemeScale
+                                              : ciphertextScale;
+    return std::log2(enc_scale * max_abs);
+}
+
+struct Certifier
+{
+    const HeNetworkPlan &plan;
+    const CertifyOptions &opts;
+    const ckks::NoiseModel model;
+    std::vector<AbsReg> regs;
+
+    /** Interpret one instruction; returns an error string on abstract
+     *  failure (out-of-range register, read-before-write, rescale at
+     *  the chain floor). */
+    std::optional<std::string>
+    step(const HeInstr &instr)
+    {
+        const auto regCount = static_cast<std::int32_t>(regs.size());
+        if (instr.dst < 0 || instr.dst >= regCount || instr.src < 0 ||
+            instr.src >= regCount)
+            return "instruction register out of range (dst r" +
+                   std::to_string(instr.dst) + ", src r" +
+                   std::to_string(instr.src) + ")";
+        const AbsReg src = regs[static_cast<std::size_t>(instr.src)];
+        AbsReg &dst = regs[static_cast<std::size_t>(instr.dst)];
+        if (!src.written)
+            return "read of unwritten register r" +
+                   std::to_string(instr.src);
+
+        const double scheme_scale = model.params().scale;
+        switch (instr.kind) {
+          case HeOpKind::pcMult: {
+            if (instr.pt < 0 ||
+                instr.pt >= static_cast<std::int32_t>(
+                                plan.plaintexts.size()))
+                return "plaintext index out of range (pt " +
+                       std::to_string(instr.pt) + ")";
+            const auto &pt =
+                plan.plaintexts[static_cast<std::size_t>(instr.pt)];
+            const double msg_bits =
+                (src.scale > 0.0 ? std::log2(src.scale) : 0.0) +
+                opts.messageBits;
+            dst = src;
+            dst.scale = src.scale * scheme_scale;
+            dst.noiseBits = model.pcMultNoiseBits(
+                src.noiseBits,
+                ptSlotBits(pt, src.scale, scheme_scale), msg_bits);
+            break;
+          }
+          case HeOpKind::pcAdd:
+            dst = src;
+            dst.noiseBits = model.pcAddNoiseBits(src.noiseBits);
+            break;
+          case HeOpKind::ccAdd: {
+            if (!dst.written)
+                return "read of unwritten register r" +
+                       std::to_string(instr.dst);
+            dst.noiseBits =
+                model.ccAddNoiseBits(dst.noiseBits, src.noiseBits);
+            break;
+          }
+          case HeOpKind::ccMult: {
+            // msg slot bound: scale * max|m| per the certified
+            // message assumption.
+            const double msg_bits =
+                (src.scale > 0.0 ? std::log2(src.scale) : 0.0) +
+                opts.messageBits;
+            dst = src;
+            dst.scale = src.scale * src.scale;
+            dst.noiseBits =
+                model.ccMultNoiseBits(src.noiseBits, msg_bits);
+            break;
+          }
+          case HeOpKind::relinearize:
+          case HeOpKind::rotate:
+            dst = src;
+            dst.noiseBits =
+                model.keySwitchedNoiseBits(src.noiseBits, src.level);
+            break;
+          case HeOpKind::rescale:
+            if (src.level < 2)
+                return "rescale at effective level " +
+                       std::to_string(src.level) +
+                       ": no prime left to rescale into";
+            dst = src;
+            dst.scale =
+                src.scale / std::exp2(model.logPrime(src.level - 1));
+            dst.noiseBits =
+                model.rescaleNoiseBits(src.noiseBits, src.level);
+            dst.level = src.level - 1;
+            break;
+          case HeOpKind::copy:
+            dst = src;
+            break;
+        }
+        dst.written = true;
+        return std::nullopt;
+    }
+
+    /** Bound at a layer boundary, mirroring RuntimeGuard's sample. */
+    LayerNoiseBound
+    layerBound(const HeLayerPlan &layer) const
+    {
+        const std::vector<std::int32_t> *out_regs =
+            &layer.outputLayout.regs;
+        std::vector<std::int32_t> fallback;
+        if (out_regs->empty()) {
+            for (std::size_t i = 0; i < regs.size(); ++i) {
+                if (regs[i].written)
+                    fallback.push_back(static_cast<std::int32_t>(i));
+            }
+            out_regs = &fallback;
+        }
+
+        LayerNoiseBound bound;
+        bound.layer = layer.name;
+        bound.level = layer.levelOut >= opts.levelShift
+                          ? layer.levelOut - opts.levelShift
+                          : 0;
+        bound.headroomBits = std::numeric_limits<double>::infinity();
+        bool any = false;
+        for (const std::int32_t r : *out_regs) {
+            if (r < 0 || r >= static_cast<std::int32_t>(regs.size()))
+                continue;
+            const AbsReg &s = regs[static_cast<std::size_t>(r)];
+            if (!s.written)
+                continue;
+            any = true;
+            const double scale_bits =
+                s.scale > 0.0 ? std::log2(s.scale) : 0.0;
+            const double headroom = model.headroomBits(
+                scale_bits + opts.messageBits, s.noiseBits, s.level);
+            bound.scaleBits = std::max(bound.scaleBits, scale_bits);
+            bound.noiseBits = std::max(bound.noiseBits, s.noiseBits);
+            bound.headroomBits =
+                std::min(bound.headroomBits, headroom);
+        }
+        if (!any)
+            bound.headroomBits = 0.0;
+        return bound;
+    }
+};
+
+} // namespace
+
+NoiseCertificate
+certifyPlan(const HeNetworkPlan &plan, const CertifyOptions &opts)
+{
+    NoiseCertificate cert;
+    cert.plan = plan.name;
+    cert.messageBits = opts.messageBits;
+    try {
+        plan.params.validate();
+        if (opts.levelShift >= plan.params.levels) {
+            cert.invalidReason = "levelShift " +
+                                 std::to_string(opts.levelShift) +
+                                 " leaves no data primes";
+            return cert;
+        }
+        const std::size_t eff_levels =
+            plan.params.levels - opts.levelShift;
+        const auto primes = generateNttPrimes(
+            plan.params.qBits, plan.params.n, eff_levels);
+        const ckks::NoiseModel model(
+            [&] {
+                ckks::CkksParams p = plan.params;
+                p.levels = eff_levels;
+                return p;
+            }(),
+            primes);
+        cert.levels = eff_levels;
+
+        Certifier certifier{plan, opts, model, {}};
+        certifier.regs.assign(
+            static_cast<std::size_t>(std::max(plan.regCount,
+                                              std::int32_t{0})),
+            AbsReg{});
+        const double fresh = ckks::NoiseModel::logAdd(
+            model.freshNoiseBits(), model.encodingRoundBits());
+        for (std::size_t i = 0; i < plan.inputGather.size(); ++i) {
+            if (i >= certifier.regs.size())
+                break;
+            AbsReg &s = certifier.regs[i];
+            s.written = true;
+            s.level = eff_levels;
+            s.scale = plan.params.scale;
+            s.noiseBits = fresh;
+        }
+
+        cert.minHeadroomBits =
+            std::numeric_limits<double>::infinity();
+        for (const HeLayerPlan &layer : plan.layers) {
+            for (const HeInstr &instr : layer.instrs) {
+                if (auto err = certifier.step(instr)) {
+                    cert.invalidReason =
+                        "layer " + layer.name + ": " + *err;
+                    cert.minHeadroomBits = 0.0;
+                    return cert;
+                }
+            }
+            const LayerNoiseBound bound =
+                certifier.layerBound(layer);
+            cert.minHeadroomBits =
+                std::min(cert.minHeadroomBits, bound.headroomBits);
+            cert.layers.push_back(bound);
+        }
+        if (cert.layers.empty())
+            cert.minHeadroomBits = 0.0;
+        cert.valid = true;
+    } catch (const std::exception &e) {
+        cert.valid = false;
+        cert.invalidReason = e.what();
+        cert.minHeadroomBits = 0.0;
+    }
+    return cert;
+}
+
+std::string
+NoiseCertificate::renderText() const
+{
+    std::ostringstream oss;
+    oss << "noise certificate for plan '" << plan << "' (message <= 2^"
+        << fmtBits(messageBits) << ", " << levels
+        << "-prime chain)\n";
+    if (hasArtifact)
+        oss << "  artifact: " << artifactPath << " (crc32 "
+            << artifactCrc32 << ")\n";
+    if (!valid) {
+        oss << "  NOT CERTIFIED: " << invalidReason << "\n";
+        return oss.str();
+    }
+    for (const LayerNoiseBound &b : layers) {
+        oss << "  " << b.layer << "  level " << b.level << "  scale 2^"
+            << fmtBits(b.scaleBits) << "  noise 2^"
+            << fmtBits(b.noiseBits) << "  headroom "
+            << (b.headroomBits >= 0.0 ? "+" : "")
+            << fmtBits(b.headroomBits) << " bits\n";
+    }
+    oss << "  certified minimum headroom: "
+        << (minHeadroomBits >= 0.0 ? "+" : "")
+        << fmtBits(minHeadroomBits) << " bits ("
+        << (certified() ? "SAFE" : "UNSAFE") << ")\n";
+    return oss.str();
+}
+
+std::string
+NoiseCertificate::renderJson() const
+{
+    std::ostringstream oss;
+    oss << "{\n  \"schema\": \"fxhenn-noise-cert-v1\",\n";
+    oss << "  \"plan\": \"";
+    jsonEscapeInto(oss, plan);
+    oss << "\",\n";
+    if (hasArtifact) {
+        oss << "  \"plan_file\": \"";
+        jsonEscapeInto(oss, artifactPath);
+        oss << "\",\n  \"plan_crc32\": " << artifactCrc32 << ",\n";
+    }
+    oss << "  \"valid\": " << (valid ? "true" : "false") << ",\n";
+    if (!valid) {
+        oss << "  \"invalid_reason\": \"";
+        jsonEscapeInto(oss, invalidReason);
+        oss << "\",\n";
+    }
+    oss << "  \"certified\": " << (certified() ? "true" : "false")
+        << ",\n";
+    oss << "  \"message_bits\": " << messageBits << ",\n";
+    oss << "  \"levels\": " << levels << ",\n";
+    oss << "  \"min_headroom_bits\": " << minHeadroomBits << ",\n";
+    oss << "  \"layers\": [";
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        const LayerNoiseBound &b = layers[i];
+        oss << (i ? "," : "") << "\n    {\"layer\": \"";
+        jsonEscapeInto(oss, b.layer);
+        oss << "\", \"level\": " << b.level
+            << ", \"scale_bits\": " << b.scaleBits
+            << ", \"noise_bits\": " << b.noiseBits
+            << ", \"headroom_bits\": " << b.headroomBits << "}";
+    }
+    oss << (layers.empty() ? "]" : "\n  ]") << "\n}\n";
+    return oss.str();
+}
+
+} // namespace fxhenn::hecnn

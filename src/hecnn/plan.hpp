@@ -56,6 +56,13 @@ struct PlanPlaintext
      * false: encode at the current ciphertext scale (bias adds).
      */
     bool atSchemeScale = true;
+    /**
+     * max |slot value|. The compiler records it even when the values
+     * themselves are elided (stats-only plans), so the static noise
+     * certifier can bound pcMult growth with the real weight magnitude
+     * instead of a pessimistic |v| <= 1 assumption.
+     */
+    double maxAbs = 0.0;
 };
 
 /** Per-layer HE operation counts, in the paper's taxonomy. */

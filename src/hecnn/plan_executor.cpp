@@ -259,6 +259,11 @@ PlanExecutor::execute(std::vector<ckks::Ciphertext> inputs,
                                                        1e9));
             }
             run.layerStats.push_back(std::move(row));
+            if (control.layerProbe)
+                control.layerProbe(
+                    static_cast<std::size_t>(&layer -
+                                             plan_.layers.data()),
+                    run.regs);
             if (auto reason = run.guard.checkLayerEnd(layer, run.regs))
                 guardViolation(run, layer.name, "layer-end", *reason);
         } catch (DegradeSignal &sig) {

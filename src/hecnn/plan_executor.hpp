@@ -16,7 +16,10 @@
 #define FXHENN_HECNN_PLAN_EXECUTOR_HPP
 
 #include <chrono>
+#include <cstddef>
+#include <functional>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "src/ckks/encoder.hpp"
@@ -65,6 +68,20 @@ struct RunControl
      * policy — lateness is a serving concern, not a broken invariant.
      */
     std::optional<std::chrono::steady_clock::time_point> deadline;
+
+    /**
+     * Observer invoked at each layer boundary (after the layer's
+     * instructions ran, before the guard's layer-end check) with the
+     * layer index and the live register file. The noise differential
+     * tests use it to measure per-layer headroom against the static
+     * certificate — square layers overwrite their inputs in place, so
+     * intermediate states are unobservable after the run. Must not
+     * mutate the registers; exceptions propagate like layer errors.
+     */
+    std::function<void(std::size_t layerIndex,
+                       std::span<const std::optional<ckks::Ciphertext>>
+                           regs)>
+        layerProbe;
 };
 
 /** Everything one encrypted run produced, scoped to that request. */

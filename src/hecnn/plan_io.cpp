@@ -1,5 +1,7 @@
 #include "src/hecnn/plan_io.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <istream>
 #include <iterator>
@@ -19,9 +21,12 @@ namespace {
 constexpr std::uint64_t kMagic = 0x4678504c414e3031ull; // "FxPLAN01"
 /**
  * Version 2 appends a CRC-32 trailer over everything before it.
- * Version-1 streams (no trailer) remain readable.
+ * Version 3 adds each plaintext's maxAbs so elided (stats-only) plans
+ * stay noise-certifiable. Version-1 (no trailer) and version-2
+ * streams remain readable; v2 plaintexts derive maxAbs from their
+ * values (0 when elided, which the certifier treats as |v| <= 1).
  */
-constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kVersion = 3;
 constexpr std::size_t kHeaderSize =
     sizeof(std::uint64_t) + sizeof(std::uint32_t); // magic + version
 
@@ -139,14 +144,30 @@ readLayout(std::istream &is)
 
 } // namespace
 
+std::uint32_t
+planStreamVersion()
+{
+    return kVersion;
+}
+
 void
 savePlan(const HeNetworkPlan &plan, std::ostream &outer)
 {
+    savePlanAsVersion(plan, outer, kVersion);
+}
+
+void
+savePlanAsVersion(const HeNetworkPlan &plan, std::ostream &outer,
+                  std::uint32_t version)
+{
+    FXHENN_FATAL_IF(version == 0 || version > kVersion,
+                    "unknown plan stream version " +
+                        std::to_string(version));
     // Serialize into a buffer first so the CRC-32 trailer can cover
     // the whole payload.
     std::ostringstream os;
     writePod(os, kMagic);
-    writePod(os, kVersion);
+    writePod(os, version);
     writeString(os, plan.name);
     writePod(os, static_cast<std::uint64_t>(plan.params.n));
     writePod(os, static_cast<std::uint64_t>(plan.params.levels));
@@ -176,6 +197,8 @@ savePlan(const HeNetworkPlan &plan, std::ostream &outer)
         writePod(os, static_cast<std::uint64_t>(pt.level));
         writePod(os,
                  static_cast<std::uint8_t>(pt.atSchemeScale ? 1 : 0));
+        if (version >= 3)
+            writePod(os, pt.maxAbs);
         writeVector(os, pt.values);
     }
 
@@ -184,7 +207,8 @@ savePlan(const HeNetworkPlan &plan, std::ostream &outer)
     const std::string bytes = os.str();
     outer.write(bytes.data(),
                 static_cast<std::streamsize>(bytes.size()));
-    writePod(outer, crc32(bytes.data(), bytes.size()));
+    if (version >= 2)
+        writePod(outer, crc32(bytes.data(), bytes.size()));
 }
 
 HeNetworkPlan
@@ -278,10 +302,18 @@ loadPlan(std::istream &stream)
         PlanPlaintext pt;
         pt.level = readPod<std::uint64_t>(is);
         pt.atSchemeScale = readPod<std::uint8_t>(is) != 0;
+        if (version >= 3)
+            pt.maxAbs = readPod<double>(is);
         pt.values = readVector<double>(is, plan.params.n);
+        if (version < 3) {
+            for (const double v : pt.values)
+                pt.maxAbs = std::max(pt.maxAbs, std::abs(v));
+        }
         FXHENN_FATAL_IF(pt.level == 0 ||
                             pt.level > plan.params.levels,
                         "corrupt plaintext level");
+        FXHENN_FATAL_IF(!std::isfinite(pt.maxAbs) || pt.maxAbs < 0.0,
+                        "corrupt plaintext magnitude");
         FXHENN_FATAL_IF(!plan.valuesElided &&
                             pt.values.size() != plan.params.n / 2,
                         "plaintext length does not match slot count");

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/common/thread_annotations.hpp"
 #include "src/telemetry/telemetry.hpp"
 
 namespace fxhenn::rns {
@@ -17,8 +18,15 @@ struct ThreadPool
     WorkspaceStats stats;
 };
 
+/**
+ * The pool state is thread-confined (thread_local), not mutex-guarded:
+ * there is no capability to annotate and nothing for the thread-safety
+ * analysis to check, so the accessor is explicitly excluded. Safety
+ * rests on confinement alone — a ThreadPool reference must never be
+ * cached and handed to another thread.
+ */
 ThreadPool &
-threadPool()
+threadPool() FXHENN_NO_THREAD_SAFETY_ANALYSIS
 {
     static thread_local ThreadPool pool;
     return pool;

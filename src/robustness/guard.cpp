@@ -42,8 +42,10 @@ renderTrajectory(std::span<const BudgetSample> trajectory)
     for (const auto &s : trajectory) {
         oss << "    " << std::left << std::setw(12) << s.layer
             << std::right << "  level " << std::setw(2) << s.level
-            << "  scale 2^" << std::setw(5) << s.scaleBits
-            << "  headroom " << std::showpos << std::setw(7)
+            << "  scale 2^" << std::setw(5) << s.scaleBits;
+        if (s.noiseBits != 0.0)
+            oss << "  noise 2^" << std::setw(6) << s.noiseBits;
+        oss << "  headroom " << std::showpos << std::setw(7)
             << s.headroomBits << std::noshowpos << " bits\n";
     }
     return oss.str();

@@ -64,9 +64,17 @@ struct BudgetSample
     std::size_t level = 0;    ///< ciphertext level after the layer
     double scaleBits = 0.0;   ///< log2(scale) after the layer
     /**
-     * log2(q_level / 2) - scaleBits - messageBits: bits left before the
-     * message overflows the modulus. Negative means decryption of this
-     * layer's output is garbage.
+     * Certified log2 bound on the per-slot noise standard deviation
+     * after the layer (from the static NoiseCertificate). 0 when the
+     * guard fell back to the noise-free headroom formula.
+     */
+    double noiseBits = 0.0;
+    /**
+     * Bits left before the message (plus certified noise tail)
+     * overflows the modulus at this level. Negative means decryption
+     * of this layer's output is garbage. Taken from the static noise
+     * certificate when one is available; otherwise the coarser
+     * log2(q_level / 2) - scaleBits - messageBits formula.
      */
     double headroomBits = 0.0;
 };

@@ -8,6 +8,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "src/common/thread_annotations.hpp"
+
 namespace fxhenn::telemetry {
 
 namespace {
@@ -29,9 +31,10 @@ struct Registry
     }
 
     std::mutex mutex;
-    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters
+        FXHENN_GUARDED_BY(mutex);
     std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
-        histograms;
+        histograms FXHENN_GUARDED_BY(mutex);
 };
 
 void

@@ -18,10 +18,10 @@ TEST(Passes, TinyPlanIsCleanUnderTheFullPipeline)
     EXPECT_EQ(report.warningCount(), 0u) << report.toText();
 }
 
-TEST(Passes, StandardPipelineHasSevenPasses)
+TEST(Passes, StandardPipelineHasNinePasses)
 {
     const auto pm = PassManager::standard();
-    EXPECT_EQ(pm.passes().size(), 7u);
+    EXPECT_EQ(pm.passes().size(), 9u);
     for (const auto &pass : pm.passes()) {
         EXPECT_NE(pass->name()[0], '\0');
         EXPECT_NE(pass->description()[0], '\0');

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Certificate-driven level pruning in the DSE explorer
+ * (ExploreOptions::certifyNoise): the explorer re-runs the static
+ * certifier at shrinking chain depths and reports the shortest chain
+ * the plan still certifies on, refusing outright to size hardware for
+ * a plan that decrypts to garbage.
+ */
+#include <gtest/gtest.h>
+
+#include "src/common/assert.hpp"
+#include "src/dse/explorer.hpp"
+#include "src/hecnn/compiler.hpp"
+#include "src/hecnn/noise_cert.hpp"
+#include "src/nn/model_zoo.hpp"
+
+namespace fxhenn::dse {
+namespace {
+
+TEST(CertifyPruning, OffByDefaultLeavesFieldsZero)
+{
+    const auto plan = hecnn::compile(nn::buildTestNetwork(),
+                                     ckks::testParams(2048, 7, 30));
+    const auto result = explore(plan, fpga::acu9eg());
+    EXPECT_EQ(result.certifiedLevels, 0u);
+    EXPECT_EQ(result.minFeasibleLevels, 0u);
+    EXPECT_EQ(result.levelChoicesPruned, 0u);
+}
+
+TEST(CertifyPruning, PrunesSurplusPrimesOnOverProvisionedChain)
+{
+    // One prime more than the test net needs: the certifier must prove
+    // the 7-prime chain (known SAFE from the zoo) also certifies, so
+    // at least one level choice is pruned from the search.
+    const auto plan = hecnn::compile(nn::buildTestNetwork(),
+                                     ckks::testParams(2048, 8, 30));
+    ExploreOptions opts;
+    opts.certifyNoise = true;
+    const auto result = explore(plan, fpga::acu9eg(), opts);
+
+    EXPECT_EQ(result.certifiedLevels, 8u);
+    EXPECT_GT(result.certifiedMinHeadroomBits, 0.0);
+    EXPECT_LE(result.minFeasibleLevels, 7u);
+    EXPECT_GE(result.levelChoicesPruned, 1u);
+    EXPECT_EQ(result.levelChoicesPruned,
+              result.certifiedLevels - result.minFeasibleLevels);
+
+    // Cross-check against the certifier itself: the reported shortest
+    // chain really does certify.
+    hecnn::CertifyOptions copts;
+    copts.levelShift =
+        result.certifiedLevels - result.minFeasibleLevels;
+    const auto shifted = hecnn::certifyPlan(plan, copts);
+    EXPECT_TRUE(shifted.certified()) << shifted.invalidReason;
+}
+
+TEST(CertifyPruning, TightChainPrunesNothing)
+{
+    // The 7-prime test plan pinches near zero headroom: dropping a
+    // prime cannot certify, so the feasible chain is the full chain.
+    const auto plan = hecnn::compile(nn::buildTestNetwork(),
+                                     ckks::testParams(2048, 7, 30));
+    ExploreOptions opts;
+    opts.certifyNoise = true;
+    const auto result = explore(plan, fpga::acu9eg(), opts);
+    EXPECT_EQ(result.certifiedLevels, 7u);
+    EXPECT_EQ(result.minFeasibleLevels, 7u);
+    EXPECT_EQ(result.levelChoicesPruned, 0u);
+}
+
+TEST(CertifyPruning, RefusesUncertifiablePlan)
+{
+    // Shrink the chain below the plan's multiplicative depth by hand:
+    // certification reports invalid and the explorer refuses.
+    auto plan = hecnn::compile(nn::buildTestNetwork(),
+                               ckks::testParams(2048, 7, 30));
+    plan.params.levels = 3; // chain no longer matches the stream
+    ExploreOptions opts;
+    opts.certifyNoise = true;
+    EXPECT_THROW(explore(plan, fpga::acu9eg(), opts), ConfigError);
+}
+
+} // namespace
+} // namespace fxhenn::dse

@@ -145,20 +145,31 @@ TEST(PlanIo, CrcTrailerRejectsPayloadCorruption)
 
 TEST(PlanIo, ReadsVersion1StreamsWithoutTrailer)
 {
-    // Backward compatibility: a v1 stream (no CRC trailer) produced by
-    // older builds must still load.
+    // Backward compatibility: a v1 stream (no CRC trailer, no maxAbs
+    // fields) produced by older builds must still load.
     const auto plan =
         compile(nn::buildTestNetwork(), ckks::testParams(2048, 7, 30));
-    std::stringstream ss;
-    savePlan(plan, ss);
-    std::string bytes = ss.str();
-    bytes.resize(bytes.size() - 4); // strip the CRC trailer
-    const std::uint32_t v1 = 1;
-    std::memcpy(bytes.data() + 8, &v1, sizeof(v1));
-    std::stringstream legacy(bytes);
+    std::stringstream legacy;
+    savePlanAsVersion(plan, legacy, 1);
     const auto loaded = loadPlan(legacy);
     EXPECT_EQ(loaded.name, plan.name);
     EXPECT_EQ(loaded.layers.size(), plan.layers.size());
+}
+
+TEST(PlanIo, Version2StreamsDeriveMaxAbsFromValues)
+{
+    // v2 streams predate the maxAbs field; the loader reconstructs it
+    // from the stored slot values so old plans stay certifiable.
+    const auto plan =
+        compile(nn::buildTestNetwork(), ckks::testParams(2048, 7, 30));
+    std::stringstream v2;
+    savePlanAsVersion(plan, v2, 2);
+    const auto loaded = loadPlan(v2);
+    ASSERT_EQ(loaded.plaintexts.size(), plan.plaintexts.size());
+    for (std::size_t i = 0; i < loaded.plaintexts.size(); ++i)
+        EXPECT_DOUBLE_EQ(loaded.plaintexts[i].maxAbs,
+                         plan.plaintexts[i].maxAbs)
+            << "plaintext " << i;
 }
 
 } // namespace

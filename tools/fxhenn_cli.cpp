@@ -14,6 +14,7 @@
  *                  [--retries R]
  *   fxhenn lint    --model mnist|cifar10 | --load FILE
  *                  [--format text|json] [--list-passes 1]
+ *                  [--noise-cert FILE] [--rewrite 1]
  *
  * `verify` runs a fast encrypted-vs-plaintext inference on the
  * test-scale network; `batch` serves N encrypted inferences
@@ -38,8 +39,11 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <map>
+#include <optional>
 #include <set>
+#include <sstream>
 #include <string>
 
 #include "src/analysis/pass_manager.hpp"
@@ -51,9 +55,12 @@
 #include "src/fxhenn/codegen.hpp"
 #include "src/fxhenn/framework.hpp"
 #include "src/fxhenn/report.hpp"
+#include "src/common/crc32.hpp"
 #include "src/hecnn/compiler.hpp"
+#include "src/hecnn/noise_cert.hpp"
 #include "src/hecnn/plan_check.hpp"
 #include "src/hecnn/plan_io.hpp"
+#include "src/hecnn/rescale_rewriter.hpp"
 #include "src/hecnn/plan_printer.hpp"
 #include "src/hecnn/runtime.hpp"
 #include "src/hecnn/stats.hpp"
@@ -84,13 +91,16 @@ struct Args
 const std::map<std::string, std::set<std::string>> kCommandFlags = {
     {"info", {"model"}},
     {"plan", {"model", "save", "load", "layer"}},
-    {"design", {"model", "device", "out", "report", "liveness"}},
+    {"design",
+     {"model", "device", "out", "report", "liveness", "certify"}},
     {"sweep", {"model", "min", "max", "step"}},
     {"verify", {"seed", "guard"}},
     {"batch",
      {"model", "requests", "workers", "queue", "seed", "guard",
       "check", "deadline-ms", "admission", "retries"}},
-    {"lint", {"model", "load", "format", "list-passes"}},
+    {"lint",
+     {"model", "load", "format", "list-passes", "noise-cert",
+      "rewrite"}},
 };
 
 /** Flags accepted by every command. */
@@ -181,6 +191,9 @@ usage()
         "         [--liveness 1]                 tighten the BRAM\n"
         "                          bound with register liveness and\n"
         "                          print the before/after delta\n"
+        "         [--certify 1]                  gate DSE on the noise\n"
+        "                          certificate and report how many\n"
+        "                          prime-chain levels it can prune\n"
         "  sweep  --model mnist|cifar10          Fig. 9 budget sweep\n"
         "         [--min 350] [--max 1500] [--step 100]\n"
         "  verify [--seed 1]                     encrypted-vs-plain "
@@ -201,6 +214,11 @@ usage()
         "         | --load FILE                  lint a saved plan\n"
         "         [--format text|json]           report rendering\n"
         "         [--list-passes 1]              show the pipeline\n"
+        "         [--noise-cert FILE]            write the static\n"
+        "                          noise certificate as JSON\n"
+        "         [--rewrite 1]                  apply the certified\n"
+        "                          waterline rescale rewrite and print\n"
+        "                          the certificate diff\n"
         "\n"
         "Global options (any command):\n"
         "  --telemetry-json FILE   record counters/timers while the\n"
@@ -317,10 +335,13 @@ cmdDesign(const Args &args)
     const auto device = pickDevice(args.get("device", "acu9eg"));
     auto model = pickModel(args.get("model", "mnist"));
     const std::string liveness = args.get("liveness", "");
+    const std::string certify = args.get("certify", "");
     FxhennOptions opts;
     opts.elideValues = model.elide;
     opts.explore.livenessBuffers =
         liveness == "1" || liveness == "true";
+    opts.explore.certifyNoise =
+        certify == "1" || certify == "true";
     const auto sol =
         Fxhenn::generate(model.net, model.params, device, opts);
 
@@ -334,6 +355,16 @@ cmdDesign(const Args &args)
               << " %\n"
               << "  DSE      " << sol.dsePointsEvaluated
               << " feasible / " << sol.dsePointsPruned << " pruned\n";
+    if (opts.explore.certifyNoise && sol.certifiedLevels > 0) {
+        std::cout << "  noise    certified min headroom "
+                  << (sol.certifiedMinHeadroomBits >= 0.0 ? "+" : "")
+                  << sol.certifiedMinHeadroomBits
+                  << " bits; min feasible chain "
+                  << sol.minFeasibleLevels << " of "
+                  << sol.certifiedLevels << " primes ("
+                  << sol.levelChoicesPruned
+                  << " level choice(s) pruned)\n";
+    }
     for (std::size_t m = 0; m < fpga::kOpModuleCount; ++m) {
         const auto op = static_cast<fpga::HeOpModule>(m);
         const auto &a = sol.design.alloc[op];
@@ -381,7 +412,10 @@ cmdLint(const Args &args)
     }
 
     analysis::AnalysisReport report;
+    std::optional<hecnn::HeNetworkPlan> plan;
     const std::string load = args.get("load", "");
+    bool has_artifact = false;
+    std::uint32_t artifact_crc = 0;
     if (!load.empty()) {
         // A plan that cannot be loaded is itself an error-severity
         // finding (exit 4), not a config error: lint's contract is to
@@ -393,8 +427,15 @@ cmdLint(const Args &args)
                               "check the path");
         } else {
             try {
-                const auto plan = hecnn::loadPlan(in);
-                report = analysis::verifyPlan(plan);
+                // Slurp the bytes once so the report can carry the
+                // CRC-32 of the exact artifact it judged.
+                std::string bytes{
+                    std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>()};
+                artifact_crc = crc32(bytes.data(), bytes.size());
+                has_artifact = true;
+                std::istringstream is(std::move(bytes));
+                plan = hecnn::loadPlan(is);
             } catch (const std::exception &e) {
                 report.addNetwork(
                     analysis::Severity::error, "plan-load",
@@ -410,9 +451,45 @@ cmdLint(const Args &args)
         // Lint renders the full report itself; the compiler
         // self-check would turn findings into a bare ConfigError.
         copts.selfCheck = false;
-        const auto plan = hecnn::compile(model.net, model.params,
-                                         copts);
-        report = analysis::verifyPlan(plan);
+        copts.certifyNoise = false;
+        plan = hecnn::compile(model.net, model.params, copts);
+    }
+
+    if (plan) {
+        const std::string rewrite = args.get("rewrite", "");
+        if (rewrite == "1" || rewrite == "true") {
+            const auto before = hecnn::certifyPlan(*plan);
+            const auto summary = hecnn::rewriteRescales(*plan);
+            std::cout << summary.describe() << "\n";
+            if (summary.applied && format == "text") {
+                // Certificate diff: the acceptance proof, spelled out.
+                std::cout << "certificate before rewrite:\n"
+                          << before.renderText()
+                          << "certificate after rewrite:\n"
+                          << hecnn::certifyPlan(*plan).renderText()
+                          << "\n";
+            }
+        }
+        report = analysis::verifyPlan(*plan);
+        if (has_artifact)
+            report.setArtifact(load, artifact_crc);
+
+        const std::string cert_out = args.get("noise-cert", "");
+        if (!cert_out.empty()) {
+            auto cert = hecnn::certifyPlan(*plan);
+            if (has_artifact) {
+                cert.hasArtifact = true;
+                cert.artifactPath = load;
+                cert.artifactCrc32 = artifact_crc;
+            }
+            std::ofstream out(cert_out);
+            FXHENN_FATAL_IF(!out, "cannot write noise certificate " +
+                                      cert_out);
+            out << cert.renderJson();
+            if (format == "text")
+                std::cout << "wrote noise certificate to " << cert_out
+                          << "\n";
+        }
     }
 
     if (format == "json")
