@@ -30,6 +30,8 @@
 #include "src/ckks/evaluator.hpp"
 #include "src/ckks/keygen.hpp"
 #include "src/common/rng.hpp"
+#include "src/dse/sim_backend_install.hpp"
+#include "src/hecnn/backend.hpp"
 #include "src/hecnn/compiler.hpp"
 #include "src/hecnn/runtime.hpp"
 #include "src/modarith/ntt.hpp"
@@ -352,6 +354,19 @@ main(int argc, char **argv)
         return 1;
 
     fxhenn::telemetry::setEnabled(true);
+    // Stamp the execution identity into the telemetry JSON: one
+    // "bench.backend.<name>" and one "bench.simd.<level>" counter.
+    // check_bench_regression.py compares these against the committed
+    // baseline and refuses to gate a run taken under a different
+    // backend or SIMD level — those means are not comparable.
+    fxhenn::dse::installFpgaSimBackend();
+    const std::string backendName =
+        fxhenn::hecnn::resolveBackendName("");
+    fxhenn::telemetry::counter("bench.backend." + backendName).add(1);
+    fxhenn::telemetry::counter(
+        std::string("bench.simd.") +
+        fxhenn::simd::levelName(fxhenn::simd::activeLevel()))
+        .add(1);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
 

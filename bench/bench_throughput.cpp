@@ -16,8 +16,11 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "src/dse/sim_backend_install.hpp"
 #include "src/engine/inference_engine.hpp"
+#include "src/hecnn/backend.hpp"
 #include "src/hecnn/compiler.hpp"
+#include "src/modarith/simd_dispatch.hpp"
 #include "src/nn/model_zoo.hpp"
 
 using namespace fxhenn;
@@ -49,6 +52,12 @@ main(int argc, char **argv)
     constexpr std::size_t kRequests = 8;
     constexpr std::uint64_t kSeed = 1;
     const unsigned hardwareThreads = std::thread::hardware_concurrency();
+    // Record the execution identity in the baseline: numbers taken
+    // under different backends (or SIMD levels) are not comparable,
+    // and check_bench_regression.py refuses to cross-compare them.
+    dse::installFpgaSimBackend();
+    const std::string backendName = hecnn::resolveBackendName("");
+    const char *simdName = simd::levelName(simd::activeLevel());
 
     const auto net = nn::buildTestNetwork();
     const auto params = ckks::testParams(2048, 7, 30);
@@ -100,6 +109,8 @@ main(int argc, char **argv)
     const double scaling1to4 =
         results[2].requestsPerSecond / results[0].requestsPerSecond;
     std::cout << "hardware threads: " << hardwareThreads << "\n"
+              << "backend: " << backendName << " (simd " << simdName
+              << ")\n"
               << "throughput scaling 1 -> 4 workers: "
               << fmtF(scaling1to4, 3) << "x\n";
 
@@ -111,6 +122,8 @@ main(int argc, char **argv)
     out << "{\n"
         << "  \"bench\": \"engine_throughput\",\n"
         << "  \"network\": \"" << net.name() << "\",\n"
+        << "  \"backend\": \"" << backendName << "\",\n"
+        << "  \"simd\": \"" << simdName << "\",\n"
         << "  \"requests_per_config\": " << kRequests << ",\n"
         << "  \"hardware_threads\": " << hardwareThreads << ",\n"
         << "  \"admission\": \""

@@ -7,6 +7,7 @@
 
 #include "src/analysis/liveness.hpp"
 #include "src/common/assert.hpp"
+#include "src/fpga/pipeline_sim.hpp"
 #include "src/hecnn/noise_cert.hpp"
 #include "src/robustness/fault_injection.hpp"
 #include "src/telemetry/telemetry.hpp"
@@ -192,6 +193,26 @@ explore(const hecnn::HeNetworkPlan &plan, const fpga::DeviceSpec &device,
             << " BRAM blocks (capacity " << std::llround(last_bram_cap)
             << "); pick a larger device or raise the BRAM budget.";
         FXHENN_FATAL_IF(true, oss.str());
+    }
+    if (options.replaySim && result.best) {
+        // Close the loop on the winner: the closed forms the search
+        // ranked points by, checked against the event-driven schedule
+        // the fpga-sim backend will actually charge.
+        result.simReplay.reserve(plan.layers.size());
+        for (std::size_t i = 0; i < plan.layers.size(); ++i) {
+            ReplayRow row;
+            row.layer = plan.layers[i].name;
+            row.predictedCycles = result.best->perf.layers[i].cycles;
+            row.simulatedCycles = fpga::simulateLayer(
+                plan.layers[i], plan.params.n, result.best->alloc);
+            if (row.predictedCycles > 0.0)
+                row.errorFrac = std::abs(row.simulatedCycles -
+                                         row.predictedCycles) /
+                                row.predictedCycles;
+            result.simReplayMaxErrorFrac = std::max(
+                result.simReplayMaxErrorFrac, row.errorFrac);
+            result.simReplay.push_back(std::move(row));
+        }
     }
     return result;
 }

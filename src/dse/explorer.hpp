@@ -65,6 +65,17 @@ struct ExploreOptions
     bool livenessBuffers = false;
 
     /**
+     * Replay the winning design point through the event-driven
+     * pipeline simulator (fpga/pipeline_sim — the arithmetic core of
+     * the "fpga-sim" execution backend) and report the per-layer
+     * predicted-vs-simulated cycle error in ExploreResult::simReplay.
+     * This is the DSE half of the predicted-vs-measured latency loop:
+     * the closed forms the search minimized are checked against the
+     * schedule an executed run would actually be charged.
+     */
+    bool replaySim = false;
+
+    /**
      * Gate the search on the static noise certificate and prune the
      * prime-chain dimension with it: a plan whose certified minimum
      * headroom is negative produces garbage on ANY hardware, so
@@ -77,6 +88,16 @@ struct ExploreOptions
     bool certifyNoise = false;
 };
 
+/** Per-layer predicted-vs-simulated latency of the winning point. */
+struct ReplayRow
+{
+    std::string layer;
+    double predictedCycles = 0.0; ///< closed form (what DSE minimized)
+    double simulatedCycles = 0.0; ///< event-driven pipeline schedule
+    /** |simulated - predicted| / predicted. */
+    double errorFrac = 0.0;
+};
+
 /** Result of a search. */
 struct ExploreResult
 {
@@ -84,6 +105,10 @@ struct ExploreResult
     std::vector<DesignPoint> all; ///< filled when collectAll is set
     std::size_t evaluated = 0;    ///< feasible design points seen
     std::size_t pruned = 0;       ///< points rejected by constraints
+
+    // Filled when ExploreOptions::replaySim is set and a best exists.
+    std::vector<ReplayRow> simReplay;
+    double simReplayMaxErrorFrac = 0.0;
 
     // Filled when ExploreOptions::certifyNoise is set.
     /** Prime-chain depth the plan was compiled for. */

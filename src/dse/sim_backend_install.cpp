@@ -1,0 +1,33 @@
+#include "src/dse/sim_backend_install.hpp"
+
+#include <utility>
+
+#include "src/common/assert.hpp"
+#include "src/fpga/sim_backend.hpp"
+
+namespace fxhenn::dse {
+
+bool
+installFpgaSimBackend(fpga::DeviceSpec device, ExploreOptions options)
+{
+    return fpga::installPipelineSimBackend(
+        [device = std::move(device), options = std::move(options)](
+            const hecnn::HeNetworkPlan &plan) {
+            const auto result = explore(plan, device, options);
+            FXHENN_FATAL_IF(!result.best,
+                            "fpga-sim: no feasible design point for "
+                            "plan '" +
+                                plan.name + "' on device " +
+                                device.name);
+            fpga::SimDesign design;
+            design.device = device;
+            design.alloc = result.best->alloc;
+            design.predictedLayerCycles.reserve(
+                result.best->perf.layers.size());
+            for (const auto &layer : result.best->perf.layers)
+                design.predictedLayerCycles.push_back(layer.cycles);
+            return design;
+        });
+}
+
+} // namespace fxhenn::dse

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Registration hook wiring the DSE into the "fpga-sim" backend.
+ *
+ * fpga::PipelineSimBackend needs a concrete design point; the DSE
+ * knows how to find the best one, but fxhenn_fpga cannot call back
+ * into fxhenn_dse (the link graph goes the other way). So, exactly
+ * like analysis::installPlanVerifier(), binaries that want the
+ * simulated executor call installFpgaSimBackend() at startup: it
+ * registers an "fpga-sim" backend whose design point is the DSE
+ * winner for the executed plan, explored lazily on first use and
+ * cached per executor.
+ */
+#ifndef FXHENN_DSE_SIM_BACKEND_INSTALL_HPP
+#define FXHENN_DSE_SIM_BACKEND_INSTALL_HPP
+
+#include "src/dse/explorer.hpp"
+#include "src/fpga/device.hpp"
+
+namespace fxhenn::dse {
+
+/**
+ * Register the "fpga-sim" execution backend, resolving each executed
+ * plan's design point with explore(plan, @p device, @p options). An
+ * infeasible plan/device pair surfaces as the explorer's ConfigError
+ * on first use. First installation wins: returns false (and changes
+ * nothing) when "fpga-sim" is already registered. Idempotent to call
+ * from every entry point that might execute plans.
+ */
+bool installFpgaSimBackend(fpga::DeviceSpec device = fpga::acu9eg(),
+                           ExploreOptions options = {});
+
+} // namespace fxhenn::dse
+
+#endif // FXHENN_DSE_SIM_BACKEND_INSTALL_HPP

@@ -43,7 +43,8 @@ InferenceEngine::InferenceEngine(const hecnn::HeNetworkPlan &plan,
     : options_(options), session_(plan, context, options.keySeed),
       pool_(plan, context),
       executor_(plan, context, session_.relinKey(),
-                session_.galoisKeys(), pool_, options.guard),
+                session_.galoisKeys(), pool_, options.guard,
+                options.exec),
       estimator_(options.serviceEwmaAlpha), breaker_(options.breaker),
       queue_(options.queueCapacity == 0 ? 1 : options.queueCapacity)
 {
@@ -107,6 +108,9 @@ InferenceEngine::runRequest(
         auto result = executor_.execute(
             session_.encryptInput(input, index), control);
         out.budget = std::move(result.budget);
+        out.backendName = std::move(result.backendName);
+        out.opsExecuted = result.executed.total();
+        out.simulated = std::move(result.simulated);
         if (result.failure) {
             out.failure = std::move(result.failure);
             return out;

@@ -79,6 +79,12 @@ struct EngineOptions
     BreakerOptions breaker{};
     /** EWMA weight of the online service-time estimate. */
     double serviceEwmaAlpha = 0.2;
+    /**
+     * Executor strategy, including the execution backend every worker
+     * dispatches HE ops through (ExecOptions::backend; empty resolves
+     * FXHENN_BACKEND and defaults to "cpu").
+     */
+    hecnn::ExecOptions exec{};
 };
 
 /** Per-request serving overrides for submit()/runBatch(). */

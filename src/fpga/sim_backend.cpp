@@ -1,0 +1,185 @@
+#include "src/fpga/sim_backend.hpp"
+
+#include <utility>
+
+#include "src/common/assert.hpp"
+#include "src/fpga/pipeline_sim.hpp"
+#include "src/telemetry/telemetry.hpp"
+
+namespace fxhenn::fpga {
+
+namespace {
+
+/**
+ * One simulated run: arithmetic delegated to the cpu op path (bitwise
+ * identity by construction), cycle accounting charged per layer at
+ * endLayer() from the event-driven pipeline schedule.
+ */
+class SimBackendRun : public hecnn::BackendRun
+{
+  public:
+    SimBackendRun(const hecnn::BackendRunContext &ctx,
+                  const SimDesign &design)
+        : inner_(hecnn::makeCpuBackendRun(ctx)), plan_(ctx.plan),
+          design_(design)
+    {}
+
+    ckks::Ciphertext
+    mulPlain(const ckks::Ciphertext &a, const ckks::Plaintext &p)
+        override
+    {
+        return inner_->mulPlain(a, p);
+    }
+
+    ckks::Ciphertext
+    addPlain(const ckks::Ciphertext &a, const ckks::Plaintext &p)
+        override
+    {
+        return inner_->addPlain(a, p);
+    }
+
+    void
+    addInplace(ckks::Ciphertext &dst, const ckks::Ciphertext &src)
+        override
+    {
+        inner_->addInplace(dst, src);
+    }
+
+    ckks::Ciphertext
+    mulNoRelin(const ckks::Ciphertext &a, const ckks::Ciphertext &b)
+        override
+    {
+        return inner_->mulNoRelin(a, b);
+    }
+
+    ckks::Ciphertext
+    relinearize(const ckks::Ciphertext &a) override
+    {
+        return inner_->relinearize(a);
+    }
+
+    ckks::Ciphertext
+    rescale(const ckks::Ciphertext &a) override
+    {
+        return inner_->rescale(a);
+    }
+
+    void
+    rescaleInplace(ckks::Ciphertext &a) override
+    {
+        inner_->rescaleInplace(a);
+    }
+
+    ckks::Ciphertext
+    rotate(const ckks::Ciphertext &a, int step) override
+    {
+        return inner_->rotate(a, step);
+    }
+
+    std::vector<ckks::Ciphertext>
+    rotateHoisted(const ckks::Ciphertext &a,
+                  const std::vector<int> &steps) override
+    {
+        return inner_->rotateHoisted(a, steps);
+    }
+
+    const ckks::OpCounts &
+    counts() const override
+    {
+        return inner_->counts();
+    }
+
+    void
+    endLayer(const hecnn::HeLayerPlan &layer) override
+    {
+        const std::uint64_t n = plan_->params.n;
+        hecnn::SimLayerLatency row;
+        row.layer = layer.name;
+        row.simulatedCycles =
+            simulateLayer(layer, n, design_.alloc);
+        row.simulatedSeconds =
+            design_.device.seconds(row.simulatedCycles);
+        row.predictedCycles = predictedCycles(layer);
+        row.predictedSeconds =
+            design_.device.seconds(row.predictedCycles);
+        FXHENN_TELEM_COUNT("backend.sim.layers", 1);
+        timeline_.push_back(std::move(row));
+    }
+
+    std::vector<hecnn::SimLayerLatency>
+    timeline() const override
+    {
+        return timeline_;
+    }
+
+  private:
+    double
+    predictedCycles(const hecnn::HeLayerPlan &layer) const
+    {
+        // Layers execute in plan order, so the layer's index recovers
+        // the matching row of the DSE's per-layer prediction.
+        const auto index = static_cast<std::size_t>(
+            &layer - plan_->layers.data());
+        if (index < design_.predictedLayerCycles.size())
+            return design_.predictedLayerCycles[index];
+        return evaluateLayer(layer, plan_->params.n, design_.alloc)
+            .cycles;
+    }
+
+    std::unique_ptr<hecnn::BackendRun> inner_;
+    const hecnn::HeNetworkPlan *plan_;
+    const SimDesign &design_;
+    std::vector<hecnn::SimLayerLatency> timeline_;
+};
+
+} // namespace
+
+PipelineSimBackend::PipelineSimBackend(SimDesignResolver resolver,
+                                       std::string name)
+    : name_(std::move(name)), resolver_(std::move(resolver))
+{
+    FXHENN_FATAL_IF(!resolver_,
+                    "PipelineSimBackend requires a design resolver");
+}
+
+PipelineSimBackend::PipelineSimBackend(DeviceSpec device,
+                                       ModuleAllocation alloc,
+                                       std::string name)
+    : PipelineSimBackend(
+          [device = std::move(device),
+           alloc](const hecnn::HeNetworkPlan &) {
+              return SimDesign{device, alloc, {}};
+          },
+          std::move(name))
+{}
+
+const SimDesign &
+PipelineSimBackend::designFor(const hecnn::HeNetworkPlan &plan) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (resolvedPlan_ != &plan) {
+        design_ = resolver_(plan);
+        resolvedPlan_ = &plan;
+    }
+    return design_;
+}
+
+std::unique_ptr<hecnn::BackendRun>
+PipelineSimBackend::beginRun(const hecnn::BackendRunContext &ctx) const
+{
+    FXHENN_PANIC_IF(ctx.plan == nullptr,
+                    "backend run context carries no plan");
+    return std::make_unique<SimBackendRun>(ctx, designFor(*ctx.plan));
+}
+
+bool
+installPipelineSimBackend(SimDesignResolver resolver)
+{
+    auto shared = std::make_shared<SimDesignResolver>(
+        std::move(resolver));
+    return hecnn::registerBackend("fpga-sim", [shared] {
+        return std::make_unique<PipelineSimBackend>(*shared);
+    });
+}
+
+} // namespace fxhenn::fpga

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The "fpga-sim" execution backend: the cycle-approximate pipeline
+ * simulator promoted from a model cross-check to a real executor.
+ *
+ * A PipelineSimBackend run performs the exact same arithmetic as the
+ * "cpu" backend (it delegates every op to hecnn::makeCpuBackendRun(),
+ * so ciphertexts are bitwise identical by construction) and, at every
+ * layer boundary, charges the layer the event-driven pipeline cost of
+ * a concrete design point — a ModuleAllocation on a DeviceSpec — and
+ * appends a SimLayerLatency row pairing that simulated cost with the
+ * closed-form (Eq. 1-10) prediction the DSE minimized. The accumulated
+ * timeline is what closes the predicted-vs-measured latency loop in
+ * hecnn::verify and dse::Explorer.
+ *
+ * The design point comes from a SimDesignResolver, invoked lazily on
+ * the first run and cached per plan: dse::installFpgaSimBackend()
+ * plugs in the full DSE search (this header cannot — fxhenn_dse links
+ * fxhenn_fpga, not the other way around), while tests pass a fixed
+ * allocation to skip the search.
+ */
+#ifndef FXHENN_FPGA_SIM_BACKEND_HPP
+#define FXHENN_FPGA_SIM_BACKEND_HPP
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/fpga/device.hpp"
+#include "src/fpga/layer_model.hpp"
+#include "src/hecnn/backend.hpp"
+
+namespace fxhenn::fpga {
+
+/** The concrete design point a simulated run charges cycles against. */
+struct SimDesign
+{
+    DeviceSpec device;
+    ModuleAllocation alloc;
+    /**
+     * Closed-form per-layer predicted cycles at `alloc`, in plan
+     * order (dse::DesignPoint::perf.layers[i].cycles). Empty means
+     * "compute on demand" via evaluateLayer().
+     */
+    std::vector<double> predictedLayerCycles;
+};
+
+/** Produce the design point to simulate @p plan under. Called at most
+ * once per (backend instance, plan); may be expensive (a DSE run). */
+using SimDesignResolver =
+    std::function<SimDesign(const hecnn::HeNetworkPlan &plan)>;
+
+/** Cycle-charging executor over the pipeline simulator. */
+class PipelineSimBackend : public hecnn::ExecutionBackend
+{
+  public:
+    /**
+     * @p resolver supplies the design point lazily (first beginRun()
+     * per plan); @p name is the registry name this instance answers to
+     * (tests register fixed-design variants under their own names).
+     */
+    explicit PipelineSimBackend(SimDesignResolver resolver,
+                                std::string name = "fpga-sim");
+
+    /** Fixed-design convenience: no resolver, no DSE. */
+    PipelineSimBackend(DeviceSpec device, ModuleAllocation alloc,
+                       std::string name = "fpga-sim");
+
+    const std::string &
+    name() const override
+    {
+        return name_;
+    }
+
+    bool
+    simulatesLatency() const override
+    {
+        return true;
+    }
+
+    std::unique_ptr<hecnn::BackendRun> beginRun(
+        const hecnn::BackendRunContext &ctx) const override;
+
+  private:
+    const SimDesign &designFor(const hecnn::HeNetworkPlan &plan) const;
+
+    std::string name_;
+    SimDesignResolver resolver_;
+    /** One-slot lazy cache: a backend instance belongs to exactly one
+     * PlanExecutor, hence one plan; guarded for concurrent runs. */
+    mutable std::mutex mutex_;
+    mutable const hecnn::HeNetworkPlan *resolvedPlan_ = nullptr;
+    mutable SimDesign design_;
+};
+
+/**
+ * Register "fpga-sim" backed by @p resolver. First installation wins
+ * (returns false if the name is already taken), mirroring
+ * hecnn::registerBackend()'s contract.
+ */
+bool installPipelineSimBackend(SimDesignResolver resolver);
+
+} // namespace fxhenn::fpga
+
+#endif // FXHENN_FPGA_SIM_BACKEND_HPP

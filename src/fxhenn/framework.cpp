@@ -31,6 +31,8 @@ Fxhenn::generate(const nn::Network &net, const ckks::CkksParams &params,
     solution.levelChoicesPruned = result.levelChoicesPruned;
     solution.certifiedMinHeadroomBits =
         result.certifiedMinHeadroomBits;
+    solution.simReplay = std::move(result.simReplay);
+    solution.simReplayMaxErrorFrac = result.simReplayMaxErrorFrac;
     return solution;
 }
 

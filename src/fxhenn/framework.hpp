@@ -39,6 +39,12 @@ struct DesignSolution
     std::size_t levelChoicesPruned = 0;
     double certifiedMinHeadroomBits = 0.0;
 
+    // Copied from ExploreResult when ExploreOptions::replaySim ran:
+    // the winner's closed-form prediction checked against the
+    // event-driven pipeline schedule (the fpga-sim backend's charge).
+    std::vector<dse::ReplayRow> simReplay;
+    double simReplayMaxErrorFrac = 0.0;
+
     /** End-to-end inference latency predicted by the model (seconds). */
     double latencySeconds() const { return design.latencySeconds; }
 

@@ -32,7 +32,8 @@ PlanExecutor::PlanExecutor(const HeNetworkPlan &plan,
                            ExecOptions exec)
     : plan_(plan), context_(context), relin_(relin), galois_(galois),
       pool_(pool), encoder_(context), guardOptions_(guard),
-      execOptions_(exec)
+      execOptions_(exec),
+      backend_(createBackend(resolveBackendName(exec.backend)))
 {
     FXHENN_FATAL_IF(plan.valuesElided,
                     "plan was compiled with elideValues=true and "
@@ -115,8 +116,8 @@ PlanExecutor::executeLayer(Run &run, const HeLayerPlan &layer) const
                 dsts.push_back(member.dst);
                 run.guard.apply(member);
             }
-            auto rotated = run.evaluator.rotateHoisted(
-                reg(instr.src), steps, galois_);
+            auto rotated = run.ops->rotateHoisted(reg(instr.src),
+                                                  steps);
             for (std::size_t m = 0; m < group.count; ++m)
                 regs[static_cast<std::size_t>(dsts[m])] =
                     std::move(rotated[m]);
@@ -130,7 +131,7 @@ PlanExecutor::executeLayer(Run &run, const HeLayerPlan &layer) const
           case HeOpKind::pcMult: {
             const auto &pt = pool_.at(instr.pt);
             regs[static_cast<std::size_t>(instr.dst)] =
-                run.evaluator.mulPlain(reg(instr.src), pt);
+                run.ops->mulPlain(reg(instr.src), pt);
             break;
           }
           case HeOpKind::pcAdd: {
@@ -142,34 +143,33 @@ PlanExecutor::executeLayer(Run &run, const HeLayerPlan &layer) const
                 std::span<const double>(pool.values), target.scale,
                 target.level());
             regs[static_cast<std::size_t>(instr.dst)] =
-                run.evaluator.addPlain(target, encoded);
+                run.ops->addPlain(target, encoded);
             break;
           }
           case HeOpKind::ccAdd:
-            run.evaluator.addInplace(reg(instr.dst), reg(instr.src));
+            run.ops->addInplace(reg(instr.dst), reg(instr.src));
             break;
           case HeOpKind::ccMult: {
             const ckks::Ciphertext &src = reg(instr.src);
             regs[static_cast<std::size_t>(instr.dst)] =
-                run.evaluator.mulNoRelin(src, src);
+                run.ops->mulNoRelin(src, src);
             break;
           }
           case HeOpKind::relinearize:
             regs[static_cast<std::size_t>(instr.dst)] =
-                run.evaluator.relinearize(reg(instr.src), relin_);
+                run.ops->relinearize(reg(instr.src));
             break;
           case HeOpKind::rescale:
             if (instr.dst == instr.src) {
-                run.evaluator.rescaleInplace(reg(instr.dst));
+                run.ops->rescaleInplace(reg(instr.dst));
             } else {
                 regs[static_cast<std::size_t>(instr.dst)] =
-                    run.evaluator.rescale(reg(instr.src));
+                    run.ops->rescale(reg(instr.src));
             }
             break;
           case HeOpKind::rotate:
             regs[static_cast<std::size_t>(instr.dst)] =
-                run.evaluator.rotate(reg(instr.src), instr.step,
-                                     galois_);
+                run.ops->rotate(reg(instr.src), instr.step);
             break;
           case HeOpKind::copy:
             regs[static_cast<std::size_t>(instr.dst)] = reg(instr.src);
@@ -197,7 +197,13 @@ PlanExecutor::execute(std::vector<ckks::Ciphertext> inputs,
     FXHENN_TELEM_SCOPED_TIMER("hecnn.infer.ns");
     FXHENN_TELEM_COUNT("hecnn.inferences", 1);
 
-    Run run{ckks::Evaluator(context_, execOptions_.kswMode),
+    BackendRunContext runCtx;
+    runCtx.plan = &plan_;
+    runCtx.context = &context_;
+    runCtx.relin = &relin_;
+    runCtx.galois = &galois_;
+    runCtx.kswMode = execOptions_.kswMode;
+    Run run{backend_->beginRun(runCtx),
             RuntimeGuard(plan_, context_, guardOptions_),
             {},
             {}};
@@ -237,13 +243,15 @@ PlanExecutor::execute(std::vector<ckks::Ciphertext> inputs,
                     }
                 }
             }
-            const ckks::OpCounts before = run.evaluator.counts();
+            const ckks::OpCounts before = run.ops->counts();
             Timer timer;
+            run.ops->beginLayer(layer);
             executeLayer(run, layer);
+            run.ops->endLayer(layer);
             MeasuredLayerStats row;
             row.name = layer.name;
             row.seconds = timer.elapsedSeconds();
-            const ckks::OpCounts &after = run.evaluator.counts();
+            const ckks::OpCounts &after = run.ops->counts();
             row.executed.ccAdd = after.ccAdd - before.ccAdd;
             row.executed.pcAdd = after.pcAdd - before.pcAdd;
             row.executed.pcMult = after.pcMult - before.pcMult;
@@ -291,7 +299,9 @@ PlanExecutor::execute(std::vector<ckks::Ciphertext> inputs,
             break;
     }
     out.budget = run.guard.trajectory();
-    out.executed = run.evaluator.counts();
+    out.executed = run.ops->counts();
+    out.backendName = backend_->name();
+    out.simulated = run.ops->timeline();
     out.layerStats = std::move(run.layerStats);
     out.regs = std::move(run.regs);
     if (out.failure)

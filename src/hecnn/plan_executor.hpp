@@ -6,8 +6,12 @@
  * A PlanExecutor borrows everything it needs by const reference — the
  * compiled plan, the CKKS context, the relinearization/Galois keys and
  * the precomputed PlaintextPool — and keeps no per-request state in
- * the object: every execute() call builds its own evaluator, guard and
- * register file on the stack. One executor therefore serves any number
+ * the object: every execute() call starts its own backend run, guard
+ * and register file on the stack. Every HE op dispatches through the
+ * ExecutionBackend named in ExecOptions::backend (src/hecnn/backend.hpp),
+ * so the same interpreter drives the host CPU path and the
+ * cycle-approximate FPGA pipeline simulator unchanged. One executor
+ * therefore serves any number
  * of concurrent requests (the InferenceEngine's worker pool), and the
  * FxHENN verification loop (Sec. VII) gets the plan-interpreter half
  * without dragging in the client role.
@@ -18,13 +22,16 @@
 #include <chrono>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "src/ckks/encoder.hpp"
 #include "src/ckks/evaluator.hpp"
 #include "src/ckks/keys.hpp"
+#include "src/hecnn/backend.hpp"
 #include "src/hecnn/guard.hpp"
 #include "src/hecnn/plaintext_pool.hpp"
 #include "src/hecnn/plan.hpp"
@@ -45,6 +52,14 @@ struct ExecOptions
     bool hoistRotations = true;
     /** Keyswitch reduction strategy for the per-run evaluators. */
     ckks::KswMode kswMode = ckks::KswMode::lazy;
+    /**
+     * Execution backend every HE op of this executor dispatches
+     * through, by registry name ("cpu", "cpu-ref", "fpga-sim", ...).
+     * Empty resolves the FXHENN_BACKEND environment variable and
+     * falls back to "cpu" (hecnn::resolveBackendName()); an unknown
+     * name is a ConfigError at executor construction.
+     */
+    std::string backend;
     /**
      * Honor RunControl::deadline at layer boundaries: an in-flight
      * request whose budget is blown aborts cooperatively with a
@@ -91,8 +106,15 @@ struct ExecutionResult
     std::vector<std::optional<ckks::Ciphertext>> regs;
     /** Wall time + executed-op breakdown per layer. */
     std::vector<MeasuredLayerStats> layerStats;
-    /** Evaluator counters accumulated over the run. */
+    /** Backend op counters accumulated over the run. */
     ckks::OpCounts executed;
+    /** Registry name of the backend that ran the request. */
+    std::string backendName;
+    /**
+     * Per-layer simulated-latency timeline, one row per executed
+     * layer; empty unless the backend simulates hardware (fpga-sim).
+     */
+    std::vector<SimLayerLatency> simulated;
     /** Set when the run degraded (GuardPolicy::degrade). */
     std::optional<robustness::FailureReport> failure;
     /** Predicted per-layer noise-budget trajectory. */
@@ -144,11 +166,15 @@ class PlanExecutor
     }
     const ExecOptions &execOptions() const { return execOptions_; }
 
+    /** The execution backend every op of this executor runs through
+     * (resolved once at construction from ExecOptions::backend). */
+    const ExecutionBackend &backend() const { return *backend_; }
+
   private:
     /** Mutable state of one in-flight request, stack-allocated. */
     struct Run
     {
-        ckks::Evaluator evaluator;
+        std::unique_ptr<BackendRun> ops;
         RuntimeGuard guard;
         std::vector<std::optional<ckks::Ciphertext>> regs;
         std::vector<MeasuredLayerStats> layerStats;
@@ -166,6 +192,7 @@ class PlanExecutor
     ckks::Encoder encoder_; ///< re-entrant (bias encodes at run scale)
     robustness::GuardOptions guardOptions_;
     ExecOptions execOptions_;
+    std::unique_ptr<ExecutionBackend> backend_;
 };
 
 } // namespace fxhenn::hecnn

@@ -6,10 +6,10 @@ namespace fxhenn::hecnn {
 
 Runtime::Runtime(const HeNetworkPlan &plan,
                  const ckks::CkksContext &context, std::uint64_t seed,
-                 robustness::GuardOptions guard)
+                 robustness::GuardOptions guard, ExecOptions exec)
     : session_(plan, context, seed), pool_(plan, context),
       executor_(plan, context, session_.relinKey(),
-                session_.galoisKeys(), pool_, guard)
+                session_.galoisKeys(), pool_, guard, exec)
 {}
 
 InferOutcome
@@ -19,10 +19,14 @@ Runtime::inferGuarded(const nn::Tensor &input)
         executor_.execute(session_.encryptInput(input, nextRequest_++));
     lastCounts_ = result.executed;
     lastLayerStats_ = std::move(result.layerStats);
+    lastSimulated_ = result.simulated;
     lastRegs_ = std::move(result.regs);
 
     InferOutcome out;
     out.budget = std::move(result.budget);
+    out.backendName = std::move(result.backendName);
+    out.opsExecuted = result.executed.total();
+    out.simulated = std::move(result.simulated);
     if (result.failure) {
         out.failure = std::move(result.failure);
         return out; // degraded: no decryption, no garbage logits

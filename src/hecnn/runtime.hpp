@@ -42,8 +42,25 @@ struct InferOutcome
     std::optional<robustness::FailureReport> failure;
     /** Predicted per-layer noise-budget trajectory. */
     std::vector<robustness::BudgetSample> budget;
+    /** Registry name of the execution backend that ran the request. */
+    std::string backendName;
+    /** HE ops the backend dispatched for this request. */
+    std::uint64_t opsExecuted = 0;
+    /** Per-layer simulated-latency timeline (empty unless the backend
+     * simulates hardware, e.g. "fpga-sim"). */
+    std::vector<SimLayerLatency> simulated;
 
     bool degraded() const { return failure.has_value(); }
+
+    /** Total simulated seconds across the timeline (0 when empty). */
+    double
+    simulatedSeconds() const
+    {
+        double total = 0.0;
+        for (const auto &row : simulated)
+            total += row.simulatedSeconds;
+        return total;
+    }
 };
 
 /** Client + server runtime for one compiled HE-CNN. */
@@ -59,7 +76,7 @@ class Runtime
      */
     Runtime(const HeNetworkPlan &plan, const ckks::CkksContext &context,
             std::uint64_t seed = 1,
-            robustness::GuardOptions guard = {});
+            robustness::GuardOptions guard = {}, ExecOptions exec = {});
 
     /**
      * Full encrypted inference: pack + encrypt @p input, execute every
@@ -100,6 +117,19 @@ class Runtime
         return lastLayerStats_;
     }
 
+    /** Simulated-latency timeline of the last inference (empty unless
+     * the executor runs a hardware-simulating backend). */
+    const std::vector<SimLayerLatency> &lastSimulatedLatency() const
+    {
+        return lastSimulated_;
+    }
+
+    /** Registry name of the executor's backend. */
+    const std::string &backendName() const
+    {
+        return executor_.backend().name();
+    }
+
     /** Number of Galois keys generated (rotation key footprint). */
     std::size_t galoisKeyCount() const
     {
@@ -119,6 +149,7 @@ class Runtime
     std::uint64_t nextRequest_ = 0;
     ckks::OpCounts lastCounts_;
     std::vector<MeasuredLayerStats> lastLayerStats_;
+    std::vector<SimLayerLatency> lastSimulated_;
     std::vector<std::optional<ckks::Ciphertext>> lastRegs_;
 };
 

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "src/ckks/context.hpp"
+#include "src/common/table_printer.hpp"
 #include "src/hecnn/compiler.hpp"
 #include "src/hecnn/runtime.hpp"
 #include "src/nn/model_zoo.hpp"
@@ -36,8 +37,41 @@ VerifyResult::renderDiagnosis() const
         << fmtBits(predictedHeadroomBits) << " bits\n";
     oss << "  measured output headroom:  "
         << fmtBits(measuredHeadroomBits) << " bits\n";
+    if (latencyWarning) {
+        // Warn level: rendered, never fatal — see VerifyOptions.
+        oss << "warning (non-fatal):\n" << latencyWarning->render();
+    }
     if (failure)
         oss << failure->render();
+    return oss.str();
+}
+
+std::string
+renderLatencyTable(const std::vector<SimLayerLatency> &rows)
+{
+    if (rows.empty())
+        return "";
+    TablePrinter table({"Layer", "Predicted (ms)", "Simulated (ms)",
+                        "Error (%)"});
+    double predicted = 0.0;
+    double simulated = 0.0;
+    for (const auto &row : rows) {
+        predicted += row.predictedSeconds;
+        simulated += row.simulatedSeconds;
+        table.addRow({row.layer, fmtF(row.predictedSeconds * 1e3, 3),
+                      fmtF(row.simulatedSeconds * 1e3, 3),
+                      fmtF(row.errorFrac() * 100.0, 2)});
+    }
+    table.addSeparator();
+    const double totalErr =
+        predicted > 0.0
+            ? std::abs(simulated - predicted) / predicted
+            : 0.0;
+    table.addRow({"total", fmtF(predicted * 1e3, 3),
+                  fmtF(simulated * 1e3, 3),
+                  fmtF(totalErr * 100.0, 2)});
+    std::ostringstream oss;
+    table.print(oss);
     return oss.str();
 }
 
@@ -47,15 +81,31 @@ verifyAgainstPlaintext(const nn::Network &net,
                        std::uint64_t inputSeed, std::uint64_t keySeed,
                        const robustness::GuardOptions &guard)
 {
+    VerifyOptions options;
+    options.inputSeed = inputSeed;
+    options.keySeed = keySeed;
+    options.guard = guard;
+    return verifyAgainstPlaintext(net, params, options);
+}
+
+VerifyResult
+verifyAgainstPlaintext(const nn::Network &net,
+                       const ckks::CkksParams &params,
+                       const VerifyOptions &options)
+{
     const auto plan = compile(net, params);
     ckks::CkksContext ctx(params);
-    Runtime runtime(plan, ctx, keySeed, guard);
+    ExecOptions exec;
+    exec.backend = options.backend;
+    Runtime runtime(plan, ctx, options.keySeed, options.guard, exec);
 
-    const nn::Tensor input = nn::syntheticInput(net, inputSeed);
+    const nn::Tensor input = nn::syntheticInput(net, options.inputSeed);
     const nn::Tensor expected = net.forward(input);
 
     VerifyResult result;
     auto outcome = runtime.inferGuarded(input);
+    result.backendName = outcome.backendName;
+    result.simulatedLatency = std::move(outcome.simulated);
     result.noiseBudget = std::move(outcome.budget);
     if (!result.noiseBudget.empty())
         result.predictedHeadroomBits =
@@ -128,6 +178,33 @@ verifyAgainstPlaintext(const nn::Network &net,
                         "): ciphertext state corrupted";
         report.trajectory = result.noiseBudget;
         result.failure = std::move(report);
+    }
+
+    // Predicted-vs-measured latency classification — the latency twin
+    // of the headroom check above, fed by a simulating backend's
+    // timeline. Gated at warn level: a divergent layer means the
+    // closed-form model and the event-driven schedule disagree, which
+    // is a performance-model bug to investigate, not a wrong result.
+    const SimLayerLatency *worst = nullptr;
+    for (const auto &row : result.simulatedLatency) {
+        const double err = row.errorFrac();
+        if (err > result.maxLatencyErrorFrac) {
+            result.maxLatencyErrorFrac = err;
+            worst = &row;
+        }
+    }
+    if (worst != nullptr &&
+        result.maxLatencyErrorFrac > options.latencyToleranceFrac) {
+        robustness::FailureReport report;
+        report.layer = "backend";
+        report.op = "latency";
+        report.reason =
+            "simulated latency of layer '" + worst->layer +
+            "' diverges from the DSE prediction by " +
+            fmtBits(result.maxLatencyErrorFrac * 100.0) +
+            "% (tolerance " +
+            fmtBits(options.latencyToleranceFrac * 100.0) + "%)";
+        result.latencyWarning = std::move(report);
     }
     return result;
 }

@@ -92,6 +92,48 @@ expect_simd "auto" 0 "FXHENN_SIMD=auto still works" info --model mnist
 # graceful-fallback case on hosts without it.
 expect_simd "avx512" 0 "FXHENN_SIMD=avx512 runs or degrades" info --model mnist
 
+# --- execution-backend contract: --backend / FXHENN_BACKEND --------------
+# Like expect, but with FXHENN_BACKEND set for the child only.
+expect_backend() {
+    local backend="$1"
+    local want="$2"
+    local desc="$3"
+    shift 3
+    case_no=$((case_no + 1))
+    local out
+    out="$(FXHENN_BACKEND="$backend" "$CLI" "$@" 2>&1)"
+    local got=$?
+    if [ "$got" -ne "$want" ]; then
+        echo "FAIL [$case_no] $desc: expected exit $want, got $got"
+        echo "     cmd: FXHENN_BACKEND=$backend fxhenn $*"
+        echo "$out" | sed 's/^/     | /'
+        failures=$((failures + 1))
+        return
+    fi
+    case "$out" in
+    *"terminate called"* | *Aborted* | *Segmentation*)
+        echo "FAIL [$case_no] $desc: exit $got but crashed:"
+        echo "$out" | sed 's/^/     | /'
+        failures=$((failures + 1))
+        return
+        ;;
+    esac
+    echo "ok   [$case_no] $desc (exit $got)"
+}
+
+expect 3 "unknown --backend" verify --backend gpu
+expect 3 "batch: unknown --backend" batch --model test --backend gpu
+expect 3 "design: unknown --backend" design --model mnist --backend gpu
+expect 3 "info rejects --backend (unsupported flag)" info --model mnist --backend cpu
+expect_backend "gpu" 3 "FXHENN_BACKEND: unknown value" info --model mnist
+expect_backend "CPU" 3 "FXHENN_BACKEND: case-sensitive" info --model mnist
+expect_backend "cpu" 0 "FXHENN_BACKEND=cpu still works" info --model mnist
+expect_backend "fpga-sim" 0 "FXHENN_BACKEND=fpga-sim still works" info --model mnist
+expect 0 "verify --backend cpu-ref runs" verify --backend cpu-ref
+# Precedence: an explicit --backend wins over FXHENN_BACKEND, so a
+# stale env value must not break a command that names its backend.
+expect_backend "cpu-ref" 0 "explicit --backend beats env" verify --backend cpu
+
 # --- batch (concurrent inference engine) misuse: exit 3 ------------------
 expect 3 "batch: zero requests" batch --model test --requests 0
 expect 3 "batch: zero workers" batch --model test --workers 0

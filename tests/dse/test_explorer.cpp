@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "src/common/assert.hpp"
 #include "src/dse/explorer.hpp"
 #include "src/dse/pareto.hpp"
@@ -122,6 +124,37 @@ TEST_F(ExplorerTest, SearchSpaceIsAFewThousandPoints)
     const std::size_t space = result.evaluated + result.pruned;
     EXPECT_GT(space, 1000u);
     EXPECT_LT(space, 1000000u);
+}
+
+TEST_F(ExplorerTest, ReplaySimReportsPerLayerPredictionError)
+{
+    // The DSE half of the predicted-vs-measured loop: replaySim runs
+    // the winning design point through the event-driven pipeline
+    // simulator and reports the per-layer prediction error. The repo's
+    // pipeline-sim cross-check pins ±25 % agreement; the replay rows
+    // must honor the same bound.
+    ExploreOptions opts;
+    opts.replaySim = true;
+    const auto result = explore(plan_, device_, opts);
+    ASSERT_TRUE(result.best.has_value());
+    ASSERT_EQ(result.simReplay.size(), plan_.layers.size());
+    double maxErr = 0.0;
+    for (std::size_t i = 0; i < result.simReplay.size(); ++i) {
+        const auto &row = result.simReplay[i];
+        EXPECT_EQ(row.layer, plan_.layers[i].name);
+        EXPECT_GT(row.predictedCycles, 0.0);
+        EXPECT_GT(row.simulatedCycles, 0.0);
+        EXPECT_LE(row.errorFrac, 0.25) << "layer " << row.layer;
+        maxErr = std::max(maxErr, row.errorFrac);
+    }
+    EXPECT_DOUBLE_EQ(result.simReplayMaxErrorFrac, maxErr);
+}
+
+TEST_F(ExplorerTest, ReplaySimOffLeavesReplayEmpty)
+{
+    const auto result = explore(plan_, device_);
+    EXPECT_TRUE(result.simReplay.empty());
+    EXPECT_DOUBLE_EQ(result.simReplayMaxErrorFrac, 0.0);
 }
 
 TEST(Pareto, FrontIsNonDominatedAndSorted)

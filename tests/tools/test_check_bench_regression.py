@@ -56,6 +56,14 @@ elif entry == "empty":
 else:
     doc = {"histograms": {"ckks.time.keyswitch.ns":
                           {"count": 100, "mean": float(entry)}}}
+
+# Execution-identity stamp, mirroring bench_kernels: identity.txt (one
+# counter name per line) controls the bench.backend.* / bench.simd.*
+# counters the run reports.
+identity_file = here / "identity.txt"
+if identity_file.exists():
+    doc["counters"] = {name: 1 for name in
+                       identity_file.read_text().split()}
 Path(out).write_text(json.dumps(doc))
 '''
 
@@ -73,9 +81,15 @@ class CheckBenchRegressionTest(unittest.TestCase):
         self.baseline = self.tmp / "baseline.json"
         self.write_baseline(count=100, mean=self.BASELINE_MEAN)
 
-    def write_baseline(self, count, mean, metric=METRIC):
+    def write_baseline(self, count, mean, metric=METRIC,
+                       identity=()):
         doc = {"histograms": {metric: {"count": count, "mean": mean}}}
+        if identity:
+            doc["counters"] = {name: 1 for name in identity}
         self.baseline.write_text(json.dumps(doc))
+
+    def stamp_bench_identity(self, *names):
+        (self.tmp / "identity.txt").write_text("\n".join(names))
 
     def schedule(self, *entries):
         (self.tmp / "schedule.txt").write_text(
@@ -162,6 +176,62 @@ class CheckBenchRegressionTest(unittest.TestCase):
         proc = self.run_gate()
         self.assertNotEqual(proc.returncode, 0)
         self.assertIn("exited with 7", proc.stderr)
+
+    def test_matching_execution_identity_passes(self):
+        self.write_baseline(
+            count=100, mean=self.BASELINE_MEAN,
+            identity=("bench.backend.cpu", "bench.simd.avx2"))
+        self.stamp_bench_identity("bench.backend.cpu",
+                                  "bench.simd.avx2")
+        self.schedule(self.BASELINE_MEAN)
+        proc = self.run_gate()
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("OK: within threshold", proc.stdout)
+
+    def test_cross_backend_comparison_is_refused(self):
+        # A baseline taken under the cpu backend must never gate a run
+        # taken under fpga-sim — the means measure different code
+        # paths, so the gate hard-errors instead of comparing.
+        self.write_baseline(
+            count=100, mean=self.BASELINE_MEAN,
+            identity=("bench.backend.cpu", "bench.simd.avx2"))
+        self.stamp_bench_identity("bench.backend.fpga-sim",
+                                  "bench.simd.avx2")
+        self.schedule(self.BASELINE_MEAN)
+        proc = self.run_gate()
+        self.assertNotEqual(proc.returncode, 0)
+        self.assertIn("refusing to compare across execution "
+                      "identities", proc.stderr)
+
+    def test_cross_simd_comparison_is_refused(self):
+        self.write_baseline(
+            count=100, mean=self.BASELINE_MEAN,
+            identity=("bench.backend.cpu", "bench.simd.avx2"))
+        self.stamp_bench_identity("bench.backend.cpu",
+                                  "bench.simd.scalar")
+        self.schedule(self.BASELINE_MEAN)
+        proc = self.run_gate()
+        self.assertNotEqual(proc.returncode, 0)
+        self.assertIn("refusing to compare across execution "
+                      "identities", proc.stderr)
+
+    def test_unstamped_baseline_vs_stamped_run_is_refused(self):
+        self.stamp_bench_identity("bench.backend.cpu")
+        self.schedule(self.BASELINE_MEAN)
+        proc = self.run_gate()
+        self.assertNotEqual(proc.returncode, 0)
+        self.assertIn("(unstamped)", proc.stderr)
+
+    def test_committed_baseline_is_stamped_with_cpu_backend(self):
+        # The committed BENCH_kernels.json must carry the identity
+        # stamp (cpu backend), or the identity guard would refuse every
+        # comparison against freshly-built benches.
+        committed = REPO / "BENCH_kernels.json"
+        doc = json.loads(committed.read_text())
+        self.assertIn("bench.backend.cpu", doc.get("counters", {}))
+        self.assertTrue(any(
+            name.startswith("bench.simd.")
+            for name in doc.get("counters", {})))
 
     def test_committed_baseline_has_the_gated_metric(self):
         # The real BENCH_kernels.json must stay consumable by the gate:

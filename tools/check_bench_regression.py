@@ -27,10 +27,20 @@ from pathlib import Path
 
 METRIC = "ckks.time.keyswitch.ns"
 
+# Telemetry counter prefixes stamping the execution identity of a run
+# (bench.backend.cpu, bench.simd.avx2, ...). Means taken under
+# different execution backends or SIMD levels measure different code
+# paths, so the gate refuses to compare them.
+IDENTITY_PREFIXES = ("bench.backend.", "bench.simd.")
 
-def histogram_mean(telemetry_path: Path, metric: str) -> float:
+
+def load_doc(telemetry_path: Path) -> dict:
     with open(telemetry_path, encoding="utf-8") as fh:
-        doc = json.load(fh)
+        return json.load(fh)
+
+
+def histogram_mean_of(doc: dict, telemetry_path: Path,
+                      metric: str) -> float:
     try:
         hist = doc["histograms"][metric]
     except KeyError:
@@ -41,6 +51,30 @@ def histogram_mean(telemetry_path: Path, metric: str) -> float:
     if hist["count"] == 0:
         raise SystemExit(f"error: '{metric}' recorded zero samples")
     return float(hist["mean"])
+
+
+def execution_identity(doc: dict) -> tuple:
+    """Identity counters of a telemetry doc (sorted; may be empty for
+    baselines predating the identity stamp)."""
+    counters = doc.get("counters", {})
+    return tuple(sorted(
+        name for name in counters
+        if name.startswith(IDENTITY_PREFIXES)))
+
+
+def check_same_identity(baseline_path: Path, baseline_doc: dict,
+                        run_path: Path, run_doc: dict) -> None:
+    base_id = execution_identity(baseline_doc)
+    run_id = execution_identity(run_doc)
+    if base_id != run_id:
+        raise SystemExit(
+            "error: refusing to compare across execution identities — "
+            f"baseline {baseline_path} was taken under "
+            f"{list(base_id) or '(unstamped)'} but the bench run "
+            f"{run_path} under {list(run_id) or '(unstamped)'}; "
+            "regenerate the baseline under the same FXHENN_BACKEND / "
+            "FXHENN_SIMD configuration"
+        )
 
 
 def run_bench(bench: Path, bench_filter: str, out_json: Path) -> None:
@@ -83,14 +117,19 @@ def main() -> int:
 
     if not args.bench.exists():
         raise SystemExit(f"error: bench binary {args.bench} not found")
-    baseline_mean = histogram_mean(args.baseline, METRIC)
+    baseline_doc = load_doc(args.baseline)
+    baseline_mean = histogram_mean_of(baseline_doc, args.baseline,
+                                      METRIC)
 
     means = []
     with tempfile.TemporaryDirectory(prefix="fxhenn-bench-") as tmp:
         for i in range(args.runs):
             out = Path(tmp) / f"run{i}.json"
             run_bench(args.bench, args.filter, out)
-            mean = histogram_mean(out, METRIC)
+            run_doc = load_doc(out)
+            check_same_identity(args.baseline, baseline_doc, out,
+                                run_doc)
+            mean = histogram_mean_of(run_doc, out, METRIC)
             means.append(mean)
             print(f"run {i + 1}/{args.runs}: {METRIC} mean "
                   f"{mean / 1e6:.3f} ms")

@@ -50,6 +50,8 @@
 #include "src/analysis/verifier.hpp"
 #include "src/common/assert.hpp"
 #include "src/dse/explorer.hpp"
+#include "src/dse/sim_backend_install.hpp"
+#include "src/hecnn/backend.hpp"
 #include "src/engine/inference_engine.hpp"
 #include "src/telemetry/telemetry.hpp"
 #include "src/fxhenn/codegen.hpp"
@@ -92,12 +94,13 @@ const std::map<std::string, std::set<std::string>> kCommandFlags = {
     {"info", {"model"}},
     {"plan", {"model", "save", "load", "layer"}},
     {"design",
-     {"model", "device", "out", "report", "liveness", "certify"}},
+     {"model", "device", "out", "report", "liveness", "certify",
+      "backend"}},
     {"sweep", {"model", "min", "max", "step"}},
-    {"verify", {"seed", "guard"}},
+    {"verify", {"seed", "guard", "backend"}},
     {"batch",
      {"model", "requests", "workers", "queue", "seed", "guard",
-      "check", "deadline-ms", "admission", "retries"}},
+      "check", "deadline-ms", "admission", "retries", "backend"}},
     {"lint",
      {"model", "load", "format", "list-passes", "noise-cert",
       "rewrite"}},
@@ -194,11 +197,19 @@ usage()
         "         [--certify 1]                  gate DSE on the noise\n"
         "                          certificate and report how many\n"
         "                          prime-chain levels it can prune\n"
+        "         [--backend fpga-sim]           replay the winning\n"
+        "                          design point through the pipeline\n"
+        "                          simulator and report the per-layer\n"
+        "                          prediction error\n"
         "  sweep  --model mnist|cifar10          Fig. 9 budget sweep\n"
         "         [--min 350] [--max 1500] [--step 100]\n"
         "  verify [--seed 1]                     encrypted-vs-plain "
         "check\n"
         "         [--guard strict|warn|degrade]  guard policy\n"
+        "         [--backend cpu|cpu-ref|fpga-sim]\n"
+        "                          execution backend; fpga-sim also\n"
+        "                          prints the per-layer predicted-vs-\n"
+        "                          measured latency table\n"
         "  batch  --model mnist|test             concurrent batched\n"
         "         [--requests 8] [--workers 4]   encrypted inference\n"
         "         [--queue 2*workers] [--seed 1]\n"
@@ -210,6 +221,11 @@ usage()
         "         [--admission block|shed|degrade]\n"
         "         [--retries R]                  deterministic re-runs\n"
         "                          of transient failures (max 16)\n"
+        "         [--backend cpu|cpu-ref|fpga-sim]\n"
+        "                          execution backend of the workers\n"
+        "                          (--check serial stays on cpu, so\n"
+        "                          the bitwise cross-check spans\n"
+        "                          backends)\n"
         "  lint   --model mnist|cifar10          static plan verifier\n"
         "         | --load FILE                  lint a saved plan\n"
         "         [--format text|json]           report rendering\n"
@@ -229,6 +245,10 @@ usage()
         "  --verify-plan 1         run the static verifier over every\n"
         "                          plan loaded from disk (ConfigError\n"
         "                          on error-severity findings)\n"
+        "\n"
+        "Environment: FXHENN_BACKEND=cpu|cpu-ref|fpga-sim selects the\n"
+        "execution backend when --backend is absent (like FXHENN_SIMD\n"
+        "for the kernel level); unknown values exit 3.\n"
         "\n"
         "Exit codes: 0 ok/PASS/lint clean, 1 verify FAIL, 2 usage,\n"
         "3 config error, 4 internal error or lint errors, 5 verify\n"
@@ -342,6 +362,12 @@ cmdDesign(const Args &args)
         liveness == "1" || liveness == "true";
     opts.explore.certifyNoise =
         certify == "1" || certify == "true";
+    // --backend fpga-sim closes the loop: the winning point is
+    // replayed through the same event-driven schedule the simulated
+    // executor charges, and the prediction error is reported.
+    const std::string backend =
+        hecnn::resolveBackendName(args.get("backend", ""));
+    opts.explore.replaySim = backend == "fpga-sim";
     const auto sol =
         Fxhenn::generate(model.net, model.params, device, opts);
 
@@ -371,6 +397,19 @@ cmdDesign(const Args &args)
         std::cout << "  " << fpga::moduleName(op) << ": nc="
                   << a.ncNtt << " intra=" << a.pIntra << " inter="
                   << a.pInter << "\n";
+    }
+
+    if (!sol.simReplay.empty()) {
+        std::cout << "  replay   predicted-vs-simulated cycles "
+                     "(fpga-sim backend):\n";
+        for (const auto &row : sol.simReplay) {
+            std::cout << "           " << row.layer << ": predicted "
+                      << row.predictedCycles << ", simulated "
+                      << row.simulatedCycles << " ("
+                      << 100.0 * row.errorFrac << " % error)\n";
+        }
+        std::cout << "           max prediction error "
+                  << 100.0 * sol.simReplayMaxErrorFrac << " %\n";
     }
 
     const std::string out = args.get("out", "");
@@ -536,12 +575,15 @@ int
 cmdVerify(const Args &args)
 {
     const auto seed = parseU64("seed", args.get("seed", "1"));
-    robustness::GuardOptions guard;
-    guard.policy =
+    hecnn::VerifyOptions options;
+    options.inputSeed = seed;
+    options.keySeed = seed;
+    options.guard.policy =
         robustness::parseGuardPolicy(args.get("guard", "degrade"));
+    options.backend = args.get("backend", "");
     const auto result = hecnn::verifyAgainstPlaintext(
-        nn::buildTestNetwork(), ckks::testParams(2048, 7, 30), seed,
-        seed, guard);
+        nn::buildTestNetwork(), ckks::testParams(2048, 7, 30),
+        options);
     if (result.failure) {
         std::cout << "encrypted inference DEGRADED\n\n"
                   << result.renderDiagnosis() << "\nDEGRADED\n";
@@ -550,12 +592,22 @@ cmdVerify(const Args &args)
     std::cout << "encrypted-vs-plaintext max |err| = "
               << result.maxAbsError << " over "
               << result.encryptedLogits.size() << " logits, "
-              << result.hopsExecuted << " HE ops executed\n"
+              << result.hopsExecuted << " HE ops executed (backend "
+              << result.backendName << ")\n"
               << (result.argmaxMatches ? "argmax matches\n"
                                        : "argmax DIFFERS\n")
               << "\n"
-              << hecnn::renderMeasuredStats(result.layers) << "\n"
-              << result.renderDiagnosis();
+              << hecnn::renderMeasuredStats(result.layers) << "\n";
+    if (!result.simulatedLatency.empty()) {
+        // The predicted-vs-measured latency loop: per-layer DSE
+        // prediction against the event-driven simulated cost.
+        std::cout << "predicted-vs-simulated latency (backend "
+                  << result.backendName << "):\n"
+                  << hecnn::renderLatencyTable(result.simulatedLatency)
+                  << "max per-layer prediction error "
+                  << 100.0 * result.maxLatencyErrorFrac << " %\n\n";
+    }
+    std::cout << result.renderDiagnosis();
     const bool pass = result.passed();
     std::cout << (pass ? "PASS" : "FAIL") << "\n";
     return pass ? 0 : 1;
@@ -610,6 +662,7 @@ cmdBatch(const Args &args)
         engine::parseAdmissionPolicy(args.get("admission", "block"));
     opts.deadlineSeconds = double(deadlineMs) / 1000.0;
     opts.retry.maxRetries = static_cast<std::uint32_t>(retries);
+    opts.exec.backend = args.get("backend", "");
 
     const auto plan = hecnn::compile(net, params);
     ckks::CkksContext ctx(params);
@@ -625,7 +678,9 @@ cmdBatch(const Args &args)
               << opts.queueCapacity << ", guard "
               << robustness::guardPolicyName(opts.guard.policy)
               << ", admission "
-              << engine::admissionPolicyName(opts.admission);
+              << engine::admissionPolicyName(opts.admission)
+              << ", backend "
+              << engine.executor().backend().name();
     if (deadlineMs > 0)
         std::cout << ", deadline " << deadlineMs << " ms";
     if (retries > 0)
@@ -666,6 +721,29 @@ cmdBatch(const Args &args)
               << " plaintexts, "
               << double(engine.plaintextPool().bytes()) / (1 << 20)
               << " MiB shared\n";
+    {
+        // Backend identity line: which executor ran the batch, how
+        // many HE ops it dispatched, and — for a simulating backend —
+        // the mean simulated hardware latency per executed request.
+        std::uint64_t dispatched = 0;
+        double simSeconds = 0.0;
+        std::size_t simulatedRuns = 0;
+        for (const auto &outcome : outcomes) {
+            dispatched += outcome.opsExecuted;
+            if (outcome.simulated.empty())
+                continue;
+            simSeconds += outcome.simulatedSeconds();
+            ++simulatedRuns;
+        }
+        std::cout << "  backend     "
+                  << engine.executor().backend().name() << ", "
+                  << dispatched << " HE ops dispatched";
+        if (simulatedRuns > 0)
+            std::cout << ", mean simulated latency "
+                      << simSeconds / double(simulatedRuns)
+                      << " s/request";
+        std::cout << "\n";
+    }
     if (2 * shed > requests) {
         for (const auto &outcome : outcomes) {
             if (outcome.failure &&
@@ -694,8 +772,14 @@ cmdBatch(const Args &args)
         // bitwise the same logits as the r-th serial infer() on a
         // fresh Runtime with the same key seed. Shed requests consumed
         // their index without encrypting, so the serial runtime still
-        // runs every index and only the survivors are compared.
-        hecnn::Runtime runtime(plan, ctx, seed, opts.guard);
+        // runs every index and only the survivors are compared. The
+        // serial reference is pinned to the "cpu" backend, so with
+        // --backend fpga-sim/cpu-ref this check is a bitwise
+        // cross-backend comparison, not a self-comparison.
+        hecnn::ExecOptions serialExec;
+        serialExec.backend = "cpu";
+        hecnn::Runtime runtime(plan, ctx, seed, opts.guard,
+                               serialExec);
         bool identical = true;
         for (std::uint64_t r = 0; r < requests && identical; ++r) {
             const auto serial = runtime.infer(inputs[r]);
@@ -734,6 +818,12 @@ main(int argc, char **argv)
         // debug-mode self-check and --verify-plan loads have a
         // verifier to call.
         analysis::installPlanVerifier();
+        // Likewise the DSE library: register the "fpga-sim" execution
+        // backend, then resolve the requested backend up front so a
+        // bad --backend / FXHENN_BACKEND value is a ConfigError (exit
+        // 3) before any work runs — same contract as FXHENN_SIMD.
+        dse::installFpgaSimBackend();
+        hecnn::resolveBackendName(args.get("backend", ""));
         const std::string verifyPlanFlag = args.get("verify-plan", "");
         if (verifyPlanFlag == "1" || verifyPlanFlag == "true")
             hecnn::setLoadVerification(true);
