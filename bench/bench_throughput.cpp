@@ -1,13 +1,21 @@
 /**
  * @file
- * Serving throughput of engine::InferenceEngine versus worker count.
+ * Serving throughput of engine::InferenceEngine versus worker count
+ * and slot-batch size.
  *
  * Runs the same batch of encrypted test-network inferences on 1, 2, 4
- * and 8 workers, prints the scaling table and writes the measured
- * numbers to BENCH_throughput.json (or argv[1]) so the repo can commit
- * a baseline. The JSON records the machine's hardware thread count:
- * request-level scaling can only materialize when the host has cores
- * to scale onto, so the baseline is interpreted relative to it.
+ * and 8 workers unbatched, then again with B = 4 and B = 16 requests
+ * packed into shared ciphertext slots, prints the scaling tables and
+ * writes the measured numbers to BENCH_throughput.json (or argv[1]) so
+ * the repo can commit a baseline. The JSON records the machine's
+ * hardware thread count: request-level scaling can only materialize
+ * when the host has cores to scale onto, so the baseline is
+ * interpreted relative to it, and each config row carries an
+ * "oversubscribed" flag when it ran more workers than the host has
+ * hardware threads. Every row also states its "batch_size": per-request
+ * numbers taken at different slot-batch sizes measure different
+ * packings, and check_bench_regression.py refuses to compare across
+ * them.
  */
 #include <fstream>
 #include <iostream>
@@ -29,7 +37,9 @@ namespace {
 
 struct ConfigResult
 {
+    std::size_t batchSize = 1;
     unsigned workers = 0;
+    bool oversubscribed = false;
     double wallSeconds = 0.0;
     double requestsPerSecond = 0.0;
     double perWorker = 0.0;
@@ -44,12 +54,12 @@ struct ConfigResult
 int
 main(int argc, char **argv)
 {
-    bench::banner("Inference engine throughput vs worker count",
+    bench::banner("Inference engine throughput vs workers and batch",
                   "Sec. I MLaaS serving model");
 
     const std::string outPath =
         argc > 1 ? argv[1] : "BENCH_throughput.json";
-    constexpr std::size_t kRequests = 8;
+    constexpr std::size_t kRequests = 16;
     constexpr std::uint64_t kSeed = 1;
     const unsigned hardwareThreads = std::thread::hardware_concurrency();
     // Record the execution identity in the baseline: numbers taken
@@ -61,7 +71,6 @@ main(int argc, char **argv)
 
     const auto net = nn::buildTestNetwork();
     const auto params = ckks::testParams(2048, 7, 30);
-    const auto plan = hecnn::compile(net, params);
     ckks::CkksContext ctx(params);
 
     std::vector<nn::Tensor> batch;
@@ -75,44 +84,70 @@ main(int argc, char **argv)
     engine::EngineOptions knobs;
     knobs.keySeed = kSeed;
 
-    TablePrinter table({"Workers", "Wall s", "Req/s", "Req/s/worker",
-                        "Mean lat s", "p50 s", "p95 s", "p99 s"});
-    std::vector<ConfigResult> results;
-    for (unsigned workers : {1u, 2u, 4u, 8u}) {
-        engine::EngineOptions opts = knobs;
-        opts.workers = workers;
-        engine::InferenceEngine eng(plan, ctx, opts);
-        eng.runBatch(batch); // warm-up: first touch of pool/keys/pages
-        eng.runBatch(batch);
-        const auto stats = eng.stats();
+    // Slot-batched configs run on one worker: the point is per-request
+    // amortization from packing, orthogonal to worker-level scaling,
+    // which the unbatched sweep already measures.
+    const std::vector<std::size_t> batchSizes{1, 4, 16};
 
-        ConfigResult r;
-        r.workers = workers;
-        r.wallSeconds = stats.lastBatchSeconds;
-        r.requestsPerSecond = stats.lastBatchRequestsPerSecond;
-        r.perWorker = r.requestsPerSecond / double(workers);
-        r.meanLatencySeconds = stats.meanLatencySeconds;
-        r.p50LatencySeconds = stats.p50LatencySeconds;
-        r.p95LatencySeconds = stats.p95LatencySeconds;
-        r.p99LatencySeconds = stats.p99LatencySeconds;
-        results.push_back(r);
-        table.addRow({std::to_string(workers), fmtF(r.wallSeconds, 3),
-                      fmtF(r.requestsPerSecond, 3),
-                      fmtF(r.perWorker, 3),
-                      fmtF(r.meanLatencySeconds, 3),
-                      fmtF(r.p50LatencySeconds, 3),
-                      fmtF(r.p95LatencySeconds, 3),
-                      fmtF(r.p99LatencySeconds, 3)});
+    TablePrinter table({"Batch", "Workers", "Wall s", "Req/s",
+                        "Req/s/worker", "Mean lat s", "p50 s", "p95 s",
+                        "p99 s"});
+    std::vector<ConfigResult> results;
+    for (const std::size_t batchSize : batchSizes) {
+        hecnn::CompileOptions compileOpts;
+        compileOpts.batchLanes = batchSize;
+        const auto plan = hecnn::compile(net, params, compileOpts);
+        const std::vector<unsigned> workerCounts =
+            batchSize == 1 ? std::vector<unsigned>{1u, 2u, 4u, 8u}
+                           : std::vector<unsigned>{1u};
+        for (const unsigned workers : workerCounts) {
+            engine::EngineOptions opts = knobs;
+            opts.workers = workers;
+            engine::InferenceEngine eng(plan, ctx, opts);
+            eng.runBatch(batch); // warm-up: first touch of pool/keys
+            eng.runBatch(batch);
+            const auto stats = eng.stats();
+
+            ConfigResult r;
+            r.batchSize = batchSize;
+            r.workers = workers;
+            r.oversubscribed = workers > hardwareThreads;
+            r.wallSeconds = stats.lastBatchSeconds;
+            r.requestsPerSecond = stats.lastBatchRequestsPerSecond;
+            r.perWorker = r.requestsPerSecond / double(workers);
+            r.meanLatencySeconds = stats.meanLatencySeconds;
+            r.p50LatencySeconds = stats.p50LatencySeconds;
+            r.p95LatencySeconds = stats.p95LatencySeconds;
+            r.p99LatencySeconds = stats.p99LatencySeconds;
+            results.push_back(r);
+            table.addRow({std::to_string(batchSize),
+                          std::to_string(workers),
+                          fmtF(r.wallSeconds, 3),
+                          fmtF(r.requestsPerSecond, 3),
+                          fmtF(r.perWorker, 3),
+                          fmtF(r.meanLatencySeconds, 3),
+                          fmtF(r.p50LatencySeconds, 3),
+                          fmtF(r.p95LatencySeconds, 3),
+                          fmtF(r.p99LatencySeconds, 3)});
+        }
     }
     table.print(std::cout);
 
     const double scaling1to4 =
         results[2].requestsPerSecond / results[0].requestsPerSecond;
+    // Per-request amortization from slot packing, both at 1 worker:
+    // the last two results are the B = 4 and B = 16 single-worker
+    // rows, the first is B = 1 on 1 worker.
+    const double batchSpeedup16 =
+        results.back().requestsPerSecond /
+        results.front().requestsPerSecond;
     std::cout << "hardware threads: " << hardwareThreads << "\n"
               << "backend: " << backendName << " (simd " << simdName
               << ")\n"
               << "throughput scaling 1 -> 4 workers: "
-              << fmtF(scaling1to4, 3) << "x\n";
+              << fmtF(scaling1to4, 3) << "x\n"
+              << "slot-batch speedup B=16 vs B=1 (1 worker): "
+              << fmtF(batchSpeedup16, 3) << "x\n";
 
     std::ofstream out(outPath);
     if (!out) {
@@ -126,6 +161,11 @@ main(int argc, char **argv)
         << "  \"simd\": \"" << simdName << "\",\n"
         << "  \"requests_per_config\": " << kRequests << ",\n"
         << "  \"hardware_threads\": " << hardwareThreads << ",\n"
+        << "  \"batch_sizes\": [";
+    for (std::size_t i = 0; i < batchSizes.size(); ++i)
+        out << batchSizes[i]
+            << (i + 1 < batchSizes.size() ? ", " : "");
+    out << "],\n"
         << "  \"admission\": \""
         << engine::admissionPolicyName(knobs.admission) << "\",\n"
         << "  \"deadline_seconds\": " << fmtF(knobs.deadlineSeconds, 4)
@@ -133,10 +173,14 @@ main(int argc, char **argv)
         << "  \"max_retries\": " << knobs.retry.maxRetries << ",\n"
         << "  \"scaling_1_to_4_workers\": " << fmtF(scaling1to4, 4)
         << ",\n"
+        << "  \"batch_speedup_16_vs_1\": " << fmtF(batchSpeedup16, 4)
+        << ",\n"
         << "  \"configs\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
         const auto &r = results[i];
-        out << "    { \"workers\": " << r.workers
+        out << "    { \"batch_size\": " << r.batchSize
+            << ", \"workers\": " << r.workers << ", \"oversubscribed\": "
+            << (r.oversubscribed ? "true" : "false")
             << ", \"wall_seconds\": " << fmtF(r.wallSeconds, 4)
             << ", \"requests_per_second\": "
             << fmtF(r.requestsPerSecond, 4)

@@ -34,7 +34,7 @@ class PassManager
     /** Run every pass over @p plan and merge the findings. */
     AnalysisReport run(const hecnn::HeNetworkPlan &plan) const;
 
-    /** The standard 9-pass verification pipeline. */
+    /** The standard 10-pass verification pipeline. */
     static PassManager standard();
 
   private:
@@ -51,6 +51,7 @@ std::unique_ptr<AnalysisPass> makeOpCountPass();
 std::unique_ptr<AnalysisPass> makeLayerClassPass();
 std::unique_ptr<AnalysisPass> makeNoiseBudgetPass();
 std::unique_ptr<AnalysisPass> makeRescalePlacementPass();
+std::unique_ptr<AnalysisPass> makeBatchLayoutPass();
 
 } // namespace fxhenn::analysis
 

@@ -1156,6 +1156,175 @@ class RescalePlacementPass final : public AnalysisPass
     }
 };
 
+// --- pass 10: batch-layout consistency -------------------------------------
+
+/**
+ * Cross-request batching invariants. A plan with batchLanes = B > 1
+ * interleaves B independent requests lane-wise (request b's data at
+ * physical slots s*B + b), so its correctness rests on structural
+ * properties no other pass checks:
+ *   - every rotation step is a multiple of B (a non-multiple permutes
+ *     data BETWEEN requests — silent cross-tenant corruption);
+ *   - every layout position and every active gather entry sits on a
+ *     lane-0 slot (s % B == 0);
+ *   - B divides the slot count (otherwise the cyclic wraparound of a
+ *     rotation crosses lanes even for stride-B steps);
+ *   - each register carries at most slots/B elements, i.e.
+ *     nSlots >= B x per-request footprint;
+ *   - every non-elided plaintext is lane-constant (broadcast), so one
+ *     pcMult applies the same weight to every request.
+ */
+class BatchLayoutPass final : public AnalysisPass
+{
+  public:
+    const char *name() const override { return "batch-layout"; }
+    const char *
+    description() const override
+    {
+        return "cross-request batch lane isolation and capacity";
+    }
+
+    void
+    run(const PlanFacts &facts, AnalysisReport &report) const override
+    {
+        const HeNetworkPlan &plan = facts.plan;
+        const std::size_t lanes = plan.batchLanes;
+        if (lanes == 0) {
+            report.addNetwork(
+                Severity::error, name(),
+                "batchLanes is 0 (a plan always has at least the "
+                "single lane of an unbatched request)",
+                "set batchLanes to 1 for an unbatched plan");
+            return;
+        }
+        if (lanes == 1)
+            return; // unbatched: nothing to isolate
+        if (facts.slots % lanes != 0 || lanes > facts.slots) {
+            report.addNetwork(
+                Severity::error, name(),
+                "batchLanes " + std::to_string(lanes) +
+                    " does not divide the slot count " +
+                    std::to_string(facts.slots) +
+                    " (the rotation wraparound would cross lanes)",
+                "use a power-of-two batch size that divides N/2");
+            return; // every lane invariant below presumes divisibility
+        }
+        const std::size_t perRequest = facts.slots / lanes;
+
+        for (std::size_t li = 0; li < plan.layers.size(); ++li) {
+            const HeLayerPlan &layer = plan.layers[li];
+            for (std::size_t ii = 0; ii < layer.instrs.size(); ++ii) {
+                const HeInstr &instr = layer.instrs[ii];
+                if (instr.kind != HeOpKind::rotate)
+                    continue;
+                const auto step =
+                    static_cast<std::int64_t>(instr.step);
+                if (step % static_cast<std::int64_t>(lanes) != 0) {
+                    report.addInstr(
+                        Severity::error, name(), li, layer.name, ii,
+                        "rotation step " + std::to_string(instr.step) +
+                            " is not a multiple of the " +
+                            std::to_string(lanes) +
+                            " batch lanes: it moves data between "
+                            "requests",
+                        "batched rotations must be stride-B; mask or "
+                        "recompile with this batch size");
+                }
+            }
+            checkBatchLayout(layer.outputLayout, lanes, perRequest,
+                             static_cast<std::int32_t>(li), layer.name,
+                             report);
+        }
+        checkBatchLayout(plan.outputLayout, lanes, perRequest, -1, "",
+                         report);
+
+        for (std::size_t i = 0; i < plan.inputGather.size(); ++i) {
+            const auto &gather = plan.inputGather[i];
+            for (std::size_t s = 0; s < gather.size(); ++s) {
+                if (gather[s] >= 0 && s % lanes != 0) {
+                    report.addNetwork(
+                        Severity::error, name(),
+                        "inputGather[" + std::to_string(i) +
+                            "] places element " +
+                            std::to_string(gather[s]) +
+                            " at slot " + std::to_string(s) +
+                            ", which is lane " +
+                            std::to_string(s % lanes) +
+                            " (the gather spec addresses lane 0 "
+                            "only; siblings are filled at encrypt "
+                            "time)");
+                    break;
+                }
+            }
+        }
+
+        for (std::size_t p = 0; p < plan.plaintexts.size(); ++p) {
+            const auto &values = plan.plaintexts[p].values;
+            if (values.empty())
+                continue; // elided payload: nothing to check
+            for (std::size_t s = 0; s < values.size(); ++s) {
+                if (values[s] != values[(s / lanes) * lanes]) {
+                    report.addNetwork(
+                        Severity::error, name(),
+                        "plaintext " + std::to_string(p) +
+                            " is not lane-constant at slot " +
+                            std::to_string(s) +
+                            ": a batched weight must broadcast the "
+                            "same value to all " +
+                            std::to_string(lanes) + " lanes");
+                    break;
+                }
+            }
+        }
+    }
+
+  private:
+    /** Lane alignment + per-request slot capacity of one layout. */
+    void
+    checkBatchLayout(const hecnn::SlotLayout &layout, std::size_t lanes,
+                     std::size_t perRequest, std::int32_t li,
+                     const std::string &layerName,
+                     AnalysisReport &report) const
+    {
+        const auto add = [&](const std::string &msg,
+                             const std::string &hint = "") {
+            if (li >= 0) {
+                report.addLayer(Severity::error, name(),
+                                static_cast<std::size_t>(li), layerName,
+                                msg, hint);
+            } else {
+                report.addNetwork(Severity::error, name(), msg, hint);
+            }
+        };
+        std::map<std::int32_t, std::size_t> elemsPerReg;
+        for (const auto &[reg, slot] : layout.pos) {
+            if (static_cast<std::size_t>(slot) % lanes != 0) {
+                add("layout places an element at slot " +
+                        std::to_string(slot) + " of register " +
+                        std::to_string(reg) + ", which is lane " +
+                        std::to_string(static_cast<std::size_t>(slot) %
+                                       lanes) +
+                        " (batched layouts address lane 0 only)");
+                return;
+            }
+            ++elemsPerReg[reg];
+        }
+        for (const auto &[reg, count] : elemsPerReg) {
+            if (count > perRequest) {
+                add("register " + std::to_string(reg) + " carries " +
+                        std::to_string(count) +
+                        " elements but a " + std::to_string(lanes) +
+                        "-lane batch leaves only " +
+                        std::to_string(perRequest) +
+                        " slots per request (nSlots >= B x footprint "
+                        "is violated)",
+                    "reduce the batch size or use larger CKKS N");
+                return;
+            }
+        }
+    }
+};
+
 } // namespace
 
 // --- pass manager ----------------------------------------------------------
@@ -1189,6 +1358,7 @@ PassManager::standard()
     pm.add(makeLayerClassPass());
     pm.add(makeNoiseBudgetPass());
     pm.add(makeRescalePlacementPass());
+    pm.add(makeBatchLayoutPass());
     return pm;
 }
 
@@ -1236,6 +1406,11 @@ std::unique_ptr<AnalysisPass>
 makeRescalePlacementPass()
 {
     return std::make_unique<RescalePlacementPass>();
+}
+std::unique_ptr<AnalysisPass>
+makeBatchLayoutPass()
+{
+    return std::make_unique<BatchLayoutPass>();
 }
 
 } // namespace fxhenn::analysis

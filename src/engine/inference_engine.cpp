@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "src/common/assert.hpp"
 #include "src/common/parallel.hpp"
@@ -46,6 +47,7 @@ InferenceEngine::InferenceEngine(const hecnn::HeNetworkPlan &plan,
                 session_.galoisKeys(), pool_, options.guard,
                 options.exec),
       estimator_(options.serviceEwmaAlpha), breaker_(options.breaker),
+      lanes_(plan.batchLanes == 0 ? 1 : plan.batchLanes),
       queue_(options.queueCapacity == 0 ? 1 : options.queueCapacity)
 {
     FXHENN_FATAL_IF(options.workers == 0,
@@ -180,6 +182,163 @@ InferenceEngine::runRequestWithRetry(
     }
 }
 
+InferenceEngine::GroupResult
+InferenceEngine::runGroup(
+    const std::vector<const nn::Tensor *> &inputs,
+    const std::vector<std::uint64_t> &indices,
+    const std::optional<Clock::time_point> &deadline)
+{
+    GroupResult group;
+    group.outcomes.resize(inputs.size());
+    FXHENN_TELEM_COUNT("engine.requests",
+                       static_cast<std::int64_t>(inputs.size()));
+
+    // Member pre-validation: a malformed request degrades alone with
+    // a structured report and its lane zeroed, instead of poisoning
+    // the whole batch with a mid-encrypt exception.
+    std::vector<const nn::Tensor *> lanes(lanes_, nullptr);
+    std::vector<std::uint64_t> liveIndices;
+    std::vector<std::size_t> liveSlots; // member position per lane
+    for (std::size_t b = 0; b < inputs.size(); ++b) {
+        try {
+            session_.validateInput(*inputs[b]);
+        } catch (const ConfigError &e) {
+            robustness::FailureReport report;
+            report.layer = "request";
+            report.op = "exception";
+            report.reason = e.what();
+            group.outcomes[b].failure = std::move(report);
+            continue;
+        }
+        lanes[b] = inputs[b];
+        liveIndices.push_back(indices[b]);
+        liveSlots.push_back(b);
+    }
+    if (liveIndices.empty())
+        return group;
+
+    const auto fail = [&](const std::string &reason, const char *op) {
+        for (const std::size_t b : liveSlots) {
+            robustness::FailureReport report;
+            report.layer = "batch";
+            report.op = op;
+            report.reason = reason;
+            group.outcomes[b].failure = std::move(report);
+            group.outcomes[b].logits.clear();
+        }
+        group.sharedFailure = true;
+    };
+
+    // Injected transient infrastructure failure hits the shared run:
+    // every live member sees the same retryable report.
+    if (auto fault = robustness::fireFault("engine.request")) {
+        fail("injected transient request fault (kind " + fault->kind +
+                 ")",
+             "transient");
+        group.sharedTransient = true;
+        return group;
+    }
+
+    try {
+        hecnn::RunControl control;
+        control.deadline = deadline;
+        auto result = executor_.execute(
+            session_.encryptInputBatch(
+                std::span<const nn::Tensor *const>(lanes),
+                hecnn::ClientSession::batchRequestKey(liveIndices)),
+            control);
+        for (const std::size_t b : liveSlots) {
+            group.outcomes[b].budget = result.budget;
+            group.outcomes[b].backendName = result.backendName;
+            group.outcomes[b].opsExecuted = result.executed.total();
+            group.outcomes[b].simulated = result.simulated;
+        }
+        if (result.failure) {
+            // Whole-group degradation (guard violation, mid-run
+            // deadline abort): every member gets the honest report —
+            // never the garbage logits of a poisoned ciphertext.
+            for (const std::size_t b : liveSlots)
+                group.outcomes[b].failure = result.failure;
+            group.sharedFailure = true;
+            group.sharedTransient = transientFailure(*result.failure);
+            return group;
+        }
+        // Lanes are indexed by group position (a shed sibling leaves
+        // its lane zeroed, not compacted), so member b demuxes lane b.
+        const auto demuxed = session_.decryptLogitsBatch(result.regs);
+        for (const std::size_t b : liveSlots)
+            group.outcomes[b].logits = demuxed[b];
+    } catch (const ConfigError &e) {
+        fail(e.what(), "exception");
+    } catch (const InternalError &e) {
+        fail(e.what(), "exception");
+    }
+    return group;
+}
+
+std::vector<hecnn::InferOutcome>
+InferenceEngine::runGroupWithRetry(
+    const std::vector<const nn::Tensor *> &inputs,
+    const std::vector<std::uint64_t> &indices,
+    const std::optional<Clock::time_point> &deadline)
+{
+    std::uint32_t attempt = 0;
+    for (;;) {
+        // The batched encryption stream is a pure function of
+        // (keySeed, member composition), so a successful whole-group
+        // retry is bitwise identical to a first-try success.
+        GroupResult group = runGroup(inputs, indices, deadline);
+        if (!group.sharedFailure) {
+            breaker_.onSuccess();
+            return std::move(group.outcomes);
+        }
+        const bool retryable = group.sharedTransient &&
+                               attempt < options_.retry.maxRetries;
+        if (!retryable) {
+            breaker_.onFailure();
+            return std::move(group.outcomes);
+        }
+        ++attempt;
+        const double backoff =
+            retryBackoffSeconds(options_.retry, attempt);
+        if (deadline &&
+            Clock::now() + secondsToDuration(backoff) > *deadline) {
+            breaker_.onFailure();
+            return std::move(group.outcomes);
+        }
+        {
+            std::scoped_lock lock(statsMutex_);
+            stats_.retries += 1;
+        }
+        FXHENN_TELEM_COUNT("engine.retries", 1);
+        if (backoff > 0.0)
+            std::this_thread::sleep_for(secondsToDuration(backoff));
+    }
+}
+
+void
+InferenceEngine::recordBatch(std::size_t liveMembers,
+                             double windowWaitSeconds)
+{
+    if (telemetry::enabled()) {
+        telemetry::histogram("engine.batch.size")
+            .record(static_cast<std::uint64_t>(liveMembers));
+        // Recorded as a percentage: 100 = every lane carries a
+        // request, lower = ciphertext slots idled by a partial batch.
+        telemetry::histogram("engine.batch.slot_fill_frac")
+            .record(static_cast<std::uint64_t>(
+                (100.0 * double(liveMembers)) / double(lanes_)));
+        telemetry::histogram("engine.batch.window_wait.ns")
+            .record(static_cast<std::uint64_t>(windowWaitSeconds *
+                                               1e9));
+    }
+    std::scoped_lock lock(statsMutex_);
+    stats_.batchesExecuted += 1;
+    batchOccupancySum_ += double(liveMembers);
+    stats_.meanBatchOccupancy =
+        batchOccupancySum_ / double(stats_.batchesExecuted);
+}
+
 void
 InferenceEngine::recordExecuted(const hecnn::InferOutcome &outcome,
                                 double queueWaitSeconds,
@@ -269,31 +428,87 @@ InferenceEngine::runBatch(const std::vector<nn::Tensor> &inputs,
     const auto deadline = resolveDeadline(req, Clock::now());
     std::vector<hecnn::InferOutcome> outcomes(inputs.size());
     Timer wall;
-    parallelForWorkers(
-        options_.workers, inputs.size(), [&](std::size_t i) {
-            const auto start = Clock::now();
-            if (!breaker_.admitAt(start)) {
-                outcomes[i] = rejectOutcome(
-                    "breaker",
-                    "circuit breaker open: request shed before "
-                    "execution");
-                recordRejected(outcomes[i]);
-                return;
-            }
-            if (deadline && start > *deadline) {
-                outcomes[i] = rejectOutcome(
-                    "deadline",
-                    "request deadline expired before execution "
-                    "started (never executed)");
-                recordRejected(outcomes[i]);
-                return;
-            }
-            Timer latency;
-            outcomes[i] =
-                runRequestWithRetry(inputs[i], base + i, deadline);
-            recordExecuted(outcomes[i], 0.0,
-                           latency.elapsedSeconds());
-        });
+    if (lanes_ <= 1) {
+        parallelForWorkers(
+            options_.workers, inputs.size(), [&](std::size_t i) {
+                const auto start = Clock::now();
+                if (!breaker_.admitAt(start)) {
+                    outcomes[i] = rejectOutcome(
+                        "breaker",
+                        "circuit breaker open: request shed before "
+                        "execution");
+                    recordRejected(outcomes[i]);
+                    return;
+                }
+                if (deadline && start > *deadline) {
+                    outcomes[i] = rejectOutcome(
+                        "deadline",
+                        "request deadline expired before execution "
+                        "started (never executed)");
+                    recordRejected(outcomes[i]);
+                    return;
+                }
+                Timer latency;
+                outcomes[i] =
+                    runRequestWithRetry(inputs[i], base + i, deadline);
+                recordExecuted(outcomes[i], 0.0,
+                               latency.elapsedSeconds());
+            });
+    } else {
+        // Batched plan: consecutive B-groups so the member composition
+        // (and with it the batched encryption stream) is deterministic
+        // regardless of which worker runs which group.
+        const std::size_t groups =
+            (inputs.size() + lanes_ - 1) / lanes_;
+        parallelForWorkers(
+            options_.workers, groups, [&](std::size_t g) {
+                const std::size_t lo = g * lanes_;
+                const std::size_t hi =
+                    std::min(inputs.size(), lo + lanes_);
+                std::vector<const nn::Tensor *> members;
+                std::vector<std::uint64_t> indices;
+                std::vector<std::size_t> positions;
+                // Shed-before-formation: breaker and deadline verdicts
+                // are per member, so a dead request never occupies a
+                // lane.
+                for (std::size_t i = lo; i < hi; ++i) {
+                    const auto start = Clock::now();
+                    if (!breaker_.admitAt(start)) {
+                        outcomes[i] = rejectOutcome(
+                            "breaker",
+                            "circuit breaker open: request shed "
+                            "before execution");
+                        recordRejected(outcomes[i]);
+                        continue;
+                    }
+                    if (deadline && start > *deadline) {
+                        outcomes[i] = rejectOutcome(
+                            "deadline",
+                            "request deadline expired before "
+                            "execution started (never executed)");
+                        recordRejected(outcomes[i]);
+                        continue;
+                    }
+                    members.push_back(&inputs[i]);
+                    indices.push_back(base + i);
+                    positions.push_back(i);
+                }
+                if (members.empty())
+                    return;
+                Timer latency;
+                auto groupOutcomes =
+                    runGroupWithRetry(members, indices, deadline);
+                const double serviceSeconds =
+                    latency.elapsedSeconds();
+                recordBatch(members.size(), 0.0);
+                for (std::size_t j = 0; j < positions.size(); ++j) {
+                    outcomes[positions[j]] =
+                        std::move(groupOutcomes[j]);
+                    recordExecuted(outcomes[positions[j]], 0.0,
+                                   serviceSeconds);
+                }
+            });
+    }
     const double seconds = wall.elapsedSeconds();
     {
         std::scoped_lock lock(statsMutex_);
@@ -434,6 +649,10 @@ InferenceEngine::workerLoop()
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(ms));
         }
+        if (lanes_ > 1) {
+            workerRunWindow(std::move(job));
+            continue;
+        }
         const auto picked = Clock::now();
         const double queueWait =
             std::chrono::duration<double>(picked - job.enqueued)
@@ -458,6 +677,85 @@ InferenceEngine::workerLoop()
         job.promise.set_value(std::move(outcome));
     }
     markPoolWorker(false);
+}
+
+void
+InferenceEngine::workerRunWindow(Job head)
+{
+    // Accumulation window: @p head opens it; collect up to B-1
+    // siblings, flushing on B-full or when waiting longer would
+    // endanger the head's own SLO (its deadline minus the EWMA
+    // service-time estimate).
+    const auto opened = Clock::now();
+    std::vector<Job> window;
+    window.reserve(lanes_);
+    window.push_back(std::move(head));
+    if (options_.batchWindowSeconds > 0.0 && lanes_ > 1) {
+        auto flushAt =
+            opened + secondsToDuration(options_.batchWindowSeconds);
+        if (window[0].deadline) {
+            const auto margin =
+                secondsToDuration(estimator_.estimateSeconds());
+            const auto latest = *window[0].deadline - margin;
+            if (latest < flushAt)
+                flushAt = latest;
+        }
+        if (flushAt > opened)
+            queue_.popUpToUntil(window, lanes_ - 1, flushAt);
+    }
+    const double windowWait =
+        std::chrono::duration<double>(Clock::now() - opened).count();
+
+    // Shed expired members BEFORE batch formation: a dead request
+    // never occupies a lane.
+    const auto picked = Clock::now();
+    std::vector<std::size_t> live;
+    for (std::size_t i = 0; i < window.size(); ++i) {
+        Job &member = window[i];
+        if (member.deadline && picked > *member.deadline) {
+            const double queueWait =
+                std::chrono::duration<double>(picked -
+                                              member.enqueued)
+                    .count();
+            auto out = rejectOutcome(
+                "deadline",
+                "request deadline expired after " +
+                    std::to_string(queueWait) +
+                    " s in queue (never executed)");
+            recordRejected(out);
+            member.promise.set_value(std::move(out));
+            continue;
+        }
+        live.push_back(i);
+    }
+    if (live.empty())
+        return;
+
+    std::vector<const nn::Tensor *> members;
+    std::vector<std::uint64_t> indices;
+    std::optional<Clock::time_point> deadline;
+    for (const std::size_t i : live) {
+        members.push_back(&window[i].input);
+        indices.push_back(window[i].index);
+        // The shared run honors the tightest member SLO: the executor
+        // aborts at the next checkpoint once any member's deadline
+        // passes, and every member learns about it honestly.
+        if (window[i].deadline &&
+            (!deadline || *window[i].deadline < *deadline))
+            deadline = window[i].deadline;
+    }
+    Timer service;
+    auto outcomes = runGroupWithRetry(members, indices, deadline);
+    const double serviceSeconds = service.elapsedSeconds();
+    recordBatch(members.size(), windowWait);
+    for (std::size_t j = 0; j < live.size(); ++j) {
+        Job &member = window[live[j]];
+        const double queueWait =
+            std::chrono::duration<double>(picked - member.enqueued)
+                .count();
+        recordExecuted(outcomes[j], queueWait, serviceSeconds);
+        member.promise.set_value(std::move(outcomes[j]));
+    }
 }
 
 void

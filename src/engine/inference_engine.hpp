@@ -26,7 +26,23 @@
  *  - aggregate statistics (queue-wait vs service split, p50/p95/p99
  *    latency) plus telemetry ("engine.requests", "engine.degraded",
  *    "engine.shed", "engine.deadline_expired", "engine.retries",
- *    "engine.breaker.*", "engine.queue_wait.ns", "engine.service.ns").
+ *    "engine.breaker.*", "engine.queue_wait.ns", "engine.service.ns",
+ *    "engine.batch.size", "engine.batch.slot_fill_frac",
+ *    "engine.batch.window_wait.ns").
+ *
+ * Cross-request slot batching: when the plan was compiled with
+ * batchLanes = B > 1, the engine packs up to B requests into one
+ * shared ciphertext run. runBatch() partitions its inputs into
+ * consecutive B-groups; the streaming path opens an accumulation
+ * window when a worker pops a request and collects up to B-1 more
+ * from the queue, flushing on B-full or on a deadline-margin timeout
+ * (min(batchWindowSeconds, head deadline minus the EWMA service
+ * estimate)). Expired members are shed BEFORE batch formation; a
+ * member that fails input validation degrades alone with its lane
+ * zeroed; a whole-group failure is reported honestly to every member
+ * (never garbage logits). Demuxed results are pure slot extraction in
+ * ClientSession::decryptLogitsBatch, so sibling outcomes stay
+ * isolated.
  *
  * Determinism: request r (in submission order) encrypts with a noise
  * stream derived from (keySeed, r), so a batch produces bitwise
@@ -34,6 +50,14 @@
  * r+1 serial Runtime::infer() calls with the same key seed. Admission
  * decisions never shift indices: a shed request still consumed its
  * index, so the survivors stay aligned with the serial reference.
+ * Batched (B > 1) runs use the encryption stream derived from
+ * (keySeed, fold of the live member indices): outputs are a pure
+ * function of the ordered member composition and its inputs, bitwise
+ * reproducible across repeats, worker counts and arithmetic-preserving
+ * backends. They are numerically — not bitwise — equal to the B
+ * serial runs (see docs/ARCHITECTURE.md section 15 for why bitwise
+ * cross-equality is impossible under CKKS canonical-embedding
+ * rounding).
  */
 #ifndef FXHENN_ENGINE_INFERENCE_ENGINE_HPP
 #define FXHENN_ENGINE_INFERENCE_ENGINE_HPP
@@ -79,6 +103,14 @@ struct EngineOptions
     BreakerOptions breaker{};
     /** EWMA weight of the online service-time estimate. */
     double serviceEwmaAlpha = 0.2;
+    /**
+     * Streaming batch accumulation window in seconds (plans with
+     * batchLanes > 1 only): after popping a request, a worker waits at
+     * most this long for siblings to fill the batch, and never past
+     * the head request's deadline margin. <= 0 disables waiting — a
+     * worker takes whatever is already queued and runs immediately.
+     */
+    double batchWindowSeconds = 0.01;
     /**
      * Executor strategy, including the execution backend every worker
      * dispatches HE ops through (ExecOptions::backend; empty resolves
@@ -135,6 +167,10 @@ struct EngineStats
     /** Wall time and throughput of the most recent runBatch(). */
     double lastBatchSeconds = 0.0;
     double lastBatchRequestsPerSecond = 0.0;
+    /** Batched ciphertext runs executed (batchLanes > 1 groups). */
+    std::uint64_t batchesExecuted = 0;
+    /** Mean live members per executed batch (slot-fill quality). */
+    double meanBatchOccupancy = 0.0;
 };
 
 /** Multi-request inference server for one (plan, context) pair. */
@@ -223,6 +259,38 @@ class InferenceEngine
         const nn::Tensor &input, std::uint64_t index,
         const std::optional<Clock::time_point> &deadline);
 
+    /** Result of one batched (shared-ciphertext) group execution. */
+    struct GroupResult
+    {
+        /** Per-member outcomes, aligned with the member arguments. */
+        std::vector<hecnn::InferOutcome> outcomes;
+        /** Whole-group transient infrastructure failure (retryable). */
+        bool sharedTransient = false;
+        /** Whole-group failure of any kind (breaker-relevant). */
+        bool sharedFailure = false;
+    };
+
+    /**
+     * One batched run over up to batchLanes members: pre-validate each
+     * input (a malformed member degrades alone, its lane zeroed),
+     * encrypt the survivors into shared ciphertexts under the
+     * batchRequestKey of their indices, execute once and demux.
+     */
+    GroupResult runGroup(
+        const std::vector<const nn::Tensor *> &inputs,
+        const std::vector<std::uint64_t> &indices,
+        const std::optional<Clock::time_point> &deadline);
+
+    /** runGroup() plus whole-group transient retry + breaker hooks. */
+    std::vector<hecnn::InferOutcome> runGroupWithRetry(
+        const std::vector<const nn::Tensor *> &inputs,
+        const std::vector<std::uint64_t> &indices,
+        const std::optional<Clock::time_point> &deadline);
+
+    /** Batch telemetry + occupancy stats for one executed group. */
+    void recordBatch(std::size_t liveMembers,
+                     double windowWaitSeconds);
+
     /** Structured never-executed outcome (shed / expired / breaker). */
     static hecnn::InferOutcome rejectOutcome(const char *op,
                                              const std::string &reason);
@@ -232,6 +300,8 @@ class InferenceEngine
     void recordRejected(const hecnn::InferOutcome &outcome);
     void startWorkers();
     void workerLoop();
+    /** Streaming batched path: @p head opens an accumulation window. */
+    void workerRunWindow(Job head);
 
     EngineOptions options_;
     hecnn::ClientSession session_;
@@ -239,9 +309,12 @@ class InferenceEngine
     hecnn::PlanExecutor executor_;
     ServiceTimeEstimator estimator_;
     CircuitBreaker breaker_;
+    /** Batch lanes B of the plan (1 = classic per-request serving). */
+    std::size_t lanes_ = 1;
 
     mutable std::mutex statsMutex_;
     EngineStats stats_;
+    double batchOccupancySum_ = 0.0;
     double latencySumSeconds_ = 0.0;
     double queueWaitSumSeconds_ = 0.0;
     double serviceSumSeconds_ = 0.0;

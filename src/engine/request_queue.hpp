@@ -121,6 +121,40 @@ class RequestQueue
         return true;
     }
 
+    /**
+     * Batch accumulation window: append up to @p maxItems items to
+     * @p out, waiting for stragglers until @p flushAt. Returns as soon
+     * as @p maxItems are collected, at @p flushAt with whatever
+     * arrived (possibly zero items), or when the queue closes (the
+     * drained remainder is still delivered). The pops are atomic in
+     * the sense that items leave the queue in FIFO order with no
+     * interleaved consumer between two items of one call's window.
+     * @return the number of items appended.
+     */
+    std::size_t
+    popUpToUntil(std::vector<T> &out, std::size_t maxItems,
+                 std::chrono::steady_clock::time_point flushAt)
+    {
+        std::unique_lock lock(mutex_);
+        std::size_t taken = 0;
+        while (taken < maxItems) {
+            if (items_.empty()) {
+                const bool ready = notEmpty_.wait_until(
+                    lock, flushAt,
+                    [&] { return closed_ || !items_.empty(); });
+                if (!ready)
+                    break; // window expired
+                if (items_.empty())
+                    break; // closed and drained
+            }
+            out.push_back(std::move(items_.front()));
+            items_.pop_front();
+            notFull_.notify_one();
+            ++taken;
+        }
+        return taken;
+    }
+
     /** Reject future pushes; pops drain the remaining items. */
     void
     close()

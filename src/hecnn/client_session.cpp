@@ -49,14 +49,34 @@ ClientSession::ClientSession(const HeNetworkPlan &plan,
     }
 }
 
-std::vector<ckks::Ciphertext>
-ClientSession::encryptInput(const nn::Tensor &input,
-                            std::uint64_t requestIndex) const
+void
+ClientSession::validateInput(const nn::Tensor &input) const
 {
     FXHENN_FATAL_IF(input.size() < minInputElements_,
                     "input tensor has " + std::to_string(input.size()) +
                         " elements but the plan gathers up to index " +
                         std::to_string(minInputElements_ - 1));
+}
+
+std::uint64_t
+ClientSession::batchRequestKey(
+    std::span<const std::uint64_t> memberIndices)
+{
+    FXHENN_FATAL_IF(memberIndices.empty(),
+                    "batchRequestKey: empty member list");
+    // A one-member fold is the member index itself, so a B=1 batch
+    // draws exactly the noise stream encryptInput(input, r) draws.
+    std::uint64_t key = memberIndices[0];
+    for (std::size_t i = 1; i < memberIndices.size(); ++i)
+        key = mixRequestSeed(key, memberIndices[i]);
+    return key;
+}
+
+std::vector<ckks::Ciphertext>
+ClientSession::encryptInput(const nn::Tensor &input,
+                            std::uint64_t requestIndex) const
+{
+    validateInput(input);
     FXHENN_TELEM_SCOPED_TIMER("hecnn.client.encrypt.ns");
     Rng rng(mixRequestSeed(seed_, requestIndex));
     const std::size_t slots = context_.slots();
@@ -75,6 +95,78 @@ ClientSession::encryptInput(const nn::Tensor &input,
         cts.push_back(encryptor_.encrypt(plain, rng));
     }
     return cts;
+}
+
+std::vector<ckks::Ciphertext>
+ClientSession::encryptInputBatch(
+    std::span<const nn::Tensor *const> inputs,
+    std::uint64_t requestKey) const
+{
+    const std::size_t lanes = plan_.batchLanes;
+    FXHENN_FATAL_IF(inputs.size() != lanes,
+                    "encryptInputBatch: " +
+                        std::to_string(inputs.size()) +
+                        " member inputs for a plan with " +
+                        std::to_string(lanes) + " batch lanes");
+    for (const nn::Tensor *member : inputs) {
+        if (member != nullptr)
+            validateInput(*member);
+    }
+    FXHENN_TELEM_SCOPED_TIMER("hecnn.client.encrypt.ns");
+    Rng rng(mixRequestSeed(seed_, requestKey));
+    const std::size_t slots = context_.slots();
+    std::vector<ckks::Ciphertext> cts;
+    cts.reserve(plan_.inputGather.size());
+    for (const auto &gather : plan_.inputGather) {
+        std::vector<double> v(slots, 0.0);
+        // The stride-B gather populates lane 0 only; the client fills
+        // member b's data into the sibling slot s*B + b.
+        for (std::size_t s = 0; s + lanes <= slots; s += lanes) {
+            const std::int32_t e = gather[s];
+            if (e < 0)
+                continue;
+            for (std::size_t b = 0; b < lanes; ++b) {
+                if (inputs[b] != nullptr) {
+                    v[s + b] = inputs[b]->data()[
+                        static_cast<std::size_t>(e)];
+                }
+            }
+        }
+        const auto plain =
+            encoder_.encode(std::span<const double>(v),
+                            context_.params().scale,
+                            context_.maxLevel());
+        cts.push_back(encryptor_.encrypt(plain, rng));
+    }
+    return cts;
+}
+
+std::vector<std::vector<double>>
+ClientSession::decryptLogitsBatch(
+    std::span<const std::optional<ckks::Ciphertext>> regs) const
+{
+    FXHENN_TELEM_SCOPED_TIMER("hecnn.client.decrypt.ns");
+    const std::size_t lanes = plan_.batchLanes;
+    std::map<std::int32_t, std::vector<double>> decoded;
+    std::vector<std::vector<double>> logits(
+        lanes,
+        std::vector<double>(plan_.outputLayout.elements(), 0.0));
+    for (std::size_t e = 0; e < plan_.outputLayout.elements(); ++e) {
+        const auto [reg_id, slot] = plan_.outputLayout.pos[e];
+        auto it = decoded.find(reg_id);
+        if (it == decoded.end()) {
+            const auto &ct = regs[static_cast<std::size_t>(reg_id)];
+            FXHENN_ASSERT(ct.has_value(), "output register unwritten");
+            it = decoded
+                     .emplace(reg_id, encoder_.decodeReal(
+                                          decryptor_.decrypt(*ct)))
+                     .first;
+        }
+        for (std::size_t b = 0; b < lanes; ++b)
+            logits[b][e] =
+                it->second[static_cast<std::size_t>(slot) + b];
+    }
+    return logits;
 }
 
 std::vector<double>

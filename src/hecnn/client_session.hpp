@@ -55,6 +55,53 @@ class ClientSession
     /** Number of Galois keys generated (rotation key footprint). */
     std::size_t galoisKeyCount() const { return galois_.keys.size(); }
 
+    /** Batch lane count B of the plan (1 = unbatched). */
+    std::size_t batchLanes() const { return plan_.batchLanes; }
+
+    /**
+     * Check @p input against the plan's gather spec without encrypting
+     * anything; throws the same ConfigError encryptInput would. The
+     * engine pre-validates batch members with this so one malformed
+     * request degrades alone instead of poisoning its batch.
+     */
+    void validateInput(const nn::Tensor &input) const;
+
+    /**
+     * Deterministic encryption-stream key for a batch composed of
+     * @p memberIndices (per-request indices, in lane order): a
+     * splitmix64 fold, so any distinct member composition draws an
+     * independent noise stream and the same composition reproduces
+     * bitwise. A single-member fold of {r} equals the stream
+     * encryptInput(input, r) uses, keeping B = 1 batches bit-identical
+     * to the unbatched path.
+     */
+    static std::uint64_t batchRequestKey(
+        std::span<const std::uint64_t> memberIndices);
+
+    /**
+     * Pack B = batchLanes() member inputs lane-wise per the plan's
+     * stride-B gather spec and encrypt the shared ciphertexts: member
+     * b's element e lands at physical slot s*B + b where the gather
+     * places e at lane-0 slot s*B. A null member pointer leaves its
+     * lane zeroed (partial batch). @p requestKey selects the noise
+     * stream — pass batchRequestKey() over the member indices.
+     * Throws ConfigError when inputs.size() != batchLanes() or any
+     * non-null member fails validateInput().
+     */
+    std::vector<ckks::Ciphertext> encryptInputBatch(
+        std::span<const nn::Tensor *const> inputs,
+        std::uint64_t requestKey) const;
+
+    /**
+     * Decrypt the output registers once and demux the per-lane logits:
+     * result[b][e] is member b's logit e, read from physical slot
+     * outputLayout.pos[e].slot + b. The demux is pure slot extraction
+     * — no arithmetic — so each member's logits are a deterministic
+     * function of the shared ciphertexts.
+     */
+    std::vector<std::vector<double>> decryptLogitsBatch(
+        std::span<const std::optional<ckks::Ciphertext>> regs) const;
+
     /**
      * Pack @p input per the plan's gather spec, encode and encrypt it
      * into the plan's input registers. @p requestIndex selects the

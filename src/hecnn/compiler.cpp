@@ -24,7 +24,12 @@ class PlanBuilder
     PlanBuilder(const nn::Network &net, const ckks::CkksParams &params,
                 const CompileOptions &options)
         : net_(net), params_(params), options_(options),
-          slots_(params.n / 2)
+          // Batched compiles run entirely in virtual slot space: each
+          // of the B interleaved requests sees (N/2)/B slots, and
+          // applyBatchStride() stretches the finished plan onto the
+          // physical slot ring afterwards.
+          slots_((params.n / 2) / std::max<std::size_t>(
+                                      options.batchLanes, 1))
     {}
 
     HeNetworkPlan
@@ -626,6 +631,73 @@ class PlanBuilder
     std::int32_t regCount_ = 0;
 };
 
+/** Stretch one virtual-slot layout onto the stride-B physical ring. */
+void
+stretchLayout(SlotLayout &layout, std::size_t lanes)
+{
+    for (auto &[reg, slot] : layout.pos)
+        slot = static_cast<std::int32_t>(
+            static_cast<std::size_t>(slot) * lanes);
+}
+
+/**
+ * Map a plan compiled in (N/2)/B virtual slots onto the physical slot
+ * ring: virtual slot s becomes physical slot s*B (lane 0), leaving
+ * lanes 1..B-1 free for the sibling requests the client interleaves at
+ * encrypt time.
+ *
+ *  - input gathers expand to N/2 entries with the lane-0 positions
+ *    populated and every other physical slot zeroed (-1);
+ *  - plaintexts broadcast each virtual value across all B lanes, so
+ *    one pcMult applies the same weight to every request;
+ *  - rotation steps scale by B: rotating the physical ring by k*B
+ *    moves physical slot s*B+b to ((s-k) mod (N/2)/B)*B + b — it
+ *    permutes virtual slots within each lane and never crosses lanes
+ *    (B divides N/2, so the cyclic wraparound is lane-preserving too);
+ *  - slot layouts scale their slot coordinates by B.
+ *
+ * lanes <= 1 is a strict no-op, keeping B=1 plans bit-identical to the
+ * unbatched compiler.
+ */
+void
+applyBatchStride(HeNetworkPlan &plan, std::size_t lanes)
+{
+    if (lanes <= 1)
+        return;
+    const std::size_t physSlots = plan.params.n / 2;
+    const std::size_t virtSlots = physSlots / lanes;
+
+    for (auto &gather : plan.inputGather) {
+        std::vector<std::int32_t> phys(physSlots, -1);
+        for (std::size_t s = 0; s < gather.size(); ++s)
+            phys[s * lanes] = gather[s];
+        gather = std::move(phys);
+    }
+
+    for (auto &pt : plan.plaintexts) {
+        if (pt.values.empty())
+            continue; // elided (stats-only) payload
+        std::vector<double> phys(physSlots, 0.0);
+        for (std::size_t s = 0; s < virtSlots; ++s) {
+            for (std::size_t b = 0; b < lanes; ++b)
+                phys[s * lanes + b] = pt.values[s];
+        }
+        pt.values = std::move(phys);
+    }
+
+    for (auto &layer : plan.layers) {
+        for (auto &instr : layer.instrs) {
+            if (instr.kind == HeOpKind::rotate)
+                instr.step = static_cast<std::int32_t>(
+                    instr.step * static_cast<std::int32_t>(lanes));
+        }
+        stretchLayout(layer.outputLayout, lanes);
+        layer.classify();
+    }
+    stretchLayout(plan.outputLayout, lanes);
+    plan.batchLanes = lanes;
+}
+
 } // namespace
 
 HeNetworkPlan
@@ -636,13 +708,24 @@ compile(const nn::Network &net, const ckks::CkksParams &params,
     FXHENN_FATAL_IF(net.layer(0).kind() != nn::LayerKind::conv2d &&
                         net.layer(0).kind() != nn::LayerKind::dense,
                     "first layer must be conv2d or dense");
-    // Dense-first networks pack the flat input contiguously.
+    const std::size_t lanes = options.batchLanes;
+    FXHENN_FATAL_IF(lanes == 0,
+                    "compile: batchLanes must be at least 1");
+    FXHENN_FATAL_IF((params.n / 2) % lanes != 0,
+                    "compile: batchLanes must divide the slot count " +
+                        std::to_string(params.n / 2));
+    FXHENN_FATAL_IF((params.n / 2) / lanes < 2,
+                    "compile: batchLanes " + std::to_string(lanes) +
+                        " leaves fewer than 2 virtual slots per request");
+    // Dense-first networks pack the flat input contiguously (into the
+    // per-request virtual slot space when batching).
     if (net.layer(0).kind() == nn::LayerKind::dense) {
-        FXHENN_FATAL_IF(net.inputSize() > params.n / 2,
+        FXHENN_FATAL_IF(net.inputSize() > (params.n / 2) / lanes,
                         "dense-first input exceeds one ciphertext");
     }
     PlanBuilder builder(net, params, options);
     HeNetworkPlan plan = builder.build();
+    applyBatchStride(plan, lanes);
     if (options.rescaleWaterline)
         rewriteRescales(plan); // certified: no-op unless provably safe
     if (options.selfCheck)

@@ -87,6 +87,21 @@ struct CompileOptions
 #else
     bool certifyNoise = true;
 #endif
+
+    /**
+     * Cross-request slot batching factor B: compile the network into
+     * (N/2)/B virtual slots per request and interleave B independent
+     * requests lane-wise in shared ciphertexts (request b's virtual
+     * slot s maps to physical slot s*B + b). Weight plaintexts are
+     * broadcast across lanes, rotations become stride-B (provably
+     * lane-preserving, including the cyclic wraparound, because
+     * B divides N/2), and the batch-layout lint pass rejects any
+     * lane-crossing artifact. B = 1 (the default) is bit-identical to
+     * the unbatched compiler. B must divide N/2 and leave enough
+     * virtual slots for the network's widest layer (ConfigError
+     * otherwise).
+     */
+    std::size_t batchLanes = 1;
 };
 
 /** Lower @p net under CKKS parameters @p params. */

@@ -134,6 +134,16 @@ struct HeNetworkPlan
     bool valuesElided = false; ///< true: stats-only, not executable
     std::int32_t regCount = 0;
 
+    /**
+     * Cross-request slot batching factor B. A batched plan interleaves
+     * B independent requests lane-wise: request b's virtual slot s
+     * lives at physical slot s*B + b, every rotation step is a
+     * multiple of B (lane-preserving), and every plaintext is
+     * broadcast across the B lanes. B = 1 is the classic
+     * single-request plan.
+     */
+    std::size_t batchLanes = 1;
+
     /** Final layout: logit index -> (register, slot). */
     SlotLayout outputLayout;
 

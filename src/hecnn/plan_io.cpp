@@ -22,11 +22,15 @@ constexpr std::uint64_t kMagic = 0x4678504c414e3031ull; // "FxPLAN01"
 /**
  * Version 2 appends a CRC-32 trailer over everything before it.
  * Version 3 adds each plaintext's maxAbs so elided (stats-only) plans
- * stay noise-certifiable. Version-1 (no trailer) and version-2
- * streams remain readable; v2 plaintexts derive maxAbs from their
- * values (0 when elided, which the certifier treats as |v| <= 1).
+ * stay noise-certifiable. Version 4 adds the cross-request batch lane
+ * count after regCount; older streams load as batchLanes = 1, and a
+ * batched plan refuses to serialize at a version that would silently
+ * drop its lane structure. Version-1 (no trailer), version-2 and
+ * version-3 streams remain readable; v2 plaintexts derive maxAbs from
+ * their values (0 when elided, which the certifier treats as
+ * |v| <= 1).
  */
-constexpr std::uint32_t kVersion = 3;
+constexpr std::uint32_t kVersion = 4;
 constexpr std::size_t kHeaderSize =
     sizeof(std::uint64_t) + sizeof(std::uint32_t); // magic + version
 
@@ -97,6 +101,31 @@ writeVector(std::ostream &os, const std::vector<T> &v)
              static_cast<std::streamsize>(v.size() * sizeof(T)));
 }
 
+/**
+ * HeInstr has three padding bytes between its u8 opcode and the first
+ * i32 field; aggregate initialization leaves them indeterminate, so a
+ * raw struct write would make savePlan's bytes (and the CRC trailer)
+ * vary between otherwise identical compiles. Re-copy each record into
+ * a zeroed staging struct first: the wire layout is unchanged, the
+ * padding is deterministically zero.
+ */
+void
+writeVector(std::ostream &os, const std::vector<HeInstr> &v)
+{
+    static_assert(sizeof(HeInstr) == 20,
+                  "wire layout: u8 kind + 3 pad + 4 x i32");
+    writePod(os, static_cast<std::uint64_t>(v.size()));
+    constexpr char pad[3] = {0, 0, 0};
+    for (const HeInstr &instr : v) {
+        writePod(os, static_cast<std::uint8_t>(instr.kind));
+        os.write(pad, sizeof(pad));
+        writePod(os, instr.dst);
+        writePod(os, instr.src);
+        writePod(os, instr.pt);
+        writePod(os, instr.step);
+    }
+}
+
 template <typename T>
 std::vector<T>
 readVector(std::istream &is, std::uint64_t maxElems)
@@ -163,6 +192,11 @@ savePlanAsVersion(const HeNetworkPlan &plan, std::ostream &outer,
     FXHENN_FATAL_IF(version == 0 || version > kVersion,
                     "unknown plan stream version " +
                         std::to_string(version));
+    FXHENN_FATAL_IF(plan.batchLanes > 1 && version < 4,
+                    "plan stream version " + std::to_string(version) +
+                        " cannot represent a batched plan (batchLanes " +
+                        std::to_string(plan.batchLanes) +
+                        "); use version 4 or later");
     // Serialize into a buffer first so the CRC-32 trailer can cover
     // the whole payload.
     std::ostringstream os;
@@ -177,6 +211,8 @@ savePlanAsVersion(const HeNetworkPlan &plan, std::ostream &outer,
     writePod(os, plan.params.sigma);
     writePod(os, static_cast<std::uint8_t>(plan.valuesElided ? 1 : 0));
     writePod(os, plan.regCount);
+    if (version >= 4)
+        writePod(os, static_cast<std::uint32_t>(plan.batchLanes));
 
     writePod(os, static_cast<std::uint64_t>(plan.inputGather.size()));
     for (const auto &gather : plan.inputGather)
@@ -265,6 +301,12 @@ loadPlan(std::istream &stream)
     plan.regCount = readPod<std::int32_t>(is);
     FXHENN_FATAL_IF(plan.regCount < 0 || plan.regCount > (1 << 24),
                     "implausible register count");
+    if (version >= 4) {
+        plan.batchLanes = readPod<std::uint32_t>(is);
+        FXHENN_FATAL_IF(plan.batchLanes == 0 ||
+                            (plan.params.n / 2) % plan.batchLanes != 0,
+                        "corrupt batch lane count");
+    }
 
     const auto gathers = readPod<std::uint64_t>(is);
     FXHENN_FATAL_IF(gathers > 65536, "implausible input count");

@@ -18,10 +18,10 @@ TEST(Passes, TinyPlanIsCleanUnderTheFullPipeline)
     EXPECT_EQ(report.warningCount(), 0u) << report.toText();
 }
 
-TEST(Passes, StandardPipelineHasNinePasses)
+TEST(Passes, StandardPipelineHasTenPasses)
 {
     const auto pm = PassManager::standard();
-    EXPECT_EQ(pm.passes().size(), 9u);
+    EXPECT_EQ(pm.passes().size(), 10u);
     for (const auto &pass : pm.passes()) {
         EXPECT_NE(pass->name()[0], '\0');
         EXPECT_NE(pass->description()[0], '\0');
@@ -335,6 +335,105 @@ TEST(LayerClassPass, WarnsOnZeroInputCiphertexts)
     const auto report = runPass(makeLayerClassPass(), plan);
     EXPECT_EQ(report.warningCount(), 1u) << report.toText();
     EXPECT_TRUE(hasMessage(report, "zero input ciphertexts"));
+}
+
+// --- pass 10: batch layout -------------------------------------------------
+
+// tinyPlan() with B=2 lanes is already stride-aligned: its only data
+// slot is 0 (lane 0 of virtual slot 0) and its plaintext is constant.
+static hecnn::HeNetworkPlan
+tinyBatchedPlan(std::size_t lanes = 2)
+{
+    auto plan = tinyPlan();
+    plan.batchLanes = lanes;
+    return plan;
+}
+
+TEST(BatchLayoutPass, CleanOnAlignedBatchedPlan)
+{
+    const auto report =
+        runPass(makeBatchLayoutPass(), tinyBatchedPlan());
+    EXPECT_EQ(report.errorCount(), 0u) << report.toText();
+}
+
+TEST(BatchLayoutPass, SilentOnUnbatchedPlan)
+{
+    const auto report = runPass(makeBatchLayoutPass(), tinyPlan());
+    EXPECT_EQ(report.errorCount(), 0u) << report.toText();
+    EXPECT_EQ(report.warningCount(), 0u) << report.toText();
+}
+
+TEST(BatchLayoutPass, FlagsZeroLanes)
+{
+    auto plan = tinyBatchedPlan(0);
+    const auto report = runPass(makeBatchLayoutPass(), plan);
+    EXPECT_EQ(report.errorCount(), 1u) << report.toText();
+    EXPECT_TRUE(hasMessage(report, "batchLanes is 0"));
+}
+
+TEST(BatchLayoutPass, FlagsLaneCountNotDividingTheRing)
+{
+    auto plan = tinyBatchedPlan(3); // 512 % 3 != 0
+    const auto report = runPass(makeBatchLayoutPass(), plan);
+    EXPECT_EQ(report.errorCount(), 1u) << report.toText();
+    EXPECT_TRUE(hasMessage(report, "does not divide the slot count"));
+}
+
+TEST(BatchLayoutPass, FlagsLaneCrossingRotation)
+{
+    auto plan = tinyBatchedPlan();
+    // Stride-1 rotation on a 2-lane plan: permutes data BETWEEN the
+    // two interleaved requests.
+    plan.layers[0].instrs.push_back({HeOpKind::rotate, 1, 1, -1, 3});
+    const auto report = runPass(makeBatchLayoutPass(), plan);
+    EXPECT_EQ(report.errorCount(), 1u) << report.toText();
+    EXPECT_TRUE(hasMessage(report, "moves data between requests"));
+}
+
+TEST(BatchLayoutPass, AcceptsStrideAlignedRotation)
+{
+    auto plan = tinyBatchedPlan();
+    plan.layers[0].instrs.push_back({HeOpKind::rotate, 1, 1, -1, 4});
+    const auto report = runPass(makeBatchLayoutPass(), plan);
+    EXPECT_EQ(report.errorCount(), 0u) << report.toText();
+}
+
+TEST(BatchLayoutPass, FlagsMisalignedLayoutSlot)
+{
+    auto plan = tinyBatchedPlan();
+    plan.outputLayout.pos.assign({{1, 1}}); // lane 1 of slot 0
+    const auto report = runPass(makeBatchLayoutPass(), plan);
+    EXPECT_GE(report.errorCount(), 1u) << report.toText();
+    EXPECT_TRUE(hasMessage(report, "address lane 0 only"));
+}
+
+TEST(BatchLayoutPass, FlagsPerRequestCapacityOverflow)
+{
+    // 256 lanes on a 512-slot ring leave 2 virtual slots per request;
+    // a register carrying 3 elements cannot fit any single lane.
+    auto plan = tinyBatchedPlan(256);
+    plan.layers[0].outputLayout.pos.assign({{1, 0}, {1, 0}, {1, 256}});
+    const auto report = runPass(makeBatchLayoutPass(), plan);
+    EXPECT_GE(report.errorCount(), 1u) << report.toText();
+    EXPECT_TRUE(hasMessage(report, "slots per request"));
+}
+
+TEST(BatchLayoutPass, FlagsMisalignedGatherEntry)
+{
+    auto plan = tinyBatchedPlan();
+    plan.inputGather[0][1] = 0; // element parked on lane 1
+    const auto report = runPass(makeBatchLayoutPass(), plan);
+    EXPECT_GE(report.errorCount(), 1u) << report.toText();
+    EXPECT_TRUE(hasMessage(report, "siblings are filled at encrypt"));
+}
+
+TEST(BatchLayoutPass, FlagsNonBroadcastPlaintext)
+{
+    auto plan = tinyBatchedPlan();
+    plan.plaintexts[0].values[1] = 0.7; // lane 1 differs from lane 0
+    const auto report = runPass(makeBatchLayoutPass(), plan);
+    EXPECT_GE(report.errorCount(), 1u) << report.toText();
+    EXPECT_TRUE(hasMessage(report, "not lane-constant"));
 }
 
 // --- hostile input ---------------------------------------------------------

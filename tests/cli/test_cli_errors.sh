@@ -148,6 +148,14 @@ expect 3 "batch: non-numeric deadline" batch --model test --deadline-ms soon
 expect 3 "batch: bad admission policy" batch --model test --admission drop
 expect 3 "batch: retries over cap" batch --model test --retries 17
 expect 3 "batch: non-numeric retries" batch --model test --retries many
+expect 3 "batch: zero batch size" batch --model test --batch-size 0
+expect 3 "batch: non-numeric batch size" batch --model test --batch-size sixteen
+expect 3 "batch: batch size not dividing the slot count" \
+    batch --model test --batch-size 3
+expect 3 "verify rejects --batch-size (unsupported flag)" \
+    verify --batch-size 4
+expect 3 "lint rejects --batch-size (unsupported flag)" \
+    lint --model mnist --batch-size 4
 
 # --- batch SLO collapse: exit 6 ------------------------------------------
 # One worker, a 1 ms deadline and a ~60 ms model: request 0 blows its

@@ -13,6 +13,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <future>
 #include <mutex>
 #include <thread>
@@ -241,6 +242,174 @@ TEST_F(ChaosTest, StalledQueueExpiresDeadlinedRequests)
     const auto stats = engine.stats();
     EXPECT_EQ(stats.deadlineExpired, 1u);
     EXPECT_EQ(stats.completed, 1u);
+}
+
+/**
+ * Batched (slot-packed) chaos: mixed traffic through a B = 2 plan's
+ * accumulation windows. Same no-lost-futures invariant — whatever
+ * window boundaries the race produced, every future resolves and the
+ * books balance.
+ */
+TEST_F(ChaosTest, BatchedMixResolvesEveryFuture)
+{
+    hecnn::CompileOptions batchedOpts;
+    batchedOpts.batchLanes = 2;
+    const auto plan = hecnn::compile(net_, params_, batchedOpts);
+
+    EngineOptions opts;
+    opts.workers = 2;
+    opts.queueCapacity = 2;
+    opts.guard.policy = robustness::GuardPolicy::degrade;
+    opts.admission = AdmissionPolicy::shed;
+    opts.batchWindowSeconds = 0.005;
+    InferenceEngine engine(plan, ctx_, opts);
+
+    const nn::Tensor good = nn::syntheticInput(net_, 7);
+    const nn::Tensor bad({5, 1, 1});
+
+    constexpr int kProducers = 3;
+    constexpr int kPerProducer = 4;
+    std::mutex futuresMutex;
+    std::vector<std::future<hecnn::InferOutcome>> futures;
+    std::vector<std::thread> producers;
+    producers.reserve(kProducers);
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+            for (int i = 0; i < kPerProducer; ++i) {
+                RequestOptions req;
+                const int mix = (p + i) % 4;
+                if (mix == 1)
+                    req.deadlineSeconds = 1e-9;
+                auto future =
+                    engine.submit(mix == 0 ? bad : good, req);
+                std::scoped_lock lock(futuresMutex);
+                futures.push_back(std::move(future));
+            }
+        });
+    }
+    for (auto &t : producers)
+        t.join();
+
+    std::size_t resolved = 0;
+    std::size_t ok = 0;
+    for (auto &future : futures) {
+        ASSERT_TRUE(future.valid()) << "a submit() future was lost";
+        const auto outcome = future.get();
+        ++resolved;
+        if (!outcome.degraded()) {
+            ++ok;
+            EXPECT_FALSE(outcome.logits.empty());
+        } else {
+            EXPECT_FALSE(outcome.failure->reason.empty());
+            EXPECT_TRUE(outcome.logits.empty());
+        }
+    }
+    // Under forced overload (queue capacity 2, shed admission, three
+    // producer threads racing two workers) it is legitimate for every
+    // storm request to be shed — "ok" may be zero. The liveness claim
+    // is that the engine still serves clean traffic once the storm has
+    // drained, so probe with a clean request, retrying past any
+    // breaker cooldown the storm may have opened.
+    bool probeServed = false;
+    for (int attempt = 0; attempt < 200 && !probeServed; ++attempt) {
+        auto probe = engine.submit(good);
+        probeServed = !probe.get().degraded();
+        if (!probeServed)
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_TRUE(probeServed)
+        << "engine must serve clean traffic after the storm drains";
+    engine.shutdown();
+
+    const auto stats = engine.stats();
+    EXPECT_EQ(resolved, std::size_t(kProducers * kPerProducer));
+    EXPECT_EQ(stats.completed, stats.submitted);
+    EXPECT_GT(stats.batchesExecuted, 0u);
+}
+
+/**
+ * A guard degradation inside a shared-ciphertext run is inherently a
+ * whole-group event: every member must receive the honest structured
+ * report — never the garbage logits of the poisoned ciphertext, and
+ * never a sibling's result.
+ */
+TEST_F(ChaosTest, GuardDegradationInBatchIsReportedToEverySibling)
+{
+    if (!robustness::faultInjectCompiledIn())
+        GTEST_SKIP() << "fault injection compiled out";
+
+    hecnn::CompileOptions batchedOpts;
+    batchedOpts.batchLanes = 2;
+    const auto plan = hecnn::compile(net_, params_, batchedOpts);
+
+    // Drop the first rescale of the shared run: the guard trips
+    // mid-execution with one already-poisoned ciphertext.
+    robustness::armFault({"evaluator.rescale", "drop", 1, 1});
+
+    EngineOptions opts;
+    opts.workers = 1;
+    opts.guard.policy = robustness::GuardPolicy::degrade;
+    InferenceEngine engine(plan, ctx_, opts);
+    std::vector<nn::Tensor> batch{nn::syntheticInput(net_, 41),
+                                  nn::syntheticInput(net_, 42)};
+    const auto outcomes = engine.runBatch(batch);
+
+    ASSERT_EQ(outcomes.size(), 2u);
+    for (std::size_t r = 0; r < 2; ++r) {
+        ASSERT_TRUE(outcomes[r].degraded()) << "member " << r;
+        EXPECT_TRUE(outcomes[r].logits.empty())
+            << "member " << r
+            << " must never see poisoned-ciphertext logits";
+        EXPECT_FALSE(outcomes[r].failure->reason.empty());
+    }
+    // Both members carry the same whole-group diagnosis.
+    EXPECT_EQ(outcomes[0].failure->op, outcomes[1].failure->op);
+    EXPECT_EQ(outcomes[0].failure->reason, outcomes[1].failure->reason);
+    EXPECT_EQ(engine.stats().degraded, 2u);
+}
+
+/**
+ * Queue-expiry inside an accumulation window under an injected stall:
+ * the short-deadline member is shed BEFORE batch formation (op
+ * "deadline", never executed) while its window sibling still runs.
+ */
+TEST_F(ChaosTest, StalledWindowShedsExpiredMemberBeforeFormation)
+{
+    if (!robustness::faultInjectCompiledIn())
+        GTEST_SKIP() << "fault injection compiled out";
+
+    hecnn::CompileOptions batchedOpts;
+    batchedOpts.batchLanes = 2;
+    const auto plan = hecnn::compile(net_, params_, batchedOpts);
+
+    // Seed 5 -> a 100 ms stall before the first window opens.
+    robustness::armFault({"engine.queue", "delay", 1, 5});
+
+    EngineOptions opts;
+    opts.workers = 1;
+    opts.batchWindowSeconds = 0.05;
+    InferenceEngine engine(plan, ctx_, opts);
+
+    RequestOptions shortLived;
+    shortLived.deadlineSeconds = 0.005; // hopeless behind 100 ms
+    auto dead =
+        engine.submit(nn::syntheticInput(net_, 51), shortLived);
+    auto alive = engine.submit(nn::syntheticInput(net_, 52));
+
+    const auto deadOutcome = dead.get();
+    const auto aliveOutcome = alive.get();
+    engine.shutdown();
+
+    ASSERT_TRUE(deadOutcome.degraded());
+    EXPECT_EQ(deadOutcome.failure->layer, "admission");
+    EXPECT_EQ(deadOutcome.failure->op, "deadline");
+    EXPECT_TRUE(deadOutcome.logits.empty());
+    EXPECT_FALSE(aliveOutcome.degraded())
+        << "the surviving sibling must still be served";
+
+    const auto stats = engine.stats();
+    EXPECT_EQ(stats.deadlineExpired, 1u);
+    EXPECT_EQ(stats.completed, 2u);
 }
 
 } // namespace

@@ -302,6 +302,7 @@ TEST(SerializationFuzz, OversizedVectorClaimIsRejectedBeforeAllocating)
     off += 4 + plan.name.size();           // plan name
     off += 8 + 8 + 4 + 4 + 8 + 8;          // params fields
     off += 1 + 4;                          // elided flag + regCount
+    off += 4;                              // batchLanes (v4)
     off += 8;                              // gather count
     for (const auto &gather : plan.inputGather)
         off += 8 + gather.size() * sizeof(std::int32_t);
